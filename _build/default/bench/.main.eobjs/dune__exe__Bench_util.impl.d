@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array List Printf Symnet_prng

@@ -1,0 +1,1 @@
+bench/e01_census.ml: Bench_util List Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

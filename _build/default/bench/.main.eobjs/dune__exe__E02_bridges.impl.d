@@ -1,0 +1,1 @@
+bench/e02_bridges.ml: Bench_util List Printf Symnet_algorithms Symnet_graph Symnet_prng

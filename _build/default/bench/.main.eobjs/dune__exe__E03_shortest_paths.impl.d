@@ -1,0 +1,1 @@
+bench/e03_shortest_paths.ml: Array Bench_util List Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

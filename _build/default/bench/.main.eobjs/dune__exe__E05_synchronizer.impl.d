@@ -1,0 +1,1 @@
+bench/e05_synchronizer.ml: Array Bench_util List Symnet_algorithms Symnet_core Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+bench/e08_traversal.ml: Bench_util List Symnet_algorithms Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+bench/e09_tourist.ml: Bench_util List Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+bench/e11_equivalence.ml: Bench_util List Symnet_core Symnet_prng

@@ -1,0 +1,1 @@
+bench/e12_iwa.ml: Array Bench_util List Symnet_core Symnet_engine Symnet_graph Symnet_iwa Symnet_prng

@@ -1,0 +1,1 @@
+bench/e14_firing_squad.ml: Bench_util List Symnet_algorithms Symnet_graph Symnet_prng

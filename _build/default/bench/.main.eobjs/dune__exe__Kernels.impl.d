@@ -1,0 +1,1 @@
+bench/kernels.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Symnet_algorithms Symnet_core Symnet_engine Symnet_graph Symnet_iwa Symnet_prng Test Time Toolkit

@@ -1,0 +1,36 @@
+(* Shared helpers for the experiment harness. *)
+
+module Prng = Symnet_prng.Prng
+
+let section id claim =
+  Printf.printf "\n=== %s ===\n%s\n\n" id claim
+
+let row fmt = Printf.printf fmt
+
+let mean l =
+  match l with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let meani l = mean (List.map float_of_int l)
+
+let median l =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted ->
+      let a = Array.of_list sorted in
+      a.(Array.length a / 2)
+
+let percentile p l =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted ->
+      let a = Array.of_list sorted in
+      let i = int_of_float (p *. float_of_int (Array.length a - 1)) in
+      a.(i)
+
+let log2 x = log x /. log 2.
+
+let seeds k = List.init k (fun i -> i + 1)
+
+let rng seed = Prng.create ~seed

@@ -1,0 +1,58 @@
+(* E1 — Flajolet–Martin census (paper §1).
+   Claims: the estimate is within a constant factor (2, for suitable
+   constants) of n w.h.p.; edge faults that preserve connectivity do not
+   disturb agreement; after a split every component agrees internally on
+   an estimate between 1/2 |V(G')| and 2 |V(G)| (up to the FM constant). *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Fault = Symnet_engine.Fault
+module Census = Symnet_algorithms.Census
+
+let one_ratio ~faulty n seed =
+  let g = Gen.random_connected (rng (seed * 977)) ~n ~extra_edges:n in
+  let faults =
+    if faulty then
+      Fault.random_edge_faults (rng (seed * 31)) g ~count:(n / 5) ~max_round:8
+        ~keep_connected:true
+    else []
+  in
+  let k = Census.recommended_k n in
+  let net = Network.init ~rng:(rng seed) g (Census.automaton ~k) in
+  ignore (Runner.run ~faults ~max_rounds:100_000 net);
+  match
+    List.filter_map (fun (_, s) -> Census.estimate s) (Network.states net)
+  with
+  | [] -> (nan, false)
+  | e :: rest ->
+      (e /. float_of_int n, List.for_all (fun e' -> e' = e) rest)
+
+let run () =
+  section "E1  census"
+    "claim: estimate within a constant factor of n w.h.p. (paper: 2x);\n\
+     0-sensitive: connectivity-preserving faults never break agreement";
+  row "  %-6s %-8s %-14s %-14s %-18s %-10s\n" "n" "faults" "median ratio"
+    "p10..p90" "within 4x (frac)" "agreement";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun faulty ->
+          let results = List.map (one_ratio ~faulty n) (seeds 25) in
+          let ratios = List.map fst results in
+          let agree =
+            List.length (List.filter snd results) = List.length results
+          in
+          let within =
+            List.length (List.filter (fun r -> r >= 0.25 && r <= 4.) ratios)
+          in
+          row "  %-6d %-8s %-14.2f %5.2f..%-7.2f %-18.2f %-10b\n" n
+            (if faulty then "20% edges" else "none")
+            (median ratios) (percentile 0.1 ratios) (percentile 0.9 ratios)
+            (float_of_int within /. float_of_int (List.length ratios))
+            agree)
+        [ false; true ])
+    [ 16; 64; 256; 1024 ]

@@ -1,0 +1,68 @@
+(* E2 — bridge finding via a random walk (paper §2.1, Claim 2.1).
+   Claims: a non-bridge's counter exceeds +-1 within expected O(mn)
+   steps; a budget of c*m*n*log n identifies all non-bridges w.p.
+   1 - n^(1-c). *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Analysis = Symnet_graph.Analysis
+module Bridges = Symnet_algorithms.Bridges
+
+let mean_exceed_steps mk_graph trials =
+  let samples =
+    List.filter_map
+      (fun seed ->
+        let g = mk_graph () in
+        let t = Bridges.create ~rng:(rng (seed * 131)) g ~start:0 in
+        Bridges.steps_until_exceeded t ~edge_id:0 ~max_steps:50_000_000)
+      (seeds trials)
+  in
+  meani samples
+
+let run () =
+  section "E2  bridges via random walk"
+    "claim 2.1: expected steps before a non-bridge counter exceeds +-1 is\n\
+     O(mn); with budget c*m*n*log n all non-bridges found w.p. 1-n^(1-c)";
+  row "  %-12s %-6s %-6s %-12s %-10s\n" "graph" "n" "m" "mean steps"
+    "steps/(mn)";
+  List.iter
+    (fun n ->
+      let g = Gen.cycle n in
+      let m = Graph.edge_count g in
+      let steps = mean_exceed_steps (fun () -> Gen.cycle n) 20 in
+      row "  %-12s %-6d %-6d %-12.0f %-10.2f\n"
+        (Printf.sprintf "cycle:%d" n)
+        n m steps
+        (steps /. float_of_int (m * n)))
+    [ 8; 16; 32; 64 ];
+  List.iter
+    (fun (a, b, c) ->
+      let g = Gen.theta a b c in
+      let n = Graph.node_count g and m = Graph.edge_count g in
+      let steps = mean_exceed_steps (fun () -> Gen.theta a b c) 20 in
+      row "  %-12s %-6d %-6d %-12.0f %-10.2f\n"
+        (Printf.sprintf "theta:%d,%d,%d" a b c)
+        n m steps
+        (steps /. float_of_int (m * n)))
+    [ (2, 2, 2); (6, 6, 6); (14, 14, 14) ];
+  row "\n  completeness with budget c*m*n*log n (random:24,12; 20 seeds):\n";
+  row "  %-4s %-22s\n" "c" "exact bridge set (frac)";
+  List.iter
+    (fun c ->
+      let good =
+        List.length
+          (List.filter
+             (fun seed ->
+               let g =
+                 Gen.random_connected (rng (seed * 17)) ~n:24 ~extra_edges:12
+               in
+               let t = Bridges.create ~rng:(rng seed) g ~start:0 in
+               Bridges.run t ~steps:(Bridges.recommended_steps g ~c);
+               List.sort compare (Bridges.suspected_bridges t)
+               = Analysis.bridges g)
+             (seeds 20))
+      in
+      row "  %-4d %-22.2f\n" c (float_of_int good /. 20.))
+    [ 1; 2; 3 ]

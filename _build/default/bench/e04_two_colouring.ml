@@ -1,0 +1,57 @@
+(* E4 — 2-colouring / bipartiteness (paper §4.1).
+   Claim: the automaton decides bipartiteness; colour waves travel one
+   hop per round so the decision lands in O(diameter) rounds. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Analysis = Symnet_graph.Analysis
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Tc = Symnet_algorithms.Two_colouring
+
+let run () =
+  section "E4  2-colouring"
+    "claim: verdict = bipartiteness oracle on every graph; decision in\n\
+     O(diameter) rounds";
+  row "  %-16s %-6s %-10s %-10s %-12s %-8s\n" "graph" "n" "diameter" "rounds"
+    "verdict" "oracle";
+  let cases =
+    [
+      ("path 64", Gen.path 64);
+      ("cycle 65", Gen.cycle 65);
+      ("cycle 64", Gen.cycle 64);
+      ("grid 8x9", Gen.grid ~rows:8 ~cols:9);
+      ("tree d6", Gen.complete_binary_tree ~depth:6);
+      ("petersen", Gen.petersen ());
+      ("hypercube 6", Gen.hypercube ~dim:6);
+      ("complete 32", Gen.complete 32);
+      ("random 60", Gen.random_connected (rng 7) ~n:60 ~extra_edges:30);
+      ("bipartite 30+30", Gen.random_bipartite (rng 8) ~left:30 ~right:30 ~p:0.1);
+    ]
+  in
+  let all_ok = ref true in
+  List.iter
+    (fun (name, g) ->
+      let diam = Analysis.diameter g in
+      let oracle = Analysis.is_bipartite g in
+      let net = Network.init ~rng:(rng 1) g (Tc.automaton ~seed:0) in
+      let o = Runner.run ~max_rounds:100_000 net in
+      let verdict = Tc.verdict net in
+      let agree =
+        match verdict with
+        | `Bipartite -> oracle
+        | `Odd_cycle -> not oracle
+        | `Undecided -> false
+      in
+      if not agree then all_ok := false;
+      row "  %-16s %-6d %-10d %-10d %-12s %-8b\n" name (Graph.node_count g) diam
+        o.Runner.rounds
+        (match verdict with
+        | `Bipartite -> "bipartite"
+        | `Odd_cycle -> "odd-cycle"
+        | `Undecided -> "undecided")
+        oracle)
+    cases;
+  row "  -> all verdicts agree with the oracle: %b\n" !all_ok

@@ -1,0 +1,49 @@
+(* E6 — breadth-first search (paper §4.3).
+   Claims: labels are distances mod 3 from the originator; the found
+   status returns to the originator within ~2*dist rounds; composing with
+   the synchronizer gives the asynchronous version. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Analysis = Symnet_graph.Analysis
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Bfs = Symnet_algorithms.Bfs
+
+let run () =
+  section "E6  breadth-first search"
+    "claims: labels = distance mod 3; found echoes back within ~2*dist\n\
+     rounds; failed iff target unreachable";
+  row "  %-16s %-6s %-8s %-10s %-14s %-10s\n" "graph" "n" "dist" "rounds"
+    "rounds/dist" "labels ok";
+  List.iter
+    (fun (name, g, target) ->
+      let dist = (Analysis.distances g ~sources:[ 0 ]).(target) in
+      let net =
+        Network.init ~rng:(rng 1) g (Bfs.automaton ~originator:0 ~targets:[ target ])
+      in
+      let o =
+        Runner.run ~max_rounds:100_000
+          ~stop:(fun ~round:_ net -> Bfs.originator_status net = Bfs.Found)
+          net
+      in
+      row "  %-16s %-6d %-8d %-10d %-14.2f %-10b\n" name (Graph.node_count g)
+        dist o.Runner.rounds
+        (float_of_int o.Runner.rounds /. float_of_int (max 1 dist))
+        (Bfs.labels_consistent net ~originator:0))
+    [
+      ("path 64", Gen.path 64, 63);
+      ("cycle 65", Gen.cycle 65, 32);
+      ("grid 10x10", Gen.grid ~rows:10 ~cols:10, 99);
+      ("tree d7", Gen.complete_binary_tree ~depth:7, 254);
+      ("random 128", Gen.random_connected (rng 4) ~n:128 ~extra_edges:64, 127);
+    ];
+  (* unreachable target fails *)
+  let g = Gen.path 20 in
+  Graph.remove_edge_between g 9 10;
+  let net = Network.init ~rng:(rng 2) g (Bfs.automaton ~originator:0 ~targets:[ 19 ]) in
+  ignore (Runner.run ~max_rounds:10_000 net);
+  row "  disconnected target correctly reported failed: %b\n"
+    (Bfs.originator_status net = Bfs.Failed)

@@ -1,0 +1,74 @@
+(* E7 — FSSGA random walk (paper §4.4).
+   Claims: when the walker is at a node of degree d, the expected number
+   of synchronous rounds before it moves is Theta(log d); the destination
+   is uniform among the neighbours, so the induced process is a uniform
+   random walk. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module Rw = Symnet_algorithms.Random_walk
+
+let rounds_for_one_move d seed =
+  let g = Gen.star (d + 1) in
+  let net = Network.init ~rng:(rng seed) g (Rw.automaton ~start:0) in
+  let rounds = ref 0 in
+  while Rw.walker_position net = Some 0 && !rounds < 100_000 do
+    ignore (Network.sync_step net);
+    incr rounds
+  done;
+  !rounds
+
+let run () =
+  section "E7  FSSGA random walk"
+    "claims: E[rounds per move] = Theta(log d); destinations uniform";
+  row "  %-8s %-14s %-16s\n" "degree" "mean rounds" "rounds / log2 d";
+  List.iter
+    (fun d ->
+      let samples = List.map (rounds_for_one_move d) (seeds 60) in
+      let m = meani samples in
+      row "  %-8d %-14.1f %-16.2f\n" d m (m /. log2 (float_of_int (max 2 d))))
+    [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ];
+  (* uniformity on a star of degree 8 *)
+  let d = 8 in
+  let counts = Array.make (d + 1) 0 in
+  List.iter
+    (fun seed ->
+      let g = Gen.star (d + 1) in
+      let net = Network.init ~rng:(rng (seed * 7)) g (Rw.automaton ~start:0) in
+      let dest = ref None in
+      while !dest = None do
+        ignore (Network.sync_step net);
+        match Rw.walker_position net with
+        | Some p when p <> 0 -> dest := Some p
+        | _ -> ()
+      done;
+      match !dest with
+      | Some p -> counts.(p) <- counts.(p) + 1
+      | None -> ())
+    (seeds 1600);
+  let leaf_counts = Array.to_list (Array.sub counts 1 d) in
+  let mx = List.fold_left max 0 leaf_counts
+  and mn = List.fold_left min max_int leaf_counts in
+  row "\n  uniformity on K_{1,8}: 1600 first moves, leaf counts min=%d max=%d (max/min %.2f)\n"
+    mn mx
+    (float_of_int mx /. float_of_int (max 1 mn));
+  (* occupancy vs the true walk's stationary distribution on a lollipop *)
+  let g = Gen.lollipop ~clique:5 ~tail:5 in
+  let stats = Rw.run_moves ~rng:(rng 424242) g ~start:0 ~moves:8_000 () in
+  let deg_sum =
+    List.fold_left
+      (fun acc v -> acc + Symnet_graph.Graph.degree g v)
+      0
+      (Symnet_graph.Graph.nodes g)
+  in
+  row "  occupancy vs degree/2m on lollipop(5,5) after 8000 moves:\n";
+  row "  %-6s %-10s %-12s %-12s\n" "node" "degree" "visits/moves" "deg/2m";
+  List.iter
+    (fun v ->
+      row "  %-6d %-10d %-12.3f %-12.3f\n" v
+        (Symnet_graph.Graph.degree g v)
+        (float_of_int stats.Rw.visits.(v) /. float_of_int stats.Rw.moves)
+        (float_of_int (Symnet_graph.Graph.degree g v) /. float_of_int deg_sum))
+    [ 0; 2; 4; 5; 7; 9 ]

@@ -1,0 +1,34 @@
+(* E8 — Milgram's traversal (paper §4.5).
+   Claims: the hand changes position exactly 2n-2 times (the arm traces a
+   scan-first-search spanning tree); total time O(n log n). *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Tr = Symnet_algorithms.Traversal
+
+let run () =
+  section "E8  Milgram traversal"
+    "claims: hand moves exactly 2n-2 times; total rounds O(n log n)";
+  row "  %-14s %-6s %-12s %-8s %-10s %-16s\n" "graph" "n" "hand moves" "2n-2"
+    "rounds" "rounds/(n lg n)";
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.node_count g in
+      let stats = Tr.run ~rng:(rng 1) g ~originator:0 () in
+      row "  %-14s %-6d %-12d %-8d %-10d %-16.2f\n" name n stats.Tr.hand_moves
+        ((2 * n) - 2)
+        stats.Tr.rounds
+        (float_of_int stats.Tr.rounds
+        /. (float_of_int n *. log2 (float_of_int (max 2 n)))))
+    [
+      ("path 64", Gen.path 64);
+      ("cycle 64", Gen.cycle 64);
+      ("grid 8x8", Gen.grid ~rows:8 ~cols:8);
+      ("complete 32", Gen.complete 32);
+      ("star 64", Gen.star 64);
+      ("random 64", Gen.random_connected (rng 2) ~n:64 ~extra_edges:32);
+      ("random 128", Gen.random_connected (rng 3) ~n:128 ~extra_edges:64);
+      ("random 256", Gen.random_connected (rng 4) ~n:256 ~extra_edges:128);
+    ]

@@ -1,0 +1,87 @@
+(* E10 — randomized leader election (paper §4.7).
+   Claims: exactly one leader at stabilization w.h.p.; O(n log n) total
+   time; Theta(log n) phases; in a phase with >= 2 remaining nodes, a
+   given remaining node is eliminated with probability >= 1/4
+   (Claim 4.1); inconsistencies between clusters are detected within O(n)
+   steps of recolouring (Claim 4.2) — observed as rounds-per-phase being
+   O(n). *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module El = Symnet_algorithms.Election
+
+let run () =
+  section "E10 leader election"
+    "claims: unique leader w.h.p.; O(n log n) rounds; Theta(log n)\n\
+     phases; >= 1/4 elimination per phase (claim 4.1); O(n) rounds per\n\
+     phase (claim 4.2)";
+  row "  %-6s %-10s %-16s %-8s %-14s %-10s\n" "n" "rounds" "rounds/(n lg n)"
+    "phases" "phases/lg n" "unique";
+  List.iter
+    (fun n ->
+      let trials = 8 in
+      let rounds = ref [] and phases = ref [] and unique = ref 0 in
+      List.iter
+        (fun seed ->
+          let g = Gen.random_connected (rng (seed * 1009 + n)) ~n ~extra_edges:(n / 2) in
+          let s = El.run ~rng:(rng seed) g () in
+          rounds := s.El.rounds :: !rounds;
+          phases := s.El.phase_increments :: !phases;
+          if List.length s.El.leaders = 1 && s.El.stabilized then incr unique)
+        (seeds trials);
+      let lg = log2 (float_of_int n) in
+      row "  %-6d %-10.0f %-16.2f %-8.1f %-14.2f %d/%d\n" n (meani !rounds)
+        (meani !rounds /. (float_of_int n *. lg))
+        (meani !phases) (meani !phases /. lg) !unique trials)
+    [ 8; 16; 32; 64; 128; 256 ];
+
+  (* claim 4.1: per-phase elimination rate among remaining nodes *)
+  row "\n  claim 4.1 (elimination rate per phase, among phases with >= 2 remaining):\n";
+  let eliminated = ref 0 and at_risk = ref 0 in
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected (rng (seed * 71)) ~n:48 ~extra_edges:24 in
+      let net = Network.init ~rng:(rng seed) g (El.automaton ()) in
+      let prev_remaining = ref (Graph.node_count g) in
+      let prev_phase = ref 0 in
+      let running = ref true in
+      let rounds = ref 0 in
+      while !running && !rounds < 200_000 do
+        ignore (Network.sync_step net);
+        incr rounds;
+        let ph = El.phase_of (Network.state net 0) in
+        if ph <> !prev_phase then begin
+          prev_phase := ph;
+          let now = List.length (El.remaining net) in
+          if !prev_remaining >= 2 then begin
+            at_risk := !at_risk + !prev_remaining;
+            eliminated := !eliminated + (!prev_remaining - now)
+          end;
+          prev_remaining := now
+        end;
+        if El.leaders net <> [] then running := false
+      done)
+    (seeds 10);
+  row "  eliminated %d of %d at-risk node-phases: rate %.2f (claim: >= 0.25)\n"
+    !eliminated !at_risk
+    (float_of_int !eliminated /. float_of_int (max 1 !at_risk));
+
+  (* claim 4.2 proxy: rounds per phase scale linearly, not worse *)
+  row "\n  claim 4.2 (rounds per phase is O(n)):\n";
+  row "  %-6s %-18s %-14s\n" "n" "mean rounds/phase" "ratio to n";
+  List.iter
+    (fun n ->
+      let samples =
+        List.map
+          (fun seed ->
+            let g = Gen.random_connected (rng (seed + n)) ~n ~extra_edges:(n / 2) in
+            let s = El.run ~rng:(rng (seed * 13)) g () in
+            float_of_int s.El.rounds /. float_of_int (max 1 s.El.phase_increments))
+          (seeds 5)
+      in
+      row "  %-6d %-18.1f %-14.2f\n" n (mean samples)
+        (mean samples /. float_of_int n))
+    [ 16; 32; 64; 128 ]

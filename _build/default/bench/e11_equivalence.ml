@@ -1,0 +1,113 @@
+(* E11 — Theorem 3.7: sequential = parallel = mod-thresh SM functions.
+   Claims: the three formalisms compute the same class (checked by
+   round-tripping random programs through all three and comparing on
+   exhaustive inputs); both compiler directions can blow program size up
+   exponentially (§3.3 closing note). *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Sm = Symnet_core.Sm
+module C = Symnet_core.Sm_compile
+
+let exhaustive_inputs ~q_size ~max_len =
+  List.concat_map
+    (fun len -> Sm.multisets ~q_size ~len)
+    (List.init max_len (fun i -> i + 1))
+
+let run () =
+  section "E11 SM formalism equivalence (theorem 3.7)"
+    "claims: mod-thresh -> parallel -> sequential -> mod-thresh preserves\n\
+     semantics; compilation can blow up exponentially";
+  let programs = 60 in
+  let verified = ref 0 and mismatches = ref 0 and skipped = ref 0 in
+  let blowups = ref [] in
+  List.iter
+    (fun seed ->
+      let rng = rng (seed * 37) in
+      let q_size = 2 + Prng.int rng 2 in
+      let mt0 =
+        C.random_mod_thresh rng ~q_size ~r_size:(1 + Prng.int rng 3)
+          ~clauses:(1 + Prng.int rng 3) ~max_mod:3 ~max_thresh:3 ~depth:2
+      in
+      match C.mod_thresh_to_parallel ~max_states:60_000 mt0 with
+      | exception C.Too_large _ -> incr skipped
+      | p -> (
+          let s = C.parallel_to_sequential p in
+          match C.sequential_to_mod_thresh ~max_clauses:120_000 s with
+          | exception C.Too_large _ -> incr skipped
+          | mt1 ->
+              let ok =
+                List.for_all
+                  (fun input ->
+                    let e = Sm.run_mod_thresh mt0 input in
+                    Sm.run_parallel p input = e
+                    && Sm.run_sequential s input = e
+                    && Sm.run_mod_thresh mt1 input = e)
+                  (exhaustive_inputs ~q_size ~max_len:5)
+              in
+              if ok then incr verified else incr mismatches;
+              blowups :=
+                ( Sm.mod_thresh_size mt0,
+                  Sm.parallel_size p,
+                  Sm.mod_thresh_size mt1 )
+                :: !blowups))
+    (seeds programs);
+  row "  random programs: %d verified, %d mismatches, %d over budget\n"
+    !verified !mismatches !skipped;
+  let par_growth =
+    mean (List.map (fun (a, b, _) -> float_of_int b /. float_of_int a) !blowups)
+  in
+  let mt_growth =
+    mean (List.map (fun (a, _, c) -> float_of_int c /. float_of_int a) !blowups)
+  in
+  row "  mean size growth: clauses -> parallel states %.0fx; after full circle %.0fx\n"
+    par_growth mt_growth;
+
+  (* the exponential family: "is the count of every state odd?" needs a
+     product of mod-2 counters: parallel working states = 4^|Q| *)
+  row "\n  exponential blow-up family (parity of every state's count):\n";
+  row "  %-6s %-14s %-18s\n" "|Q|" "mt clauses" "parallel states";
+  List.iter
+    (fun s ->
+      let prop =
+        List.fold_left
+          (fun acc q -> Sm.And (acc, Sm.Mod (q, 1, 2)))
+          (Sm.Mod (0, 1, 2))
+          (List.init (s - 1) (fun i -> i + 1))
+      in
+      let mt =
+        {
+          Sm.mt_q_size = s;
+          mt_clauses = [ (prop, 1) ];
+          mt_default = 0;
+          mt_r_size = 2;
+        }
+      in
+      match C.mod_thresh_to_parallel ~max_states:2_000_000 mt with
+      | p -> row "  %-6d %-14d %-18d\n" s (Sm.mod_thresh_size mt) (Sm.parallel_size p)
+      | exception C.Too_large _ -> row "  %-6d %-14d %-18s\n" s 2 "> budget")
+    [ 1; 2; 3; 4; 5; 6 ];
+
+  (* §5's tape-level question: is the compiled parallel width w'(N) ever
+     more than O(w(N))?  We measure achieved bits against the paper's
+     2^q * (w+1) bound for the uniform families in Sm_tape. *)
+  let module T = Symnet_core.Sm_tape in
+  row "\n  tape families (§5): achieved parallel width vs the 2^q(w+1) bound:\n";
+  row "  %-20s %-4s %-8s %-14s %-12s\n" "family" "N" "w bits" "w' achieved"
+    "paper bound";
+  List.iter
+    (fun (f, ns) ->
+      List.iter
+        (fun n ->
+          match T.compile_parallel f ~n with
+          | p ->
+              row "  %-20s %-4d %-8d %-14.1f %-12.0f\n" f.T.name n
+                (f.T.w_bits n) (T.parallel_bits p) (T.paper_bound_bits f ~n)
+          | exception C.Too_large _ ->
+              row "  %-20s %-4d %-8d %-14s\n" f.T.name n (f.T.w_bits n) "> budget")
+        ns)
+    [
+      (T.threshold_family, [ 2; 8; 32; 128 ]);
+      (T.mod_family 7, [ 3; 5; 7 ]);
+      (T.all_values_parity_family, [ 1; 2; 3 ]);
+    ]

@@ -1,0 +1,88 @@
+(* E12 — mutual simulation with isotonic web automata (paper §5.1).
+   Claims: an IWA computes one synchronous FSSGA round in O(m) agent
+   moves; an FSSGA simulates an IWA with O(log Delta) expected delay per
+   step. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module View = Symnet_core.View
+module Network = Symnet_engine.Network
+module Iwa = Symnet_iwa.Iwa
+module Fssga_of_iwa = Symnet_iwa.Fssga_of_iwa
+module Iwa_of_fssga = Symnet_iwa.Iwa_of_fssga
+
+let max_step ~cap =
+ fun ~self view ->
+  let rec scan best j =
+    if j > cap then best
+    else if j > best && View.at_least view j 1 then scan j (j + 1)
+    else scan best (j + 1)
+  in
+  scan self 0
+
+let greedy_marker : Iwa.program =
+  {
+    n_states = 1;
+    n_labels = 2;
+    start_state = 0;
+    rules =
+      [
+        {
+          cond = { in_state = 0; at_label = 0; present = [ 0 ]; absent = [] };
+          eff = { relabel = 1; move_to = Some 0; next_state = 0 };
+        };
+        {
+          cond = { in_state = 0; at_label = 0; present = []; absent = [ 0 ] };
+          eff = { relabel = 1; move_to = None; next_state = 0 };
+        };
+      ];
+  }
+
+let run () =
+  section "E12 IWA <-> FSSGA simulation"
+    "claims: IWA simulates one FSSGA round in Theta(m) agent moves;\n\
+     FSSGA simulates an IWA step with O(log Delta) round delay";
+  row "  IWA simulating one synchronous FSSGA round (max-flood):\n";
+  row "  %-14s %-6s %-8s %-12s %-12s\n" "graph" "n" "m" "agent moves"
+    "moves/(4m+4n)";
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.node_count g and m = Graph.edge_count g in
+      let states = Array.init (Graph.original_size g) (fun v -> v mod 16) in
+      let s = Iwa_of_fssga.simulate_round ~step:(max_step ~cap:15) g ~states in
+      row "  %-14s %-6d %-8d %-12d %-12.2f\n" name n m s.Iwa_of_fssga.agent_moves
+        (float_of_int s.Iwa_of_fssga.agent_moves
+        /. float_of_int ((4 * m) + (4 * n))))
+    [
+      ("path 128", Gen.path 128);
+      ("cycle 128", Gen.cycle 128);
+      ("grid 12x12", Gen.grid ~rows:12 ~cols:12);
+      ("random 128", Gen.random_connected (rng 2) ~n:128 ~extra_edges:256);
+      ("complete 48", Gen.complete 48);
+    ];
+  row "\n  FSSGA simulating an IWA agent move (election among d candidates):\n";
+  row "  %-8s %-14s %-18s\n" "Delta" "mean rounds" "rounds / log2 Delta";
+  List.iter
+    (fun d ->
+      let samples =
+        List.map
+          (fun seed ->
+            let g = Gen.star (d + 1) in
+            let net =
+              Network.init ~rng:(rng (seed * 53)) g
+                (Fssga_of_iwa.automaton greedy_marker ~start:0
+                   ~init_labels:(fun _ -> 0))
+            in
+            let rounds = ref 0 in
+            while Fssga_of_iwa.agent_position net = Some 0 && !rounds < 100_000 do
+              ignore (Network.sync_step net);
+              incr rounds
+            done;
+            !rounds)
+          (seeds 40)
+      in
+      let m = meani samples in
+      row "  %-8d %-14.1f %-18.2f\n" d m (m /. log2 (float_of_int (max 2 d))))
+    [ 2; 4; 8; 16; 32; 64; 128; 256 ]

@@ -1,0 +1,43 @@
+(* E13 — the sensitivity ranking (paper §1–2).
+   Claim: decentralized algorithms have sensitivity 0, agent algorithms
+   1, tree-based algorithms Theta(n); non-critical benign faults leave
+   every algorithm reasonably correct. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Gen = Symnet_graph.Gen
+module Sens = Symnet_sensitivity.Sensitivity
+module Census = Symnet_algorithms.Census
+
+let run () =
+  section "E13 sensitivity ranking"
+    "claim: census/shortest-paths 0-sensitive < agent algorithms\n\
+     1-sensitive < tree algorithms Theta(n)-sensitive";
+  let graph () = Gen.random_connected (rng 990) ~n:32 ~extra_edges:20 in
+  row "  %-18s %-12s %-12s %-22s\n" "algorithm" "paper chi" "max |chi|"
+    "reasonably correct";
+  let line name paper report =
+    row "  %-18s %-12s %-12d %d/%d\n" name paper report.Sens.max_critical
+      report.Sens.correct report.Sens.trials
+  in
+  let r = rng 7 in
+  line "census" "0"
+    (Sens.estimate ~rng:r (Sens.census_instance ~k:(Census.recommended_k 32))
+       ~graph ~trials:10 ~faults_per_trial:3 ~max_steps:400);
+  line "shortest-paths" "0"
+    (Sens.estimate ~rng:r (Sens.shortest_paths_instance ~sinks:[ 0 ]) ~graph
+       ~trials:10 ~faults_per_trial:3 ~max_steps:400);
+  line "bridges (walk)" "1"
+    (Sens.estimate ~rng:r (Sens.bridges_instance ~steps_per_advance:50) ~graph
+       ~trials:8 ~faults_per_trial:2 ~max_steps:400);
+  line "greedy-tourist" "1"
+    (Sens.estimate ~rng:r (Sens.greedy_tourist_instance ()) ~graph ~trials:10
+       ~faults_per_trial:3 ~max_steps:3_000);
+  line "milgram" "Theta(n)"
+    (Sens.estimate ~rng:r (Sens.milgram_instance ())
+       ~graph:(fun () -> Gen.grid ~rows:4 ~cols:8)
+       ~trials:4 ~faults_per_trial:0 ~max_steps:200_000);
+  line "tree-census" "Theta(n)"
+    (Sens.estimate ~rng:r (Sens.tree_census_instance ())
+       ~graph:(fun () -> Gen.random_tree (rng 17) 32)
+       ~trials:6 ~faults_per_trial:2 ~max_steps:400)

@@ -1,0 +1,30 @@
+(* E14 — firing squad on paths (paper §5.2 extension).
+   Claims: every cell fires in the same synchronous round, no cell fires
+   early, and the firing time approaches the classical 3n. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Gen = Symnet_graph.Gen
+module Fs = Symnet_algorithms.Firing_squad
+
+let run () =
+  section "E14 firing squad (extension)"
+    "claims: simultaneous firing, never early, fire time -> 3n";
+  row "  %-6s %-10s %-10s %-14s\n" "n" "fired at" "ratio/n" "simultaneous";
+  List.iter
+    (fun n ->
+      let o = Fs.run ~rng:(rng 1) (Gen.path n) ~general:0 () in
+      match o.Fs.fire_round with
+      | Some r ->
+          row "  %-6d %-10d %-10.2f %-14b\n" n r
+            (float_of_int r /. float_of_int n)
+            o.Fs.simultaneous
+      | None -> row "  %-6d %-10s\n" n "NEVER")
+    [ 4; 8; 16; 32; 64; 128; 256; 512 ];
+  (* exhaustive simultaneity sweep *)
+  let bad = ref 0 in
+  for n = 1 to 256 do
+    let o = Fs.run ~rng:(rng 1) (Gen.path n) ~general:0 () in
+    if not (o.Fs.fire_round <> None && o.Fs.simultaneous) then incr bad
+  done;
+  row "  exhaustive n = 1..256: %d failures\n" !bad

@@ -1,0 +1,72 @@
+(* E15 — self-stabilization probes (paper §5.2 discussion).
+   The paper notes that self-stabilizing FSSGA algorithms would be
+   valuable and leaves self-stabilizing election open.  We classify the
+   implemented algorithms empirically: run each from adversarially
+   corrupted configurations and test recovery. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Analysis = Symnet_graph.Analysis
+module Network = Symnet_engine.Network
+module Stab = Symnet_sensitivity.Stabilization
+module Sp = Symnet_algorithms.Shortest_paths
+module Census = Symnet_algorithms.Census
+module Tc = Symnet_algorithms.Two_colouring
+
+let graph () = Gen.random_connected (rng 33) ~n:32 ~extra_edges:16
+
+let run () =
+  section "E15 self-stabilization (extension of the §5.2 discussion)"
+    "probe: start from adversarially corrupted states; does the\n\
+     algorithm recover a legitimate configuration?";
+  row "  %-18s %-22s %-12s %-16s\n" "algorithm" "corruption" "recovers"
+    "mean rounds";
+  let cap = 32 in
+  let v1 =
+    Stab.probe ~rng:(rng 1)
+      ~automaton:(Sp.automaton ~sinks:[ 0 ] ~cap)
+      ~graph
+      ~corrupt:(fun rng _g v ->
+        { Sp.is_sink = v = 0; label = Prng.int rng (cap + 1) })
+      ~legitimate:(fun net ->
+        let g = Network.graph net in
+        let dist = Analysis.distances g ~sources:[ 0 ] in
+        List.for_all
+          (fun (v, s) -> Sp.label s = min cap dist.(v))
+          (Network.states net))
+      ~trials:12 ~max_rounds:1_000
+  in
+  row "  %-18s %-22s %d/%-10d %-16.1f\n" "shortest-paths" "random labels"
+    v1.Stab.recovered v1.Stab.trials v1.Stab.mean_recovery_rounds;
+  let k = Census.recommended_k 32 in
+  let v2 =
+    Stab.probe ~rng:(rng 2) ~automaton:(Census.automaton ~k) ~graph
+      ~corrupt:(fun _rng _g v ->
+        if v = 5 then Census.of_bits ~k ((1 lsl k) - 1) else Census.fresh ~k)
+      ~legitimate:(fun net ->
+        match
+          List.filter_map (fun (_, s) -> Census.estimate s) (Network.states net)
+        with
+        | [] -> false
+        | es -> List.for_all (fun e -> e < 8. *. 32.) es)
+      ~trials:8 ~max_rounds:500
+  in
+  row "  %-18s %-22s %d/%-10d %-16s\n" "census" "one saturated bitmap"
+    v2.Stab.recovered v2.Stab.trials "-";
+  let v3 =
+    Stab.probe ~rng:(rng 3)
+      ~automaton:(Tc.automaton ~seed:0)
+      ~graph:(fun () -> Gen.grid ~rows:5 ~cols:5)
+      ~corrupt:(fun _rng _g v ->
+        if v = 7 then Tc.Failed else if v = 0 then Tc.Red else Tc.Blank)
+      ~legitimate:(fun net -> Tc.verdict net = `Bipartite)
+      ~trials:8 ~max_rounds:500
+  in
+  row "  %-18s %-22s %d/%-10d %-16s\n" "two-colouring" "one phantom FAILED"
+    v3.Stab.recovered v3.Stab.trials "-";
+  row
+    "  -> min+1 relaxation forgets arbitrary state; OR-gossip and\n\
+    \     FAILED-flooding cannot (matching the paper's motivation for\n\
+    \     seeking self-stabilizing primitives)\n"

@@ -1,0 +1,190 @@
+(* Bechamel micro-kernels: wall-clock timings of the core operations each
+   experiment leans on.  One Test.make per experiment family. *)
+
+open Bechamel
+open Toolkit
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module View = Symnet_core.View
+module Sm = Symnet_core.Sm
+module C = Symnet_core.Sm_compile
+module Network = Symnet_engine.Network
+module A = Symnet_algorithms
+module Iwa_of_fssga = Symnet_iwa.Iwa_of_fssga
+
+let rng () = Prng.create ~seed:1
+
+(* E1: one synchronous gossip round of the census on a 32x32 grid *)
+let census_round =
+  let g = Gen.grid ~rows:32 ~cols:32 in
+  let net = Network.init ~rng:(rng ()) g (A.Census.automaton ~k:18) in
+  ignore (Network.sync_step net);
+  Test.make ~name:"e01 census sync round (32x32 grid)"
+    (Staged.stage (fun () -> ignore (Network.sync_step net)))
+
+(* E2: one random-walk step with counter updates *)
+let bridge_step =
+  let g = Gen.random_connected (rng ()) ~n:128 ~extra_edges:128 in
+  let t = A.Bridges.create ~rng:(rng ()) g ~start:0 in
+  Test.make ~name:"e02 bridge walk step (n=128)"
+    (Staged.stage (fun () -> ignore (A.Bridges.step t)))
+
+(* E3: full shortest-path convergence on a 16x16 grid *)
+let sp_converge =
+  Test.make ~name:"e03 shortest-paths convergence (16x16 grid)"
+    (Staged.stage (fun () ->
+         let g = Gen.grid ~rows:16 ~cols:16 in
+         let net =
+           Network.init ~rng:(rng ()) g (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:256)
+         in
+         ignore (Symnet_engine.Runner.run ~max_rounds:100_000 net)))
+
+(* E4: full 2-colouring of an odd cycle *)
+let colour_cycle =
+  Test.make ~name:"e04 two-colouring (C129)"
+    (Staged.stage (fun () ->
+         let net =
+           Network.init ~rng:(rng ()) (Gen.cycle 129) (A.Two_colouring.automaton ~seed:0)
+         in
+         ignore (Symnet_engine.Runner.run ~max_rounds:100_000 net)))
+
+(* E5: one asynchronous round of a wrapped automaton *)
+let sync_round =
+  let inner =
+    Symnet_core.Fssga.deterministic ~name:"max"
+      ~init:(fun _ v -> v mod 8)
+      ~step:(fun ~self view ->
+        let rec scan best j =
+          if j > 7 then best
+          else if j > best && View.at_least view j 1 then scan j (j + 1)
+          else scan best (j + 1)
+        in
+        scan self 0)
+  in
+  let g = Gen.grid ~rows:16 ~cols:16 in
+  let net = Network.init ~rng:(rng ()) g (A.Synchronizer.wrap inner) in
+  Test.make ~name:"e05 synchronizer async round (16x16)"
+    (Staged.stage (fun () ->
+         ignore
+           (Symnet_engine.Scheduler.round Symnet_engine.Scheduler.Random_permutation
+              net ~round:0)))
+
+(* E6: full BFS echo on a path *)
+let bfs_path =
+  Test.make ~name:"e06 bfs found-echo (path 128)"
+    (Staged.stage (fun () ->
+         let net =
+           Network.init ~rng:(rng ()) (Gen.path 128)
+             (A.Bfs.automaton ~originator:0 ~targets:[ 127 ])
+         in
+         ignore
+           (Symnet_engine.Runner.run ~max_rounds:100_000
+              ~stop:(fun ~round:_ net -> A.Bfs.originator_status net = A.Bfs.Found)
+              net)))
+
+(* E7: one complete walker move on a star *)
+let walk_move =
+  Test.make ~name:"e07 random-walk move (K_1_64)"
+    (Staged.stage (fun () ->
+         ignore (A.Random_walk.run_moves ~rng:(rng ()) (Gen.star 65) ~start:0 ~moves:1 ())))
+
+(* E8: full Milgram traversal of a grid *)
+let milgram_grid =
+  Test.make ~name:"e08 milgram traversal (6x6 grid)"
+    (Staged.stage (fun () ->
+         ignore
+           (A.Traversal.run ~rng:(rng ()) (Gen.grid ~rows:6 ~cols:6) ~originator:0 ())))
+
+(* E9: full greedy-tourist traversal *)
+let tourist_grid =
+  Test.make ~name:"e09 greedy tourist (10x10 grid)"
+    (Staged.stage (fun () ->
+         ignore (A.Greedy_tourist.run ~rng:(rng ()) (Gen.grid ~rows:10 ~cols:10) ~start:0 ())))
+
+(* E10: a complete election on a ring *)
+let election_ring =
+  Test.make ~name:"e10 leader election (C24)"
+    (Staged.stage (fun () ->
+         ignore (A.Election.run ~rng:(rng ()) (Gen.cycle 24) ())))
+
+(* E11: the full compiler circle on a fixed program *)
+let compile_circle =
+  let mt : Sm.mod_thresh =
+    {
+      mt_q_size = 3;
+      mt_clauses =
+        [
+          (Sm.And (Sm.Mod (0, 1, 2), Sm.Not (Sm.Thresh (1, 2))), 2);
+          (Sm.Or (Sm.Thresh (2, 1), Sm.Mod (1, 0, 3)), 1);
+        ];
+      mt_default = 0;
+      mt_r_size = 3;
+    }
+  in
+  Test.make ~name:"e11 compiler round trip (|Q|=3)"
+    (Staged.stage (fun () ->
+         let p = C.mod_thresh_to_parallel mt in
+         let s = C.parallel_to_sequential p in
+         ignore (C.sequential_to_mod_thresh s)))
+
+(* E12: IWA simulation of one FSSGA round *)
+let iwa_round =
+  let g = Gen.random_connected (rng ()) ~n:128 ~extra_edges:128 in
+  let step ~self view =
+    if View.at_least view ((self + 1) mod 4) 1 then (self + 1) mod 4 else self
+  in
+  Test.make ~name:"e12 IWA round simulation (n=128)"
+    (Staged.stage (fun () ->
+         let states = Array.init (Graph.original_size g) (fun v -> v mod 4) in
+         ignore (Iwa_of_fssga.simulate_round ~step g ~states)))
+
+(* E14: a complete firing squad *)
+let firing_squad =
+  Test.make ~name:"e14 firing squad (path 64)"
+    (Staged.stage (fun () ->
+         ignore (A.Firing_squad.run ~rng:(rng ()) (Gen.path 64) ~general:0 ())))
+
+let all =
+  [
+    census_round;
+    bridge_step;
+    sp_converge;
+    colour_cycle;
+    sync_round;
+    bfs_path;
+    walk_move;
+    milgram_grid;
+    tourist_grid;
+    election_ring;
+    compile_circle;
+    iwa_round;
+    firing_squad;
+  ]
+
+let run () =
+  print_endline "\n=== bechamel kernels (ns per run) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"symnet" ~fmt:"%s %s" all)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) ->
+      if est >= 1e6 then Printf.printf "  %-46s %10.2f ms/run\n" name (est /. 1e6)
+      else if est >= 1e3 then Printf.printf "  %-46s %10.2f us/run\n" name (est /. 1e3)
+      else Printf.printf "  %-46s %10.0f ns/run\n" name est)
+    (List.sort compare rows)

@@ -1,0 +1,49 @@
+(* symnet experiment harness.
+
+   Regenerates every quantitative claim of "Symmetric Network
+   Computation" (Pritchard & Vempala, SPAA 2006) — the experiment index
+   lives in DESIGN.md, the recorded results in EXPERIMENTS.md.
+
+     dune exec bench/main.exe            # all experiments + timing kernels
+     dune exec bench/main.exe -- e10     # one experiment
+     dune exec bench/main.exe -- tables  # all experiment tables, no kernels
+     dune exec bench/main.exe -- kernels # bechamel kernels only
+*)
+
+let experiments =
+  [
+    ("e01", E01_census.run);
+    ("e02", E02_bridges.run);
+    ("e03", E03_shortest_paths.run);
+    ("e04", E04_two_colouring.run);
+    ("e05", E05_synchronizer.run);
+    ("e06", E06_bfs.run);
+    ("e07", E07_random_walk.run);
+    ("e08", E08_traversal.run);
+    ("e09", E09_tourist.run);
+    ("e10", E10_election.run);
+    ("e11", E11_equivalence.run);
+    ("e12", E12_iwa.run);
+    ("e13", E13_sensitivity.run);
+    ("e14", E14_firing_squad.run);
+    ("e15", E15_stabilization.run);
+  ]
+
+let run_tables () = List.iter (fun (_, f) -> f ()) experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] ->
+      run_tables ();
+      Kernels.run ()
+  | [ _; "tables" ] -> run_tables ()
+  | [ _; "kernels" ] -> Kernels.run ()
+  | [ _; name ] -> (
+      match List.assoc_opt (String.lowercase_ascii name) experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (e01..e14, tables, kernels)\n" name;
+          exit 2)
+  | _ ->
+      prerr_endline "usage: main.exe [e01..e14|tables|kernels|all]";
+      exit 2

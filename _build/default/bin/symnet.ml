@@ -1,0 +1,290 @@
+(* symnet — run the paper's algorithms on generated graphs from the
+   command line.
+
+     symnet two-colouring --graph cycle:9
+     symnet census        --graph random:200,100 --seed 3
+     symnet bfs           --graph grid:6x8 --target 47
+     symnet election      --graph random:64,32 --watch
+     symnet traversal     --graph grid:5x5
+     symnet tourist       --graph lollipop:10,20
+     symnet bridges       --graph barbell:5
+     symnet shortest-paths --graph grid:6x8 --sinks 0,47
+     symnet random-walk   --graph petersen --moves 50
+     symnet firing-squad  --graph path:40
+     symnet sensitivity   --graph random:24,12
+*)
+
+open Cmdliner
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Spec = Symnet_graph.Spec
+module Analysis = Symnet_graph.Analysis
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Trace = Symnet_engine.Trace
+module A = Symnet_algorithms
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let graph_arg =
+  let doc =
+    "Graph to run on.  Forms: "
+    ^ String.concat "; " Spec.known_forms
+  in
+  Arg.(value & opt string "random:32,16" & info [ "g"; "graph" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let rounds_arg =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "max-rounds" ] ~docv:"N" ~doc:"Round budget.")
+
+let watch_arg =
+  Arg.(value & flag & info [ "w"; "watch" ] ~doc:"Print the network each round.")
+
+let make_graph seed spec =
+  let rng = Prng.create ~seed:(seed * 7919) in
+  match Spec.parse rng spec with
+  | Ok g -> g
+  | Error m ->
+      prerr_endline m;
+      exit 2
+
+let report_outcome (o : Runner.outcome) =
+  Printf.printf "rounds: %d   activations: %d   %s\n" o.Runner.rounds
+    o.Runner.activations
+    (if o.Runner.quiesced then "quiesced"
+     else if o.Runner.stopped then "stopped"
+     else "budget exhausted")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let two_colouring graph seed max_rounds watch =
+  let g = make_graph seed graph in
+  let net = Network.init ~rng:(Prng.create ~seed) g (A.Two_colouring.automaton ~seed:0) in
+  let to_char = function
+    | A.Two_colouring.Blank -> '_'
+    | A.Two_colouring.Red -> 'R'
+    | A.Two_colouring.Blue -> 'b'
+    | A.Two_colouring.Failed -> 'X'
+  in
+  let o =
+    if watch then Trace.watch ~max_rounds ~to_char ~out:print_endline net
+    else Runner.run ~max_rounds net
+  in
+  report_outcome o;
+  print_endline
+    (match A.Two_colouring.verdict net with
+    | `Bipartite -> "verdict: bipartite"
+    | `Odd_cycle -> "verdict: not bipartite"
+    | `Undecided -> "verdict: undecided")
+
+let census graph seed max_rounds =
+  let g = make_graph seed graph in
+  let n = Graph.node_count g in
+  let k = A.Census.recommended_k n in
+  let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
+  let o = Runner.run ~max_rounds net in
+  report_outcome o;
+  (match
+     List.filter_map (fun (_, s) -> A.Census.estimate s) (Network.states net)
+   with
+  | e :: _ -> Printf.printf "estimate: %.0f   truth: %d   ratio: %.2f\n" e n (e /. float_of_int n)
+  | [] -> print_endline "no estimate")
+
+let bfs graph seed max_rounds target =
+  let g = make_graph seed graph in
+  let targets = match target with Some t -> [ t ] | None -> [] in
+  let net =
+    Network.init ~rng:(Prng.create ~seed) g (A.Bfs.automaton ~originator:0 ~targets)
+  in
+  let o = Runner.run ~max_rounds net in
+  report_outcome o;
+  Printf.printf "originator status: %s\nlabels consistent: %b\n"
+    (match A.Bfs.originator_status net with
+    | A.Bfs.Found -> "found"
+    | A.Bfs.Failed -> "failed"
+    | A.Bfs.Waiting -> "waiting")
+    (A.Bfs.labels_consistent net ~originator:0)
+
+let election graph seed max_rounds watch =
+  let g = make_graph seed graph in
+  if watch then begin
+    let net = Network.init ~rng:(Prng.create ~seed) g (A.Election.automaton ()) in
+    let to_char s =
+      if A.Election.is_leader s then 'L'
+      else if A.Election.is_remaining s then 'r'
+      else '_'
+    in
+    let o =
+      Trace.watch ~max_rounds ~every:25 ~to_char ~out:print_endline
+        ~stop:(fun ~round:_ net -> A.Election.leaders net <> [])
+        net
+    in
+    report_outcome o
+  end;
+  let stats = A.Election.run ~rng:(Prng.create ~seed) g ~max_rounds () in
+  Printf.printf "rounds: %d   phase changes: %d   stabilized: %b\nleaders: [%s]\n"
+    stats.A.Election.rounds stats.A.Election.phase_increments
+    stats.A.Election.stabilized
+    (String.concat "; " (List.map string_of_int stats.A.Election.leaders))
+
+let traversal graph seed max_rounds =
+  let g = make_graph seed graph in
+  let n = Graph.node_count g in
+  let stats = A.Traversal.run ~rng:(Prng.create ~seed) g ~originator:0 ~max_rounds () in
+  Printf.printf "hand moves: %d (2n-2 = %d)   rounds: %d   completed: %b\n"
+    stats.A.Traversal.hand_moves ((2 * n) - 2) stats.A.Traversal.rounds
+    stats.A.Traversal.completed
+
+let tourist graph seed max_rounds =
+  let g = make_graph seed graph in
+  let stats =
+    A.Greedy_tourist.run ~rng:(Prng.create ~seed) g ~start:0
+      ~max_steps:max_rounds ()
+  in
+  Printf.printf
+    "agent steps: %d   accounted FSSGA rounds: %d   visited: %d   completed: %b\n"
+    stats.A.Greedy_tourist.agent_steps stats.A.Greedy_tourist.fssga_rounds
+    stats.A.Greedy_tourist.visited stats.A.Greedy_tourist.completed
+
+let bridges graph seed confidence =
+  let g = make_graph seed graph in
+  let t = A.Bridges.create ~rng:(Prng.create ~seed) g ~start:0 in
+  let budget = A.Bridges.recommended_steps g ~c:confidence in
+  A.Bridges.run t ~steps:budget;
+  let suspected = A.Bridges.suspected_bridges t in
+  let truth = Analysis.bridges g in
+  Printf.printf "walk steps: %d\nsuspected bridges: [%s]\nactual bridges:    [%s]\nagreement: %b\n"
+    budget
+    (String.concat "; " (List.map string_of_int suspected))
+    (String.concat "; " (List.map string_of_int truth))
+    (List.sort compare suspected = truth)
+
+let shortest_paths graph seed max_rounds sinks =
+  let g = make_graph seed graph in
+  let sinks =
+    match sinks with
+    | "" -> [ 0 ]
+    | s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  in
+  let cap = Graph.node_count g in
+  let net =
+    Network.init ~rng:(Prng.create ~seed) g (A.Shortest_paths.automaton ~sinks ~cap)
+  in
+  let o = Runner.run ~max_rounds net in
+  report_outcome o;
+  let dist = Analysis.distances g ~sources:sinks in
+  let exact =
+    List.for_all
+      (fun (v, s) -> A.Shortest_paths.label s = min cap dist.(v))
+      (Network.states net)
+  in
+  Printf.printf "labels equal true distances: %b\n" exact
+
+let random_walk graph seed moves =
+  let g = make_graph seed graph in
+  let stats = A.Random_walk.run_moves ~rng:(Prng.create ~seed) g ~start:0 ~moves () in
+  Printf.printf "moves: %d   rounds: %d   rounds/move: %.2f\n"
+    stats.A.Random_walk.moves stats.A.Random_walk.rounds
+    (float_of_int stats.A.Random_walk.rounds /. float_of_int (max 1 stats.A.Random_walk.moves));
+  Printf.printf "visit counts: [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int stats.A.Random_walk.visits)))
+
+let firing_squad graph seed max_rounds =
+  let g = make_graph seed graph in
+  let o = A.Firing_squad.run ~rng:(Prng.create ~seed) g ~general:0 ~max_rounds () in
+  match o.A.Firing_squad.fire_round with
+  | Some r ->
+      Printf.printf "fired at round %d (%.2f n)   simultaneous: %b\n" r
+        (float_of_int r /. float_of_int (Graph.node_count g))
+        o.A.Firing_squad.simultaneous
+  | None -> Printf.printf "did not fire within %d rounds\n" o.A.Firing_squad.rounds_run
+
+let sensitivity graph seed =
+  let module Sens = Symnet_sensitivity.Sensitivity in
+  let rng = Prng.create ~seed in
+  let spec_graph () = make_graph seed graph in
+  let n = Graph.node_count (spec_graph ()) in
+  let line name report =
+    Printf.printf "%-18s max |chi| = %-4d reasonably correct: %d/%d\n" name
+      report.Sens.max_critical report.Sens.correct report.Sens.trials
+  in
+  line "census"
+    (Sens.estimate ~rng (Sens.census_instance ~k:(A.Census.recommended_k n))
+       ~graph:spec_graph ~trials:5 ~faults_per_trial:2 ~max_steps:300);
+  line "shortest-paths"
+    (Sens.estimate ~rng (Sens.shortest_paths_instance ~sinks:[ 0 ])
+       ~graph:spec_graph ~trials:5 ~faults_per_trial:2 ~max_steps:300);
+  line "bridges"
+    (Sens.estimate ~rng (Sens.bridges_instance ~steps_per_advance:50)
+       ~graph:spec_graph ~trials:5 ~faults_per_trial:2 ~max_steps:300);
+  line "greedy-tourist"
+    (Sens.estimate ~rng (Sens.greedy_tourist_instance ()) ~graph:spec_graph
+       ~trials:5 ~faults_per_trial:2 ~max_steps:2_000);
+  line "milgram"
+    (Sens.estimate ~rng (Sens.milgram_instance ()) ~graph:spec_graph ~trials:3
+       ~faults_per_trial:0 ~max_steps:100_000);
+  line "tree-census"
+    (Sens.estimate ~rng (Sens.tree_census_instance ()) ~graph:spec_graph
+       ~trials:3 ~faults_per_trial:1 ~max_steps:300)
+
+(* ------------------------------------------------------------------ *)
+(* Command wiring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let target_arg =
+  Arg.(value & opt (some int) None & info [ "target" ] ~docv:"NODE" ~doc:"BFS target node.")
+
+let sinks_arg =
+  Arg.(value & opt string "0" & info [ "sinks" ] ~docv:"V1,V2" ~doc:"Sink nodes.")
+
+let moves_arg =
+  Arg.(value & opt int 20 & info [ "moves" ] ~docv:"N" ~doc:"Walker moves to simulate.")
+
+let confidence_arg =
+  Arg.(value & opt int 2 & info [ "c" ] ~docv:"C" ~doc:"Walk budget multiplier c.")
+
+let commands =
+  [
+    cmd "two-colouring" "Decide bipartiteness (§4.1)."
+      Term.(const two_colouring $ graph_arg $ seed_arg $ rounds_arg $ watch_arg);
+    cmd "census" "Flajolet-Martin size estimation (§1)."
+      Term.(const census $ graph_arg $ seed_arg $ rounds_arg);
+    cmd "bfs" "Breadth-first search / broadcast (§4.3)."
+      Term.(const bfs $ graph_arg $ seed_arg $ rounds_arg $ target_arg);
+    cmd "election" "Randomized leader election (§4.7)."
+      Term.(const election $ graph_arg $ seed_arg $ rounds_arg $ watch_arg);
+    cmd "traversal" "Milgram's graph traversal (§4.5)."
+      Term.(const traversal $ graph_arg $ seed_arg $ rounds_arg);
+    cmd "tourist" "Greedy tourist traversal (§4.6)."
+      Term.(const tourist $ graph_arg $ seed_arg $ rounds_arg);
+    cmd "bridges" "Biconnectivity via a random walk (§2.1)."
+      Term.(const bridges $ graph_arg $ seed_arg $ confidence_arg);
+    cmd "shortest-paths" "Decentralized distances to sinks (§2.2)."
+      Term.(const shortest_paths $ graph_arg $ seed_arg $ rounds_arg $ sinks_arg);
+    cmd "random-walk" "FSSGA random walk (§4.4)."
+      Term.(const random_walk $ graph_arg $ seed_arg $ moves_arg);
+    cmd "firing-squad" "Firing squad on a path (§5.2 extension)."
+      Term.(const firing_squad $ graph_arg $ seed_arg $ rounds_arg);
+    cmd "sensitivity" "Empirical k-sensitivity survey (§2)."
+      Term.(const sensitivity $ graph_arg $ seed_arg);
+  ]
+
+let () =
+  let info =
+    Cmd.info "symnet" ~version:"1.0.0"
+      ~doc:"Symmetric network computation (Pritchard & Vempala, SPAA 2006)"
+  in
+  exit (Cmd.eval (Cmd.group info commands))

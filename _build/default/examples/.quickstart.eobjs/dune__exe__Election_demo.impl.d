@@ -1,0 +1,1 @@
+examples/election_demo.ml: List Printf String Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

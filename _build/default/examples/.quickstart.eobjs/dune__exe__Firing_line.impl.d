@@ -1,0 +1,1 @@
+examples/firing_line.ml: List Printf String Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

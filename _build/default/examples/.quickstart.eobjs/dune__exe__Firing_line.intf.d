@@ -1,0 +1,1 @@
+examples/firing_line.mli:

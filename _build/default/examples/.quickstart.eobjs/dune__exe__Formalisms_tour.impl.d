@@ -1,0 +1,1 @@
+examples/formalisms_tour.ml: List Printf Symnet_core

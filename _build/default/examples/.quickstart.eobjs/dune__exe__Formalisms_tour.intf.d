@@ -1,0 +1,1 @@
+examples/formalisms_tour.mli:

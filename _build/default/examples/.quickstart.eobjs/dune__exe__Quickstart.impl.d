@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

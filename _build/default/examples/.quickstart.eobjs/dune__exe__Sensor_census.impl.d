@@ -1,0 +1,1 @@
+examples/sensor_census.ml: Float List Printf Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

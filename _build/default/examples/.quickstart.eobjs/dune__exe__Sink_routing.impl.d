@@ -1,0 +1,1 @@
+examples/sink_routing.ml: Array Char List Printf String Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

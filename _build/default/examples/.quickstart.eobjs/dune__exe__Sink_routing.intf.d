@@ -1,0 +1,1 @@
+examples/sink_routing.mli:

@@ -1,0 +1,1 @@
+examples/traversal_demo.ml: List Printf Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

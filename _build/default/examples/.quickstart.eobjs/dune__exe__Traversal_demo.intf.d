@@ -1,0 +1,1 @@
+examples/traversal_demo.mli:

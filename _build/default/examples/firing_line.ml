@@ -1,0 +1,36 @@
+(* The firing squad, watched: the paper's §5.2 open problem solved on a
+   path.  Generals (=) recursively split the line; everyone fires (#) in
+   the same round.
+
+   Run with: dune exec examples/firing_line.exe *)
+
+module Prng = Symnet_prng.Prng
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module Fs = Symnet_algorithms.Firing_squad
+
+let () =
+  let n = 48 in
+  let g = Gen.path n in
+  let net = Network.init ~rng:(Prng.create ~seed:1) g (Fs.automaton ~general:0) in
+  let to_char s =
+    if Fs.has_fired s then '#' else if Fs.is_general s then '=' else '.'
+  in
+  Printf.printf "firing squad on a %d-cell line (= general, # fired)\n\n" n;
+  let fired = ref false in
+  let round = ref 0 in
+  while (not !fired) && !round < 1000 do
+    ignore (Network.sync_step net);
+    incr round;
+    if !round mod 8 = 0 || Network.count_if net Fs.has_fired > 0 then begin
+      let line =
+        String.concat ""
+          (List.map (fun (_, s) -> String.make 1 (to_char s)) (Network.states net))
+      in
+      Printf.printf "%4d  %s\n" !round line
+    end;
+    if Network.count_if net Fs.has_fired = n then fired := true
+  done;
+  Printf.printf "\nall %d cells fired simultaneously at round %d (~%.2f n)\n" n
+    !round
+    (float_of_int !round /. float_of_int n)

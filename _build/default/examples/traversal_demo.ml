@@ -1,0 +1,94 @@
+(* Graph traversal two ways (§4.5 vs §4.6): Milgram's arm-and-hand agent
+   (fast, fragile: Theta(n)-sensitive) against the greedy tourist
+   (slightly slower, 1-sensitive).  We race them, watch the arm crawl
+   over a grid, and then break both mid-run to show the difference the
+   paper's sensitivity notion captures.
+
+   Run with: dune exec examples/traversal_demo.exe *)
+
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module Trace = Symnet_engine.Trace
+module Tr = Symnet_algorithms.Traversal
+module Gt = Symnet_algorithms.Greedy_tourist
+
+let trav_char s =
+  match Tr.status s with
+  | Tr.Blank _ -> '_'
+  | Tr.By_arm -> ','
+  | Tr.Arm -> '='
+  | Tr.Hand _ -> '@'
+  | Tr.Visited -> '#'
+
+let () =
+  print_endline "== Milgram's agent crawling a 6x6 grid ==";
+  print_endline "   (_ blank  , by-arm  = arm  @ hand  # visited)";
+  let rows = 6 and cols = 6 in
+  let g = Gen.grid ~rows ~cols in
+  let net = Network.init ~rng:(Prng.create ~seed:3) g (Tr.automaton ~originator:0) in
+  let shown = ref 0 in
+  let round = ref 0 in
+  while (not (Tr.all_visited net)) && !round < 100_000 do
+    ignore (Network.sync_step net);
+    incr round;
+    if !round mod 40 = 0 && !shown < 6 then begin
+      incr shown;
+      Printf.printf "--- round %d ---\n%s\n" !round
+        (Trace.render_grid net ~rows ~cols ~to_char:trav_char)
+    end
+  done;
+  Printf.printf "--- done at round %d: every node visited ---\n\n" !round;
+
+  print_endline "== the race: Milgram vs greedy tourist ==";
+  List.iter
+    (fun n ->
+      let g1 = Gen.random_connected (Prng.create ~seed:n) ~n ~extra_edges:n in
+      let g2 = Graph.copy g1 in
+      let m = Tr.run ~rng:(Prng.create ~seed:1) g1 ~originator:0 () in
+      let t = Gt.run ~rng:(Prng.create ~seed:1) g2 ~start:0 () in
+      Printf.printf
+        "n=%-4d milgram: %5d hand moves, %6d rounds | tourist: %5d steps, %6d accounted rounds\n"
+        n m.Tr.hand_moves m.Tr.rounds t.Gt.agent_steps t.Gt.fssga_rounds)
+    [ 16; 32; 64; 128 ];
+
+  print_endline "\n== sensitivity: kill a node mid-run ==";
+  (* Milgram: killing an internal arm node strands the agent *)
+  let g = Gen.path 20 in
+  let net = Network.init ~rng:(Prng.create ~seed:5) g (Tr.automaton ~originator:0) in
+  for _ = 1 to 60 do
+    ignore (Network.sync_step net)
+  done;
+  let arm = Tr.arm_nodes net in
+  (match arm with
+  | v :: _ ->
+      Printf.printf "milgram: killing arm node %d at round 60...\n" v;
+      Graph.remove_node g v;
+      let extra = ref 0 in
+      while (not (Tr.all_visited net)) && !extra < 5_000 do
+        ignore (Network.sync_step net);
+        incr extra
+      done;
+      Printf.printf
+        "milgram: %d/19 survivors visited after 5000 more rounds — stranded (Theta(n)-sensitive)\n"
+        (Tr.visited_count net)
+  | [] -> print_endline "no arm node to kill (timing)");
+
+  (* greedy tourist: killing any non-agent node merely re-routes *)
+  let g = Gen.path 20 in
+  let killed = ref false in
+  let stats =
+    Gt.run ~rng:(Prng.create ~seed:5) g ~start:0
+      ~on_step:(fun ~step g pos ->
+        if step = 5 && not !killed then begin
+          killed := true;
+          (* kill a node the agent already passed — benign *)
+          let victim = if pos >= 2 then 0 else 19 in
+          Printf.printf "tourist: killing visited node %d at step 5...\n" victim;
+          Graph.remove_node g victim
+        end)
+      ()
+  in
+  Printf.printf "tourist: visited %d/19 survivors, completed: %b (1-sensitive)\n"
+    stats.Gt.visited stats.Gt.completed

@@ -1,0 +1,1 @@
+lib/agents/walk.ml: Array Printf Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/agents/walk.mli: Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/algorithms/bfs.mli: Symnet_core Symnet_engine

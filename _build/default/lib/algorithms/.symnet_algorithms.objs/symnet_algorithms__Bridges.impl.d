@@ -1,0 +1,1 @@
+lib/algorithms/bridges.ml: Array List Symnet_agents Symnet_graph

@@ -1,0 +1,1 @@
+lib/algorithms/bridges.mli: Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/algorithms/census.ml: List Symnet_core Symnet_prng

@@ -1,0 +1,1 @@
+lib/algorithms/census.mli: Symnet_core

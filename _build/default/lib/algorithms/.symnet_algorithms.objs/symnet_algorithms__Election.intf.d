@@ -1,0 +1,1 @@
+lib/algorithms/election.mli: Symnet_core Symnet_engine Symnet_graph Symnet_prng

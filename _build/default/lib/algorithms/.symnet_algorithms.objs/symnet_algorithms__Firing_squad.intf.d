@@ -1,0 +1,1 @@
+lib/algorithms/firing_squad.mli: Symnet_core Symnet_graph Symnet_prng

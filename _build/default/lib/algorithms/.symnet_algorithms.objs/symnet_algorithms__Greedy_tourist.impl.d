@@ -1,0 +1,1 @@
+lib/algorithms/greedy_tourist.ml: Array List Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/algorithms/greedy_tourist.mli: Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/algorithms/random_walk.ml: Array Symnet_core Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/algorithms/shortest_paths.ml: List Symnet_core Symnet_engine Symnet_graph

@@ -1,0 +1,1 @@
+lib/algorithms/shortest_paths.mli: Symnet_core Symnet_engine

@@ -1,0 +1,1 @@
+lib/algorithms/synchronizer.ml: Array List Symnet_core Symnet_engine Symnet_graph

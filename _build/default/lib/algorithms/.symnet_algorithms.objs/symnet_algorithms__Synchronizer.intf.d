@@ -1,0 +1,1 @@
+lib/algorithms/synchronizer.mli: Symnet_core Symnet_engine Symnet_graph

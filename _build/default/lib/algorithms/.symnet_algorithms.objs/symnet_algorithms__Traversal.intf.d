@@ -1,0 +1,1 @@
+lib/algorithms/traversal.mli: Symnet_core Symnet_engine Symnet_graph Symnet_prng

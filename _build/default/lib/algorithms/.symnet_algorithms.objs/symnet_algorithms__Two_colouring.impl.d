@@ -1,0 +1,1 @@
+lib/algorithms/two_colouring.ml: Printf Symnet_core Symnet_engine Symnet_graph

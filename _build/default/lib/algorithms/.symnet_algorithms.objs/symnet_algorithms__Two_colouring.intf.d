@@ -1,0 +1,1 @@
+lib/algorithms/two_colouring.mli: Symnet_core Symnet_engine

@@ -1,0 +1,88 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Analysis = Symnet_graph.Analysis
+
+type status = Waiting | Found | Failed
+
+type state = {
+  originator : bool;
+  target : bool;
+  label : int option;
+  status : status;
+}
+
+let automaton ~originator ~targets =
+  let init _g v =
+    {
+      originator = v = originator;
+      target = List.mem v targets;
+      label = None;
+      status = Waiting;
+    }
+  in
+  let step ~self view =
+    let labelled x s = s.label = Some x in
+    let succ_of x s = labelled ((x + 1) mod 3) s in
+    let pred_of x s = labelled ((x + 2) mod 3) s in
+    match self.label with
+    | None ->
+        if self.originator then
+          {
+            self with
+            label = Some 0;
+            status = (if self.target then Found else Waiting);
+          }
+        else begin
+          (* adopt (x+1) mod 3 from any labelled neighbour *)
+          let rec adopt x =
+            if x > 2 then self
+            else if View.exists view (labelled x) then
+              {
+                self with
+                label = Some ((x + 1) mod 3);
+                status = (if self.target then Found else Waiting);
+              }
+            else adopt (x + 1)
+          in
+          adopt 0
+        end
+    | Some x -> (
+        match self.status with
+        | Found | Failed -> self
+        | Waiting ->
+            if View.exists view (fun s -> pred_of x s && s.status = Found)
+            then self (* avoid reporting non-shortest paths *)
+            else if
+              View.exists view (fun s -> succ_of x s && s.status = Found)
+            then { self with status = Found }
+            else if
+              (* Guard added to the paper's pseudocode: an unlabelled
+                 neighbour may still become a successor, so only fail when
+                 none remain. *)
+              (not (View.exists view (fun s -> s.label = None)))
+              && View.for_all view (fun s ->
+                     (not (succ_of x s)) || s.status = Failed)
+            then { self with status = Failed }
+            else self)
+  in
+  Fssga.deterministic ~name:"bfs" ~init ~step
+
+let label s = s.label
+let status s = s.status
+
+let originator_status net =
+  match Network.find_nodes net (fun s -> s.originator) with
+  | [ v ] -> (Network.state net v).status
+  | [] -> invalid_arg "Bfs.originator_status: originator died"
+  | _ -> invalid_arg "Bfs.originator_status: several originators"
+
+let labels_consistent net ~originator =
+  let g = Network.graph net in
+  let dist = Analysis.distances g ~sources:[ originator ] in
+  List.for_all
+    (fun (v, s) ->
+      match s.label with
+      | None -> dist.(v) = max_int
+      | Some x -> dist.(v) < max_int && dist.(v) mod 3 = x)
+    (Network.states net)

@@ -1,0 +1,38 @@
+(** Breadth-first search / broadcast (paper §4.3, Algorithm 4.1).
+
+    A unique originator starts the wave; nodes label themselves with
+    their distance from the originator modulo 3, which orients every edge
+    of the BFS dag (neighbour with label one less (mod 3) = predecessor,
+    one more = successor) without any node identifiers.  A [found] status
+    flows from target nodes back toward the originator along
+    predecessors; [failed] marks subtrees that exhausted their successors
+    without finding a target.
+
+    The synchronous automaton is exposed directly; compose with
+    {!Synchronizer.wrap} for asynchronous networks (the paper's stated
+    strategy).  One guard is added relative to the paper's loose
+    pseudocode: a node only declares [failed] when no neighbour is still
+    unlabelled, since an unlabelled neighbour may yet become a successor
+    (see DESIGN.md). *)
+
+type status = Waiting | Found | Failed
+
+type state = {
+  originator : bool;
+  target : bool;
+  label : int option;  (** distance mod 3, [None] = the paper's star *)
+  status : status;
+}
+
+val automaton : originator:int -> targets:int list -> state Symnet_core.Fssga.t
+
+val label : state -> int option
+val status : state -> status
+
+val originator_status : state Symnet_engine.Network.t -> status
+(** Status at the originator: [Found] iff some target is reachable, once
+    the run has stabilized. *)
+
+val labels_consistent : state Symnet_engine.Network.t -> originator:int -> bool
+(** Do all live labelled nodes carry exactly (distance to originator)
+    mod 3? *)

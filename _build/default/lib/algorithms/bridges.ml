@@ -1,0 +1,63 @@
+module Graph = Symnet_graph.Graph
+module Walk = Symnet_agents.Walk
+
+type t = {
+  walk : Walk.t;
+  counters : int array; (* indexed by edge id *)
+  exceeded_flags : bool array;
+}
+
+let create ~rng g ~start =
+  let m =
+    (* counters are indexed by original edge ids *)
+    List.fold_left (fun acc (e : Graph.edge) -> max acc (e.id + 1)) 0 (Graph.edges g)
+  in
+  {
+    walk = Walk.create ~rng g ~start;
+    counters = Array.make (max m 1) 0;
+    exceeded_flags = Array.make (max m 1) false;
+  }
+
+let step t =
+  match Walk.step_random t.walk with
+  | None -> false
+  | Some _ ->
+      (match Walk.last_edge t.walk with
+      | Some (e, dir) ->
+          let delta = match dir with `Forward -> 1 | `Backward -> -1 in
+          t.counters.(e.id) <- t.counters.(e.id) + delta;
+          if abs t.counters.(e.id) >= 2 then t.exceeded_flags.(e.id) <- true
+      | None -> assert false);
+      true
+
+let run t ~steps =
+  let continue = ref true in
+  let i = ref 0 in
+  while !continue && !i < steps do
+    continue := step t;
+    incr i
+  done
+
+let counter t id = t.counters.(id)
+let exceeded t id = t.exceeded_flags.(id)
+
+let suspected_bridges t =
+  Graph.edges (Walk.graph t.walk)
+  |> List.filter_map (fun (e : Graph.edge) ->
+         if t.exceeded_flags.(e.id) then None else Some e.id)
+
+let agent_position t = Walk.position t.walk
+
+let recommended_steps g ~c =
+  let n = Graph.node_count g and m = Graph.edge_count g in
+  let logn = max 1. (log (float_of_int (max 2 n))) in
+  c * m * n * int_of_float (ceil logn)
+
+let steps_until_exceeded t ~edge_id ~max_steps =
+  let rec go i =
+    if t.exceeded_flags.(edge_id) then Some i
+    else if i >= max_steps then None
+    else if step t then go (i + 1)
+    else None
+  in
+  go 0

@@ -1,0 +1,39 @@
+(** Biconnectivity via a random walk (paper §2.1).
+
+    An agent performs a random walk; each edge keeps a signed counter
+    incremented when traversed along its canonical orientation and
+    decremented the other way.  A bridge's counter stays in [{-1,0,1}]
+    forever; every non-bridge's counter exceeds [+-1] within expected
+    O(mn) steps (Claim 2.1).  Running for O(c m n log n) steps identifies
+    all non-bridges with probability [1 - n^(1-c)].  The algorithm is
+    1-sensitive: only the agent's position is critical. *)
+
+type t
+
+val create : rng:Symnet_prng.Prng.t -> Symnet_graph.Graph.t -> start:int -> t
+
+val step : t -> bool
+(** One random-walk step; [false] if the agent is stuck (isolated node).
+    Updates counters and the exceeded-flags. *)
+
+val run : t -> steps:int -> unit
+(** [steps] random-walk steps (stops early only if stuck). *)
+
+val counter : t -> int -> int
+(** Current counter of an edge id. *)
+
+val exceeded : t -> int -> bool
+(** Has this edge's counter ever hit [+-2]? *)
+
+val suspected_bridges : t -> int list
+(** Live edge ids whose counters never exceeded — the algorithm's current
+    bridge hypothesis (sound for bridges; completes w.h.p. over time). *)
+
+val agent_position : t -> int
+
+val recommended_steps : Symnet_graph.Graph.t -> c:int -> int
+(** The paper's budget [c * m * n * log n], as an integer. *)
+
+val steps_until_exceeded : t -> edge_id:int -> max_steps:int -> int option
+(** Walk until the given edge's counter exceeds [+-1]; the number of steps
+    it took, or [None] if [max_steps] elapsed first.  Measures Claim 2.1. *)

@@ -1,0 +1,59 @@
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+
+type state = Fresh of int (* k *) | Bits of int * int (* k, mask *)
+
+let recommended_k n = (if n <= 1 then 1 else int_of_float (ceil (log (float_of_int n) /. log 2.))) + 8
+
+let bit_is_set mask i = mask land (1 lsl (i - 1)) <> 0
+
+let automaton ~k =
+  if k < 1 || k > 60 then invalid_arg "Census.automaton: k in 1..60 required";
+  let init _g _v = Fresh k in
+  let step ~self ~rng view =
+    match self with
+    | Fresh k ->
+        (* Probabilistic initialization: one geometric draw (§1). *)
+        let mask =
+          match Prng.geometric_bit rng ~max:k with
+          | Some i -> 1 lsl (i - 1)
+          | None -> 0
+        in
+        Bits (k, mask)
+    | Bits (k, mask) ->
+        (* OR in the neighbours' vectors.  Bit j of the result is set iff
+           we have it or some initialized neighbour has it — a thresh
+           observation per bit, hence mod-thresh overall. *)
+        let has_bit j = function
+          | Fresh _ -> false
+          | Bits (_, m) -> bit_is_set m j
+        in
+        let mask' =
+          List.fold_left
+            (fun acc j ->
+              if bit_is_set mask j || View.exists view (has_bit j) then
+                acc lor (1 lsl (j - 1))
+              else acc)
+            0
+            (List.init k (fun i -> i + 1))
+        in
+        Bits (k, mask')
+  in
+  { Fssga.name = "census"; init; step }
+
+let of_bits ~k mask =
+  if k < 1 || k > 60 then invalid_arg "Census.of_bits: k in 1..60";
+  Bits (k, mask land ((1 lsl k) - 1))
+
+let fresh ~k = Fresh k
+
+let bits = function Fresh _ -> None | Bits (_, m) -> Some m
+
+let estimate_of_bits ~k mask =
+  let rec first_zero i = if i > k || not (bit_is_set mask i) then i else first_zero (i + 1) in
+  1.3 *. (2. ** float_of_int (first_zero 1))
+
+let estimate = function
+  | Fresh _ -> None
+  | Bits (k, m) -> Some (estimate_of_bits ~k m)

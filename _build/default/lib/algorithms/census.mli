@@ -1,0 +1,42 @@
+(** Flajolet–Martin census (paper §1).
+
+    Approximately counts the nodes of a network of unknown size.  Each
+    node draws a geometric bit position once, then the network computes
+    the bitwise OR of all vectors by gossip: whenever a node activates it
+    ORs in its neighbours' vectors.  The estimate at a node is
+    [1.3 * 2^l] where [l] is the least index (1-based) of a zero bit.
+    The iterated OR is a semi-lattice function, which is the source of the
+    algorithm's 0-sensitivity: any surviving connected component
+    stabilizes to the OR of the vectors its nodes ever absorbed. *)
+
+type state
+(** [Fresh] before the probabilistic initialization step, then a k-bit
+    vector.  Exposed abstractly; inspect with {!bits} / {!estimate}. *)
+
+val automaton : k:int -> state Symnet_core.Fssga.t
+(** The census automaton with [k]-bit vectors ([k >= 1]).  The paper
+    requires [k >= log2 n]; {!recommended_k} picks that for you.  The
+    first activation of a node performs the probabilistic initialization
+    (one geometric draw); subsequent activations perform the OR. *)
+
+val recommended_k : int -> int
+(** [recommended_k n] = a comfortable vector width for networks of [n]
+    nodes: [log2 n + 8] guard bits. *)
+
+val of_bits : k:int -> int -> state
+(** Build a node state holding an explicit bitmask — adversarial
+    initialization for fault and self-stabilization experiments. *)
+
+val fresh : k:int -> state
+(** The pre-initialization state. *)
+
+val bits : state -> int option
+(** The node's current bit vector as an integer bitmask ([None] before
+    initialization).  Bit [i-1] of the mask is the paper's [m_i]. *)
+
+val estimate : state -> float option
+(** The paper's estimate [1.3 * 2^l], [l] the least 1-based index of a
+    zero bit (all-ones vectors use [l = k+1]). *)
+
+val estimate_of_bits : k:int -> int -> float
+(** The estimate a node with the given bitmask would produce. *)

@@ -1,0 +1,463 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Graph = Symnet_graph.Graph
+
+(* Milgram-agent machinery, embedded (cf. Traversal). *)
+type trav_part = P_none | P_heads | P_tails | P_eliminated
+type trav_hand = H_idle | H_flip | H_waiting | H_notails | H_onetails
+
+type trav =
+  | T_blank of trav_part
+  | T_by_arm
+  | T_arm
+  | T_hand of trav_hand
+  | T_visited
+
+type membership = {
+  dist3 : int;  (** distance to my root, mod 3 *)
+  root_label : int;  (** the label my cluster's root drew this phase *)
+  colour : int;  (** the root colour most recently relayed to me *)
+  echo : bool;  (** my BFS subtree is completely constructed *)
+}
+
+(* Within a phase the cluster computation (BFS growth, colour waves,
+   echo, agent protocol) must be logically synchronous even though nodes
+   enter the phase at different rounds (the NP wave takes time to
+   travel).  We therefore run the intra-phase computation under the
+   paper's own alpha-synchronizer discipline (§4.2): each node keeps a
+   per-phase tick counter mod 6, waits while a same-phase neighbour is a
+   tick behind, and reads a one-tick-ahead neighbour's *previous*
+   wave-state.  Even ticks do maintenance, odd ticks run the agent. *)
+type body = {
+  remain : bool;
+  label : int;  (** my own label; meaningful when [remain] *)
+  phase : int;  (** mod 3 *)
+  tick : int;  (** intra-phase logical time, mod 6 *)
+  memb : membership option;
+  trav : trav;
+  prev_memb : membership option;  (** wave-state at tick - 1 *)
+  prev_trav : trav;
+  np : int option;  (** [Some l] = state NP_l *)
+  released : bool;  (** root: my agent is out *)
+  leader : bool;
+}
+
+(* [Fresh] defers the initial coin flips to the first activation, since
+   initialization is deterministic in the engine. *)
+type state = Fresh | Live of body
+
+let is_leader = function Live b -> b.leader | Fresh -> false
+let is_remaining = function Live b -> b.remain | Fresh -> true
+let phase_of = function Live b -> b.phase | Fresh -> 0
+
+let is_trav_arm_or_hand = function T_arm | T_hand _ -> true | _ -> false
+let is_trav_blank = function T_blank _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Raw view helpers (phase machinery reads current values)              *)
+(* ------------------------------------------------------------------ *)
+
+let body_exists view pred =
+  View.exists view (function Live b -> pred b | Fresh -> false)
+
+(* Tick-aligned wave-state of a neighbour, as seen from [b]: same-phase
+   neighbours at my tick expose their current memb/trav; neighbours one
+   tick ahead expose their previous ones; everything else (other phases,
+   NP transients, Fresh) is invisible to the wave computation. *)
+let aligned (b : body) = function
+  | Fresh -> None
+  | Live b' ->
+      if b'.phase <> b.phase || b'.np <> None then None
+      else if b'.tick = b.tick then Some (b'.remain, b'.memb, b'.trav)
+      else if b'.tick = (b.tick + 1) mod 6 then
+        Some (b'.remain, b'.prev_memb, b'.prev_trav)
+      else None
+
+let aligned_exists b view pred =
+  View.exists view (fun s -> match aligned b s with Some a -> pred a | None -> false)
+
+let aligned_memb_exists b view pred =
+  aligned_exists b view (fun (_, m, _) ->
+      match m with Some m -> pred m | None -> false)
+
+let aligned_count_upto b view pred ~cap =
+  View.count_where_upto view
+    (fun s -> match aligned b s with Some a -> pred a | None -> false)
+    ~cap
+
+(* ------------------------------------------------------------------ *)
+(* Conflict detection (the "few ways to discover multiple clusters")    *)
+(* ------------------------------------------------------------------ *)
+
+let conflict (b : body) view =
+  (* (a) two different root labels visible among my neighbours *)
+  let labels_both =
+    aligned_memb_exists b view (fun m -> m.root_label = 0)
+    && aligned_memb_exists b view (fun m -> m.root_label = 1)
+  in
+  (* (a') my own cluster label differs from a neighbour's *)
+  let label_mismatch =
+    match b.memb with
+    | Some m -> aligned_memb_exists b view (fun m' -> m'.root_label <> m.root_label)
+    | None -> false
+  in
+  (* (b) my predecessors disagree on colour *)
+  let preds_disagree =
+    match b.memb with
+    | Some m ->
+        let pd = (m.dist3 + 2) mod 3 in
+        aligned_memb_exists b view (fun m' -> m'.dist3 = pd && m'.colour = 0)
+        && aligned_memb_exists b view (fun m' -> m'.dist3 = pd && m'.colour = 1)
+    | None -> false
+  in
+  (* (b') an equidistant neighbour shows a different colour — impossible
+     in a single logically-synchronous cluster *)
+  let siblings_disagree =
+    match b.memb with
+    | Some m ->
+        aligned_memb_exists b view (fun m' ->
+            m'.dist3 = m.dist3 && m'.colour <> m.colour)
+    | None -> false
+  in
+  (* (c) two adjacent roots: a root's neighbour is at cluster distance 1,
+     never 0 mod 3, in a single cluster *)
+  let adjacent_root =
+    b.remain && b.memb <> None
+    && aligned_memb_exists b view (fun m' -> m'.dist3 = 0)
+  in
+  labels_both || label_mismatch || preds_disagree || siblings_disagree
+  || adjacent_root
+
+(* largest label this node can currently know about *)
+let known_max_label (b : body) view =
+  let np1 = body_exists view (fun b' -> b'.np = Some 1) in
+  let own =
+    (b.remain && b.label = 1)
+    || (match b.memb with Some m -> m.root_label = 1 | None -> false)
+  in
+  let nbr =
+    body_exists view (fun b' ->
+        match b'.memb with Some m -> m.root_label = 1 | None -> false)
+  in
+  if np1 || own || nbr then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Phase increment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let increment rng (b : body) view ~np_label =
+  let np1_nearby =
+    np_label = Some 1 || body_exists view (fun b' -> b'.np = Some 1)
+  in
+  let remain' = b.remain && not (np1_nearby && b.label = 0) in
+  let label' = if remain' then Prng.int rng 2 else b.label in
+  let memb' =
+    if remain' then
+      Some
+        { dist3 = 0; root_label = label'; colour = Prng.int rng 2; echo = false }
+    else None
+  in
+  {
+    remain = remain';
+    label = label';
+    phase = (b.phase + 1) mod 3;
+    tick = 0;
+    memb = memb';
+    trav = T_blank P_none;
+    prev_memb = memb';
+    prev_trav = T_blank P_none;
+    np = None;
+    released = false;
+    leader = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Even ticks: BFS growth, colour wave, echo, by-arm upkeep             *)
+(* ------------------------------------------------------------------ *)
+
+let echo_complete (b : body) m view =
+  (* every neighbour visible at my tick has joined some cluster, and all
+     my successors have echoed *)
+  let succ_dist = (m.dist3 + 1) mod 3 in
+  let all_joined =
+    View.for_all view (fun s ->
+        match s with
+        | Fresh -> false
+        | Live b' -> (
+            match aligned b s with
+            | None -> b'.phase <> b.phase || b'.np <> None
+            | Some (_, m', _) -> m' <> None))
+  in
+  let succs_echoed =
+    View.for_all view (fun s ->
+        match aligned b s with
+        | None -> true
+        | Some (_, m', _) -> (
+            match m' with
+            | Some m' -> m'.dist3 <> succ_dist || m'.echo
+            | None -> true))
+  in
+  all_joined && succs_echoed
+
+let trav_upkeep (b : body) view trav =
+  match trav with
+  | T_blank P_none | T_by_arm ->
+      if aligned_exists b view (fun (_, _, t) -> t = T_arm) then T_by_arm
+      else T_blank P_none
+  | t -> t
+
+let maintenance rng (b : body) view =
+  let trav' = trav_upkeep b view b.trav in
+  match b.memb with
+  | None -> (
+      (* an eliminated node joins the first cluster that reaches it;
+         simultaneous different-label offers were caught as a conflict
+         before this point, so all offers agree on the label *)
+      let offer_at x =
+        aligned_memb_exists b view (fun m' -> m'.dist3 = x)
+      in
+      let rec first_offer x =
+        if x > 2 then None else if offer_at x then Some x else first_offer (x + 1)
+      in
+      match first_offer 0 with
+      | None -> { b with trav = trav' }
+      | Some x ->
+          let from_offer pred =
+            aligned_memb_exists b view (fun m' -> m'.dist3 = x && pred m')
+          in
+          if
+            from_offer (fun m' -> m'.colour = 0)
+            && from_offer (fun m' -> m'.colour = 1)
+          then
+            (* same-label clusters arriving together with clashing
+               colours: treat as a witnessed conflict *)
+            { b with np = Some (known_max_label b view) }
+          else begin
+            let colour = if from_offer (fun m' -> m'.colour = 1) then 1 else 0 in
+            let root_label =
+              if from_offer (fun m' -> m'.root_label = 1) then 1 else 0
+            in
+            {
+              b with
+              memb =
+                Some { dist3 = (x + 1) mod 3; root_label; colour; echo = false };
+              trav = trav';
+            }
+          end)
+  | Some m ->
+      let echo' = echo_complete b m view in
+      if b.remain then begin
+        (* root: recolour every maintenance tick; release the agent when
+           the cluster construction echoes back complete *)
+        let colour' = if b.leader then m.colour else Prng.int rng 2 in
+        let release_now = echo' && not b.released in
+        {
+          b with
+          memb = Some { m with colour = colour'; echo = echo' };
+          released = b.released || release_now;
+          trav = (if release_now then T_hand H_idle else trav');
+        }
+      end
+      else begin
+        (* member: adopt my predecessors' colour (they agree — any
+           disagreement was caught as a conflict before this point) *)
+        let pd = (m.dist3 + 2) mod 3 in
+        let pred_colour c =
+          aligned_memb_exists b view (fun m' -> m'.dist3 = pd && m'.colour = c)
+        in
+        let colour' =
+          if pred_colour 1 then 1 else if pred_colour 0 then 0 else m.colour
+        in
+        { b with memb = Some { m with colour = colour'; echo = echo' }; trav = trav' }
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Odd ticks: the embedded Milgram traversal                            *)
+(* ------------------------------------------------------------------ *)
+
+let hand_neighbour_sub (b : body) view =
+  let check sub = aligned_exists b view (fun (_, _, t) -> t = T_hand sub) in
+  if check H_onetails then Some H_onetails
+  else if check H_notails then Some H_notails
+  else if check H_flip then Some H_flip
+  else if check H_waiting then Some H_waiting
+  else if check H_idle then Some H_idle
+  else None
+
+(* eligibility: only cluster members visible at my tick are traversable *)
+let eligible_blank (_, m, t) = is_trav_blank t && m <> None
+
+let agent_ops rng (b : body) view =
+  match b.trav with
+  | T_arm ->
+      let tips =
+        aligned_count_upto b view
+          (fun (_, _, t) -> is_trav_arm_or_hand t)
+          ~cap:2
+      in
+      let i_am_origin = b.remain && b.released in
+      if ((not i_am_origin) && tips <= 1) || (i_am_origin && tips = 0) then
+        { b with trav = T_hand H_idle }
+      else b
+  | T_hand sub -> (
+      match sub with
+      | H_idle ->
+          if aligned_exists b view eligible_blank then
+            { b with trav = T_hand H_flip }
+          else if b.remain && b.released then
+            (* my agent has returned: the Theta(n) wait is over *)
+            { b with trav = T_visited; leader = true }
+          else { b with trav = T_visited }
+      | H_flip -> { b with trav = T_hand H_waiting }
+      | H_waiting -> (
+          match
+            aligned_count_upto b view
+              (fun (_, _, t) -> t = T_blank P_tails)
+              ~cap:2
+          with
+          | 0 -> { b with trav = T_hand H_notails }
+          | 1 -> { b with trav = T_hand H_onetails }
+          | _ -> { b with trav = T_hand H_flip })
+      | H_notails -> { b with trav = T_hand H_waiting }
+      | H_onetails -> { b with trav = T_arm })
+  | T_blank part -> (
+      match hand_neighbour_sub b view with
+      | Some H_flip ->
+          if part = P_heads then { b with trav = T_blank P_eliminated }
+          else if part <> P_eliminated && b.memb <> None then
+            { b with trav = T_blank (if Prng.bool rng then P_heads else P_tails) }
+          else b
+      | Some H_notails ->
+          if part = P_heads then
+            { b with trav = T_blank (if Prng.bool rng then P_heads else P_tails) }
+          else b
+      | Some H_onetails ->
+          if part = P_tails then { b with trav = T_hand H_idle }
+          else { b with trav = T_blank P_none }
+      | Some (H_idle | H_waiting) -> b
+      | None ->
+          if part <> P_none then { b with trav = T_blank P_none } else b)
+  | T_by_arm | T_visited -> b
+
+(* ------------------------------------------------------------------ *)
+(* The automaton                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let automaton () : state Fssga.t =
+  let init _g _v = Fresh in
+  let step ~self ~rng view =
+    match self with
+    | Fresh ->
+        let label = Prng.int rng 2 in
+        let memb =
+          Some
+            { dist3 = 0; root_label = label; colour = Prng.int rng 2; echo = false }
+        in
+        Live
+          {
+            remain = true;
+            label;
+            phase = 0;
+            tick = 0;
+            memb;
+            trav = T_blank P_none;
+            prev_memb = memb;
+            prev_trav = T_blank P_none;
+            np = None;
+            released = false;
+            leader = false;
+          }
+    | Live b ->
+        let p = b.phase in
+        if View.exists view (fun s -> s = Fresh) then
+          (* an asynchronously-scheduled neighbour has not taken its
+             initialization step yet: it is logically at tick -1, so wait
+             (no-op under the synchronous scheduler, where Fresh vanishes
+             everywhere in round 1) *)
+          self
+        else if body_exists view (fun b' -> b'.phase = (p + 2) mod 3) then
+          (* freeze while a neighbour lags a phase behind *)
+          self
+        else if b.np <> None then Live (increment rng b view ~np_label:b.np)
+        else if body_exists view (fun b' -> b'.phase = (p + 1) mod 3) then
+          Live (increment rng b view ~np_label:None)
+        else if
+          body_exists view (fun b' -> b'.phase = p && b'.np <> None)
+        then
+          (* relay the NP wave *)
+          Live { b with np = Some (known_max_label b view) }
+        else if
+          (* alpha-synchronizer wait: a same-phase neighbour is a tick
+             behind me *)
+          body_exists view (fun b' ->
+              b'.phase = p && b'.np = None && b'.tick = (b.tick + 5) mod 6)
+        then self
+        else if conflict b view then
+          Live { b with np = Some (known_max_label b view) }
+        else begin
+          (* perform this tick's action with aligned reads *)
+          let b' =
+            if b.tick mod 2 = 0 then maintenance rng b view
+            else agent_ops rng b view
+          in
+          if b'.np <> None then Live b' (* adoption-time conflict *)
+          else
+            Live
+              {
+                b' with
+                tick = (b.tick + 1) mod 6;
+                prev_memb = b.memb;
+                prev_trav = b.trav;
+              }
+        end
+  in
+  { Fssga.name = "leader-election"; init; step }
+
+let leaders net = Network.find_nodes net is_leader
+let remaining net = Network.find_nodes net is_remaining
+
+type run_stats = {
+  rounds : int;
+  phase_increments : int;
+  leaders : int list;
+  stabilized : bool;
+}
+
+let run ~rng g ?(max_rounds = 2_000_000) ?stable_window
+    ?(scheduler = Symnet_engine.Scheduler.Synchronous) () =
+  let n = Graph.node_count g in
+  let window =
+    match stable_window with Some w -> w | None -> (4 * n) + 64
+  in
+  let net = Network.init ~rng g (automaton ()) in
+  let probe = match Graph.nodes g with v :: _ -> v | [] -> 0 in
+  let increments = ref 0 in
+  let last_phase = ref 0 in
+  let stable_for = ref 0 in
+  let last_leaders = ref [] in
+  let rounds = ref 0 in
+  let stabilized = ref false in
+  while (not !stabilized) && !rounds < max_rounds do
+    ignore (Symnet_engine.Scheduler.round scheduler net ~round:!rounds);
+    incr rounds;
+    let ph = phase_of (Network.state net probe) in
+    if ph <> !last_phase then begin
+      incr increments;
+      last_phase := ph
+    end;
+    let ls = leaders net in
+    if ls <> [] && ls = !last_leaders then incr stable_for
+    else begin
+      stable_for := 0;
+      last_leaders := ls
+    end;
+    if !stable_for >= window then stabilized := true
+  done;
+  {
+    rounds = !rounds;
+    phase_increments = !increments;
+    leaders = !last_leaders;
+    stabilized = !stabilized;
+  }

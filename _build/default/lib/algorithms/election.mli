@@ -1,0 +1,79 @@
+(** Randomized leader election (paper §4.7, Algorithm 4.4).
+
+    Initially every node is identical (up to randomness); at stabilization
+    exactly one node is in the leader state, w.h.p., after O(n log n)
+    synchronous rounds.
+
+    Mechanics reproduced from the paper:
+    - every node starts {e remaining}; phases are counted mod 3 and kept
+      adjacent-consistent exactly like the synchronizer clocks;
+    - each phase, every remaining node draws a uniform label in {0,1} and
+      grows a BFS cluster carrying [dist3] (distance to root mod 3), the
+      root's label, and the root's current colour;
+    - roots recolour randomly every maintenance round (Dolev-style);
+      colours flow down the successor relation, so in a single cluster
+      all equidistant nodes always agree — any disagreement among a
+      node's predecessors or its equidistant neighbours witnesses a
+      second cluster, as does an adjacent pair of roots or visible root
+      labels 0 and 1;
+    - a witness enters the [NP_l] state ([l] = largest label it knows);
+      NP floods, and every node increments its phase right after NP.  A
+      remaining node that passes through [NP_1] holding label 0 is
+      eliminated (Claim 4.1: >= 1/4 elimination probability per phase);
+    - a root whose cluster construction has locally finished (echo over
+      the successor relation) releases a Milgram agent (§4.5 machinery,
+      embedded); when the agent's traversal retracts all the way back,
+      the root has implicitly waited >= n rounds of recolouring
+      (Claim 4.2) and declares itself leader;
+    - leaders are provisional: a later NP wave demotes them (the paper
+      notes premature leaders on long paths), so "exactly one leader" is
+      a stabilization property, which {!run} detects.
+
+    One engineering decision beyond the paper's pseudocode (documented in
+    DESIGN.md): nodes enter a phase at different rounds (the NP wave has
+    travel time), which would skew the colour waves and make the
+    colour-comparison detectors fire on a {e single} cluster.  The
+    intra-phase computation therefore runs under the paper's own
+    alpha-synchronizer discipline (§4.2): a per-phase tick counter mod 6,
+    waiting on same-phase neighbours a tick behind and reading
+    one-tick-ahead neighbours' previous wave state.  Even ticks carry the
+    BFS/colour/echo waves, odd ticks the agent protocol.
+
+    Run with the synchronous scheduler. *)
+
+type state
+
+val automaton : unit -> state Symnet_core.Fssga.t
+
+val is_leader : state -> bool
+val is_remaining : state -> bool
+val phase_of : state -> int
+(** Phase counter mod 3. *)
+
+val leaders : state Symnet_engine.Network.t -> int list
+val remaining : state Symnet_engine.Network.t -> int list
+
+type run_stats = {
+  rounds : int;  (** rounds until the leader set stabilized *)
+  phase_increments : int;  (** total phase advances observed at node 0 *)
+  leaders : int list;  (** final leader set (singleton on success) *)
+  stabilized : bool;  (** leader set held stable for the probe window *)
+}
+
+val run :
+  rng:Symnet_prng.Prng.t ->
+  Symnet_graph.Graph.t ->
+  ?max_rounds:int ->
+  ?stable_window:int ->
+  ?scheduler:Symnet_engine.Scheduler.t ->
+  unit ->
+  run_stats
+(** Run until the leader set has been non-empty and unchanged for
+    [stable_window] rounds (default [4 * n + 64]) or [max_rounds] passes.
+    The stabilization probe is the experimenter's, not the model's.
+
+    [scheduler] defaults to synchronous; the per-phase tick discipline
+    (the §4.2 abstraction the paper calls for) makes the protocol equally
+    correct under any fair asynchronous scheduler — covered by the test
+    suite with {!Symnet_engine.Scheduler.Random_permutation} and
+    [Rotor]. *)

@@ -1,0 +1,48 @@
+(** Firing squad synchronization on path graphs (paper §5.2).
+
+    The paper poses the firing squad problem for FSSGA networks as open,
+    noting that the usual virtual-path strategy fails because neighbours
+    cannot be permanently identified.  On {e path graphs} (the classical
+    setting the paper cites, [22]) the obstacle is local symmetry: a path
+    cell cannot tell its two neighbours apart.  This module solves the
+    path case inside the FSSGA model by combining two of the paper's own
+    devices:
+
+    - orientation: cells label themselves with their distance from the
+      general mod 3 (the BFS device of §4.3), after which "the neighbour
+      with label x+1" / "x-1" are symmetric-view-expressible, restoring a
+      directed path;
+    - the classical Minsky–McCarthy 3n synchronization on the oriented
+      path: the general sends a speed-1 signal that reflects off the far
+      end and a speed-1/3 signal; they meet at the midpoint, which
+      becomes a new general for both halves (a double general on even
+      splits), recursing until every cell is a general; every cell fires
+      the round after it sees itself and all neighbours general.
+
+    All cells fire in the same synchronous round, no cell fires early,
+    and the firing time is [3n + O(1)].  The general must be an endpoint
+    of the path. *)
+
+type state
+
+val automaton : general:int -> state Symnet_core.Fssga.t
+(** Run with the synchronous scheduler on a path graph whose endpoint is
+    [general]. *)
+
+val has_fired : state -> bool
+val is_general : state -> bool
+
+type outcome = {
+  fire_round : int option;  (** round at which the squad fired *)
+  simultaneous : bool;  (** no cell fired before the common round *)
+  rounds_run : int;
+}
+
+val run :
+  rng:Symnet_prng.Prng.t ->
+  Symnet_graph.Graph.t ->
+  general:int ->
+  ?max_rounds:int ->
+  unit ->
+  outcome
+(** Drive the squad; checks round by round that firing is all-or-none. *)

@@ -1,0 +1,118 @@
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+
+let election_cost ~degree =
+  (* One §4.4 election round-trip is 3 synchronous rounds (flip, wait,
+     decide) and halves the candidates, so expected 3*ceil(log2(d+1)) + 3
+     rounds before the walker moves. *)
+  (3 * int_of_float (ceil (log (float_of_int (degree + 1)) /. log 2.))) + 3
+
+type t = {
+  graph : Graph.t;
+  rng : Prng.t;
+  visited_flag : bool array;
+  mutable pos : int;
+  mutable steps : int;
+  mutable rounds : int;
+  mutable stuck : bool;
+  mutable finished : bool;
+}
+
+let create ~rng g ~start =
+  if not (Graph.is_live_node g start) then
+    invalid_arg "Greedy_tourist.create: start node is dead";
+  let visited_flag = Array.make (Graph.original_size g) false in
+  visited_flag.(start) <- true;
+  {
+    graph = g;
+    rng;
+    visited_flag;
+    pos = start;
+    steps = 0;
+    rounds = 0;
+    stuck = false;
+    finished = false;
+  }
+
+let advance t =
+  if t.stuck || t.finished then false
+  else if not (Graph.is_live_node t.graph t.pos) then begin
+    (* the agent's own node died: critical failure *)
+    t.stuck <- true;
+    false
+  end
+  else begin
+    let targets =
+      List.filter (fun v -> not t.visited_flag.(v)) (Graph.nodes t.graph)
+    in
+    match targets with
+    | [] ->
+        t.finished <- true;
+        false
+    | _ ->
+        let dist = Analysis.distances t.graph ~sources:targets in
+        if dist.(t.pos) = max_int then begin
+          (* no target reachable from the agent's component *)
+          t.finished <- true;
+          false
+        end
+        else begin
+          (* move to a neighbour strictly closer to the nearest target,
+             breaking ties uniformly (the elected neighbour of §4.4) *)
+          let d = dist.(t.pos) in
+          let closer =
+            Graph.fold_neighbours t.graph t.pos ~init:[] ~f:(fun acc w ->
+                if dist.(w) = d - 1 then w :: acc else acc)
+          in
+          match closer with
+          | [] ->
+              t.stuck <- true;
+              false
+          | _ ->
+              let w = Prng.choose t.rng (Array.of_list closer) in
+              t.rounds <- t.rounds + election_cost ~degree:(Graph.degree t.graph t.pos);
+              t.pos <- w;
+              t.steps <- t.steps + 1;
+              t.visited_flag.(w) <- true;
+              true
+        end
+  end
+
+let position t = t.pos
+let agent_steps t = t.steps
+let fssga_rounds t = t.rounds
+
+let visited_nodes t =
+  List.filter (fun v -> t.visited_flag.(v)) (Graph.nodes t.graph)
+
+let completed t =
+  (not t.stuck)
+  && Graph.is_live_node t.graph t.pos
+  && List.for_all
+       (fun v -> t.visited_flag.(v))
+       (Analysis.component_of t.graph t.pos)
+
+type stats = {
+  agent_steps : int;
+  fssga_rounds : int;
+  visited : int;
+  completed : bool;
+}
+
+let run ~rng g ~start ?on_step ?(max_steps = 10_000_000) () =
+  let t = create ~rng g ~start in
+  let continue = ref true in
+  while !continue && t.steps < max_steps do
+    continue := advance t;
+    if !continue then
+      match on_step with
+      | Some f -> f ~step:t.steps g t.pos
+      | None -> ()
+  done;
+  {
+    agent_steps = t.steps;
+    fssga_rounds = t.rounds;
+    visited = List.length (visited_nodes t);
+    completed = completed t;
+  }

@@ -1,0 +1,53 @@
+(** The greedy tourist (paper §4.6).
+
+    An agent repeatedly follows a shortest path to the nearest unvisited
+    node.  By the nearest-neighbour TSP analysis of Rosenkrantz–Stearns–
+    Lewis the whole graph is traversed in O(n log n) agent steps; realized
+    in the FSSGA model (distances by the §2.2/§4.3 labelling, local
+    symmetry breaking by §4.4 elections) each step costs O(log n) expected
+    rounds, giving O(n log^2 n) time.  Unlike Milgram's traversal the
+    tourist is 1-sensitive (2-sensitive asynchronously): only the agent's
+    position is critical, and benign faults merely re-route it.
+
+    This module simulates the agent level exactly and accounts FSSGA time
+    per the paper's cost model: each move is charged the expected §4.4
+    election cost at the departed node's degree (see DESIGN.md). *)
+
+type t
+(** A stepwise tourist (used directly by the sensitivity harness). *)
+
+val create : rng:Symnet_prng.Prng.t -> Symnet_graph.Graph.t -> start:int -> t
+val advance : t -> bool
+(** One agent step; [false] once no reachable unvisited node remains (or
+    the agent is stranded by a fault). *)
+
+val position : t -> int
+val agent_steps : t -> int
+val fssga_rounds : t -> int
+val visited_nodes : t -> int list
+val completed : t -> bool
+(** Every node still live and reachable from the agent has been visited. *)
+
+type stats = {
+  agent_steps : int;  (** edges traversed *)
+  fssga_rounds : int;  (** accounted FSSGA time *)
+  visited : int;  (** nodes visited *)
+  completed : bool;  (** all reachable nodes visited *)
+}
+
+val run :
+  rng:Symnet_prng.Prng.t ->
+  Symnet_graph.Graph.t ->
+  start:int ->
+  ?on_step:(step:int -> Symnet_graph.Graph.t -> int -> unit) ->
+  ?max_steps:int ->
+  unit ->
+  stats
+(** [on_step ~step g pos] is called after every agent step with the live
+    graph and the agent position — tests use it to inject faults; the
+    tourist recomputes distances each step so benign faults only
+    re-route it. *)
+
+val election_cost : degree:int -> int
+(** The charged symmetry-breaking cost of one move past a node of the
+    given degree. *)

@@ -1,0 +1,85 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Graph = Symnet_graph.Graph
+
+type state =
+  | Blank
+  | Heads
+  | Tails
+  | Eliminated
+  | Flip
+  | Waiting_for_flips
+  | Notails
+  | Onetails
+
+let is_walker = function
+  | Flip | Waiting_for_flips | Notails | Onetails -> true
+  | Blank | Heads | Tails | Eliminated -> false
+
+let automaton ~start =
+  let init _g v = if v = start then Flip else Blank in
+  let step ~self ~rng view =
+    (* At most one neighbour can be a walker (single-walker invariant),
+       so picking by fixed precedence is deterministic in valid runs. *)
+    let walker_neighbour =
+      if View.at_least view Onetails 1 then Some Onetails
+      else if View.at_least view Notails 1 then Some Notails
+      else if View.at_least view Flip 1 then Some Flip
+      else if View.at_least view Waiting_for_flips 1 then
+        Some Waiting_for_flips
+      else None
+    in
+    match walker_neighbour with
+    | Some Flip ->
+        if self = Heads then Eliminated
+        else if self <> Eliminated && not (is_walker self) then
+          if Prng.bool rng then Heads else Tails
+        else self
+    | Some Notails ->
+        if self = Heads then (if Prng.bool rng then Heads else Tails)
+        else self
+    | Some Onetails ->
+        if self = Tails then Flip (* receive the walker *)
+        else if not (is_walker self) then Blank
+        else self
+    | Some _ (* Waiting_for_flips *) -> self
+    | None -> (
+        match self with
+        | Waiting_for_flips -> (
+            match View.count_upto view Tails ~cap:2 with
+            | 0 -> Notails
+            | 1 -> Onetails (* send the walker *)
+            | _ -> Flip)
+        | Notails | Flip -> Waiting_for_flips
+        | Onetails -> Blank (* clear the walker's remains *)
+        | s -> s)
+  in
+  { Fssga.name = "random-walk"; init; step }
+
+let walker_position net =
+  match Network.find_nodes net is_walker with
+  | [ v ] -> Some v
+  | [] -> None
+  | _ :: _ :: _ -> invalid_arg "Random_walk: multiple walkers"
+
+type move_stats = { moves : int; rounds : int; visits : int array }
+
+let run_moves ~rng g ~start ~moves ?(max_rounds = 10_000_000) () =
+  let net = Network.init ~rng g (automaton ~start) in
+  let visits = Array.make (Graph.original_size g) 0 in
+  let made = ref 0 in
+  let pos = ref start in
+  let rounds = ref 0 in
+  while !made < moves && !rounds < max_rounds do
+    ignore (Network.sync_step net);
+    incr rounds;
+    (match walker_position net with
+    | Some p when p <> !pos ->
+        pos := p;
+        visits.(p) <- visits.(p) + 1;
+        incr made
+    | _ -> ())
+  done;
+  { moves = !made; rounds = !rounds; visits }

@@ -1,0 +1,50 @@
+(** Random walk in the synchronous FSSGA model (paper §4.4, Algorithm 4.2).
+
+    A single walker node asks its neighbours to flip coins; heads are
+    eliminated round by round until exactly one tails remains, which
+    receives the walker.  If everybody flips heads the round is re-run
+    without elimination (the [notails] state).  When the walker sits at a
+    node of degree [d] the expected number of synchronous rounds before it
+    moves is Theta(log d), and the destination is uniform among the
+    neighbours — together these simulate a uniform random walk.
+
+    Exactly one node is ever in a walker state; that node is the walker's
+    position. *)
+
+type state =
+  | Blank
+  | Heads
+  | Tails
+  | Eliminated
+  | Flip  (** walker: ask neighbours to (re-)flip *)
+  | Waiting_for_flips  (** walker: count the tails *)
+  | Notails  (** walker: all heads — ask heads to re-flip *)
+  | Onetails  (** walker: hand over to the unique tails *)
+
+val is_walker : state -> bool
+
+val automaton : start:int -> state Symnet_core.Fssga.t
+(** Walker initially at [start] (in state [Flip]), all other nodes
+    [Blank].  Run with the synchronous scheduler. *)
+
+val walker_position : state Symnet_engine.Network.t -> int option
+(** The unique node in a walker state ([None] only if the walker died). *)
+
+(** {1 Instrumented walks (experiment E7)} *)
+
+type move_stats = {
+  moves : int;  (** completed walker moves *)
+  rounds : int;  (** synchronous rounds consumed *)
+  visits : int array;  (** per-node arrival counts *)
+}
+
+val run_moves :
+  rng:Symnet_prng.Prng.t ->
+  Symnet_graph.Graph.t ->
+  start:int ->
+  moves:int ->
+  ?max_rounds:int ->
+  unit ->
+  move_stats
+(** Run the synchronous network until the walker has moved [moves] times
+    (or [max_rounds] elapsed), recording arrivals. *)

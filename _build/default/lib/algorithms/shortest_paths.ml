@@ -1,0 +1,60 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Graph = Symnet_graph.Graph
+
+type state = { is_sink : bool; label : int }
+
+let automaton ~sinks ~cap =
+  if cap < 1 then invalid_arg "Shortest_paths.automaton: cap >= 1";
+  let init _g v =
+    if List.mem v sinks then { is_sink = true; label = 0 }
+    else { is_sink = false; label = cap }
+  in
+  let step ~self view =
+    (* a sink actively re-asserts label 0 ("each node in T fixes its
+       label at 0"), which is also what makes the algorithm
+       self-stabilizing from corrupted configurations *)
+    if self.is_sink then { self with label = 0 }
+    else begin
+      (* Smallest neighbour label, found by scanning the finite label
+         range with thresh observations; [cap - 1 + 1 = cap] when no
+         neighbour has a finite-useful label. *)
+      let rec scan j =
+        if j >= cap then cap
+        else if View.exists view (fun s -> s.label = j) then min cap (j + 1)
+        else scan (j + 1)
+      in
+      { self with label = scan 0 }
+    end
+  in
+  Fssga.deterministic ~name:"shortest-paths" ~init ~step
+
+let label s = s.label
+
+let route_next net v =
+  let s = Network.state net v in
+  if s.is_sink then None
+  else begin
+    let best =
+      Graph.fold_neighbours (Network.graph net) v ~init:None ~f:(fun acc w ->
+          let lw = (Network.state net w).label in
+          match acc with
+          | Some (_, l) when l <= lw -> acc
+          | _ -> Some (w, lw))
+    in
+    match best with
+    | Some (w, lw) when lw < s.label -> Some w
+    | _ -> None
+  end
+
+let route_path net ~src =
+  let rec go v acc seen =
+    if List.mem v seen then List.rev (v :: acc)
+    else begin
+      match route_next net v with
+      | None -> List.rev (v :: acc)
+      | Some w -> go w (v :: acc) (v :: seen)
+    end
+  in
+  go src [] []

@@ -1,0 +1,52 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Graph = Symnet_graph.Graph
+
+type 'q state = { cur : 'q; prev : 'q; clock : int }
+
+let wrap (inner : 'q Fssga.t) : 'q state Fssga.t =
+  let init g v =
+    let q0 = inner.Fssga.init g v in
+    { cur = q0; prev = q0; clock = 0 }
+  in
+  let step ~self ~rng view =
+    let behind = (self.clock + 2) mod 3 in
+    let ahead = (self.clock + 1) mod 3 in
+    if View.exists view (fun s -> s.clock = behind) then self (* WAIT *)
+    else begin
+      (* Clock-i neighbours contribute their current simulated state;
+         clock-(i+1) neighbours have already moved on and contribute the
+         state they had at our round, i.e. their previous state. *)
+      let project s = if s.clock = ahead then s.prev else s.cur in
+      let inner_view = View.map project view in
+      let cur' = inner.Fssga.step ~self:self.cur ~rng inner_view in
+      { cur = cur'; prev = self.cur; clock = ahead }
+    end
+  in
+  { Fssga.name = inner.Fssga.name ^ "+alpha-sync"; init; step }
+
+let clock s = s.clock
+let simulated s = s.cur
+
+let total_advances net prev_counts =
+  let counts = Array.copy prev_counts in
+  List.iter
+    (fun (v, s) ->
+      (* The clock advanced ((new - old) mod 3) times since the last call;
+         callers sample every round, and a node activates each round at
+         most a bounded number of times under our schedulers, so the
+         difference per sample is 0, 1 or 2 and the mod-3 reading is
+         unambiguous. *)
+      let old_total = counts.(v) in
+      let old_clock = old_total mod 3 in
+      let delta = (s.clock - old_clock + 3) mod 3 in
+      counts.(v) <- old_total + delta)
+    (Network.states net);
+  counts
+
+let advances_legal g counts =
+  let ok = ref true in
+  Graph.iter_edges g (fun e ->
+      if abs (counts.(e.Graph.u) - counts.(e.Graph.v)) > 1 then ok := false);
+  !ok

@@ -1,0 +1,38 @@
+(** The alpha synchronizer as a generic automaton transformer (paper §4.2).
+
+    Given an FSSGA designed for the synchronous model, [wrap] produces an
+    FSSGA over [Q x Q x {0,1,2}] that simulates it correctly under any
+    fair asynchronous schedule.  Each node keeps its current simulated
+    state, its previous simulated state, and a mod-3 clock; a node whose
+    clock is [i] waits while any neighbour's clock is [i-1], and otherwise
+    performs one simulated step reading current states from clock-[i]
+    neighbours and previous states from clock-[i+1] neighbours.
+
+    Invariants (checked by the test suite, from [9][3][21] via §4.2):
+    adjacent clocks always differ by at most 1 (cyclically), and if every
+    node activates at least once per unit of time then after [k] units
+    every clock has advanced at least [k] times. *)
+
+type 'q state = { cur : 'q; prev : 'q; clock : int }
+
+val wrap : 'q Symnet_core.Fssga.t -> 'q state Symnet_core.Fssga.t
+
+val clock : 'q state -> int
+(** The mod-3 clock. *)
+
+val simulated : 'q state -> 'q
+(** The node's current simulated synchronous state. *)
+
+(** {1 Instrumented runs} *)
+
+val total_advances :
+  'q state Symnet_engine.Network.t -> int array -> int array
+(** Bookkeeping helper for the advancement guarantee: given the previous
+    cumulative advance counts (zero array initially), returns updated
+    counts by comparing clocks — callers must invoke it after {e every}
+    round so no mod-3 wraparound is missed. *)
+
+val advances_legal : Symnet_graph.Graph.t -> int array -> bool
+(** Given cumulative advance counts from {!total_advances}, check the
+    synchronizer invariant that adjacent nodes' true clocks differ by at
+    most one. *)

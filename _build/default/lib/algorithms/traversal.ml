@@ -1,0 +1,139 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Graph = Symnet_graph.Graph
+
+type part = P_none | P_heads | P_tails | P_eliminated
+type hand_sub = H_idle | H_flip | H_waiting | H_notails | H_onetails
+
+type status =
+  | Blank of part
+  | By_arm
+  | Arm
+  | Hand of hand_sub
+  | Visited
+
+type state = { originator : bool; parity : bool; status : status }
+
+let is_hand = function Hand _ -> true | _ -> false
+let is_blank = function Blank _ -> true | _ -> false
+let arm_or_hand s = s = Arm || is_hand s
+
+let status s = s.status
+
+(* The unique hand's election substate among the neighbours, if any. *)
+let hand_neighbour view =
+  let check sub = View.exists view (fun s -> s.status = Hand sub) in
+  if check H_onetails then Some H_onetails
+  else if check H_notails then Some H_notails
+  else if check H_flip then Some H_flip
+  else if check H_waiting then Some H_waiting
+  else if check H_idle then Some H_idle
+  else None
+
+let flip rng = if Prng.bool rng then P_heads else P_tails
+
+(* Odd-round logic for a blank node: participate in the hand's election. *)
+let participant rng self_part view =
+  match hand_neighbour view with
+  | Some H_flip ->
+      if self_part = P_heads then Blank P_eliminated
+      else if self_part <> P_eliminated then Blank (flip rng)
+      else Blank self_part
+  | Some H_notails ->
+      if self_part = P_heads then Blank (flip rng) else Blank self_part
+  | Some H_onetails ->
+      if self_part = P_tails then Hand H_idle (* elected: extend the arm *)
+      else Blank P_none
+  | Some (H_idle | H_waiting) -> Blank self_part
+  | None -> Blank P_none (* no election in progress: drop stale flips *)
+
+(* Odd-round logic for the hand. *)
+let hand sub view =
+  match sub with
+  | H_idle ->
+      if View.exists view (fun s -> is_blank s.status) then Hand H_flip
+      else Visited (* retract *)
+  | H_flip -> Hand H_waiting
+  | H_waiting -> (
+      match
+        View.count_where_upto view (fun s -> s.status = Blank P_tails) ~cap:2
+      with
+      | 0 -> Hand H_notails
+      | 1 -> Hand H_onetails (* election complete *)
+      | _ -> Hand H_flip)
+  | H_notails -> Hand H_waiting
+  | H_onetails -> Arm (* the elected neighbour becomes the hand *)
+
+let automaton ~originator =
+  let init _g v =
+    {
+      originator = v = originator;
+      parity = false;
+      status = (if v = originator then Hand H_idle else Blank P_none);
+    }
+  in
+  let step ~self ~rng view =
+    let status' =
+      if not self.parity then begin
+        (* even rounds: by-arm frontier maintenance *)
+        match self.status with
+        | Blank P_none | By_arm ->
+            if View.exists view (fun s -> s.status = Arm) then By_arm
+            else Blank P_none
+        | s -> s
+      end
+      else begin
+        (* odd rounds: agent operations *)
+        match self.status with
+        | Arm ->
+            let tip_count =
+              View.count_where_upto view (fun s -> arm_or_hand s.status) ~cap:2
+            in
+            if
+              ((not self.originator) && tip_count <= 1)
+              || (self.originator && tip_count = 0)
+            then Hand H_idle (* retract the arm onto me *)
+            else Arm
+        | Hand sub -> hand sub view
+        | Blank p -> participant rng p view
+        | (By_arm | Visited) as s -> s
+      end
+    in
+    { self with parity = not self.parity; status = status' }
+  in
+  { Fssga.name = "milgram-traversal"; init; step }
+
+let hand_position net =
+  match Network.find_nodes net (fun s -> is_hand s.status) with
+  | [ v ] -> Some v
+  | [] -> None
+  | _ :: _ :: _ -> invalid_arg "Traversal: multiple hands"
+
+let all_visited net =
+  Network.count_if net (fun s -> s.status <> Visited) = 0
+
+let visited_count net = Network.count_if net (fun s -> s.status = Visited)
+let arm_nodes net = Network.find_nodes net (fun s -> s.status = Arm)
+
+type stats = { rounds : int; hand_moves : int; completed : bool }
+
+let run ~rng g ~originator ?(max_rounds = 10_000_000) () =
+  let net = Network.init ~rng g (automaton ~originator) in
+  let moves = ref 0 in
+  let pos = ref (Some originator) in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    ignore (Network.sync_step net);
+    incr rounds;
+    (match hand_position net with
+    | Some p when !pos <> Some p ->
+        incr moves;
+        pos := Some p
+    | Some _ -> ()
+    | None -> pos := None);
+    if all_visited net then continue := false
+  done;
+  { rounds = !rounds; hand_moves = !moves; completed = all_visited net }

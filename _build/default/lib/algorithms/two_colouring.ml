@@ -1,0 +1,81 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Sm = Symnet_core.Sm
+module Network = Symnet_engine.Network
+module Graph = Symnet_graph.Graph
+
+type colour = Blank | Red | Blue | Failed
+
+let automaton ~seed =
+  let init _g v = if v = seed then Red else Blank in
+  let step ~self view =
+    (* The paper's program (§4.1) with the self-state made explicit.  The
+       paper lists one self-oblivious program, but run literally it erases
+       the seed (a RED node with all-BLANK neighbours "returns BLANK") and
+       blinks forever under the synchronous schedule; Definition 3.10
+       indexes the program by the node's own state precisely to allow the
+       colour-preserving reading implemented here.  See DESIGN.md. *)
+    if View.at_least view Failed 1 then Failed
+    else if View.at_least view Red 1 && View.at_least view Blue 1 then Failed
+    else begin
+      match self with
+      | Red when View.at_least view Red 1 -> Failed
+      | Blue when View.at_least view Blue 1 -> Failed
+      | Blank ->
+          if View.at_least view Red 1 then Blue
+          else if View.at_least view Blue 1 then Red
+          else Blank
+      | c -> c
+    end
+  in
+  Fssga.deterministic ~name:"two-colouring" ~init ~step
+
+(* Integer encoding for the formal version. *)
+let blank = 0
+and red = 1
+and blue = 2
+and failed = 3
+
+let colour_of_int = function
+  | 0 -> Blank
+  | 1 -> Red
+  | 2 -> Blue
+  | 3 -> Failed
+  | i -> invalid_arg (Printf.sprintf "Two_colouring.colour_of_int: %d" i)
+
+let formal_automaton ~seed =
+  (* f[q] for each own-state q.  The paper's program returns RED/BLUE for
+     a BLANK node and otherwise leaves the state alone unless failure is
+     detected; "leaves alone" is encoded by returning q from the default
+     clause of f[q]. *)
+  let family q : Sm.mod_thresh =
+    let has c = Sm.Not (Sm.Thresh (c, 1)) in
+    let clauses =
+      [ (has failed, failed); (Sm.And (has red, has blue), failed) ]
+      @ (if q = red then [ (has red, failed) ] else [])
+      @ (if q = blue then [ (has blue, failed) ] else [])
+      @ (if q = blank then [ (has red, blue); (has blue, red) ] else [])
+    in
+    {
+      Sm.mt_q_size = 4;
+      mt_clauses = clauses;
+      mt_default = q;
+      mt_r_size = 4;
+    }
+  in
+  Fssga.of_mod_thresh_family ~name:"two-colouring-formal" ~q_size:4
+    ~init:(fun _g v -> if v = seed then red else blank)
+    ~family
+
+let verdict net =
+  if Network.count_if net (fun c -> c = Failed) > 0 then `Odd_cycle
+  else if Network.count_if net (fun c -> c = Blank) > 0 then `Undecided
+  else begin
+    (* check properness *)
+    let g = Network.graph net in
+    let proper = ref true in
+    Graph.iter_edges g (fun e ->
+        if Network.state net e.Graph.u = Network.state net e.Graph.v then
+          proper := false);
+    if !proper then `Bipartite else `Undecided
+  end

@@ -1,0 +1,31 @@
+(** 2-colouring / bipartiteness (paper §4.1).
+
+    One seed node starts RED, everyone else BLANK.  Colours flood
+    outwards, each node taking the colour opposite to a coloured
+    neighbour; a node seeing both colours (or a FAILED neighbour) turns
+    FAILED, and FAILED floods the network.  On a connected bipartite
+    graph the run quiesces with a proper 2-colouring; on a non-bipartite
+    graph every node eventually reports FAILED.
+
+    Two implementations are provided: the ergonomic {!automaton} written
+    against the view interface, and {!formal_automaton} assembled from a
+    literal mod-thresh program (Definition 3.6) via
+    {!Symnet_core.Fssga.of_mod_thresh_family} — the test suite checks
+    they compute identical runs. *)
+
+type colour = Blank | Red | Blue | Failed
+
+val automaton : seed:int -> colour Symnet_core.Fssga.t
+
+val formal_automaton : seed:int -> int Symnet_core.Fssga.t
+(** States encoded as [0=Blank, 1=Red, 2=Blue, 3=Failed]; the transition
+    is the paper's mod-thresh program expressed as a literal
+    {!Symnet_core.Sm.mod_thresh} family [f[q]] (with the colour-preserving
+    self-indexing fix described in DESIGN.md). *)
+
+val colour_of_int : int -> colour
+
+val verdict : colour Symnet_engine.Network.t -> [ `Bipartite | `Odd_cycle | `Undecided ]
+(** [`Bipartite] when the live network is properly 2-coloured with no
+    BLANK or FAILED nodes, [`Odd_cycle] when some node FAILED,
+    [`Undecided] while colours are still spreading. *)

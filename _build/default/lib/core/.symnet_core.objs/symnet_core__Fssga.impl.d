@@ -1,0 +1,1 @@
+lib/core/fssga.ml: Array Sm Symnet_graph Symnet_prng View

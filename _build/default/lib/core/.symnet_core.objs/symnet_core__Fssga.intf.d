@@ -1,0 +1,1 @@
+lib/core/fssga.mli: Sm Symnet_graph Symnet_prng View

@@ -1,0 +1,1 @@
+lib/core/semilattice.ml: Fssga List Symnet_graph View

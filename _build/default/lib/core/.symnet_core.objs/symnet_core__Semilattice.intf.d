@@ -1,0 +1,1 @@
+lib/core/semilattice.mli: Fssga Symnet_graph

@@ -1,0 +1,1 @@
+lib/core/sm.ml: Array Hashtbl Int List Printf Set String Symnet_prng

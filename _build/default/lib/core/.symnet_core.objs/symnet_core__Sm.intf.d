@@ -1,0 +1,1 @@
+lib/core/sm.mli: Symnet_prng

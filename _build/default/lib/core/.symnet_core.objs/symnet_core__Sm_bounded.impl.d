@@ -1,0 +1,1 @@
+lib/core/sm_bounded.ml: Array Fssga Fun List View

@@ -1,0 +1,1 @@
+lib/core/sm_bounded.mli: Fssga Symnet_graph

@@ -1,0 +1,1 @@
+lib/core/sm_compile.ml: Array Hashtbl List Printf Sm Symnet_prng

@@ -1,0 +1,1 @@
+lib/core/sm_compile.mli: Sm Symnet_prng

@@ -1,0 +1,1 @@
+lib/core/sm_tape.ml: Array Printf Sm Sm_compile

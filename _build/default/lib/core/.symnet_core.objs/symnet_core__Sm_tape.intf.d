@@ -1,0 +1,1 @@
+lib/core/sm_tape.mli: Sm

@@ -1,0 +1,53 @@
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+
+type 'a t = { join : 'a -> 'a -> 'a; name : string }
+
+let make ~name ~join = { join; name }
+
+let laws_hold l ~elements =
+  let assoc =
+    List.for_all
+      (fun a ->
+        List.for_all
+          (fun b ->
+            List.for_all
+              (fun c -> l.join a (l.join b c) = l.join (l.join a b) c)
+              elements)
+          elements)
+      elements
+  in
+  let comm =
+    List.for_all
+      (fun a -> List.for_all (fun b -> l.join a b = l.join b a) elements)
+      elements
+  in
+  let idem = List.for_all (fun a -> l.join a a = a) elements in
+  assoc && comm && idem
+
+let join_all l seed values = List.fold_left l.join seed values
+
+let gossip l ~init =
+  Fssga.deterministic ~name:(l.name ^ "-gossip") ~init ~step:(fun ~self view ->
+      (* The semilattice laws make this fold a legal SM observation —
+         see the caller obligation on View.join_with. *)
+      match View.join_with l.join view with
+      | Some nbrs -> l.join self nbrs
+      | None -> self)
+
+let component_fixpoint l g ~init =
+  Analysis.components g
+  |> List.concat_map (fun comp ->
+         match comp with
+         | [] -> []
+         | v0 :: rest ->
+             let value = join_all l (init v0) (List.map init rest) in
+             List.map (fun v -> (v, value)) comp)
+
+let bor = make ~name:"bitwise-or" ~join:(fun a b -> a lor b)
+let max_int_lattice = make ~name:"max" ~join:max
+let min_int_lattice = make ~name:"min" ~join:min
+
+let union () =
+  make ~name:"set-union" ~join:(fun a b ->
+      List.sort_uniq compare (List.rev_append a b))

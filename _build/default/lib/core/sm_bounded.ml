@@ -1,0 +1,88 @@
+type 'q padded = Value of 'q | Epsilon
+
+type 'q t = {
+  name : string;
+  delta : int;
+  step : self:'q -> 'q padded array -> 'q;
+}
+
+(* All multisets over [universe] of size <= delta, as sorted index lists. *)
+let multisets_upto universe delta =
+  let n = List.length universe in
+  let exactly k =
+    let rec gen remaining lowest =
+      if remaining = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun i -> List.map (fun rest -> i :: rest) (gen (remaining - 1) i))
+          (List.init (n - lowest) (fun j -> lowest + j))
+    in
+    gen k 0
+  in
+  List.concat_map exactly (List.init (delta + 1) Fun.id)
+
+let padded_of_indices universe delta indices =
+  let arr = Array.make delta Epsilon in
+  List.iteri
+    (fun pos i -> arr.(pos) <- Value (List.nth universe i))
+    indices;
+  arr
+
+(* next permutation in lexicographic order, or None *)
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: rest ->
+      (x :: y :: rest)
+      :: List.map (fun l -> y :: l) (insert_everywhere x rest)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: rest -> List.concat_map (insert_everywhere x) (permutations rest)
+
+let check_symmetric t ~universe =
+  let ok = ref true in
+  let tuples = multisets_upto universe t.delta in
+  List.iter
+    (fun self ->
+      List.iter
+        (fun indices ->
+          let base = padded_of_indices universe t.delta indices in
+          let reference = t.step ~self base in
+          (* permute the full padded array (epsilons included) *)
+          let positions = List.init t.delta Fun.id in
+          List.iter
+            (fun perm ->
+              let arr = Array.of_list (List.map (fun i -> base.(i)) perm) in
+              if t.step ~self arr <> reference then ok := false)
+            (permutations positions))
+        tuples)
+    universe;
+  !ok
+
+let to_fssga t ~universe ~init : 'q Fssga.t =
+  if t.delta < 1 then invalid_arg "Sm_bounded.to_fssga: delta >= 1";
+  let step ~self view =
+    (* reconstruct the multiset with capped counts, in universe order *)
+    let total = ref 0 in
+    let arr = Array.make t.delta Epsilon in
+    List.iter
+      (fun q ->
+        let c = View.count_upto view q ~cap:(t.delta + 1) in
+        for _ = 1 to c do
+          if !total >= t.delta then
+            invalid_arg
+              (t.name ^ ": node degree exceeds the bound Delta");
+          arr.(!total) <- Value q;
+          incr total
+        done)
+      universe;
+    (* a neighbour state outside the universe would be invisible: detect *)
+    if
+      View.count_where_upto view
+        (fun q -> not (List.mem q universe))
+        ~cap:1
+      > 0
+    then invalid_arg (t.name ^ ": neighbour state outside the universe");
+    t.step ~self arr
+  in
+  Fssga.deterministic ~name:(t.name ^ "-padded") ~init ~step

@@ -1,0 +1,42 @@
+(** The bounded-degree padding model (paper §3.1).
+
+    Before settling on unbounded degrees, the paper recalls the standard
+    way to handle graphs of degree at most Delta with one transition
+    function: pad the neighbour tuple with a null symbol epsilon, i.e.
+    [f : Q x (Q + {eps})^Delta -> Q], symmetric under permutations of the
+    padded tuple (the models of Remila [17], Martin [12] and
+    Rosenstiehl et al. [21]).
+
+    This module implements that model and its embedding into the
+    unbounded FSSGA model: {!check_symmetric} decides the permutation
+    condition exhaustively over a finite state universe, and {!to_fssga}
+    reconstructs the padded tuple from thresh observations (counts capped
+    at Delta), which is exactly why the embedding is legal — bounded
+    degree makes full multiplicity information finite-state. *)
+
+type 'q padded = Value of 'q | Epsilon
+
+type 'q t = {
+  name : string;
+  delta : int;  (** the degree bound *)
+  step : self:'q -> 'q padded array -> 'q;
+      (** receives exactly [delta] entries, padded with [Epsilon] *)
+}
+
+val check_symmetric : 'q t -> universe:'q list -> bool
+(** Exhaustively verify that [step] is invariant under permutations of
+    the padded tuple, for every self state and every multiset over the
+    universe of size at most [delta].  Exponential in [delta]; intended
+    for small models and tests. *)
+
+val to_fssga :
+  'q t ->
+  universe:'q list ->
+  init:(Symnet_graph.Graph.t -> int -> 'q) ->
+  'q Fssga.t
+(** Embed into the FSSGA model.  The node reconstructs its padded tuple
+    by counting each universe state up to [delta] (thresh atoms) and
+    laying the multiset out in universe order — legitimate because the
+    function is symmetric.  @raise Invalid_argument at runtime if a node
+    has more than [delta] live neighbours or sees a state outside the
+    universe. *)

@@ -1,0 +1,278 @@
+module Prng = Symnet_prng.Prng
+
+exception Too_large of string
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.5: parallel -> sequential                                   *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_to_sequential (p : Sm.parallel) : Sm.sequential =
+  Sm.check_parallel p;
+  let nil = p.pa_w_size in
+  let w_size = p.pa_w_size + 1 in
+  let sq_p =
+    Array.init w_size (fun w ->
+        Array.init p.pa_q_size (fun q ->
+            if w = nil then p.pa_alpha.(q)
+            else p.pa_p.(p.pa_alpha.(q)).(w)))
+  in
+  let sq_beta =
+    Array.init w_size (fun w -> if w = nil then 0 else p.pa_beta.(w))
+  in
+  {
+    sq_q_size = p.pa_q_size;
+    sq_w_size = w_size;
+    sq_w0 = nil;
+    sq_p;
+    sq_beta;
+    sq_r_size = p.pa_r_size;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.8: mod-thresh -> parallel                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+(* Collect, for each input state i, the lcm of moduli M_i and the max
+   threshold T_i appearing in the program's propositions. *)
+let atom_bounds (mt : Sm.mod_thresh) =
+  let moduli = Array.make mt.mt_q_size 1 in
+  let threshes = Array.make mt.mt_q_size 1 in
+  let rec walk = function
+    | Sm.True | Sm.False -> ()
+    | Sm.Mod (q, _, m) -> moduli.(q) <- lcm moduli.(q) m
+    | Sm.Thresh (q, t) -> threshes.(q) <- max threshes.(q) t
+    | Sm.Not p -> walk p
+    | Sm.And (p1, p2) | Sm.Or (p1, p2) ->
+        walk p1;
+        walk p2
+  in
+  List.iter (fun (p, _) -> walk p) mt.mt_clauses;
+  (moduli, threshes)
+
+let mod_thresh_to_parallel ?(max_states = 200_000) (mt : Sm.mod_thresh) :
+    Sm.parallel =
+  Sm.check_mod_thresh mt;
+  let s = mt.mt_q_size in
+  let moduli, threshes = atom_bounds mt in
+  (* Working state = per input-state pair (a_i in Z_{M_i}, saturating
+     counter b_i in 0..T_i); encoded in mixed radix. *)
+  let radix = Array.init s (fun i -> moduli.(i) * (threshes.(i) + 1)) in
+  let w_size =
+    Array.fold_left
+      (fun acc r ->
+        let acc = acc * r in
+        if acc > max_states || acc <= 0 then
+          raise
+            (Too_large
+               (Printf.sprintf "mod_thresh_to_parallel: > %d working states"
+                  max_states));
+        acc)
+      1 radix
+  in
+  (* The combination table is w_size^2 cells; refuse sizes whose matrix
+     alone would dominate memory even when the state count is within the
+     caller's budget. *)
+  if w_size > 8_192 then
+    raise
+      (Too_large
+         (Printf.sprintf
+            "mod_thresh_to_parallel: %d working states need a %d-cell table"
+            w_size (w_size * w_size)));
+  let decode w =
+    let digits = Array.make s (0, 0) in
+    let rest = ref w in
+    for i = 0 to s - 1 do
+      let d = !rest mod radix.(i) in
+      rest := !rest / radix.(i);
+      digits.(i) <- (d / (threshes.(i) + 1), d mod (threshes.(i) + 1))
+    done;
+    digits
+  in
+  let encode digits =
+    let w = ref 0 in
+    for i = s - 1 downto 0 do
+      let a, b = digits.(i) in
+      w := (!w * radix.(i)) + (a * (threshes.(i) + 1)) + b
+    done;
+    !w
+  in
+  let pa_alpha =
+    Array.init s (fun q ->
+        let digits =
+          Array.init s (fun i ->
+              if i = q then (1 mod moduli.(i), min 1 threshes.(i)) else (0, 0))
+        in
+        encode digits)
+  in
+  let combine d1 d2 =
+    Array.init s (fun i ->
+        let a1, b1 = d1.(i) and a2, b2 = d2.(i) in
+        ((a1 + a2) mod moduli.(i), min (b1 + b2) threshes.(i)))
+  in
+  let pa_p =
+    Array.init w_size (fun w1 ->
+        let d1 = decode w1 in
+        Array.init w_size (fun w2 -> encode (combine d1 (decode w2))))
+  in
+  (* beta: evaluate the program, reading atoms off the counters. *)
+  let pa_beta =
+    Array.init w_size (fun w ->
+        let digits = decode w in
+        let rec eval = function
+          | Sm.True -> true
+          | Sm.False -> false
+          | Sm.Mod (q, r, m) ->
+              let a, _ = digits.(q) in
+              a mod m = r
+          | Sm.Thresh (q, t) ->
+              let _, b = digits.(q) in
+              b < t
+          | Sm.Not p -> not (eval p)
+          | Sm.And (p1, p2) -> eval p1 && eval p2
+          | Sm.Or (p1, p2) -> eval p1 || eval p2
+        in
+        let rec clauses = function
+          | [] -> mt.mt_default
+          | (p, r) :: rest -> if eval p then r else clauses rest
+        in
+        clauses mt.mt_clauses)
+  in
+  {
+    pa_q_size = s;
+    pa_w_size = w_size;
+    pa_alpha;
+    pa_p;
+    pa_beta;
+    pa_r_size = mt.mt_r_size;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.9: sequential -> mod-thresh                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Tail length t_j and period m_j of the iterate g_j : w -> p(w, j)
+   starting from w0 (eventual periodicity in a finite W). *)
+let iterate_shape (s : Sm.sequential) j =
+  let seen = Hashtbl.create 16 in
+  let rec go w step =
+    match Hashtbl.find_opt seen w with
+    | Some first -> (first, step - first) (* tail, period *)
+    | None ->
+        Hashtbl.add seen w step;
+        go s.sq_p.(w).(j) (step + 1)
+  in
+  go s.sq_w0 0
+
+let sequential_to_mod_thresh ?(max_clauses = 200_000) (s : Sm.sequential) :
+    Sm.mod_thresh =
+  Sm.check_sequential s;
+  let q = s.sq_q_size in
+  let shapes = Array.init q (fun j -> iterate_shape s j) in
+  (* Classes of ~_j: counts 0..t_j-1 as singletons, then residues mod m_j
+     (Equation 4/5).  A class is (Exact c) or (Periodic residue). *)
+  (* For residue index r in 0..m_j-1 the class is "mu >= t_j and
+     mu = rho (mod m_j)" with rho = (t_j + r) mod m_j; its canonical
+     representative t_j + r is >= t_j and has that residue. *)
+  let classes =
+    Array.init q (fun j ->
+        let t, m = shapes.(j) in
+        List.init t (fun c -> `Exact c)
+        @ List.init m (fun r -> `Periodic ((t + r) mod m, t + r)))
+  in
+  let _total : int =
+    Array.fold_left
+      (fun acc cl ->
+        let acc = acc * List.length cl in
+        if acc > max_clauses || acc <= 0 then
+          raise
+            (Too_large
+               (Printf.sprintf "sequential_to_mod_thresh: > %d clauses"
+                  max_clauses));
+        acc)
+      1 classes
+  in
+  let class_prop j = function
+    | `Exact 0 -> Sm.Thresh (j, 1)
+    | `Exact c -> Sm.And (Sm.Thresh (j, c + 1), Sm.Not (Sm.Thresh (j, c)))
+    | `Periodic (rho, _) ->
+        let t, m = shapes.(j) in
+        let mod_atom = if m = 1 then Sm.True else Sm.Mod (j, rho, m) in
+        if t = 0 then mod_atom else Sm.And (Sm.Not (Sm.Thresh (j, t)), mod_atom)
+  in
+  let class_rep = function `Exact c -> c | `Periodic (_, rep) -> rep in
+  (* Enumerate the product of classes over all j. *)
+  let clauses = ref [] in
+  let rec product j chosen =
+    if j = q then begin
+      let counts = List.rev chosen in
+      let reps = List.map class_rep counts in
+      let size = List.fold_left ( + ) 0 reps in
+      if size > 0 then begin
+        let input =
+          List.concat (List.mapi (fun j c -> List.init c (fun _ -> j)) reps)
+        in
+        let result = Sm.run_sequential s input in
+        let prop =
+          List.fold_left
+            (fun acc (j, cl) ->
+              let p = class_prop j cl in
+              match acc with Sm.True -> p | _ -> Sm.And (acc, p))
+            Sm.True
+            (List.mapi (fun j cl -> (j, cl)) counts)
+        in
+        clauses := (prop, result) :: !clauses
+      end
+    end
+    else
+      List.iter (fun cl -> product (j + 1) (cl :: chosen)) classes.(j)
+  in
+  product 0 [];
+  {
+    mt_q_size = q;
+    mt_clauses = List.rev !clauses;
+    mt_default = 0;
+    mt_r_size = s.sq_r_size;
+  }
+
+let sequential_to_parallel ?max_states ?max_clauses s =
+  mod_thresh_to_parallel ?max_states
+    (sequential_to_mod_thresh ?max_clauses s)
+
+(* ------------------------------------------------------------------ *)
+(* Random program generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec random_prop rng ~q_size ~max_mod ~max_thresh ~depth : Sm.prop =
+  if depth = 0 || Prng.int rng 3 = 0 then begin
+    (* atom *)
+    let q = Prng.int rng q_size in
+    if Prng.bool rng then begin
+      let m = 1 + Prng.int rng max_mod in
+      Sm.Mod (q, Prng.int rng m, m)
+    end
+    else Sm.Thresh (q, 1 + Prng.int rng max_thresh)
+  end
+  else begin
+    let sub () = random_prop rng ~q_size ~max_mod ~max_thresh ~depth:(depth - 1) in
+    match Prng.int rng 3 with
+    | 0 -> Sm.Not (sub ())
+    | 1 -> Sm.And (sub (), sub ())
+    | _ -> Sm.Or (sub (), sub ())
+  end
+
+let random_mod_thresh rng ~q_size ~r_size ~clauses ~max_mod ~max_thresh ~depth :
+    Sm.mod_thresh =
+  let mt_clauses =
+    List.init clauses (fun _ ->
+        ( random_prop rng ~q_size ~max_mod ~max_thresh ~depth,
+          Prng.int rng r_size ))
+  in
+  {
+    mt_q_size = q_size;
+    mt_clauses;
+    mt_default = Prng.int rng r_size;
+    mt_r_size = r_size;
+  }

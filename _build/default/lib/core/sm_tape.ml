@@ -1,0 +1,101 @@
+type family = {
+  name : string;
+  q_bits : int -> int;
+  w_bits : int -> int;
+  w0 : int -> int;
+  p : int -> int -> int -> int;
+  beta : int -> int -> int;
+  r_bits : int -> int;
+}
+
+let width_cap = 20
+
+let check_family f ~n =
+  let q = f.q_bits n and w = f.w_bits n and r = f.r_bits n in
+  if q < 1 || w < 1 || r < 1 then
+    invalid_arg (f.name ^ ": widths must be >= 1");
+  if q > width_cap || w > width_cap || r > width_cap then
+    invalid_arg (f.name ^ ": width exceeds executability cap");
+  let wn = 1 lsl w and qn = 1 lsl q and rn = 1 lsl r in
+  if f.w0 n < 0 || f.w0 n >= wn then invalid_arg (f.name ^ ": bad w0");
+  for wv = 0 to wn - 1 do
+    for qv = 0 to qn - 1 do
+      let w' = f.p n wv qv in
+      if w' < 0 || w' >= wn then invalid_arg (f.name ^ ": p out of range")
+    done;
+    let rv = f.beta n wv in
+    if rv < 0 || rv >= rn then invalid_arg (f.name ^ ": beta out of range")
+  done
+
+let instantiate f ~n : Sm.sequential =
+  check_family f ~n;
+  let q_size = 1 lsl f.q_bits n and w_size = 1 lsl f.w_bits n in
+  {
+    Sm.sq_q_size = q_size;
+    sq_w_size = w_size;
+    sq_w0 = f.w0 n;
+    sq_p = Array.init w_size (fun w -> Array.init q_size (fun q -> f.p n w q));
+    sq_beta = Array.init w_size (fun w -> f.beta n w);
+    sq_r_size = 1 lsl f.r_bits n;
+  }
+
+let compile_parallel ?(max_states = 2_000_000) f ~n =
+  let s = instantiate f ~n in
+  let mt = Sm_compile.sequential_to_mod_thresh ~max_clauses:max_states s in
+  Sm_compile.mod_thresh_to_parallel ~max_states mt
+
+let parallel_bits (p : Sm.parallel) =
+  log (float_of_int p.Sm.pa_w_size) /. log 2.
+
+let paper_bound_bits f ~n =
+  float_of_int ((1 lsl f.q_bits n) * (f.w_bits n + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Example families                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bits_for k =
+  let rec go b = if 1 lsl b > k then b else go (b + 1) in
+  go 1
+
+(* "at least N ones" over Q = {0,1}: counter saturating at N. *)
+let threshold_family =
+  {
+    name = "threshold";
+    q_bits = (fun _ -> 1);
+    w_bits = (fun n -> bits_for (n + 1));
+    w0 = (fun _ -> 0);
+    p =
+      (fun n w q ->
+        if q = 1 then min (w + 1) n
+        else w);
+    beta = (fun n w -> if w >= n then 1 else 0);
+    r_bits = (fun _ -> 1);
+  }
+
+(* "count of ones ≡ 0 (mod min(N,k))" *)
+let mod_family k =
+  let modulus n = max 2 (min n k) in
+  {
+    name = Printf.sprintf "mod-%d" k;
+    q_bits = (fun _ -> 1);
+    w_bits = (fun n -> bits_for (modulus n - 1));
+    w0 = (fun _ -> 0);
+    p = (fun n w q -> if q = 1 then (w + 1) mod modulus n else w);
+    beta = (fun _ w -> if w = 0 then 1 else 0);
+    r_bits = (fun _ -> 1);
+  }
+
+(* Parity of every input value's count: q(N) = min(N,3) bits, working
+   state = one parity bit per input value (2^q bits). *)
+let all_values_parity_family =
+  let q_bits n = max 1 (min n 3) in
+  {
+    name = "all-values-parity";
+    q_bits;
+    w_bits = (fun n -> 1 lsl q_bits n);
+    w0 = (fun _ -> 0);
+    p = (fun _ w q -> w lxor (1 lsl q));
+    beta = (fun n w -> if w = (1 lsl (1 lsl q_bits n)) - 1 then 1 else 0);
+    r_bits = (fun _ -> 1);
+  }

@@ -1,0 +1,66 @@
+(** Tape-based generalization of SM functions (paper §5, first paragraph).
+
+    Instead of one fixed finite state set, each node carries a binary
+    tape whose width grows with a parameter [N]: inputs live in
+    [{0,1}^q(N)], working states in [{0,1}^w(N)], and the sequential
+    program [(w0_N, p_N, beta_N)] is uniformly computable in [N].  The
+    paper observes that its Theorem 3.7 techniques then yield a uniformly
+    computable {e parallel} program with working width
+    [w'(N) = O(2^q(N) * w(N))], and asks whether [w'(N) = O(w(N))] is
+    always achievable.
+
+    This module makes that concrete: a {!family} packages a uniform
+    sequential family (bit widths capped at the native word for
+    executability); {!instantiate} builds the explicit finite program at
+    a given [N]; {!compile_parallel} runs the Lemma 3.9 + Lemma 3.8
+    pipeline, whose working-state {e count} is the product of the
+    per-input-value eventual-periodicity ranges — i.e. whose {e bit
+    width} is at most [2^q(N) * (w(N) + 1)], realizing the paper's bound.
+    {!parallel_bits} measures the achieved width so experiments can probe
+    the open question. *)
+
+type family = {
+  name : string;
+  q_bits : int -> int;  (** input width at parameter N (>= 1) *)
+  w_bits : int -> int;  (** working width at parameter N (>= 1) *)
+  w0 : int -> int;
+  p : int -> int -> int -> int;  (** [p n w q] *)
+  beta : int -> int -> int;
+  r_bits : int -> int;
+}
+
+val check_family : family -> n:int -> unit
+(** Validate widths and closure of [p]/[beta] ranges at parameter [n].
+    @raise Invalid_argument if the family is malformed or exceeds 20-bit
+    widths (executability cap). *)
+
+val instantiate : family -> n:int -> Sm.sequential
+(** The explicit finite sequential program at parameter [n]. *)
+
+val compile_parallel :
+  ?max_states:int -> family -> n:int -> Sm.parallel
+(** Lemma 3.9 then Lemma 3.8 on the instantiated program.
+    @raise Sm_compile.Too_large when over budget. *)
+
+val parallel_bits : Sm.parallel -> float
+(** [log2] of the working-state count — the achieved [w'(N)]. *)
+
+val paper_bound_bits : family -> n:int -> float
+(** The §5 bound [2^q(N) * (w(N) + 1)]. *)
+
+(** {1 Example families} *)
+
+val threshold_family : family
+(** "at least N ones": q = 1 bit, w(N) = ceil(log2(N+2)) bits (a
+    saturating counter).  Compiles to w'(N) = O(w(N)) — evidence for the
+    paper's open question. *)
+
+val mod_family : int -> family
+(** [mod_family k]: "count of ones ≡ 0 (mod N)" truncated at modulus
+    cap [k].  Also compiles to O(w(N)). *)
+
+val all_values_parity_family : family
+(** Parity of {e every} input value's count, with q(N) = min(N, 3) bits:
+    the working width itself is 2^q(N) bits, and the compiled parallel
+    width tracks it — the regime where the 2^q factor in the paper's
+    bound is real. *)

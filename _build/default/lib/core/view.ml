@@ -1,0 +1,39 @@
+(* The representation is the raw list of neighbour states; the interface
+   guarantees that consumers can only extract mod/thresh information from
+   it.  Lists are tiny (a node's degree), so linear scans are fine and
+   keep the structure allocation-free on the hot path. *)
+
+type 'q t = 'q list
+
+let of_list l = l
+
+let count_where_upto v pred ~cap =
+  if cap < 0 then invalid_arg "View.count_where_upto: negative cap";
+  let rec go acc = function
+    | [] -> acc
+    | _ when acc >= cap -> acc
+    | q :: rest -> go (if pred q then acc + 1 else acc) rest
+  in
+  go 0 v
+
+let count_upto v q ~cap = count_where_upto v (fun q' -> q' = q) ~cap
+
+let at_least v q t = count_upto v q ~cap:t >= t
+
+let exists v pred = List.exists pred v
+let for_all v pred = List.for_all pred v
+
+let count_where_mod v pred ~modulus =
+  if modulus < 1 then invalid_arg "View.count_where_mod: modulus >= 1";
+  List.fold_left (fun acc q -> if pred q then (acc + 1) mod modulus else acc) 0 v
+
+let count_mod v q ~modulus = count_where_mod v (fun q' -> q' = q) ~modulus
+
+let map f v = List.map f v
+let filter_map f v = List.filter_map f v
+
+let is_empty v = v = []
+
+let join_with j = function
+  | [] -> None
+  | q :: rest -> Some (List.fold_left j q rest)

@@ -1,0 +1,71 @@
+(** Symmetric observation of a neighbour multiset.
+
+    A ['q View.t] is what an activating FSSGA node is allowed to see of its
+    neighbours (paper §3.1): the multiset of their states, observable only
+    through {e mod atoms} ([count_mod]) and {e thresh atoms} ([at_least],
+    [count_upto]) in the sense of Definition 3.6.  The interface
+    deliberately exposes no ordering, no exact cardinality, and no way to
+    address an individual neighbour, so every transition function written
+    against it factors through the multiplicity vector and is therefore an
+    SM function by construction (the mod-thresh characterization of
+    Theorem 3.7).
+
+    The predicate variants ([exists], [count_where_upto], ...) classify
+    states through an arbitrary pointwise function ['q -> bool]; on a
+    finite state space this is a finite union of atoms, hence still
+    mod-thresh.  [map] relabels states pointwise (summing multiplicities),
+    which likewise preserves the class. *)
+
+type 'q t
+
+val of_list : 'q list -> 'q t
+(** Build a view from the raw neighbour states.  Engine-side constructor;
+    algorithm code should only consume views. *)
+
+val at_least : 'q t -> 'q -> int -> bool
+(** [at_least v q t]: does state [q] occur with multiplicity [>= t]?
+    (The negation of the paper's thresh atom "mu_q < t".)  States are
+    compared with structural equality. *)
+
+val exists : 'q t -> ('q -> bool) -> bool
+(** Some neighbour state satisfies the predicate. *)
+
+val for_all : 'q t -> ('q -> bool) -> bool
+(** Every neighbour state satisfies the predicate (true for no
+    neighbours). *)
+
+val count_upto : 'q t -> 'q -> cap:int -> int
+(** [count_upto v q ~cap = min (multiplicity q) cap].  A finite-state
+    counter saturating at [cap], as used in Lemma 3.8. *)
+
+val count_where_upto : 'q t -> ('q -> bool) -> cap:int -> int
+(** Saturating count of neighbours whose state satisfies the predicate. *)
+
+val count_mod : 'q t -> 'q -> modulus:int -> int
+(** Multiplicity of the state, modulo [modulus >= 1]. *)
+
+val count_where_mod : 'q t -> ('q -> bool) -> modulus:int -> int
+(** Predicate-classified multiplicity modulo [modulus]. *)
+
+val map : ('q -> 'p) -> 'q t -> 'p t
+(** Pointwise relabelling; multiplicities of merged states add. *)
+
+val filter_map : ('q -> 'p option) -> 'q t -> 'p t
+(** Pointwise relabelling that can also drop states ([None]).  Like
+    {!map}, this preserves the mod-thresh discipline: the multiplicity of
+    [p] in the result is the summed multiplicity of its preimage. *)
+
+val is_empty : 'q t -> bool
+(** True when there are no neighbours at all.  (Observable in the model:
+    it is the conjunction of "mu_q < 1" over the finite state space.) *)
+
+val join_with : ('q -> 'q -> 'q) -> 'q t -> 'q option
+(** [join_with j v] folds [j] over the neighbour multiset ([None] when
+    empty).  CALLER OBLIGATION: [j] must be a semilattice operation
+    (associative, commutative, idempotent — see
+    {!Symnet_core.Semilattice.laws_hold}); then the result depends only
+    on the {e set} of states present, i.e. on which multiplicities are
+    nonzero — a conjunction of thresh atoms per state, hence a legal SM
+    observation (paper §5's infimum functions).  With a non-semilattice
+    operation the result would leak ordering and multiplicity information
+    the model forbids. *)

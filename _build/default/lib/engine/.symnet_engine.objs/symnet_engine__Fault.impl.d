@@ -1,0 +1,1 @@
+lib/engine/fault.ml: Array List Symnet_graph Symnet_prng

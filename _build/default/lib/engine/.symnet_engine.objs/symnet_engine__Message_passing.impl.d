@@ -1,0 +1,1 @@
+lib/engine/message_passing.ml: Symnet_core Symnet_graph Symnet_prng

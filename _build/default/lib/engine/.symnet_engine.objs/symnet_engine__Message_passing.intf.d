@@ -1,0 +1,1 @@
+lib/engine/message_passing.mli: Symnet_core Symnet_graph Symnet_prng

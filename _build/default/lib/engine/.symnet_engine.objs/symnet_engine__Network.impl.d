@@ -1,0 +1,1 @@
+lib/engine/network.ml: Array List Symnet_core Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/engine/network.mli: Symnet_core Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/engine/runner.ml: Fault Network Scheduler

@@ -1,0 +1,1 @@
+lib/engine/runner.mli: Fault Network Scheduler

@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Array List Network Symnet_prng

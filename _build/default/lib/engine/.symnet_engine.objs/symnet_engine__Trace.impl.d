@@ -1,0 +1,1 @@
+lib/engine/trace.ml: List Network Printf Runner Scheduler String Symnet_graph

@@ -1,0 +1,72 @@
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+
+type action = Kill_node of int | Kill_edge of int * int
+type event = { at_round : int; action : action }
+type schedule = event list
+
+let apply_one g = function
+  | Kill_node v -> if Graph.is_live_node g v then Graph.remove_node g v
+  | Kill_edge (u, v) -> Graph.remove_edge_between g u v
+
+let apply_due schedule ~round g =
+  let due, pending =
+    List.partition (fun e -> e.at_round <= round) schedule
+  in
+  List.iter (fun e -> apply_one g e.action) due;
+  pending
+
+let sort_schedule s =
+  List.stable_sort (fun a b -> compare a.at_round b.at_round) s
+
+let random_edge_faults rng g ~count ~max_round ~keep_connected =
+  let scratch = Graph.copy g in
+  let events = ref [] in
+  let attempts = ref 0 in
+  let made = ref 0 in
+  while !made < count && !attempts < 50 * (count + 1) do
+    incr attempts;
+    let live = Array.of_list (Graph.edges scratch) in
+    if Array.length live > 0 then begin
+      let e = Prng.choose rng live in
+      let probe = Graph.copy scratch in
+      Graph.remove_edge probe e.Graph.id;
+      if (not keep_connected) || Analysis.is_connected probe then begin
+        Graph.remove_edge scratch e.Graph.id;
+        let at_round = 1 + Prng.int rng (max max_round 1) in
+        events := { at_round; action = Kill_edge (e.Graph.u, e.Graph.v) } :: !events;
+        incr made
+      end
+    end
+  done;
+  sort_schedule !events
+
+let random_node_faults rng g ~count ~max_round ~forbidden ~keep_connected =
+  let scratch = Graph.copy g in
+  let events = ref [] in
+  let attempts = ref 0 in
+  let made = ref 0 in
+  while !made < count && !attempts < 50 * (count + 1) do
+    incr attempts;
+    let candidates =
+      Graph.nodes scratch
+      |> List.filter (fun v -> not (List.mem v forbidden))
+      |> Array.of_list
+    in
+    if Array.length candidates > 0 then begin
+      let v = Prng.choose rng candidates in
+      let probe = Graph.copy scratch in
+      Graph.remove_node probe v;
+      if
+        Graph.node_count probe > 0
+        && ((not keep_connected) || Analysis.is_connected probe)
+      then begin
+        Graph.remove_node scratch v;
+        let at_round = 1 + Prng.int rng (max max_round 1) in
+        events := { at_round; action = Kill_node v } :: !events;
+        incr made
+      end
+    end
+  done;
+  sort_schedule !events

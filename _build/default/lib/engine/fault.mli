@@ -1,0 +1,40 @@
+(** Decreasing benign faults (paper §1–2): nodes and edges may be deleted
+    during a run, never added.  A schedule maps round numbers to deletion
+    actions; the runner applies the actions due at the start of each
+    round, before any activation. *)
+
+type action =
+  | Kill_node of int
+  | Kill_edge of int * int  (** by endpoints; ignored if already gone *)
+
+type event = { at_round : int; action : action }
+
+type schedule = event list
+
+val apply_due : schedule -> round:int -> Symnet_graph.Graph.t -> schedule
+(** Apply every event with [at_round <= round]; returns the events still
+    pending. *)
+
+val random_edge_faults :
+  Symnet_prng.Prng.t ->
+  Symnet_graph.Graph.t ->
+  count:int ->
+  max_round:int ->
+  keep_connected:bool ->
+  schedule
+(** [count] random distinct edge deletions at uniform random rounds in
+    [1..max_round].  With [keep_connected], only edges whose removal keeps
+    the current live graph connected are chosen (deletions are simulated
+    on a scratch copy in schedule order), so the schedule is guaranteed
+    benign for connectivity; fewer than [count] events may result. *)
+
+val random_node_faults :
+  Symnet_prng.Prng.t ->
+  Symnet_graph.Graph.t ->
+  count:int ->
+  max_round:int ->
+  forbidden:int list ->
+  keep_connected:bool ->
+  schedule
+(** Random node deletions avoiding [forbidden] nodes (e.g. the critical
+    nodes of a 1-sensitive algorithm).  [keep_connected] as above. *)

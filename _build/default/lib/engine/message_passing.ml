@@ -1,0 +1,31 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+
+type ('s, 'm) protocol = {
+  name : string;
+  init : Symnet_graph.Graph.t -> int -> 's * 'm option;
+  round :
+    self:'s ->
+    rng:Symnet_prng.Prng.t ->
+    inbox:'m View.t ->
+    's * 'm option;
+}
+
+type ('s, 'm) node = { state : 's; outbox : 'm option }
+
+let to_fssga p : ('s, 'm) node Fssga.t =
+  let init g v =
+    let state, outbox = p.init g v in
+    { state; outbox }
+  in
+  let step ~self ~rng view =
+    (* The inbox is the multiset of the neighbours' non-empty outboxes:
+       a pointwise relabel-and-drop of the visible states. *)
+    let inbox = View.filter_map (fun n -> n.outbox) view in
+    let state, outbox = p.round ~self:self.state ~rng ~inbox in
+    { state; outbox }
+  in
+  { Fssga.name = p.name ^ "-mp"; init; step }
+
+let state n = n.state
+let outbox n = n.outbox

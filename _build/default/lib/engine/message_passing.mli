@@ -1,0 +1,35 @@
+(** Message passing over read-all state (paper §3, first paragraph:
+    "this model can simulate the ubiquitous message-passing model, by
+    using message buffers").
+
+    A synchronous broadcast-style message-passing protocol: each round a
+    node consumes the multiset of messages its neighbours sent last round
+    and produces a new local state plus at most one message broadcast to
+    all neighbours.  (Point-to-point addressing is impossible in a model
+    without identifiers, so broadcast is the natural primitive; the inbox
+    is consumed through the symmetric {!Symnet_core.View} interface,
+    keeping the whole construction FSSGA-legal.)
+
+    {!to_fssga} realizes the paper's simulation: the FSSGA node state is
+    the pair (protocol state, outbox); the message buffer is simply the
+    part of the state neighbours can read. *)
+
+type ('s, 'm) protocol = {
+  name : string;
+  init : Symnet_graph.Graph.t -> int -> 's * 'm option;
+      (** initial state and optional initial message *)
+  round :
+    self:'s -> rng:Symnet_prng.Prng.t -> inbox:'m Symnet_core.View.t -> 's * 'm option;
+      (** one synchronous round: consume last round's messages, emit at
+          most one broadcast *)
+}
+
+type ('s, 'm) node = { state : 's; outbox : 'm option }
+
+val to_fssga : ('s, 'm) protocol -> ('s, 'm) node Symnet_core.Fssga.t
+(** The buffer construction.  Messages live exactly one round.  Run with
+    the synchronous scheduler (compose with
+    {!Symnet_algorithms.Synchronizer.wrap} for asynchronous networks). *)
+
+val state : ('s, 'm) node -> 's
+val outbox : ('s, 'm) node -> 'm option

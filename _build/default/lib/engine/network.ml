@@ -1,0 +1,68 @@
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+
+type 'q t = {
+  graph : Graph.t;
+  states : 'q array;
+  automaton : 'q Fssga.t;
+  rng : Prng.t;
+  mutable activations : int;
+}
+
+let init ~rng graph (automaton : 'q Fssga.t) =
+  let states =
+    Array.init (Graph.original_size graph) (fun v -> automaton.init graph v)
+  in
+  { graph; states; automaton; rng; activations = 0 }
+
+let graph t = t.graph
+let automaton t = t.automaton
+let rng t = t.rng
+
+let state t v = t.states.(v)
+let set_state t v q = t.states.(v) <- q
+
+let view_of t v =
+  View.of_list (List.map (fun w -> t.states.(w)) (Graph.neighbours t.graph v))
+
+let activate t v =
+  if not (Graph.is_live_node t.graph v) then false
+  else begin
+    t.activations <- t.activations + 1;
+    let q' =
+      t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)
+    in
+    let changed = q' <> t.states.(v) in
+    t.states.(v) <- q';
+    changed
+  end
+
+let sync_step t =
+  let nodes = Graph.nodes t.graph in
+  (* Read phase against the frozen snapshot, then commit. *)
+  let updates =
+    List.map
+      (fun v ->
+        t.activations <- t.activations + 1;
+        (v, t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)))
+      nodes
+  in
+  List.fold_left
+    (fun changed (v, q') ->
+      let c = q' <> t.states.(v) in
+      t.states.(v) <- q';
+      changed || c)
+    false updates
+
+let activations t = t.activations
+let live_nodes t = Graph.nodes t.graph
+
+let count_if t pred =
+  List.fold_left
+    (fun acc v -> if pred t.states.(v) then acc + 1 else acc)
+    0 (live_nodes t)
+
+let find_nodes t pred = List.filter (fun v -> pred t.states.(v)) (live_nodes t)
+let states t = List.map (fun v -> (v, t.states.(v))) (live_nodes t)

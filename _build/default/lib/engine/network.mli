@@ -1,0 +1,48 @@
+(** A graph populated with one FSSGA automaton per node (a "network state"
+    sigma in the paper's terminology, §3.4), plus the mutation primitives
+    the dynamics are built from. *)
+
+module Graph := Symnet_graph.Graph
+module Prng := Symnet_prng.Prng
+
+type 'q t
+
+val init : rng:Prng.t -> Graph.t -> 'q Symnet_core.Fssga.t -> 'q t
+(** Populate every node with its initial state.  The network keeps (and
+    mutates) the given graph; copy it first if you need the original. *)
+
+val graph : 'q t -> Graph.t
+val automaton : 'q t -> 'q Symnet_core.Fssga.t
+val rng : 'q t -> Prng.t
+
+val state : 'q t -> int -> 'q
+(** Current state of a node (dead nodes retain their last state). *)
+
+val set_state : 'q t -> int -> 'q -> unit
+(** Override a node's state (tests and adversarial setups). *)
+
+val view_of : 'q t -> int -> 'q Symnet_core.View.t
+(** The symmetric view of a node's live neighbourhood. *)
+
+val activate : 'q t -> int -> bool
+(** Asynchronous activation of one live node (atomic read of self +
+    neighbours, as in §3.4's read-all model).  Returns [true] if the state
+    changed.  Dead nodes are ignored. *)
+
+val sync_step : 'q t -> bool
+(** One synchronous step: all live nodes transition simultaneously from
+    the same snapshot.  Returns [true] if any state changed. *)
+
+val activations : 'q t -> int
+(** Total activations performed so far (n per synchronous step). *)
+
+val live_nodes : 'q t -> int list
+
+val count_if : 'q t -> ('q -> bool) -> int
+(** Number of live nodes whose state satisfies the predicate. *)
+
+val find_nodes : 'q t -> ('q -> bool) -> int list
+(** Live nodes whose state satisfies the predicate. *)
+
+val states : 'q t -> (int * 'q) list
+(** Live [(node, state)] pairs, ascending by node. *)

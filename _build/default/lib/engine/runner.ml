@@ -1,0 +1,30 @@
+type outcome = {
+  rounds : int;
+  activations : int;
+  quiesced : bool;
+  stopped : bool;
+}
+
+let run ?(scheduler = Scheduler.Synchronous) ?(faults = []) ?(max_rounds = 100_000)
+    ?stop ?on_round net =
+  let g = Network.graph net in
+  let pending = ref faults in
+  let rec go round =
+    if round > max_rounds then
+      { rounds = max_rounds; activations = Network.activations net;
+        quiesced = false; stopped = false }
+    else begin
+      pending := Fault.apply_due !pending ~round g;
+      let changed = Scheduler.round scheduler net ~round in
+      (match on_round with Some f -> f ~round net | None -> ());
+      let stop_now = match stop with Some f -> f ~round net | None -> false in
+      if stop_now then
+        { rounds = round; activations = Network.activations net;
+          quiesced = false; stopped = true }
+      else if (not changed) && !pending = [] then
+        { rounds = round; activations = Network.activations net;
+          quiesced = true; stopped = false }
+      else go (round + 1)
+    end
+  in
+  go 1

@@ -1,0 +1,25 @@
+(** Running a network to quiescence, to a stopping condition, or for a
+    bounded number of rounds, with optional fault injection. *)
+
+type outcome = {
+  rounds : int;  (** rounds actually executed *)
+  activations : int;  (** total node activations *)
+  quiesced : bool;
+      (** the run ended because a round produced no state change (only
+          meaningful for deterministic automata) *)
+  stopped : bool;  (** the run ended because [stop] returned true *)
+}
+
+val run :
+  ?scheduler:Scheduler.t ->
+  ?faults:Fault.schedule ->
+  ?max_rounds:int ->
+  ?stop:(round:int -> 'q Network.t -> bool) ->
+  ?on_round:(round:int -> 'q Network.t -> unit) ->
+  'q Network.t ->
+  outcome
+(** Executes rounds [1, 2, ...].  Per round: apply due faults, run the
+    scheduler, call [on_round], then test [stop].  Defaults: synchronous
+    scheduler, no faults, [max_rounds = 100_000], no stop condition.
+    Quiescence only terminates the run when no faults remain pending (a
+    pending deletion can wake a stable network up again). *)

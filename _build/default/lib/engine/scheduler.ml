@@ -1,0 +1,32 @@
+module Prng = Symnet_prng.Prng
+
+type t =
+  | Synchronous
+  | Rotor
+  | Random_permutation
+  | Uniform_singles
+  | Adversarial of (round:int -> int list)
+
+let activate_all net order =
+  List.fold_left (fun changed v -> Network.activate net v || changed) false order
+
+let round t net ~round =
+  match t with
+  | Synchronous -> Network.sync_step net
+  | Rotor -> activate_all net (Network.live_nodes net)
+  | Random_permutation ->
+      let nodes = Array.of_list (Network.live_nodes net) in
+      Prng.shuffle (Network.rng net) nodes;
+      activate_all net (Array.to_list nodes)
+  | Uniform_singles ->
+      let nodes = Array.of_list (Network.live_nodes net) in
+      if Array.length nodes = 0 then false
+      else begin
+        let rng = Network.rng net in
+        let changed = ref false in
+        for _ = 1 to Array.length nodes do
+          if Network.activate net (Prng.choose rng nodes) then changed := true
+        done;
+        !changed
+      end
+  | Adversarial f -> activate_all net (f ~round)

@@ -1,0 +1,21 @@
+(** Activation disciplines (§3.4: synchronous and asynchronous models).
+
+    A scheduler decides which nodes activate in each "round".  For the
+    asynchronous disciplines a round is a unit of time in the paper's
+    sense for {!Random_permutation} and {!Rotor}: every live node
+    activates at least once per round, which is the fairness premise of
+    the alpha-synchronizer analysis (§4.2).  {!Uniform_singles} performs n
+    independent uniform single activations per round and does {e not}
+    guarantee fairness within a round — useful as a stress test.
+    {!Adversarial} lets tests drive any activation order. *)
+
+type t =
+  | Synchronous  (** all nodes step simultaneously *)
+  | Rotor  (** fixed ascending order, one full pass per round *)
+  | Random_permutation  (** fresh uniform order each round *)
+  | Uniform_singles  (** n uniform random single activations per round *)
+  | Adversarial of (round:int -> int list)
+      (** explicit activation list for each round (dead nodes skipped) *)
+
+val round : t -> 'q Network.t -> round:int -> bool
+(** Run one round; [true] if any activation changed a state. *)

@@ -1,0 +1,25 @@
+module Graph = Symnet_graph.Graph
+
+let render_line net ~to_char =
+  let g = Network.graph net in
+  String.init (Graph.original_size g) (fun v ->
+      if Graph.is_live_node g v then to_char (Network.state net v) else '.')
+
+let render_grid net ~rows ~cols ~to_char =
+  let g = Network.graph net in
+  let line r =
+    String.init cols (fun c ->
+        let v = (r * cols) + c in
+        if v < Graph.original_size g && Graph.is_live_node g v then
+          to_char (Network.state net v)
+        else '.')
+  in
+  String.concat "\n" (List.init rows line)
+
+let watch ?(max_rounds = 1000) ?(every = 1) ?(scheduler = Scheduler.Synchronous)
+    ?stop ~to_char ~out net =
+  Runner.run ~scheduler ~max_rounds ?stop
+    ~on_round:(fun ~round net ->
+      if round mod every = 0 then
+        out (Printf.sprintf "%4d  %s" round (render_line net ~to_char)))
+    net

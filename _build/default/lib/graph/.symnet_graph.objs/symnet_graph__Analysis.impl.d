@@ -1,0 +1,1 @@
+lib/graph/analysis.ml: Array Graph List Queue

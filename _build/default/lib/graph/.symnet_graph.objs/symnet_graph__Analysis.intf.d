@@ -1,0 +1,1 @@
+lib/graph/analysis.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Graph Hashtbl List Symnet_prng

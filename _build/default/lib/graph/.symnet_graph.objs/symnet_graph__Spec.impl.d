@@ -1,0 +1,1 @@
+lib/graph/spec.ml: Gen Printf String Symnet_prng

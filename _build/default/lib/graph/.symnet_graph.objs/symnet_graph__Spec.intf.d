@@ -1,0 +1,1 @@
+lib/graph/spec.mli: Graph Symnet_prng

@@ -1,0 +1,145 @@
+let distances g ~sources =
+  let n = Graph.original_size g in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if Graph.is_live_node g s && dist.(s) = max_int then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    sources;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_neighbours g v (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w q
+        end)
+  done;
+  dist
+
+let component_of g s =
+  if not (Graph.is_live_node g s) then
+    invalid_arg "Analysis.component_of: dead node";
+  let dist = distances g ~sources:[ s ] in
+  Graph.nodes g |> List.filter (fun v -> dist.(v) < max_int)
+
+let components g =
+  let seen = Array.make (Graph.original_size g) false in
+  Graph.nodes g
+  |> List.filter_map (fun v ->
+         if seen.(v) then None
+         else begin
+           let comp = component_of g v in
+           List.iter (fun w -> seen.(w) <- true) comp;
+           Some comp
+         end)
+
+let is_connected g =
+  match components g with [] | [ _ ] -> true | _ -> false
+
+let eccentricity g v =
+  let dist = distances g ~sources:[ v ] in
+  Array.fold_left (fun m d -> if d < max_int then max m d else m) 0 dist
+
+let diameter g =
+  if Graph.node_count g = 0 then invalid_arg "Analysis.diameter: empty graph";
+  if not (is_connected g) then
+    invalid_arg "Analysis.diameter: disconnected graph";
+  List.fold_left (fun m v -> max m (eccentricity g v)) 0 (Graph.nodes g)
+
+let two_colouring g =
+  let n = Graph.original_size g in
+  let colour = Array.make n (-1) in
+  let ok = ref true in
+  let visit s =
+    if colour.(s) = -1 then begin
+      colour.(s) <- 0;
+      let q = Queue.create () in
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Graph.iter_neighbours g v (fun w ->
+            if colour.(w) = -1 then begin
+              colour.(w) <- 1 - colour.(v);
+              Queue.add w q
+            end
+            else if colour.(w) = colour.(v) then ok := false)
+      done
+    end
+  in
+  List.iter visit (Graph.nodes g);
+  if !ok then
+    Some (Array.map (fun c -> if c = -1 then 0 else c) colour)
+  else None
+
+let is_bipartite g = two_colouring g <> None
+
+(* Iterative Tarjan low-link over the live graph.  Returns bridges,
+   articulation points and a DFS forest in one pass. *)
+type lowlink = {
+  bridge_ids : int list;
+  cut_nodes : int list;
+  tree_edges : int list;
+}
+
+let lowlink g =
+  let n = Graph.original_size g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n max_int in
+  let counter = ref 0 in
+  let bridge_ids = ref [] in
+  let cut = Array.make n false in
+  let tree_edges = ref [] in
+  let dfs root =
+    (* Explicit stack of (node, parent-edge-id, remaining incident edges).
+       Low-link updates happen when a child frame is popped. *)
+    let stack = ref [ (root, -1, ref (Graph.incident g root)) ] in
+    disc.(root) <- !counter;
+    low.(root) <- !counter;
+    incr counter;
+    let root_children = ref 0 in
+    while !stack <> [] do
+      match !stack with
+      | [] -> assert false
+      | (v, parent_edge, rest) :: tl -> (
+          match !rest with
+          | [] -> (
+              stack := tl;
+              match tl with
+              | [] -> ()
+              | (u, _, _) :: _ ->
+                  low.(u) <- min low.(u) low.(v);
+                  if low.(v) > disc.(u) then
+                    bridge_ids := parent_edge :: !bridge_ids;
+                  if u <> root && low.(v) >= disc.(u) then cut.(u) <- true;
+                  if u = root then incr root_children)
+          | e :: es ->
+              rest := es;
+              let w = if (e : Graph.edge).u = v then e.v else e.u in
+              if e.id = parent_edge then ()
+              else if disc.(w) = -1 then begin
+                disc.(w) <- !counter;
+                low.(w) <- !counter;
+                incr counter;
+                tree_edges := e.id :: !tree_edges;
+                stack := (w, e.id, ref (Graph.incident g w)) :: !stack
+              end
+              else low.(v) <- min low.(v) disc.(w))
+    done;
+    if !root_children >= 2 then cut.(root) <- true
+  in
+  List.iter (fun v -> if disc.(v) = -1 then dfs v) (Graph.nodes g);
+  let cut_nodes =
+    Graph.nodes g |> List.filter (fun v -> cut.(v))
+  in
+  {
+    bridge_ids = List.sort compare !bridge_ids;
+    cut_nodes;
+    tree_edges = List.sort compare !tree_edges;
+  }
+
+let bridges g = (lowlink g).bridge_ids
+let articulation_points g = (lowlink g).cut_nodes
+let spanning_tree_edges g = (lowlink g).tree_edges

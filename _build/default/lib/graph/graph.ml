@@ -1,0 +1,168 @@
+type edge = { id : int; u : int; v : int }
+
+type t = {
+  n : int;
+  edges_arr : edge array;
+  node_alive : bool array;
+  edge_alive : bool array;
+  inc : int list array; (* incident edge ids, static; filtered on read *)
+  mutable live_nodes : int;
+  mutable live_edges : int;
+}
+
+let original_size g = g.n
+
+let check_node g v =
+  if v < 0 || v >= g.n then invalid_arg (Printf.sprintf "Graph: bad node %d" v)
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  let seen = Hashtbl.create (List.length edges) in
+  let canon =
+    List.filter_map
+      (fun (a, b) ->
+        if a < 0 || a >= n || b < 0 || b >= n then
+          invalid_arg (Printf.sprintf "Graph.create: bad endpoint (%d,%d)" a b);
+        if a = b then invalid_arg "Graph.create: self-loop";
+        let u, v = if a < b then (a, b) else (b, a) in
+        if Hashtbl.mem seen (u, v) then None
+        else begin
+          Hashtbl.add seen (u, v) ();
+          Some (u, v)
+        end)
+      edges
+  in
+  let edges_arr = Array.of_list (List.mapi (fun id (u, v) -> { id; u; v }) canon) in
+  let inc = Array.make n [] in
+  Array.iter
+    (fun e ->
+      inc.(e.u) <- e.id :: inc.(e.u);
+      inc.(e.v) <- e.id :: inc.(e.v))
+    edges_arr;
+  (* Keep incident lists ascending by edge id for determinism. *)
+  Array.iteri (fun i l -> inc.(i) <- List.rev l) inc;
+  {
+    n;
+    edges_arr;
+    node_alive = Array.make n true;
+    edge_alive = Array.make (Array.length edges_arr) true;
+    inc;
+    live_nodes = n;
+    live_edges = Array.length edges_arr;
+  }
+
+let copy g =
+  {
+    g with
+    node_alive = Array.copy g.node_alive;
+    edge_alive = Array.copy g.edge_alive;
+  }
+
+let node_count g = g.live_nodes
+let edge_count g = g.live_edges
+
+let is_live_node g v = v >= 0 && v < g.n && g.node_alive.(v)
+
+let is_live_edge g e =
+  e >= 0 && e < Array.length g.edges_arr && g.edge_alive.(e)
+
+let edge g id =
+  if id < 0 || id >= Array.length g.edges_arr then
+    invalid_arg (Printf.sprintf "Graph.edge: bad id %d" id);
+  g.edges_arr.(id)
+
+let iter_live_incident g v f =
+  check_node g v;
+  if g.node_alive.(v) then
+    List.iter
+      (fun id ->
+        if g.edge_alive.(id) then begin
+          let e = g.edges_arr.(id) in
+          let w = if e.u = v then e.v else e.u in
+          if g.node_alive.(w) then f e w
+        end)
+      g.inc.(v)
+
+let edge_between g a b =
+  if not (is_live_node g a && is_live_node g b) then None
+  else begin
+    let found = ref None in
+    iter_live_incident g a (fun e w -> if w = b then found := Some e);
+    !found
+  end
+
+let mem_edge g a b = edge_between g a b <> None
+
+let degree g v =
+  if not (is_live_node g v) then 0
+  else begin
+    let d = ref 0 in
+    iter_live_incident g v (fun _ _ -> incr d);
+    !d
+  end
+
+let nodes g =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    if g.node_alive.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let max_degree g = List.fold_left (fun m v -> max m (degree g v)) 0 (nodes g)
+
+let edges g =
+  Array.to_list g.edges_arr
+  |> List.filter (fun e ->
+         g.edge_alive.(e.id) && g.node_alive.(e.u) && g.node_alive.(e.v))
+
+let neighbours g v =
+  let acc = ref [] in
+  iter_live_incident g v (fun _ w -> acc := w :: !acc);
+  List.rev !acc
+
+let iter_nodes g f =
+  for v = 0 to g.n - 1 do
+    if g.node_alive.(v) then f v
+  done
+
+let iter_edges g f = List.iter f (edges g)
+let iter_neighbours g v f = iter_live_incident g v (fun _ w -> f w)
+
+let fold_neighbours g v ~init ~f =
+  let acc = ref init in
+  iter_live_incident g v (fun _ w -> acc := f !acc w);
+  !acc
+
+let incident g v =
+  let acc = ref [] in
+  iter_live_incident g v (fun e _ -> acc := e :: !acc);
+  List.rev !acc
+
+let live_edge_endpoints_live g id =
+  let e = g.edges_arr.(id) in
+  g.edge_alive.(id) && g.node_alive.(e.u) && g.node_alive.(e.v)
+
+let remove_edge g id =
+  if id < 0 || id >= Array.length g.edges_arr then
+    invalid_arg (Printf.sprintf "Graph.remove_edge: bad id %d" id);
+  if live_edge_endpoints_live g id then g.live_edges <- g.live_edges - 1;
+  g.edge_alive.(id) <- false
+
+let remove_edge_between g a b =
+  match edge_between g a b with None -> () | Some e -> remove_edge g e.id
+
+let remove_node g v =
+  check_node g v;
+  if g.node_alive.(v) then begin
+    (* Count edges that die with the node before flipping liveness. *)
+    let dying = ref 0 in
+    iter_live_incident g v (fun _ _ -> incr dying);
+    g.live_edges <- g.live_edges - !dying;
+    g.node_alive.(v) <- false;
+    g.live_nodes <- g.live_nodes - 1
+  end
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d@," (node_count g) (edge_count g);
+  iter_edges g (fun e -> Format.fprintf fmt "  %d -- %d@," e.u e.v);
+  Format.fprintf fmt "@]"

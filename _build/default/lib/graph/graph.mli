@@ -1,0 +1,84 @@
+(** Fault-aware undirected graphs.
+
+    This is the network substrate for the whole library.  Nodes are dense
+    integers [0 .. original_size - 1]; edges carry stable integer ids so
+    that per-edge algorithm state (e.g. the bridge counters of §2.1)
+    survives unrelated mutations.  The paper's fault model is {e decreasing
+    benign}: nodes and edges may be deleted but never added, so the
+    structure supports deletion only — [remove_node] and [remove_edge] mark
+    entities dead without renumbering the survivors. *)
+
+type t
+
+type edge = { id : int; u : int; v : int }
+(** An undirected edge; [u < v] canonically.  The orientation used by
+    agent counters (§2.1) is "from [u] towards [v]". *)
+
+(** {1 Construction} *)
+
+val create : n:int -> edges:(int * int) list -> t
+(** [create ~n ~edges] builds a graph on nodes [0..n-1].  Self-loops are
+    rejected; duplicate edges are collapsed.  @raise Invalid_argument on a
+    bad endpoint. *)
+
+val copy : t -> t
+(** Deep copy (liveness flags included). *)
+
+(** {1 Queries} *)
+
+val original_size : t -> int
+(** Number of nodes the graph was created with, dead or alive. *)
+
+val node_count : t -> int
+(** Number of live nodes. *)
+
+val edge_count : t -> int
+(** Number of live edges (both endpoints live). *)
+
+val is_live_node : t -> int -> bool
+val is_live_edge : t -> int -> bool
+
+val edge : t -> int -> edge
+(** Edge by id (live or dead).  @raise Invalid_argument on a bad id. *)
+
+val edge_between : t -> int -> int -> edge option
+(** The live edge joining two live nodes, if any. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val degree : t -> int -> int
+(** Live degree of a live node (0 for a dead node). *)
+
+val max_degree : t -> int
+
+val nodes : t -> int list
+(** Live nodes, ascending. *)
+
+val edges : t -> edge list
+(** Live edges, ascending by id. *)
+
+val neighbours : t -> int -> int list
+(** Live neighbours of a node.  Dead nodes have no neighbours. *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+val iter_edges : t -> (edge -> unit) -> unit
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+val fold_neighbours : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val incident : t -> int -> edge list
+(** Live incident edges of a node. *)
+
+(** {1 Faults} *)
+
+val remove_edge : t -> int -> unit
+(** Kill an edge by id (idempotent). *)
+
+val remove_edge_between : t -> int -> int -> unit
+(** Kill the live edge between two nodes if it exists. *)
+
+val remove_node : t -> int -> unit
+(** Kill a node; its incident edges die with it (idempotent). *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

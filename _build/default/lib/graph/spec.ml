@@ -1,0 +1,129 @@
+module Prng = Symnet_prng.Prng
+
+let known_forms =
+  [
+    "path:N";
+    "cycle:N";
+    "complete:N";
+    "star:N";
+    "grid:RxC";
+    "hypercube:D";
+    "tree:D  (complete binary tree of depth D)";
+    "theta:A,B,C";
+    "barbell:K";
+    "lollipop:K,T";
+    "petersen";
+    "random:N,EXTRA  (random connected tree + EXTRA chords)";
+    "gnp:N,P";
+    "geometric:N,R";
+    "bipartite:L,R,P";
+    "rtree:N  (uniform attachment random tree)";
+  ]
+
+let int_of s = int_of_string_opt (String.trim s)
+let float_of s = float_of_string_opt (String.trim s)
+
+let parse rng text =
+  let fail () = Error (Printf.sprintf "bad graph spec %S" text) in
+  let name, arg =
+    match String.index_opt text ':' with
+    | Some i ->
+        ( String.sub text 0 i,
+          String.sub text (i + 1) (String.length text - i - 1) )
+    | None -> (text, "")
+  in
+  let split c = String.split_on_char c arg in
+  let try_make f = try Ok (f ()) with Invalid_argument m -> Error m in
+  match (String.lowercase_ascii name, arg) with
+  | "petersen", "" -> Ok (Gen.petersen ())
+  | "path", _ -> (
+      match int_of arg with
+      | Some n -> try_make (fun () -> Gen.path n)
+      | None -> fail ())
+  | "cycle", _ -> (
+      match int_of arg with
+      | Some n -> try_make (fun () -> Gen.cycle n)
+      | None -> fail ())
+  | "complete", _ -> (
+      match int_of arg with
+      | Some n -> try_make (fun () -> Gen.complete n)
+      | None -> fail ())
+  | "star", _ -> (
+      match int_of arg with
+      | Some n -> try_make (fun () -> Gen.star n)
+      | None -> fail ())
+  | "hypercube", _ -> (
+      match int_of arg with
+      | Some d -> try_make (fun () -> Gen.hypercube ~dim:d)
+      | None -> fail ())
+  | "tree", _ -> (
+      match int_of arg with
+      | Some d -> try_make (fun () -> Gen.complete_binary_tree ~depth:d)
+      | None -> fail ())
+  | "rtree", _ -> (
+      match int_of arg with
+      | Some n -> try_make (fun () -> Gen.random_tree rng n)
+      | None -> fail ())
+  | "barbell", _ -> (
+      match int_of arg with
+      | Some k -> try_make (fun () -> Gen.barbell k)
+      | None -> fail ())
+  | "grid", _ -> (
+      match String.split_on_char 'x' (String.lowercase_ascii arg) with
+      | [ r; c ] -> (
+          match (int_of r, int_of c) with
+          | Some rows, Some cols -> try_make (fun () -> Gen.grid ~rows ~cols)
+          | _ -> fail ())
+      | _ -> fail ())
+  | "theta", _ -> (
+      match split ',' with
+      | [ a; b; c ] -> (
+          match (int_of a, int_of b, int_of c) with
+          | Some a, Some b, Some c -> try_make (fun () -> Gen.theta a b c)
+          | _ -> fail ())
+      | _ -> fail ())
+  | "lollipop", _ -> (
+      match split ',' with
+      | [ k; t ] -> (
+          match (int_of k, int_of t) with
+          | Some clique, Some tail ->
+              try_make (fun () -> Gen.lollipop ~clique ~tail)
+          | _ -> fail ())
+      | _ -> fail ())
+  | "random", _ -> (
+      match split ',' with
+      | [ n; e ] -> (
+          match (int_of n, int_of e) with
+          | Some n, Some extra_edges ->
+              try_make (fun () -> Gen.random_connected rng ~n ~extra_edges)
+          | _ -> fail ())
+      | _ -> fail ())
+  | "gnp", _ -> (
+      match split ',' with
+      | [ n; p ] -> (
+          match (int_of n, float_of p) with
+          | Some n, Some p -> try_make (fun () -> Gen.gnp rng ~n ~p)
+          | _ -> fail ())
+      | _ -> fail ())
+  | "geometric", _ -> (
+      match split ',' with
+      | [ n; r ] -> (
+          match (int_of n, float_of r) with
+          | Some n, Some radius ->
+              try_make (fun () -> Gen.random_geometric rng ~n ~radius)
+          | _ -> fail ())
+      | _ -> fail ())
+  | "bipartite", _ -> (
+      match split ',' with
+      | [ l; r; p ] -> (
+          match (int_of l, int_of r, float_of p) with
+          | Some left, Some right, Some p ->
+              try_make (fun () -> Gen.random_bipartite rng ~left ~right ~p)
+          | _ -> fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
+let parse_exn rng text =
+  match parse rng text with
+  | Ok g -> g
+  | Error m -> invalid_arg ("Spec.parse_exn: " ^ m)

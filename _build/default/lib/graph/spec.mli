@@ -1,0 +1,21 @@
+(** Textual graph specifications, shared by the CLI, examples and bench
+    harness.
+
+    Grammar (sizes are positive integers, probabilities floats):
+    - ["path:N"], ["cycle:N"], ["complete:N"], ["star:N"]
+    - ["grid:RxC"], ["hypercube:D"], ["tree:D"] (complete binary tree)
+    - ["theta:A,B,C"], ["barbell:K"], ["lollipop:K,T"], ["petersen"]
+    - ["random:N,EXTRA"] (random connected: tree plus EXTRA chords)
+    - ["gnp:N,P"], ["geometric:N,R"], ["bipartite:L,R,P"]
+    - ["rtree:N"] (uniform attachment random tree)
+
+    Randomized specs consume the provided generator, so a fixed seed gives
+    a fixed graph. *)
+
+val parse : Symnet_prng.Prng.t -> string -> (Graph.t, string) result
+
+val parse_exn : Symnet_prng.Prng.t -> string -> Graph.t
+(** @raise Invalid_argument on a malformed spec. *)
+
+val known_forms : string list
+(** Human-readable list of accepted forms (for --help output). *)

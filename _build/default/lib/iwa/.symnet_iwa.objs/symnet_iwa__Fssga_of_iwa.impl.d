@@ -1,0 +1,1 @@
+lib/iwa/fssga_of_iwa.ml: Array Iwa List Symnet_core Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+lib/iwa/fssga_of_iwa.mli: Iwa Symnet_core Symnet_engine Symnet_graph Symnet_prng

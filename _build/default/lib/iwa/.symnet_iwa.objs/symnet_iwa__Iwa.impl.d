@@ -1,0 +1,1 @@
+lib/iwa/iwa.ml: Array List Printf Symnet_graph Symnet_prng

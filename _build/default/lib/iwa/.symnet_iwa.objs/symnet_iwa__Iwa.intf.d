@@ -1,0 +1,1 @@
+lib/iwa/iwa.mli: Symnet_graph Symnet_prng

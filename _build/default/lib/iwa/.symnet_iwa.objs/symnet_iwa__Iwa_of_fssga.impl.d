@@ -1,0 +1,1 @@
+lib/iwa/iwa_of_fssga.ml: Array Hashtbl List Symnet_core Symnet_graph

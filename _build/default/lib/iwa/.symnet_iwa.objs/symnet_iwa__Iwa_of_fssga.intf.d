@@ -1,0 +1,1 @@
+lib/iwa/iwa_of_fssga.mli: Symnet_core Symnet_graph

@@ -1,0 +1,189 @@
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Graph = Symnet_graph.Graph
+
+type part = P_none | P_heads | P_tails | P_eliminated
+
+type election_sub = E_flip | E_waiting | E_notails | E_onetails
+
+type agent =
+  | Deciding of int  (** IWA agent state, about to evaluate the rule table *)
+  | Moving of {
+      target : int;  (** destination label *)
+      next_state : int;  (** agent state after the move *)
+      sub : election_sub;
+    }
+  | Halted of int
+
+type state = { label : int; agent : agent option; part : part }
+
+let label s = s.label
+let has_agent s = s.agent <> None
+
+(* Rule-table evaluation against the symmetric view: IWA conditions test
+   only presence/absence of neighbour labels, which are thresh atoms. *)
+let matching_rule (p : Iwa.program) ~iwa_state ~own_label view =
+  let has_label l = View.exists view (fun s -> s.label = l) in
+  List.find_opt
+    (fun (r : Iwa.rule) ->
+      r.cond.in_state = iwa_state
+      && r.cond.at_label = own_label
+      && List.for_all has_label r.cond.present
+      && List.for_all (fun l -> not (has_label l)) r.cond.absent)
+    p.rules
+
+let automaton (p : Iwa.program) ~start ~init_labels : state Fssga.t =
+  Iwa.check_program p;
+  let init _g v =
+    {
+      label = init_labels v;
+      agent = (if v = start then Some (Deciding p.start_state) else None);
+      part = P_none;
+    }
+  in
+  let agent_neighbour view =
+    (* at most one agent exists; surface its Moving sub-state if any *)
+    let check f = View.exists view (fun s -> match s.agent with Some a -> f a | None -> false) in
+    if check (function Moving { sub = E_onetails; _ } -> true | _ -> false) then
+      `Moving_onetails
+    else if check (function Moving { sub = E_notails; _ } -> true | _ -> false)
+    then `Moving_notails
+    else if check (function Moving { sub = E_flip; _ } -> true | _ -> false) then
+      `Moving_flip
+    else if check (function Moving { sub = E_waiting; _ } -> true | _ -> false)
+    then `Moving_waiting
+    else if check (function Deciding _ | Halted _ -> true | _ -> false) then
+      `Quiet_agent
+    else `None
+  in
+  let moving_target view =
+    (* the unique moving agent's (target, next_state) visible from here *)
+    let found = ref None in
+    View.exists view (fun s ->
+        match s.agent with
+        | Some (Moving { target; next_state; _ }) ->
+            found := Some (target, next_state);
+            true
+        | _ -> false)
+    |> ignore;
+    !found
+  in
+  let step ~self ~rng view =
+    match self.agent with
+    | Some (Halted _) -> self
+    | Some (Deciding st) -> (
+        match matching_rule p ~iwa_state:st ~own_label:self.label view with
+        | None -> { self with agent = Some (Halted st) }
+        | Some r -> (
+            let relabelled = r.eff.relabel in
+            match r.eff.move_to with
+            | None ->
+                {
+                  self with
+                  label = relabelled;
+                  agent = Some (Deciding r.eff.next_state);
+                }
+            | Some target ->
+                if View.exists view (fun s -> s.label = target) then
+                  {
+                    self with
+                    label = relabelled;
+                    agent =
+                      Some
+                        (Moving
+                           { target; next_state = r.eff.next_state; sub = E_flip });
+                  }
+                else
+                  (* missing move target halts, as in the reference
+                     interpreter *)
+                  { self with label = relabelled; agent = Some (Halted st) }))
+    | Some (Moving m) -> (
+        match m.sub with
+        | E_flip -> { self with agent = Some (Moving { m with sub = E_waiting }) }
+        | E_waiting -> (
+            let tails =
+              View.count_where_upto view
+                (fun s -> s.label = m.target && s.part = P_tails)
+                ~cap:2
+            in
+            match tails with
+            | 0 -> { self with agent = Some (Moving { m with sub = E_notails }) }
+            | 1 -> { self with agent = Some (Moving { m with sub = E_onetails }) }
+            | _ -> { self with agent = Some (Moving { m with sub = E_flip }) })
+        | E_notails -> { self with agent = Some (Moving { m with sub = E_waiting }) }
+        | E_onetails ->
+            (* hand-over: the unique tails candidate picks the agent up *)
+            { self with agent = None })
+    | None -> (
+        (* possibly a participant in the moving agent's election *)
+        match agent_neighbour view with
+        | `Moving_flip -> (
+            match moving_target view with
+            | Some (target, _) when self.label = target ->
+                if self.part = P_heads then { self with part = P_eliminated }
+                else if self.part <> P_eliminated then
+                  { self with part = (if Prng.bool rng then P_heads else P_tails) }
+                else self
+            | _ -> self)
+        | `Moving_notails ->
+            if self.part = P_heads then
+              { self with part = (if Prng.bool rng then P_heads else P_tails) }
+            else self
+        | `Moving_onetails -> (
+            match moving_target view with
+            | Some (target, next_state)
+              when self.part = P_tails && self.label = target ->
+                { self with part = P_none; agent = Some (Deciding next_state) }
+            | _ -> { self with part = P_none })
+        | `Moving_waiting | `Quiet_agent -> self
+        | `None -> if self.part <> P_none then { self with part = P_none } else self)
+  in
+  { Fssga.name = "fssga-of-iwa"; init; step }
+
+let agent_halted net =
+  Network.count_if net (fun s ->
+      match s.agent with Some (Halted _) -> true | _ -> false)
+  > 0
+
+let agent_position net =
+  match Network.find_nodes net has_agent with
+  | [ v ] -> Some v
+  | [] -> None
+  | _ :: _ :: _ -> invalid_arg "Fssga_of_iwa: multiple agents"
+
+let iwa_labels net =
+  let g = Network.graph net in
+  Array.init (Graph.original_size g) (fun v -> (Network.state net v).label)
+
+type stats = { iwa_steps : int; rounds : int; halted : bool }
+
+let run ~rng p g ~at ~init_labels ~max_rounds =
+  let net = Network.init ~rng g (automaton p ~start:at ~init_labels) in
+  let rounds = ref 0 in
+  let steps = ref 0 in
+  let finished = ref false in
+  (* count an IWA step whenever the agent leaves Deciding (fires a rule):
+     approximate by watching (position, label-at-position, state) changes *)
+  let snapshot () =
+    List.filter_map
+      (fun (v, s) ->
+        match s.agent with Some a -> Some (v, a, s.label) | None -> None)
+      (Network.states net)
+  in
+  let prev = ref (snapshot ()) in
+  while (not !finished) && !rounds < max_rounds do
+    ignore (Network.sync_step net);
+    incr rounds;
+    let now = snapshot () in
+    (* a rule fires exactly at the round where a Deciding agent changes
+       its node's label, its own state, or starts moving *)
+    (match (!prev, now) with
+    | [ (v, Deciding s, l) ], [ snap' ] when snap' <> (v, Deciding s, l) ->
+        incr steps
+    | _ -> ());
+    prev := now;
+    if agent_halted net then finished := true
+  done;
+  { iwa_steps = !steps; rounds = !rounds; halted = !finished }

@@ -1,0 +1,42 @@
+(** FSSGA simulation of an isotonic web automaton (paper §5.1, second
+    direction): "an FSSGA network can simulate an IWA with O(log Delta)
+    time delay; this delay is needed to break local symmetry and pick the
+    agent's next destination, as in Sections 4.4–4.6."
+
+    Every node holds its IWA label plus optional agent-presence; the node
+    carrying the agent evaluates the IWA rule table against its symmetric
+    neighbourhood view (presence/absence of labels are thresh
+    observations), relabels itself, and — when the rule moves — runs the
+    coin-flip election of §4.4 among the neighbours carrying the target
+    label.  Each non-moving IWA step costs one synchronous round; each
+    move costs an expected Theta(log c) additional rounds where [c] is the
+    number of eligible destinations (so O(log Delta)). *)
+
+type state
+
+val automaton : Iwa.program -> start:int -> init_labels:(int -> int) -> state Symnet_core.Fssga.t
+(** Run with the synchronous scheduler. *)
+
+val label : state -> int
+val has_agent : state -> bool
+val agent_halted : state Symnet_engine.Network.t -> bool
+val agent_position : state Symnet_engine.Network.t -> int option
+val iwa_labels : state Symnet_engine.Network.t -> int array
+(** Current labels indexed by node (dead nodes report their last label). *)
+
+type stats = {
+  iwa_steps : int;  (** IWA rule firings simulated *)
+  rounds : int;  (** synchronous FSSGA rounds consumed *)
+  halted : bool;
+}
+
+val run :
+  rng:Symnet_prng.Prng.t ->
+  Iwa.program ->
+  Symnet_graph.Graph.t ->
+  at:int ->
+  init_labels:(int -> int) ->
+  max_rounds:int ->
+  stats
+(** Drive the simulation until the agent halts (or the bound passes),
+    counting simulated IWA steps and FSSGA rounds. *)

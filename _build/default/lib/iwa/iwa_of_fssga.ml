@@ -1,0 +1,61 @@
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module View = Symnet_core.View
+
+type stats = { agent_moves : int; nodes_processed : int }
+
+(* Depth-first tour of a spanning tree: visits every node, 2(n-1) moves. *)
+let spanning_tour g root =
+  let n = Graph.original_size g in
+  let seen = Array.make n false in
+  let tour = ref [] in
+  let rec dfs v =
+    seen.(v) <- true;
+    tour := v :: !tour;
+    Graph.iter_neighbours g v (fun w ->
+        if not seen.(w) then begin
+          dfs w;
+          tour := v :: !tour (* return move *)
+        end)
+  in
+  dfs root;
+  List.rev !tour
+
+let simulate_round ~step g ~states =
+  match Graph.nodes g with
+  | [] -> invalid_arg "Iwa_of_fssga.simulate_round: empty graph"
+  | root :: _ ->
+      if not (Analysis.is_connected g) then
+        invalid_arg "Iwa_of_fssga.simulate_round: disconnected graph";
+      let tour = spanning_tour g root in
+      let moves = ref (List.length tour - 1) in
+      let staged = Hashtbl.create 64 in
+      let processed = ref 0 in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem staged v) then begin
+            (* neighbour census: one side trip (go + return) per incident
+               edge, exactly the counting walk of the construction *)
+            let nbrs = Graph.neighbours g v in
+            moves := !moves + (2 * List.length nbrs);
+            let view = View.of_list (List.map (fun w -> states.(w)) nbrs) in
+            Hashtbl.add staged v (step ~self:states.(v) view);
+            incr processed
+          end)
+        tour;
+      (* commit tour: the agent retraces the tree flipping shadows *)
+      moves := !moves + (List.length tour - 1);
+      Hashtbl.iter (fun v s -> states.(v) <- s) staged;
+      { agent_moves = !moves; nodes_processed = !processed }
+
+let simulate_rounds ~step g ~states ~rounds =
+  let total = ref { agent_moves = 0; nodes_processed = 0 } in
+  for _ = 1 to rounds do
+    let s = simulate_round ~step g ~states in
+    total :=
+      {
+        agent_moves = !total.agent_moves + s.agent_moves;
+        nodes_processed = !total.nodes_processed + s.nodes_processed;
+      }
+  done;
+  !total

@@ -1,0 +1,40 @@
+(** IWA simulation of a synchronous FSSGA round (paper §5.1, first
+    direction): "an IWA can compute a single synchronous FSSGA round in
+    O(m) time, by using Milgram's traversal algorithm and the
+    neighbour-counting technique from Lemma 3.8."
+
+    The agent tours the graph; at each node it computes the FSSGA
+    transition by counting each neighbour's state with the finite
+    mod/saturating counters of Lemma 3.8, reading neighbours one at a
+    time (a mark-visit-return side trip of two agent moves per incident
+    edge).  New states are staged in a shadow label so every transition
+    reads the pre-round states, and committed by a second tour.
+
+    Cost accounting is exact: the tour contributes [2(n-1)] moves along a
+    spanning tree (the Milgram traversal of §4.5, whose FSSGA realization
+    lives in [Symnet_algorithms.Traversal]; the tree is precomputed here
+    — see DESIGN.md for this substitution) and the neighbour census
+    contributes [2 deg(v)] moves at each node, for [4m + O(n)] total:
+    Theta(m) per simulated round. *)
+
+type stats = {
+  agent_moves : int;  (** physical agent moves used for this round *)
+  nodes_processed : int;
+}
+
+val simulate_round :
+  step:(self:int -> int Symnet_core.View.t -> int) ->
+  Symnet_graph.Graph.t ->
+  states:int array ->
+  stats
+(** Overwrite [states] with the post-round states of the deterministic
+    integer FSSGA whose transition is [step], and report the agent-move
+    cost.  @raise Invalid_argument on a dead/empty graph. *)
+
+val simulate_rounds :
+  step:(self:int -> int Symnet_core.View.t -> int) ->
+  Symnet_graph.Graph.t ->
+  states:int array ->
+  rounds:int ->
+  stats
+(** Iterate {!simulate_round}, accumulating costs. *)

@@ -1,0 +1,52 @@
+(** Deterministic splittable pseudo-random number generation.
+
+    Every stochastic component of symnet (probabilistic FSSGA transitions,
+    random schedulers, workload generators, fault schedules) draws its
+    randomness from a [Prng.t] so that experiments are reproducible from a
+    single integer seed.  The generator is splitmix64, which is fast,
+    passes BigCrush, and — crucially for us — supports {e splitting}: a
+    stream can fork an independent child stream, so each node of a network
+    can own a private generator derived deterministically from the
+    experiment seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a statistically independent child
+    generator.  Distinct calls yield distinct streams. *)
+
+val copy : t -> t
+(** [copy g] duplicates the exact current state (same future outputs). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform on [0, n-1].  Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli g ~p] is [true] with probability [p]. *)
+
+val geometric_bit : t -> max:int -> int option
+(** Flajolet–Martin style draw: returns [Some i] (1-indexed) with
+    probability [2{^-i}] for [1 <= i <= max], and [None] with the residual
+    probability [2{^-max}].  Used by the census algorithm. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniform random permutation of [0..n-1]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

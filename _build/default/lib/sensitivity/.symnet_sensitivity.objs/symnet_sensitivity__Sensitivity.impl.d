@@ -1,0 +1,1 @@
+lib/sensitivity/sensitivity.ml: Array List Queue Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

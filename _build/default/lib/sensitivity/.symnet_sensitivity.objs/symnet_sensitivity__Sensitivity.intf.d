@@ -1,0 +1,1 @@
+lib/sensitivity/sensitivity.mli: Symnet_graph Symnet_prng

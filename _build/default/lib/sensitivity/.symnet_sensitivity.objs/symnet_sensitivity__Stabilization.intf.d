@@ -1,0 +1,1 @@
+lib/sensitivity/stabilization.mli: Symnet_core Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,306 @@
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Census = Symnet_algorithms.Census
+module Sp = Symnet_algorithms.Shortest_paths
+module Bridges = Symnet_algorithms.Bridges
+module Gt = Symnet_algorithms.Greedy_tourist
+module Tr = Symnet_algorithms.Traversal
+
+type 'answer instance = {
+  name : string;
+  prepare : Prng.t -> Graph.t -> 'answer runner;
+}
+
+and 'answer runner = {
+  advance : unit -> bool;
+  critical : unit -> int list;
+  answer : unit -> 'answer;
+  acceptable : original:Graph.t -> final:Graph.t -> 'answer -> bool;
+}
+
+type report = {
+  trials : int;
+  correct : int;
+  max_critical : int;
+  mean_rounds : float;
+}
+
+(* A victim is benign when it is not critical and its death leaves the
+   critical set (or, for 0-sensitive algorithms, the whole graph)
+   connected. *)
+let benign_victim rng g critical =
+  let candidates =
+    Graph.nodes g |> List.filter (fun v -> not (List.mem v critical))
+  in
+  let ok v =
+    let probe = Graph.copy g in
+    Graph.remove_node probe v;
+    if Graph.node_count probe = 0 then false
+    else begin
+      match critical with
+      | [] -> Analysis.is_connected probe
+      | c :: rest ->
+          Graph.is_live_node probe c
+          && (let comp = Analysis.component_of probe c in
+              List.for_all (fun u -> List.mem u comp) rest)
+    end
+  in
+  let shuffled = Array.of_list candidates in
+  Prng.shuffle rng shuffled;
+  Array.to_list shuffled |> List.find_opt ok
+
+let estimate ~rng instance ~graph ~trials ~faults_per_trial ~max_steps =
+  let correct = ref 0 in
+  let max_critical = ref 0 in
+  let total_rounds = ref 0 in
+  for _trial = 1 to trials do
+    let g = graph () in
+    let original = Graph.copy g in
+    let runner = instance.prepare (Prng.split rng) g in
+    let fault_times =
+      List.init faults_per_trial (fun _ -> 1 + Prng.int rng (max 1 (max_steps / 2)))
+      |> List.sort compare
+    in
+    let pending = ref fault_times in
+    let step = ref 0 in
+    let running = ref true in
+    while !running && !step < max_steps do
+      incr step;
+      (match !pending with
+      | t :: rest when t <= !step ->
+          pending := rest;
+          let crit = runner.critical () in
+          max_critical := max !max_critical (List.length crit);
+          (match benign_victim rng g crit with
+          | Some v -> Graph.remove_node g v
+          | None -> ())
+      | _ -> ());
+      let crit = runner.critical () in
+      max_critical := max !max_critical (List.length crit);
+      running := runner.advance ()
+    done;
+    total_rounds := !total_rounds + !step;
+    if runner.acceptable ~original ~final:g (runner.answer ()) then incr correct
+  done;
+  {
+    trials;
+    correct = !correct;
+    max_critical = !max_critical;
+    mean_rounds = float_of_int !total_rounds /. float_of_int trials;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Packaged instances                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let census_instance ~k =
+  {
+    name = "census";
+    prepare =
+      (fun rng g ->
+        let net = Network.init ~rng g (Census.automaton ~k) in
+        let advance () = Network.sync_step net in
+        let answer () =
+          List.filter_map (fun (_, s) -> Census.estimate s) (Network.states net)
+        in
+        {
+          advance;
+          critical = (fun () -> []);
+          answer;
+          acceptable =
+            (fun ~original:_ ~final:_ estimates ->
+              (* Definition §2: the answer must be producible by some
+                 fault-free run on an intermediate graph.  FM's randomness
+                 makes any single estimate value producible; what faults
+                 could break — and what 0-sensitivity promises they do not
+                 — is network-wide agreement. *)
+              match estimates with
+              | [] -> false
+              | e :: rest -> List.for_all (fun e' -> e' = e) rest);
+        })
+  }
+
+let shortest_paths_instance ~sinks =
+  {
+    name = "shortest-paths";
+    prepare =
+      (fun rng g ->
+        let cap = Graph.node_count g in
+        let net = Network.init ~rng g (Sp.automaton ~sinks ~cap) in
+        {
+          advance = (fun () -> Network.sync_step net);
+          critical = (fun () -> []);
+          answer =
+            (fun () ->
+              Array.init (Graph.original_size g) (fun v ->
+                  Sp.label (Network.state net v)));
+          acceptable =
+            (fun ~original:_ ~final labels ->
+              (* 0-sensitive and exact: labels must equal the distances
+                 of the surviving graph *)
+              let live_sinks = List.filter (Graph.is_live_node final) sinks in
+              let dist = Analysis.distances final ~sources:live_sinks in
+              List.for_all
+                (fun v -> labels.(v) = min cap dist.(v))
+                (Graph.nodes final));
+        })
+  }
+
+let bridges_instance ~steps_per_advance =
+  {
+    name = "bridges-random-walk";
+    prepare =
+      (fun rng g ->
+        let budget = Bridges.recommended_steps g ~c:2 in
+        let t = Bridges.create ~rng g ~start:(List.hd (Graph.nodes g)) in
+        let used = ref 0 in
+        {
+          advance =
+            (fun () ->
+              Bridges.run t ~steps:steps_per_advance;
+              used := !used + steps_per_advance;
+              !used < budget);
+          critical = (fun () -> [ Bridges.agent_position t ]);
+          answer = (fun () -> Bridges.suspected_bridges t);
+          acceptable =
+            (fun ~original ~final suspected ->
+              (* soundness: an edge that is a bridge of the original graph
+                 is a bridge of every subgraph, so it must never have been
+                 identified as a non-bridge *)
+              let original_bridges = Analysis.bridges original in
+              Graph.edges final
+              |> List.for_all (fun (e : Graph.edge) ->
+                     (not (List.mem e.id original_bridges))
+                     || List.mem e.id suspected));
+        })
+  }
+
+let greedy_tourist_instance () =
+  {
+    name = "greedy-tourist";
+    prepare =
+      (fun rng g ->
+        let t = Gt.create ~rng g ~start:(List.hd (Graph.nodes g)) in
+        {
+          advance = (fun () -> Gt.advance t);
+          critical = (fun () -> [ Gt.position t ]);
+          answer = (fun () -> Gt.visited_nodes t);
+          acceptable =
+            (fun ~original:_ ~final visited ->
+              (* the agent must have covered its surviving component *)
+              let pos = Gt.position t in
+              Graph.is_live_node final pos
+              && List.for_all
+                   (fun v -> List.mem v visited)
+                   (Analysis.component_of final pos));
+        })
+  }
+
+let milgram_instance () =
+  {
+    name = "milgram-traversal";
+    prepare =
+      (fun rng g ->
+        let net =
+          Network.init ~rng g (Tr.automaton ~originator:(List.hd (Graph.nodes g)))
+        in
+        {
+          advance =
+            (fun () ->
+              ignore (Network.sync_step net);
+              not (Tr.all_visited net));
+          critical =
+            (fun () ->
+              (* the arm, the hand, and any node currently engaged in the
+                 local election are all load-bearing *)
+              Network.find_nodes net (fun s ->
+                  match Tr.status s with
+                  | Tr.Arm | Tr.Hand _ -> true
+                  | Tr.Blank p -> p <> Tr.P_none
+                  | _ -> false));
+          answer = (fun () -> Tr.all_visited net);
+          acceptable = (fun ~original:_ ~final:_ ok -> ok);
+        })
+  }
+
+(* Tree-based census baseline from §1: a rooted BFS spanning tree with a
+   convergecast count.  Not fault-tolerant by design: its chi is every
+   internal tree node. *)
+type tree_census = {
+  tc_graph : Graph.t;
+  parent : int array;
+  children : int list array;
+  counts : int option array;
+  root : int;
+}
+
+let tree_census_instance () =
+  {
+    name = "tree-census";
+    prepare =
+      (fun _rng g ->
+        let root = List.hd (Graph.nodes g) in
+        let n = Graph.original_size g in
+        let parent = Array.make n (-1) in
+        let children = Array.make n [] in
+        let order = ref [] in
+        let seen = Array.make n false in
+        let q = Queue.create () in
+        Queue.add root q;
+        seen.(root) <- true;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          order := v :: !order;
+          Graph.iter_neighbours g v (fun w ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                parent.(w) <- v;
+                children.(v) <- w :: children.(v);
+                Queue.add w q
+              end)
+        done;
+        let t =
+          { tc_graph = g; parent; children; counts = Array.make n None; root }
+        in
+        ignore t.parent;
+        let advance () =
+          (* one convergecast round: any node whose children all reported
+             computes its count *)
+          let progressed = ref false in
+          Graph.iter_nodes g (fun v ->
+              if t.counts.(v) = None then begin
+                let kids = List.filter (Graph.is_live_node g) t.children.(v) in
+                let ready =
+                  List.for_all (fun w -> t.counts.(w) <> None) kids
+                in
+                if ready then begin
+                  let sum =
+                    List.fold_left
+                      (fun acc w ->
+                        match t.counts.(w) with Some c -> acc + c | None -> acc)
+                      0 kids
+                  in
+                  t.counts.(v) <- Some (sum + 1);
+                  progressed := true
+                end
+              end);
+          !progressed && t.counts.(t.root) = None
+        in
+        {
+          advance;
+          critical =
+            (fun () ->
+              (* every live internal node of the tree is critical *)
+              Graph.nodes g
+              |> List.filter (fun v ->
+                     t.counts.(t.root) = None
+                     && List.exists (Graph.is_live_node g) t.children.(v)));
+          answer =
+            (fun () -> match t.counts.(t.root) with Some c -> c | None -> -1);
+          acceptable =
+            (fun ~original ~final c ->
+              c >= Graph.node_count final && c <= Graph.node_count original);
+        })
+  }

@@ -1,0 +1,80 @@
+(** The k-sensitivity framework (paper §2).
+
+    An algorithm is k-sensitive when a deterministic function chi of the
+    instantaneous network state marks at most [k] {e critical} nodes, and
+    every execution in which no critical failure occurs (no critical node
+    dies, and no failure separates two critical nodes) is {e reasonably
+    correct}: the final answer matches what a fault-free run on some graph
+    between the original and the surviving one would produce.
+
+    This harness estimates both halves empirically for a packaged
+    algorithm instance: it samples executions with random {e non-critical}
+    benign faults, records the largest |chi| observed, and checks the
+    answers with the instance's acceptability predicate (which encodes
+    the "some intermediate graph" condition for that algorithm). *)
+
+type 'answer instance = {
+  name : string;
+  prepare : Symnet_prng.Prng.t -> Symnet_graph.Graph.t -> 'answer runner;
+}
+(** A packaged algorithm.  [prepare] captures the graph and returns a
+    stepwise runner so the harness can interleave faults. *)
+
+and 'answer runner = {
+  advance : unit -> bool;
+      (** one round/step; [false] once the algorithm has converged *)
+  critical : unit -> int list;  (** chi of the current state *)
+  answer : unit -> 'answer;
+  acceptable :
+    original:Symnet_graph.Graph.t -> final:Symnet_graph.Graph.t -> 'answer -> bool;
+}
+
+type report = {
+  trials : int;
+  correct : int;  (** trials that ended reasonably correct *)
+  max_critical : int;  (** largest |chi| observed across all trials *)
+  mean_rounds : float;
+}
+
+val estimate :
+  rng:Symnet_prng.Prng.t ->
+  'answer instance ->
+  graph:(unit -> Symnet_graph.Graph.t) ->
+  trials:int ->
+  faults_per_trial:int ->
+  max_steps:int ->
+  report
+(** Each trial: build a fresh graph, run the algorithm, and at random
+    times kill random {e non-critical} nodes (queried from chi at the
+    fault instant) whose removal keeps the critical set connected; then
+    check acceptability.  Faults that cannot be placed benignly are
+    skipped. *)
+
+(** {1 Packaged instances for the paper's algorithms (experiment E13)} *)
+
+val census_instance : k:int -> float list instance
+(** 0-sensitive: chi = [] always; answer = every live node's estimate;
+    acceptable iff they all agree (any agreed value is producible by a
+    fault-free run, by FM's randomness). *)
+
+val shortest_paths_instance : sinks:int list -> int array instance
+(** 0-sensitive; answer = the label table; acceptable iff it equals the
+    distance table of the final graph. *)
+
+val bridges_instance : steps_per_advance:int -> int list instance
+(** 1-sensitive: chi = the agent's position. *)
+
+val greedy_tourist_instance : unit -> int list instance
+(** 1-sensitive: chi = the agent's position; answer = visited set;
+    acceptable iff it covers the agent's final component. *)
+
+val milgram_instance : unit -> bool instance
+(** Theta(n)-sensitive: chi = the arm plus the hand; answer = whether the
+    traversal completed.  Demonstrates the large critical sets. *)
+
+val tree_census_instance : unit -> int instance
+(** The beta-synchronizer-style baseline from the paper's introduction: a
+    rooted spanning-tree convergecast counting the nodes.  chi = the
+    internal tree nodes, i.e. Theta(n) of them; a single internal death
+    breaks it (the harness only injects non-critical faults, so it stays
+    correct — the point is the size of chi). *)

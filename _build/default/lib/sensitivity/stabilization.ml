@@ -1,0 +1,41 @@
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Fssga = Symnet_core.Fssga
+
+type 'q verdict = {
+  trials : int;
+  recovered : int;
+  mean_recovery_rounds : float;
+}
+
+let probe ~rng ~automaton ~graph ~corrupt ~legitimate ~trials ~max_rounds =
+  let recovered = ref 0 in
+  let total_rounds = ref 0 in
+  for _ = 1 to trials do
+    let g = graph () in
+    let corrupt_rng = Prng.split rng in
+    (* same automaton, adversarial initial states *)
+    let corrupted =
+      { automaton with Fssga.init = (fun g v -> corrupt corrupt_rng g v) }
+    in
+    let net = Network.init ~rng:(Prng.split rng) g corrupted in
+    let round = ref 0 in
+    let done_ = ref (legitimate net) in
+    while (not !done_) && !round < max_rounds do
+      ignore (Network.sync_step net);
+      incr round;
+      if legitimate net then done_ := true
+    done;
+    if !done_ then begin
+      incr recovered;
+      total_rounds := !total_rounds + !round
+    end
+  done;
+  {
+    trials;
+    recovered = !recovered;
+    mean_recovery_rounds =
+      (if !recovered = 0 then nan
+       else float_of_int !total_rounds /. float_of_int !recovered);
+  }

@@ -1,0 +1,36 @@
+(** Self-stabilization probes (paper §5.2, after Dolev [5]).
+
+    An algorithm is {e self-stabilizing} when it eventually behaves
+    correctly from {e any} starting configuration — equivalently, it
+    recovers from any finite number of arbitrary transient faults.  The
+    paper observes that a self-stabilizing FSSGA leader election would
+    make many FSSGA algorithms self-stabilizing, and leaves it open.
+
+    This harness tests the property empirically: it runs an automaton
+    from adversarially corrupted network states and checks a
+    caller-supplied legitimacy predicate after convergence.  The test
+    suite uses it to separate the paper's algorithms:
+    - the §2.2 shortest-path labelling {e is} self-stabilizing (min+1
+      relaxation forgets arbitrary labels);
+    - the §1 census is {e not} (the OR can never unset a corrupted bit);
+    - the §4.1 2-colouring is {e not} (a corrupted FAILED floods and
+      sticks). *)
+
+type 'q verdict = {
+  trials : int;
+  recovered : int;  (** trials that reached a legitimate state *)
+  mean_recovery_rounds : float;  (** over recovered trials *)
+}
+
+val probe :
+  rng:Symnet_prng.Prng.t ->
+  automaton:'q Symnet_core.Fssga.t ->
+  graph:(unit -> Symnet_graph.Graph.t) ->
+  corrupt:(Symnet_prng.Prng.t -> Symnet_graph.Graph.t -> int -> 'q) ->
+  legitimate:('q Symnet_engine.Network.t -> bool) ->
+  trials:int ->
+  max_rounds:int ->
+  'q verdict
+(** Each trial: build the graph, initialize every node with [corrupt]
+    (an arbitrary adversarial state), run synchronously until
+    [legitimate] holds (recovery) or the round budget is spent. *)

@@ -1,0 +1,1 @@
+test/test_bridges.ml: Alcotest List Printf QCheck QCheck_alcotest Symnet_algorithms Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_census.ml: Alcotest Array Fun List Printf Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

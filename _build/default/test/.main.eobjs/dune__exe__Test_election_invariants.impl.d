@@ -1,0 +1,1 @@
+test/test_election_invariants.ml: Alcotest Array List Printf Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

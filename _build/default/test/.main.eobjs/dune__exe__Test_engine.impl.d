@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest List Symnet_core Symnet_engine Symnet_graph Symnet_prng

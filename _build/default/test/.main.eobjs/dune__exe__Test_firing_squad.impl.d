@@ -1,0 +1,1 @@
+test/test_firing_squad.ml: Alcotest List Printf Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_fssga_formal.ml: Alcotest List Printf Symnet_core Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List QCheck QCheck_alcotest Symnet_graph Symnet_prng

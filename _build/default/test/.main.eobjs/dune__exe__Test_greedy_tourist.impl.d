@@ -1,0 +1,1 @@
+test/test_greedy_tourist.ml: Alcotest List Printf QCheck QCheck_alcotest Symnet_algorithms Symnet_graph Symnet_prng

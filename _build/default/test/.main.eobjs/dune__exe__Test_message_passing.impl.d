@@ -1,0 +1,1 @@
+test/test_message_passing.ml: Alcotest Array List Printf Symnet_core Symnet_engine Symnet_graph Symnet_prng

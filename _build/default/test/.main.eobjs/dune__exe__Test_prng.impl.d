@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Hashtbl List Option Printf Symnet_prng

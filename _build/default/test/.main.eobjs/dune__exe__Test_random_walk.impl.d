@@ -1,0 +1,1 @@
+test/test_random_walk.ml: Alcotest Array Printf Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_semilattice.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Symnet_core Symnet_engine Symnet_graph Symnet_prng

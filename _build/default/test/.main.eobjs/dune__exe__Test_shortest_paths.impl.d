@@ -1,0 +1,1 @@
+test/test_shortest_paths.ml: Alcotest Array List Printf QCheck QCheck_alcotest Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_sm.ml: Alcotest Array Fun List QCheck QCheck_alcotest Symnet_core Symnet_prng

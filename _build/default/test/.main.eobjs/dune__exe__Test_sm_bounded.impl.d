@@ -1,0 +1,1 @@
+test/test_sm_bounded.ml: Alcotest Array List Printf Symnet_core Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_sm_tape.ml: Alcotest List Printf Symnet_core Symnet_prng

@@ -1,0 +1,1 @@
+test/test_spec_trace.ml: Alcotest Char List Symnet_core Symnet_engine Symnet_graph Symnet_prng

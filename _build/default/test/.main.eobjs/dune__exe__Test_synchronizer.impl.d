@@ -1,0 +1,1 @@
+test/test_synchronizer.ml: Alcotest Array List Printf Symnet_algorithms Symnet_core Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest List Printf QCheck QCheck_alcotest Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_two_colouring.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Symnet_algorithms Symnet_engine Symnet_graph Symnet_prng

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Array Gen List QCheck QCheck_alcotest Symnet_core Symnet_prng

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "symnet"
+    [
+      ("prng", Test_prng.suite);
+      ("graph", Test_graph.suite);
+      ("view", Test_view.suite);
+      ("sm", Test_sm.suite);
+      ("engine", Test_engine.suite);
+      ("census", Test_census.suite);
+      ("shortest-paths", Test_shortest_paths.suite);
+      ("two-colouring", Test_two_colouring.suite);
+      ("bridges", Test_bridges.suite);
+      ("synchronizer", Test_synchronizer.suite);
+      ("bfs", Test_bfs.suite);
+      ("random-walk", Test_random_walk.suite);
+      ("traversal", Test_traversal.suite);
+      ("greedy-tourist", Test_greedy_tourist.suite);
+      ("election", Test_election.suite);
+      ("iwa", Test_iwa.suite);
+      ("sensitivity", Test_sensitivity.suite);
+      ("firing-squad", Test_firing_squad.suite);
+      ("semilattice", Test_semilattice.suite);
+      ("sm-tape", Test_sm_tape.suite);
+      ("fssga-formal", Test_fssga_formal.suite);
+      ("election-invariants", Test_election_invariants.suite);
+      ("stabilization", Test_stabilization.suite);
+      ("message-passing", Test_message_passing.suite);
+      ("sm-bounded", Test_sm_bounded.suite);
+      ("spec-trace", Test_spec_trace.suite);
+    ]

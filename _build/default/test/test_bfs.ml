@@ -1,0 +1,150 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Scheduler = Symnet_engine.Scheduler
+module Bfs = Symnet_algorithms.Bfs
+module Sync = Symnet_algorithms.Synchronizer
+
+let status_testable =
+  Alcotest.testable
+    (fun fmt s ->
+      Format.pp_print_string fmt
+        (match s with
+        | Bfs.Waiting -> "waiting"
+        | Bfs.Found -> "found"
+        | Bfs.Failed -> "failed"))
+    ( = )
+
+let run ?(originator = 0) ?(targets = []) g =
+  let net =
+    Network.init ~rng:(Prng.create ~seed:0) g
+      (Bfs.automaton ~originator ~targets)
+  in
+  let outcome = Runner.run ~max_rounds:10_000 net in
+  (net, outcome)
+
+let test_labels_are_distances_mod3 () =
+  List.iter
+    (fun g ->
+      let net, outcome = run g in
+      Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+      Alcotest.(check bool) "labels consistent" true
+        (Bfs.labels_consistent net ~originator:0))
+    [
+      Gen.path 20;
+      Gen.cycle 11;
+      Gen.grid ~rows:5 ~cols:7;
+      Gen.complete_binary_tree ~depth:4;
+      Gen.petersen ();
+      Gen.random_connected (Prng.create ~seed:1) ~n:40 ~extra_edges:25;
+    ]
+
+let test_target_found () =
+  let g = Gen.grid ~rows:5 ~cols:5 in
+  let net, _ = run ~targets:[ 24 ] g in
+  Alcotest.check status_testable "originator found" Bfs.Found
+    (Bfs.originator_status net)
+
+let test_no_target_fails () =
+  let g = Gen.grid ~rows:5 ~cols:5 in
+  let net, _ = run ~targets:[] g in
+  Alcotest.check status_testable "originator failed" Bfs.Failed
+    (Bfs.originator_status net)
+
+let test_found_in_proportional_rounds () =
+  (* found flows back in <= 2*dist + O(1) rounds *)
+  let n = 30 in
+  let g = Gen.path n in
+  let net =
+    Network.init ~rng:(Prng.create ~seed:0) g
+      (Bfs.automaton ~originator:0 ~targets:[ n - 1 ])
+  in
+  let outcome =
+    Runner.run ~max_rounds:1000
+      ~stop:(fun ~round:_ net -> Bfs.originator_status net = Bfs.Found)
+      net
+  in
+  Alcotest.(check bool) "stopped on found" true outcome.Runner.stopped;
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d <= 2n+4" outcome.Runner.rounds)
+    true
+    (outcome.Runner.rounds <= (2 * n) + 4)
+
+let test_originator_is_target () =
+  let g = Gen.path 5 in
+  let net, _ = run ~targets:[ 0 ] g in
+  Alcotest.check status_testable "self-target" Bfs.Found (Bfs.originator_status net)
+
+let test_multiple_targets_nearest_wins () =
+  let g = Gen.path 20 in
+  let net, _ = run ~targets:[ 5; 19 ] g in
+  Alcotest.check status_testable "found" Bfs.Found (Bfs.originator_status net);
+  (* nodes beyond the near target on the shortest-path side never need to
+     report found; ensure no failed node sits between originator and the
+     near target *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d not failed" v)
+        true
+        (Bfs.status (Network.state net v) <> Bfs.Failed))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_async_via_synchronizer () =
+  (* wrap in the alpha synchronizer and run under random permutations:
+     the final simulated states must match the synchronous run *)
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let reference, _ = run ~targets:[ 15 ] (Graph.copy g) in
+  let wrapped = Sync.wrap (Bfs.automaton ~originator:0 ~targets:[ 15 ]) in
+  let net = Network.init ~rng:(Prng.create ~seed:5) g wrapped in
+  for _ = 1 to 500 do
+    ignore (Scheduler.round Scheduler.Random_permutation net ~round:0)
+  done;
+  List.iter2
+    (fun (v1, s_ref) (v2, s_wrapped) ->
+      Alcotest.(check int) "same node" v1 v2;
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d same label" v1)
+        true
+        (Bfs.label s_ref = Bfs.label (Sync.simulated s_wrapped));
+      Alcotest.check status_testable
+        (Printf.sprintf "node %d same status" v1)
+        (Bfs.status s_ref)
+        (Bfs.status (Sync.simulated s_wrapped)))
+    (Network.states reference) (Network.states net)
+
+let test_disconnected_target_fails () =
+  let g = Gen.path 10 in
+  Graph.remove_edge_between g 4 5;
+  let net, _ = run ~targets:[ 9 ] g in
+  Alcotest.check status_testable "unreachable target" Bfs.Failed
+    (Bfs.originator_status net)
+
+let prop_found_iff_reachable =
+  QCheck.Test.make ~name:"originator found iff target reachable" ~count:25
+    QCheck.(triple (int_range 4 30) (int_range 0 15) (int_range 1 29))
+    (fun (n, extra, target) ->
+      QCheck.assume (target < n);
+      let g = Gen.random_connected (Prng.create ~seed:(n + (31 * extra) + target)) ~n ~extra_edges:extra in
+      (* randomly cut the graph in two sometimes *)
+      let net, _ = run ~targets:[ target ] g in
+      Bfs.originator_status net = Bfs.Found)
+
+let suite =
+  [
+    Alcotest.test_case "labels are distances mod 3" `Quick
+      test_labels_are_distances_mod3;
+    Alcotest.test_case "target found" `Quick test_target_found;
+    Alcotest.test_case "no target fails" `Quick test_no_target_fails;
+    Alcotest.test_case "found within 2d rounds" `Quick
+      test_found_in_proportional_rounds;
+    Alcotest.test_case "originator as target" `Quick test_originator_is_target;
+    Alcotest.test_case "multiple targets" `Quick test_multiple_targets_nearest_wins;
+    Alcotest.test_case "async via synchronizer" `Quick test_async_via_synchronizer;
+    Alcotest.test_case "disconnected target fails" `Quick
+      test_disconnected_target_fails;
+    QCheck_alcotest.to_alcotest prop_found_iff_reachable;
+  ]

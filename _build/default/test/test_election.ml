@@ -1,0 +1,152 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module El = Symnet_algorithms.Election
+
+let run ?(seed = 1) g = El.run ~rng:(Prng.create ~seed) g ~max_rounds:500_000 ()
+
+let check_unique name stats =
+  Alcotest.(check bool) (name ^ " stabilized") true stats.El.stabilized;
+  Alcotest.(check int) (name ^ " unique leader") 1 (List.length stats.El.leaders)
+
+let test_unique_leader_on_shapes () =
+  List.iter
+    (fun (name, g) -> check_unique name (run g))
+    [
+      ("path", Gen.path 10);
+      ("even cycle", Gen.cycle 8);
+      ("odd cycle", Gen.cycle 9);
+      ("grid", Gen.grid ~rows:4 ~cols:4);
+      ("star", Gen.star 9);
+      ("complete", Gen.complete 6);
+      ("petersen", Gen.petersen ());
+      ("tree", Gen.complete_binary_tree ~depth:3);
+      ("theta", Gen.theta 2 3 4);
+    ]
+
+let test_single_node () =
+  let stats = run (Gen.path 1) in
+  check_unique "single node" stats;
+  Alcotest.(check (list int)) "node 0 leads" [ 0 ] stats.El.leaders
+
+let test_two_nodes () =
+  List.iter (fun seed -> check_unique "pair" (run ~seed (Gen.path 2))) [ 1; 2; 3; 4; 5 ]
+
+let test_many_seeds_no_failure () =
+  (* symmetry breaking must not depend on lucky randomness *)
+  List.iter
+    (fun seed -> check_unique (Printf.sprintf "seed %d" seed) (run ~seed (Gen.cycle 12)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_leader_is_remaining () =
+  let g = Gen.grid ~rows:3 ~cols:5 in
+  let rng = Prng.create ~seed:4 in
+  let net = Network.init ~rng g (El.automaton ()) in
+  let stats = El.run ~rng:(Prng.create ~seed:4) (Gen.grid ~rows:3 ~cols:5) () in
+  ignore net;
+  Alcotest.(check bool) "stabilized" true stats.El.stabilized;
+  (* the winner must be a node that was never eliminated *)
+  Alcotest.(check int) "one leader" 1 (List.length stats.El.leaders)
+
+let test_remaining_monotone () =
+  (* run manually: the remaining set only ever shrinks *)
+  let g = Gen.cycle 10 in
+  let net = Network.init ~rng:(Prng.create ~seed:6) g (El.automaton ()) in
+  let prev = ref (List.length (El.remaining net)) in
+  for _ = 1 to 3_000 do
+    ignore (Network.sync_step net);
+    let now = List.length (El.remaining net) in
+    Alcotest.(check bool) "non-increasing remaining" true (now <= !prev);
+    Alcotest.(check bool) "never empty" true (now >= 1);
+    prev := now
+  done
+
+let test_leader_among_remaining () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net = Network.init ~rng:(Prng.create ~seed:7) g (El.automaton ()) in
+  for _ = 1 to 3_000 do
+    ignore (Network.sync_step net);
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) "leader remains" true
+          (El.is_remaining (Network.state net v)))
+      (El.leaders net)
+  done
+
+let test_phases_grow_slowly () =
+  (* Theta(log n) phases: phases at n=64 should be within a small factor
+     of phases at n=16, not 4x *)
+  let phases n =
+    let samples =
+      List.init 5 (fun i ->
+          let g = Gen.random_connected (Prng.create ~seed:(n + i)) ~n ~extra_edges:n in
+          (run ~seed:(n + (13 * i)) g).El.phase_increments)
+    in
+    List.fold_left ( + ) 0 samples / 5
+  in
+  let p16 = phases 16 and p64 = phases 64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "phases(64)=%d < 3 * (phases(16)=%d) + 8" p64 p16)
+    true
+    (p64 < (3 * p16) + 8)
+
+let test_rounds_scaling_subquadratic () =
+  (* O(n log n) total time: going 16 -> 64 nodes must not blow up rounds
+     by anything near 16x *)
+  let rounds n =
+    let samples =
+      List.init 3 (fun i ->
+          let g = Gen.random_connected (Prng.create ~seed:(2 * n + i)) ~n ~extra_edges:n in
+          (run ~seed:(n + i) g).El.rounds)
+    in
+    List.fold_left ( + ) 0 samples / 3
+  in
+  let r16 = rounds 16 and r64 = rounds 64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "r64=%d / r16=%d < 10" r64 r16)
+    true
+    (r64 < 10 * r16)
+
+let test_asynchronous_schedulers () =
+  (* the per-phase tick discipline (the paper's §4.2 abstraction) makes
+     the election scheduler-independent: fair async schedules also
+     produce a unique stable leader *)
+  List.iter
+    (fun (name, scheduler) ->
+      List.iter
+        (fun seed ->
+          let g = Gen.random_connected (Prng.create ~seed:(seed * 101)) ~n:16 ~extra_edges:8 in
+          let stats =
+            El.run ~rng:(Prng.create ~seed) g ~max_rounds:500_000 ~scheduler ()
+          in
+          check_unique (Printf.sprintf "%s seed %d" name seed) stats)
+        [ 1; 2; 3 ])
+    [
+      ("rotor", Symnet_engine.Scheduler.Rotor);
+      ("random permutation", Symnet_engine.Scheduler.Random_permutation);
+    ]
+
+let prop_unique_leader_random_graphs =
+  QCheck.Test.make ~name:"unique leader on random graphs" ~count:12
+    QCheck.(pair (int_range 2 30) (int_range 0 15))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (Prng.create ~seed:(n * 41 + extra)) ~n ~extra_edges:extra in
+      let stats = run ~seed:(n + extra) g in
+      stats.El.stabilized && List.length stats.El.leaders = 1)
+
+let suite =
+  [
+    Alcotest.test_case "unique leader on shapes" `Slow test_unique_leader_on_shapes;
+    Alcotest.test_case "single node" `Quick test_single_node;
+    Alcotest.test_case "two nodes" `Quick test_two_nodes;
+    Alcotest.test_case "many seeds" `Slow test_many_seeds_no_failure;
+    Alcotest.test_case "leader is remaining (final)" `Quick test_leader_is_remaining;
+    Alcotest.test_case "remaining set monotone, never empty" `Quick
+      test_remaining_monotone;
+    Alcotest.test_case "leaders always remaining" `Quick test_leader_among_remaining;
+    Alcotest.test_case "phases grow like log n" `Slow test_phases_grow_slowly;
+    Alcotest.test_case "rounds subquadratic" `Slow test_rounds_scaling_subquadratic;
+    Alcotest.test_case "asynchronous schedulers" `Slow test_asynchronous_schedulers;
+    QCheck_alcotest.to_alcotest prop_unique_leader_random_graphs;
+  ]

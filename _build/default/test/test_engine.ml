@@ -1,0 +1,206 @@
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Scheduler = Symnet_engine.Scheduler
+module Fault = Symnet_engine.Fault
+module Runner = Symnet_engine.Runner
+
+let rng () = Prng.create ~seed:777
+
+(* Toy automaton: take the max of self and neighbours (bounded), a
+   semi-lattice flood that quiesces at the global max everywhere. *)
+let max_flood ~top =
+  Fssga.deterministic ~name:"max-flood"
+    ~init:(fun _g v -> v mod (top + 1))
+    ~step:(fun ~self view ->
+      let rec scan best j =
+        if j > top then best
+        else if j > best && View.at_least view j 1 then scan j (j + 1)
+        else scan best (j + 1)
+      in
+      scan self 0)
+
+let test_init_states () =
+  let g = Gen.path 5 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:10) in
+  List.iter
+    (fun v -> Alcotest.(check int) "init" v (Network.state net v))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_sync_flood () =
+  let g = Gen.path 5 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:10) in
+  let outcome = Runner.run net in
+  Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+  (* max value 4 sits at the end of the path: floods in 4 rounds, +1 to
+     detect quiescence *)
+  Alcotest.(check int) "rounds" 5 outcome.Runner.rounds;
+  List.iter
+    (fun v -> Alcotest.(check int) "all max" 4 (Network.state net v))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_sync_step_simultaneous () =
+  (* A swap automaton alternates states in lockstep: under a truly
+     simultaneous step, a 2-path oscillates forever rather than settling. *)
+  let swap =
+    Fssga.deterministic ~name:"swap"
+      ~init:(fun _g v -> v)
+      ~step:(fun ~self view ->
+        if View.at_least view (1 - self) 1 then 1 - self else self)
+  in
+  let g = Gen.path 2 in
+  let net = Network.init ~rng:(rng ()) g swap in
+  ignore (Network.sync_step net);
+  Alcotest.(check (pair int int)) "swapped" (1, 0)
+    (Network.state net 0, Network.state net 1);
+  ignore (Network.sync_step net);
+  Alcotest.(check (pair int int)) "swapped back" (0, 1)
+    (Network.state net 0, Network.state net 1)
+
+let test_async_schedulers_converge () =
+  (* Rotor and Random_permutation cover every node per round, so a
+     change-free round means true quiescence. *)
+  List.iter
+    (fun sched ->
+      let g = Gen.grid ~rows:4 ~cols:4 in
+      let net = Network.init ~rng:(rng ()) g (max_flood ~top:20) in
+      let outcome = Runner.run ~scheduler:sched net in
+      Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+      List.iter
+        (fun (_, s) -> Alcotest.(check int) "all max" 15 s)
+        (Network.states net))
+    [ Scheduler.Rotor; Scheduler.Random_permutation ];
+  (* Uniform_singles gives no per-round coverage guarantee (a quiet round
+     is not quiescence), so run it for a fixed horizon instead. *)
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:20) in
+  for round = 1 to 300 do
+    ignore (Scheduler.round Scheduler.Uniform_singles net ~round)
+  done;
+  List.iter
+    (fun (_, s) -> Alcotest.(check int) "all max (uniform singles)" 15 s)
+    (Network.states net)
+
+let test_adversarial_scheduler () =
+  let g = Gen.path 3 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:10) in
+  (* only ever activate node 0: value 2 never reaches it *)
+  let outcome =
+    Runner.run
+      ~scheduler:(Scheduler.Adversarial (fun ~round:_ -> [ 0 ]))
+      ~max_rounds:10 net
+  in
+  Alcotest.(check int) "stuck at neighbour max" 1 (Network.state net 0);
+  Alcotest.(check bool) "never quiesces fully" true
+    (outcome.Runner.rounds <= 10)
+
+let test_dead_nodes_skipped () =
+  let g = Gen.path 3 in
+  Graph.remove_node g 2;
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:10) in
+  ignore (Runner.run net);
+  Alcotest.(check int) "dead value invisible" 1 (Network.state net 0);
+  Alcotest.(check int) "dead state frozen" 2 (Network.state net 2)
+
+let test_fault_mid_run () =
+  let g = Gen.path 5 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:10) in
+  (* kill node 4 (the max) before anything spreads *)
+  let faults = [ { Fault.at_round = 1; action = Fault.Kill_node 4 } ] in
+  let outcome = Runner.run ~faults net in
+  Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+  Alcotest.(check int) "new max floods" 3 (Network.state net 0)
+
+let test_fault_edge_split () =
+  let g = Gen.path 5 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:10) in
+  let faults = [ { Fault.at_round = 1; action = Fault.Kill_edge (1, 2) } ] in
+  ignore (Runner.run ~faults net);
+  Alcotest.(check int) "left island" 1 (Network.state net 0);
+  Alcotest.(check int) "right island" 4 (Network.state net 2)
+
+let test_apply_due () =
+  let g = Gen.cycle 4 in
+  let sched =
+    [
+      { Fault.at_round = 3; action = Fault.Kill_edge (0, 1) };
+      { Fault.at_round = 1; action = Fault.Kill_node 2 };
+    ]
+  in
+  let pending = Fault.apply_due sched ~round:1 g in
+  Alcotest.(check int) "one pending" 1 (List.length pending);
+  Alcotest.(check bool) "node dead" false (Graph.is_live_node g 2);
+  let pending = Fault.apply_due pending ~round:3 g in
+  Alcotest.(check int) "none pending" 0 (List.length pending);
+  Alcotest.(check bool) "edge dead" false (Graph.mem_edge g 0 1)
+
+let test_random_fault_generators () =
+  let g = Gen.random_connected (rng ()) ~n:30 ~extra_edges:20 in
+  let sched =
+    Fault.random_edge_faults (rng ()) g ~count:10 ~max_round:50
+      ~keep_connected:true
+  in
+  Alcotest.(check int) "requested count" 10 (List.length sched);
+  (* apply all: graph must stay connected *)
+  let h = Graph.copy g in
+  ignore (Fault.apply_due sched ~round:1000 h);
+  Alcotest.(check bool) "still connected" true
+    (Symnet_graph.Analysis.is_connected h)
+
+let test_random_node_faults_respect_forbidden () =
+  let g = Gen.complete 10 in
+  let sched =
+    Fault.random_node_faults (rng ()) g ~count:5 ~max_round:10 ~forbidden:[ 0; 1 ]
+      ~keep_connected:true
+  in
+  List.iter
+    (fun e ->
+      match e.Fault.action with
+      | Fault.Kill_node v ->
+          Alcotest.(check bool) "not forbidden" true (v <> 0 && v <> 1)
+      | _ -> Alcotest.fail "expected node faults")
+    sched
+
+let test_stop_condition () =
+  let g = Gen.path 10 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:20) in
+  let outcome =
+    Runner.run
+      ~stop:(fun ~round:_ net -> Network.state net 5 = 9)
+      net
+  in
+  Alcotest.(check bool) "stopped" true outcome.Runner.stopped;
+  Alcotest.(check int) "stopped early" 4 outcome.Runner.rounds
+
+let test_max_rounds () =
+  let swap =
+    Fssga.deterministic ~name:"swap"
+      ~init:(fun _g v -> v)
+      ~step:(fun ~self view ->
+        if View.at_least view (1 - self) 1 then 1 - self else self)
+  in
+  let net = Network.init ~rng:(rng ()) (Gen.path 2) swap in
+  let outcome = Runner.run ~max_rounds:17 net in
+  Alcotest.(check int) "hit bound" 17 outcome.Runner.rounds;
+  Alcotest.(check bool) "no quiesce" false outcome.Runner.quiesced
+
+let suite =
+  [
+    Alcotest.test_case "init states" `Quick test_init_states;
+    Alcotest.test_case "sync flood to max" `Quick test_sync_flood;
+    Alcotest.test_case "sync step is simultaneous" `Quick test_sync_step_simultaneous;
+    Alcotest.test_case "async schedulers converge" `Quick test_async_schedulers_converge;
+    Alcotest.test_case "adversarial scheduler" `Quick test_adversarial_scheduler;
+    Alcotest.test_case "dead nodes skipped" `Quick test_dead_nodes_skipped;
+    Alcotest.test_case "fault mid-run" `Quick test_fault_mid_run;
+    Alcotest.test_case "edge fault splits flood" `Quick test_fault_edge_split;
+    Alcotest.test_case "apply_due" `Quick test_apply_due;
+    Alcotest.test_case "random fault generator" `Quick test_random_fault_generators;
+    Alcotest.test_case "node faults respect forbidden" `Quick
+      test_random_node_faults_respect_forbidden;
+    Alcotest.test_case "stop condition" `Quick test_stop_condition;
+    Alcotest.test_case "max rounds" `Quick test_max_rounds;
+  ]

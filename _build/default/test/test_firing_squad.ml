@@ -1,0 +1,90 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Fs = Symnet_algorithms.Firing_squad
+
+let run n = Fs.run ~rng:(Prng.create ~seed:1) (Gen.path n) ~general:0 ()
+
+let test_fires_simultaneously_small () =
+  for n = 1 to 64 do
+    let o = run n in
+    Alcotest.(check bool) (Printf.sprintf "n=%d fired" n) true
+      (o.Fs.fire_round <> None);
+    Alcotest.(check bool) (Printf.sprintf "n=%d simultaneous" n) true
+      o.Fs.simultaneous
+  done
+
+let test_fires_simultaneously_large () =
+  List.iter
+    (fun n ->
+      let o = run n in
+      Alcotest.(check bool) (Printf.sprintf "n=%d fired" n) true
+        (o.Fs.fire_round <> None);
+      Alcotest.(check bool) (Printf.sprintf "n=%d simultaneous" n) true
+        o.Fs.simultaneous)
+    [ 100; 127; 128; 129; 255; 256; 257; 384 ]
+
+let test_firing_time_linear () =
+  List.iter
+    (fun n ->
+      let o = run n in
+      match o.Fs.fire_round with
+      | None -> Alcotest.fail "did not fire"
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d: %d within [2n, 3n+4]" n r)
+            true
+            (r >= 2 * n && r <= (3 * n) + 4))
+    [ 16; 32; 64; 128; 256 ]
+
+let test_general_at_far_end () =
+  (* the general may be either endpoint *)
+  let o = Fs.run ~rng:(Prng.create ~seed:2) (Gen.path 20) ~general:19 () in
+  Alcotest.(check bool) "fired" true (o.Fs.fire_round <> None);
+  Alcotest.(check bool) "simultaneous" true o.Fs.simultaneous
+
+let test_nobody_fires_twice_rounds_stable () =
+  (* after firing, the state is absorbing *)
+  let g = Gen.path 12 in
+  let net = Network.init ~rng:(Prng.create ~seed:3) g (Fs.automaton ~general:0) in
+  let fired_round = ref None in
+  for r = 1 to 100 do
+    ignore (Network.sync_step net);
+    if !fired_round = None && Network.count_if net Fs.has_fired = 12 then
+      fired_round := Some r
+  done;
+  Alcotest.(check bool) "fired" true (!fired_round <> None);
+  Alcotest.(check int) "all still fired" 12 (Network.count_if net Fs.has_fired)
+
+let test_no_premature_general_fire () =
+  (* generals exist long before firing, but none fires early *)
+  let g = Gen.path 32 in
+  let net = Network.init ~rng:(Prng.create ~seed:4) g (Fs.automaton ~general:0) in
+  let saw_general_midway = ref false in
+  let premature = ref false in
+  for _ = 1 to 200 do
+    ignore (Network.sync_step net);
+    let generals = Network.count_if net Fs.is_general in
+    let fired = Network.count_if net Fs.has_fired in
+    if generals > 1 && generals < 32 then begin
+      saw_general_midway := true;
+      if fired > 0 then premature := true
+    end
+  done;
+  Alcotest.(check bool) "recursion creates midway generals" true
+    !saw_general_midway;
+  Alcotest.(check bool) "no premature fire" false !premature
+
+let suite =
+  [
+    Alcotest.test_case "simultaneous for n=1..64" `Quick
+      test_fires_simultaneously_small;
+    Alcotest.test_case "simultaneous for large n" `Slow
+      test_fires_simultaneously_large;
+    Alcotest.test_case "firing time ~3n" `Quick test_firing_time_linear;
+    Alcotest.test_case "general at far end" `Quick test_general_at_far_end;
+    Alcotest.test_case "absorbing after fire" `Quick
+      test_nobody_fires_twice_rounds_stable;
+    Alcotest.test_case "no premature fire" `Quick test_no_premature_general_fire;
+  ]

@@ -1,0 +1,104 @@
+(* The formal automaton constructors (Definitions 3.10 and 3.11): integer
+   states driven by literal mod-thresh programs. *)
+
+module Gen = Symnet_graph.Gen
+module Prng = Symnet_prng.Prng
+module Sm = Symnet_core.Sm
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+
+(* Definition 3.10 demo: a deterministic "rumour" automaton over
+   Q = {0 quiet, 1 talking}: become talking iff some neighbour talks. *)
+let rumour =
+  Fssga.of_mod_thresh_family ~name:"rumour" ~q_size:2
+    ~init:(fun _g v -> if v = 0 then 1 else 0)
+    ~family:(fun q ->
+      {
+        Sm.mt_q_size = 2;
+        mt_clauses = [ (Sm.Not (Sm.Thresh (1, 1)), 1) ];
+        mt_default = q;
+        mt_r_size = 2;
+      })
+
+let test_deterministic_family () =
+  let g = Gen.path 10 in
+  let net = Network.init ~rng:(Prng.create ~seed:1) g rumour in
+  let o = Runner.run ~max_rounds:100 net in
+  Alcotest.(check bool) "quiesced" true o.Runner.quiesced;
+  Alcotest.(check int) "everyone talking" 10 (Network.count_if net (fun q -> q = 1));
+  (* the rumour needs exactly eccentricity rounds + 1 to detect rest *)
+  Alcotest.(check int) "rounds" 10 o.Runner.rounds
+
+(* Definition 3.11 demo: probabilistic anti-conformism over Q = {0,1}:
+   with i = 0 copy the majority-present bit, with i = 1 go quiet.  The
+   formal point is just that the (q, i)-indexed family machinery works. *)
+let flipper =
+  Fssga.of_probabilistic_family ~name:"flipper" ~q_size:2 ~r:2
+    ~init:(fun _g v -> v mod 2)
+    ~family:(fun _q i ->
+      if i = 0 then
+        {
+          Sm.mt_q_size = 2;
+          mt_clauses = [ (Sm.Not (Sm.Thresh (1, 1)), 1) ];
+          mt_default = 0;
+          mt_r_size = 2;
+        }
+      else
+        { Sm.mt_q_size = 2; mt_clauses = []; mt_default = 0; mt_r_size = 2 })
+
+let test_probabilistic_family_runs () =
+  let g = Gen.cycle 12 in
+  let net = Network.init ~rng:(Prng.create ~seed:2) g flipper in
+  (* both branches get exercised; states stay within the alphabet *)
+  for _ = 1 to 200 do
+    ignore (Network.sync_step net);
+    List.iter
+      (fun (_, q) -> Alcotest.(check bool) "in alphabet" true (q = 0 || q = 1))
+      (Network.states net)
+  done
+
+let test_probabilistic_family_draws_uniformly () =
+  (* on a star with a talking centre, leaves flip a fair coin between the
+     two programs each round: roughly half should copy (1), half go
+     quiet (0) *)
+  let g = Gen.star 401 in
+  let automaton =
+    Fssga.of_probabilistic_family ~name:"flip-count" ~q_size:2 ~r:2
+      ~init:(fun _g v -> if v = 0 then 1 else 0)
+      ~family:(fun _q i ->
+        {
+          Sm.mt_q_size = 2;
+          mt_clauses = [];
+          mt_default = i;
+          mt_r_size = 2;
+        })
+  in
+  let net = Network.init ~rng:(Prng.create ~seed:3) g automaton in
+  ignore (Network.sync_step net);
+  let ones = Network.count_if net (fun q -> q = 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "about half the 400 leaves drew i=1 (%d)" ones)
+    true
+    (ones > 140 && ones < 260)
+
+let test_rejects_bad_programs () =
+  Alcotest.check_raises "alphabet mismatch"
+    (Invalid_argument "Fssga.of_probabilistic_family: program alphabet mismatch")
+    (fun () ->
+      ignore
+        (Fssga.of_probabilistic_family ~name:"bad" ~q_size:2 ~r:1
+           ~init:(fun _g _v -> 0)
+           ~family:(fun _ _ ->
+             { Sm.mt_q_size = 3; mt_clauses = []; mt_default = 0; mt_r_size = 3 })))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic family (def 3.10)" `Quick
+      test_deterministic_family;
+    Alcotest.test_case "probabilistic family runs (def 3.11)" `Quick
+      test_probabilistic_family_runs;
+    Alcotest.test_case "uniform randomness draw" `Quick
+      test_probabilistic_family_draws_uniformly;
+    Alcotest.test_case "rejects bad programs" `Quick test_rejects_bad_programs;
+  ]

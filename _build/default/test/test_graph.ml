@@ -1,0 +1,232 @@
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+
+let rng () = Prng.create ~seed:12345
+
+let test_create_basic () =
+  let g = Graph.create ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3); (1, 2) ] in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "duplicate collapsed" 3 (Graph.edge_count g);
+  Alcotest.(check (list int)) "neighbours of 1" [ 0; 2 ] (Graph.neighbours g 1);
+  Alcotest.(check bool) "mem" true (Graph.mem_edge g 2 1);
+  Alcotest.(check bool) "not mem" false (Graph.mem_edge g 0 3)
+
+let test_create_rejects () =
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.create: self-loop")
+    (fun () -> ignore (Graph.create ~n:2 ~edges:[ (1, 1) ]));
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Graph.create: bad endpoint (0,5)") (fun () ->
+      ignore (Graph.create ~n:2 ~edges:[ (0, 5) ]))
+
+let test_remove_edge () =
+  let g = Gen.cycle 5 in
+  Alcotest.(check int) "m" 5 (Graph.edge_count g);
+  Graph.remove_edge_between g 0 1;
+  Alcotest.(check int) "m after" 4 (Graph.edge_count g);
+  Alcotest.(check bool) "gone" false (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "still connected" true (Analysis.is_connected g);
+  (* idempotent *)
+  Graph.remove_edge_between g 0 1;
+  Alcotest.(check int) "idempotent" 4 (Graph.edge_count g)
+
+let test_remove_node () =
+  let g = Gen.star 6 in
+  Graph.remove_node g 0;
+  Alcotest.(check int) "nodes" 5 (Graph.node_count g);
+  Alcotest.(check int) "edges die with node" 0 (Graph.edge_count g);
+  Alcotest.(check int) "degree of dead" 0 (Graph.degree g 0);
+  Alcotest.(check (list int)) "no neighbours" [] (Graph.neighbours g 1);
+  Graph.remove_node g 0;
+  Alcotest.(check int) "idempotent" 5 (Graph.node_count g)
+
+let test_copy_independent () =
+  let g = Gen.cycle 4 in
+  let h = Graph.copy g in
+  Graph.remove_node g 0;
+  Alcotest.(check int) "copy unaffected" 4 (Graph.node_count h);
+  Alcotest.(check int) "original mutated" 3 (Graph.node_count g)
+
+let test_generators_shapes () =
+  let checks =
+    [
+      ("path 10", Gen.path 10, 10, 9);
+      ("cycle 10", Gen.cycle 10, 10, 10);
+      ("complete 6", Gen.complete 6, 6, 15);
+      ("star 7", Gen.star 7, 7, 6);
+      ("grid 3x4", Gen.grid ~rows:3 ~cols:4, 12, 17);
+      ("hypercube 4", Gen.hypercube ~dim:4, 16, 32);
+      ("binary tree d3", Gen.complete_binary_tree ~depth:3, 15, 14);
+      ("theta 2 3 4", Gen.theta 2 3 4, 11, 12);
+      ("barbell 4", Gen.barbell 4, 8, 13);
+      ("lollipop 4 3", Gen.lollipop ~clique:4 ~tail:3, 7, 9);
+      ("petersen", Gen.petersen (), 10, 15);
+    ]
+  in
+  List.iter
+    (fun (name, g, n, m) ->
+      Alcotest.(check int) (name ^ " nodes") n (Graph.node_count g);
+      Alcotest.(check int) (name ^ " edges") m (Graph.edge_count g);
+      Alcotest.(check bool) (name ^ " connected") true (Analysis.is_connected g))
+    checks
+
+let test_petersen_regular () =
+  let g = Gen.petersen () in
+  Graph.iter_nodes g (fun v ->
+      Alcotest.(check int) "3-regular" 3 (Graph.degree g v))
+
+let test_random_tree () =
+  let g = Gen.random_tree (rng ()) 50 in
+  Alcotest.(check int) "n" 50 (Graph.node_count g);
+  Alcotest.(check int) "m = n-1" 49 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Analysis.is_connected g)
+
+let test_random_connected () =
+  let g = Gen.random_connected (rng ()) ~n:40 ~extra_edges:20 in
+  Alcotest.(check int) "m" 59 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Analysis.is_connected g)
+
+let test_random_bipartite () =
+  let g = Gen.random_bipartite (rng ()) ~left:8 ~right:5 ~p:0.4 in
+  Alcotest.(check bool) "connected" true (Analysis.is_connected g);
+  Alcotest.(check bool) "bipartite" true (Analysis.is_bipartite g)
+
+let test_components () =
+  let g = Graph.create ~n:6 ~edges:[ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check (list (list int)))
+    "components" [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ] ] (Analysis.components g)
+
+let test_distances () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let d = Analysis.distances g ~sources:[ 0 ] in
+  Alcotest.(check int) "corner to corner" 4 d.(8);
+  Alcotest.(check int) "centre" 2 d.(4);
+  let d2 = Analysis.distances g ~sources:[ 0; 8 ] in
+  Alcotest.(check int) "multi-source centre" 2 d2.(4);
+  Alcotest.(check int) "multi-source corner" 0 d2.(8)
+
+let test_diameter () =
+  Alcotest.(check int) "path" 9 (Analysis.diameter (Gen.path 10));
+  Alcotest.(check int) "cycle" 5 (Analysis.diameter (Gen.cycle 10));
+  Alcotest.(check int) "complete" 1 (Analysis.diameter (Gen.complete 5));
+  Alcotest.(check int) "petersen" 2 (Analysis.diameter (Gen.petersen ()))
+
+let test_bipartite_oracle () =
+  Alcotest.(check bool) "even cycle" true (Analysis.is_bipartite (Gen.cycle 8));
+  Alcotest.(check bool) "odd cycle" false (Analysis.is_bipartite (Gen.cycle 7));
+  Alcotest.(check bool) "grid" true (Analysis.is_bipartite (Gen.grid ~rows:4 ~cols:5));
+  Alcotest.(check bool) "petersen" false (Analysis.is_bipartite (Gen.petersen ()));
+  Alcotest.(check bool) "tree" true
+    (Analysis.is_bipartite (Gen.complete_binary_tree ~depth:4))
+
+let test_two_colouring_proper () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  match Analysis.two_colouring g with
+  | None -> Alcotest.fail "grid should be bipartite"
+  | Some colours ->
+      Graph.iter_edges g (fun e ->
+          Alcotest.(check bool) "proper" true (colours.(e.u) <> colours.(e.v)))
+
+let test_bridges_path () =
+  let g = Gen.path 6 in
+  Alcotest.(check int) "all path edges are bridges" 5
+    (List.length (Analysis.bridges g))
+
+let test_bridges_cycle () =
+  Alcotest.(check (list int)) "cycle has none" [] (Analysis.bridges (Gen.cycle 6))
+
+let test_bridges_barbell () =
+  let g = Gen.barbell 4 in
+  let bs = Analysis.bridges g in
+  Alcotest.(check int) "exactly one bridge" 1 (List.length bs);
+  let e = Graph.edge g (List.hd bs) in
+  Alcotest.(check (pair int int)) "the middle edge" (3, 4) (e.u, e.v)
+
+let test_bridges_theta () =
+  Alcotest.(check (list int)) "theta bridgeless" []
+    (Analysis.bridges (Gen.theta 2 3 4))
+
+let test_bridges_random_vs_tree () =
+  (* in a tree every edge is a bridge *)
+  let g = Gen.random_tree (rng ()) 30 in
+  Alcotest.(check int) "tree edges all bridges" 29
+    (List.length (Analysis.bridges g))
+
+let test_articulation_barbell () =
+  let g = Gen.barbell 4 in
+  Alcotest.(check (list int)) "both bridge ends" [ 3; 4 ]
+    (Analysis.articulation_points g)
+
+let test_articulation_path () =
+  let g = Gen.path 5 in
+  Alcotest.(check (list int)) "internal nodes" [ 1; 2; 3 ]
+    (Analysis.articulation_points g)
+
+let test_spanning_tree () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let te = Analysis.spanning_tree_edges g in
+  Alcotest.(check int) "n-1 edges" 8 (List.length te)
+
+let test_analyses_respect_faults () =
+  let g = Gen.cycle 6 in
+  Graph.remove_edge_between g 0 1;
+  (* now a path: every edge a bridge *)
+  Alcotest.(check int) "bridges after fault" 5
+    (List.length (Analysis.bridges g));
+  Graph.remove_node g 3;
+  Alcotest.(check int) "components after node fault" 2
+    (List.length (Analysis.components g))
+
+let prop_random_connected_always_connected =
+  QCheck.Test.make ~name:"random_connected is connected" ~count:50
+    QCheck.(pair (int_range 2 60) (int_range 0 40))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (rng ()) ~n ~extra_edges:extra in
+      Analysis.is_connected g)
+
+let prop_bridges_sound =
+  (* removing a reported bridge disconnects; removing a non-bridge does not *)
+  QCheck.Test.make ~name:"bridge oracle sound and complete" ~count:40
+    QCheck.(pair (int_range 3 40) (int_range 0 20))
+    (fun (n, extra) ->
+      let rng = Prng.create ~seed:(n + (1000 * extra)) in
+      let g = Gen.random_connected rng ~n ~extra_edges:extra in
+      let bridges = Analysis.bridges g in
+      List.for_all
+        (fun (e : Graph.edge) ->
+          let h = Graph.copy g in
+          Graph.remove_edge h e.id;
+          let disconnects = not (Analysis.is_connected h) in
+          if List.mem e.id bridges then disconnects else not disconnects)
+        (Graph.edges g))
+
+let suite =
+  [
+    Alcotest.test_case "create basic" `Quick test_create_basic;
+    Alcotest.test_case "create rejects" `Quick test_create_rejects;
+    Alcotest.test_case "remove edge" `Quick test_remove_edge;
+    Alcotest.test_case "remove node" `Quick test_remove_node;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "generator shapes" `Quick test_generators_shapes;
+    Alcotest.test_case "petersen 3-regular" `Quick test_petersen_regular;
+    Alcotest.test_case "random tree" `Quick test_random_tree;
+    Alcotest.test_case "random connected" `Quick test_random_connected;
+    Alcotest.test_case "random bipartite" `Quick test_random_bipartite;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "distances" `Quick test_distances;
+    Alcotest.test_case "diameter" `Quick test_diameter;
+    Alcotest.test_case "bipartite oracle" `Quick test_bipartite_oracle;
+    Alcotest.test_case "two-colouring proper" `Quick test_two_colouring_proper;
+    Alcotest.test_case "bridges: path" `Quick test_bridges_path;
+    Alcotest.test_case "bridges: cycle" `Quick test_bridges_cycle;
+    Alcotest.test_case "bridges: barbell" `Quick test_bridges_barbell;
+    Alcotest.test_case "bridges: theta" `Quick test_bridges_theta;
+    Alcotest.test_case "bridges: tree" `Quick test_bridges_random_vs_tree;
+    Alcotest.test_case "articulation: barbell" `Quick test_articulation_barbell;
+    Alcotest.test_case "articulation: path" `Quick test_articulation_path;
+    Alcotest.test_case "spanning tree" `Quick test_spanning_tree;
+    Alcotest.test_case "analyses respect faults" `Quick test_analyses_respect_faults;
+    QCheck_alcotest.to_alcotest prop_random_connected_always_connected;
+    QCheck_alcotest.to_alcotest prop_bridges_sound;
+  ]

@@ -1,0 +1,145 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Gt = Symnet_algorithms.Greedy_tourist
+
+let run ?(seed = 0) ?(start = 0) ?on_step g =
+  Gt.run ~rng:(Prng.create ~seed) g ~start ?on_step ()
+
+let test_visits_everything () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.node_count g in
+      let stats = run g in
+      Alcotest.(check bool) (name ^ " completed") true stats.Gt.completed;
+      Alcotest.(check int) (name ^ " visited") n stats.Gt.visited)
+    [
+      ("path", Gen.path 15);
+      ("cycle", Gen.cycle 12);
+      ("grid", Gen.grid ~rows:5 ~cols:5);
+      ("star", Gen.star 9);
+      ("complete", Gen.complete 7);
+      ("tree", Gen.complete_binary_tree ~depth:4);
+    ]
+
+let test_path_steps_minimal () =
+  (* on a path starting at one end, the greedy tourist walks straight
+     through: exactly n-1 steps *)
+  let stats = run (Gen.path 20) in
+  Alcotest.(check int) "n-1 steps" 19 stats.Gt.agent_steps
+
+let test_steps_bound_n_log_n () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.node_count g in
+      let stats = run g in
+      let bound =
+        3. *. float_of_int n *. (1. +. (log (float_of_int n) /. log 2.))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s steps %d <= 3n lg n = %.0f" name stats.Gt.agent_steps bound)
+        true
+        (float_of_int stats.Gt.agent_steps <= bound))
+    [
+      ("grid", Gen.grid ~rows:8 ~cols:8);
+      ("random", Gen.random_connected (Prng.create ~seed:3) ~n:100 ~extra_edges:60);
+      ("tree", Gen.complete_binary_tree ~depth:6);
+      ("lollipop", Gen.lollipop ~clique:20 ~tail:20);
+    ]
+
+let test_fssga_rounds_accounted () =
+  let stats = run (Gen.grid ~rows:6 ~cols:6) in
+  Alcotest.(check bool) "rounds > steps" true
+    (stats.Gt.fssga_rounds > stats.Gt.agent_steps);
+  (* O(n log^2 n): each step costs at most 3 lg(max_deg+1)+3 *)
+  let per_step_max = Gt.election_cost ~degree:4 in
+  Alcotest.(check bool) "rounds bounded per-step" true
+    (stats.Gt.fssga_rounds <= stats.Gt.agent_steps * per_step_max)
+
+let test_election_cost_monotone () =
+  Alcotest.(check bool) "monotone" true
+    (Gt.election_cost ~degree:100 > Gt.election_cost ~degree:2);
+  (* logarithmic growth *)
+  Alcotest.(check bool) "log growth" true
+    (Gt.election_cost ~degree:1024 <= 2 * Gt.election_cost ~degree:32)
+
+let test_sensitivity_one_node_faults () =
+  (* killing non-agent nodes mid-run must leave the tourist able to
+     finish the surviving component *)
+  let g = Gen.grid ~rows:6 ~cols:6 in
+  let killed = ref false in
+  let stats =
+    run
+      ~on_step:(fun ~step g pos ->
+        if step = 10 && not !killed then begin
+          killed := true;
+          (* kill a corner that is not the agent and not disconnecting *)
+          let victim = if pos = 35 then 0 else 35 in
+          Graph.remove_node g victim
+        end)
+      g
+  in
+  Alcotest.(check bool) "fault injected" true !killed;
+  Alcotest.(check bool) "completed" true stats.Gt.completed;
+  Alcotest.(check int) "visited the 35 survivors" 35 stats.Gt.visited
+
+let test_edge_fault_reroutes () =
+  let g = Gen.cycle 20 in
+  let stats =
+    run
+      ~on_step:(fun ~step g pos ->
+        if step = 3 then begin
+          (* cut the cycle ahead of the agent, forcing a turnaround *)
+          let ahead = (pos + 2) mod 20 in
+          Graph.remove_edge_between g ahead ((ahead + 1) mod 20)
+        end)
+      g
+  in
+  Alcotest.(check bool) "completed" true stats.Gt.completed;
+  Alcotest.(check int) "all visited" 20 stats.Gt.visited
+
+let test_disconnection_is_graceful () =
+  (* severing half the path strands targets; the tourist must finish its
+     own component and report incomplete coverage but not loop forever *)
+  let g = Gen.path 20 in
+  let stats =
+    run
+      ~on_step:(fun ~step g _pos ->
+        if step = 2 then Graph.remove_edge_between g 10 11)
+      g
+  in
+  Alcotest.(check bool) "terminates" true (stats.Gt.agent_steps < 1000);
+  Alcotest.(check bool) "visited its side" true (stats.Gt.visited >= 11)
+
+let test_start_positions () =
+  List.iter
+    (fun start ->
+      let g = Gen.grid ~rows:4 ~cols:4 in
+      let stats = run ~start g in
+      Alcotest.(check bool)
+        (Printf.sprintf "from %d" start)
+        true stats.Gt.completed)
+    [ 0; 5; 15 ]
+
+let prop_complete_on_random_graphs =
+  QCheck.Test.make ~name:"greedy tourist covers random graphs" ~count:25
+    QCheck.(pair (int_range 2 50) (int_range 0 30))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (Prng.create ~seed:(n * 37 + extra)) ~n ~extra_edges:extra in
+      let stats = run ~seed:(n + extra) g in
+      stats.Gt.completed && stats.Gt.visited = n)
+
+let suite =
+  [
+    Alcotest.test_case "visits everything" `Quick test_visits_everything;
+    Alcotest.test_case "path is walked straight" `Quick test_path_steps_minimal;
+    Alcotest.test_case "steps within n log n" `Quick test_steps_bound_n_log_n;
+    Alcotest.test_case "fssga rounds accounted" `Quick test_fssga_rounds_accounted;
+    Alcotest.test_case "election cost monotone" `Quick test_election_cost_monotone;
+    Alcotest.test_case "survives node faults (1-sensitive)" `Quick
+      test_sensitivity_one_node_faults;
+    Alcotest.test_case "edge fault reroutes" `Quick test_edge_fault_reroutes;
+    Alcotest.test_case "disconnection graceful" `Quick test_disconnection_is_graceful;
+    Alcotest.test_case "start positions" `Quick test_start_positions;
+    QCheck_alcotest.to_alcotest prop_complete_on_random_graphs;
+  ]

@@ -1,0 +1,259 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Network = Symnet_engine.Network
+module Iwa = Symnet_iwa.Iwa
+module Fssga_of_iwa = Symnet_iwa.Fssga_of_iwa
+module Iwa_of_fssga = Symnet_iwa.Iwa_of_fssga
+
+(* A marking program: labels {0 = unmarked, 1 = marked}; the agent greedily
+   moves to unmarked neighbours, marking as it goes, and halts when
+   surrounded by marked nodes.  Simple but exercises conditions, moves and
+   halting. *)
+let greedy_marker : Iwa.program =
+  {
+    n_states = 1;
+    n_labels = 2;
+    start_state = 0;
+    rules =
+      [
+        {
+          cond = { in_state = 0; at_label = 0; present = [ 0 ]; absent = [] };
+          eff = { relabel = 1; move_to = Some 0; next_state = 0 };
+        };
+        {
+          cond = { in_state = 0; at_label = 0; present = []; absent = [ 0 ] };
+          eff = { relabel = 1; move_to = None; next_state = 0 };
+        };
+      ];
+  }
+
+let test_check_program () =
+  Iwa.check_program greedy_marker;
+  Alcotest.check_raises "bad label"
+    (Invalid_argument "Iwa: rule label out of range: 9") (fun () ->
+      Iwa.check_program
+        {
+          greedy_marker with
+          rules =
+            [
+              {
+                cond = { in_state = 0; at_label = 9; present = []; absent = [] };
+                eff = { relabel = 0; move_to = None; next_state = 0 };
+              };
+            ];
+        })
+
+let test_marker_on_path () =
+  (* on a path starting at one end the marker sweeps to the other end *)
+  let g = Gen.path 10 in
+  let r =
+    Iwa.start ~rng:(Prng.create ~seed:1) greedy_marker g ~at:0
+      ~init_labels:(fun _ -> 0)
+  in
+  let steps = Iwa.run_until_halt r ~max_steps:1000 in
+  Alcotest.(check bool) "halted" true (Iwa.halted r);
+  Alcotest.(check int) "9 moves + final relabel" 10 steps;
+  Alcotest.(check int) "ends at far end" 9 (Iwa.agent_position r);
+  Array.iter (fun l -> Alcotest.(check int) "all marked" 1 l) (Iwa.labels r)
+
+let test_marker_on_cycle () =
+  let g = Gen.cycle 8 in
+  let r =
+    Iwa.start ~rng:(Prng.create ~seed:2) greedy_marker g ~at:0
+      ~init_labels:(fun _ -> 0)
+  in
+  ignore (Iwa.run_until_halt r ~max_steps:1000);
+  Array.iter (fun l -> Alcotest.(check int) "all marked" 1 l) (Iwa.labels r)
+
+let test_marker_can_strand_on_star () =
+  (* from the centre of a star the marker marks the centre, jumps to a
+     leaf, marks it, and halts (no unmarked neighbour); coverage is
+     incomplete — the point of needing Milgram's smarter traversal *)
+  let g = Gen.star 5 in
+  let r =
+    Iwa.start ~rng:(Prng.create ~seed:3) greedy_marker g ~at:0
+      ~init_labels:(fun _ -> 0)
+  in
+  ignore (Iwa.run_until_halt r ~max_steps:1000);
+  let marked = Array.fold_left ( + ) 0 (Iwa.labels r) in
+  Alcotest.(check int) "exactly centre + one leaf" 2 marked
+
+let test_missing_move_target_halts () =
+  let p : Iwa.program =
+    {
+      n_states = 1;
+      n_labels = 2;
+      start_state = 0;
+      rules =
+        [
+          {
+            cond = { in_state = 0; at_label = 0; present = []; absent = [] };
+            (* asks to move to label 1, but nobody has it *)
+            eff = { relabel = 0; move_to = Some 1; next_state = 0 };
+          };
+        ];
+    }
+  in
+  let g = Gen.path 3 in
+  let r = Iwa.start ~rng:(Prng.create ~seed:4) p g ~at:1 ~init_labels:(fun _ -> 0) in
+  Alcotest.(check bool) "step fails" false (Iwa.step r);
+  Alcotest.(check bool) "halted" true (Iwa.halted r)
+
+(* ----------------------------------------------------------------- *)
+(* FSSGA simulating an IWA                                             *)
+(* ----------------------------------------------------------------- *)
+
+let test_fssga_simulation_matches_interpreter () =
+  (* on a path the greedy marker is deterministic up to move choice with
+     a unique candidate, so interpreter and simulation must agree *)
+  let g1 = Gen.path 12 and g2 = Gen.path 12 in
+  let r =
+    Iwa.start ~rng:(Prng.create ~seed:5) greedy_marker g1 ~at:0
+      ~init_labels:(fun _ -> 0)
+  in
+  ignore (Iwa.run_until_halt r ~max_steps:1000);
+  let stats =
+    Fssga_of_iwa.run ~rng:(Prng.create ~seed:6) greedy_marker g2 ~at:0
+      ~init_labels:(fun _ -> 0) ~max_rounds:100_000
+  in
+  Alcotest.(check bool) "simulation halted" true stats.Fssga_of_iwa.halted;
+  (* both runs mark the whole path *)
+  let net = Network.init ~rng:(Prng.create ~seed:6) (Gen.path 12)
+      (Fssga_of_iwa.automaton greedy_marker ~start:0 ~init_labels:(fun _ -> 0))
+  in
+  ignore net
+
+let test_fssga_simulation_full_marking () =
+  let g = Gen.path 12 in
+  let net =
+    Network.init ~rng:(Prng.create ~seed:7) g
+      (Fssga_of_iwa.automaton greedy_marker ~start:0 ~init_labels:(fun _ -> 0))
+  in
+  let rounds = ref 0 in
+  while (not (Fssga_of_iwa.agent_halted net)) && !rounds < 50_000 do
+    ignore (Network.sync_step net);
+    incr rounds
+  done;
+  Alcotest.(check bool) "halted" true (Fssga_of_iwa.agent_halted net);
+  Array.iter
+    (fun l -> Alcotest.(check int) "all marked" 1 l)
+    (Fssga_of_iwa.iwa_labels net)
+
+let test_fssga_simulation_single_agent_invariant () =
+  let g = Gen.grid ~rows:3 ~cols:4 in
+  let net =
+    Network.init ~rng:(Prng.create ~seed:8) g
+      (Fssga_of_iwa.automaton greedy_marker ~start:0 ~init_labels:(fun _ -> 0))
+  in
+  for _ = 1 to 2_000 do
+    ignore (Network.sync_step net);
+    let agents = Network.count_if net Fssga_of_iwa.has_agent in
+    Alcotest.(check int) "exactly one agent" 1 agents
+  done
+
+let test_move_delay_logarithmic () =
+  (* rounds for the agent's first move from a star centre grow like
+     log(degree): going from 4 to 64 candidates (16x) should cost well
+     under 4x the rounds *)
+  let first_move_rounds d seed =
+    let g = Gen.star (d + 1) in
+    let net =
+      Network.init ~rng:(Prng.create ~seed) g
+        (Fssga_of_iwa.automaton greedy_marker ~start:0 ~init_labels:(fun _ -> 0))
+    in
+    let rounds = ref 0 in
+    while Fssga_of_iwa.agent_position net = Some 0 && !rounds < 10_000 do
+      ignore (Network.sync_step net);
+      incr rounds
+    done;
+    !rounds
+  in
+  let mean d =
+    let trials = 40 in
+    let total = ref 0 in
+    for seed = 1 to trials do
+      total := !total + first_move_rounds d (seed + (1000 * d))
+    done;
+    float_of_int !total /. float_of_int trials
+  in
+  let r4 = mean 4 and r64 = mean 64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "r64=%.1f / r4=%.1f < 4 (candidates grew 16x)" r64 r4)
+    true
+    (r64 /. r4 < 4.);
+  Alcotest.(check bool) "more candidates cost more" true (r64 > r4)
+
+(* ----------------------------------------------------------------- *)
+(* IWA simulating a synchronous FSSGA round                            *)
+(* ----------------------------------------------------------------- *)
+
+(* max-flood transition over integer states *)
+let max_step ~cap =
+ fun ~self view ->
+  let rec scan best j =
+    if j > cap then best
+    else if j > best && View.at_least view j 1 then scan j (j + 1)
+    else scan best (j + 1)
+  in
+  scan self 0
+
+let test_round_simulation_correct () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let states = Array.init 16 (fun v -> v) in
+  (* reference: one synchronous round *)
+  let reference = Array.copy states in
+  let snapshot = Array.copy states in
+  Graph.iter_nodes g (fun v ->
+      let view =
+        View.of_list (List.map (fun w -> snapshot.(w)) (Graph.neighbours g v))
+      in
+      reference.(v) <- (max_step ~cap:15) ~self:snapshot.(v) view);
+  let _stats = Iwa_of_fssga.simulate_round ~step:(max_step ~cap:15) g ~states in
+  Alcotest.(check (array int)) "round agrees" reference states
+
+let test_round_simulation_iterated () =
+  let g = Gen.path 10 in
+  let states = Array.init 10 (fun v -> v) in
+  ignore (Iwa_of_fssga.simulate_rounds ~step:(max_step ~cap:9) g ~states ~rounds:9);
+  Array.iter (fun s -> Alcotest.(check int) "flooded" 9 s) states
+
+let test_round_cost_linear_in_m () =
+  let cost g =
+    let n = Graph.original_size g in
+    let states = Array.make n 0 in
+    (Iwa_of_fssga.simulate_round ~step:(max_step ~cap:1) g ~states).Iwa_of_fssga.agent_moves
+  in
+  let sparse = cost (Gen.cycle 64) in
+  let dense = cost (Gen.complete 64) in
+  (* moves = 4m + O(n): cycle m=64 vs complete m=2016 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cycle %d < 8*64 + 4*64" sparse)
+    true
+    (sparse <= (4 * 64) + (4 * 64));
+  Alcotest.(check bool)
+    (Printf.sprintf "complete %d ~ 4m" dense)
+    true
+    (dense >= 4 * 2016 && dense <= (4 * 2016) + (4 * 64))
+
+let suite =
+  [
+    Alcotest.test_case "check_program" `Quick test_check_program;
+    Alcotest.test_case "marker sweeps a path" `Quick test_marker_on_path;
+    Alcotest.test_case "marker covers a cycle" `Quick test_marker_on_cycle;
+    Alcotest.test_case "marker strands on star" `Quick test_marker_can_strand_on_star;
+    Alcotest.test_case "missing move target halts" `Quick
+      test_missing_move_target_halts;
+    Alcotest.test_case "fssga simulation matches" `Quick
+      test_fssga_simulation_matches_interpreter;
+    Alcotest.test_case "fssga simulation marks all" `Quick
+      test_fssga_simulation_full_marking;
+    Alcotest.test_case "single agent invariant" `Quick
+      test_fssga_simulation_single_agent_invariant;
+    Alcotest.test_case "move delay logarithmic" `Quick test_move_delay_logarithmic;
+    Alcotest.test_case "round simulation correct" `Quick test_round_simulation_correct;
+    Alcotest.test_case "round simulation iterated" `Quick
+      test_round_simulation_iterated;
+    Alcotest.test_case "round cost linear in m" `Quick test_round_cost_linear_in_m;
+  ]

@@ -1,0 +1,133 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Mp = Symnet_engine.Message_passing
+module Sl = Symnet_core.Semilattice
+
+(* Flooding broadcast: the originator sends Token once; every node that
+   first receives Token forwards it once and becomes informed. *)
+type flood_state = { informed : bool; forwarded : bool }
+
+let flood ~originator : (flood_state, unit) Mp.protocol =
+  {
+    name = "flood";
+    init =
+      (fun _g v ->
+        if v = originator then ({ informed = true; forwarded = true }, Some ())
+        else ({ informed = false; forwarded = false }, None));
+    round =
+      (fun ~self ~rng:_ ~inbox ->
+        if self.informed then ({ self with forwarded = true }, None)
+        else if not (View.is_empty inbox) then
+          ({ informed = true; forwarded = true }, Some ())
+        else (self, None));
+  }
+
+let test_flood_informs_in_distance_rounds () =
+  let g = Gen.grid ~rows:6 ~cols:6 in
+  let dist = Analysis.distances g ~sources:[ 0 ] in
+  let net = Network.init ~rng:(Prng.create ~seed:1) g (Mp.to_fssga (flood ~originator:0)) in
+  let informed_round = Array.make 36 0 in
+  for round = 1 to 30 do
+    ignore (Network.sync_step net);
+    List.iter
+      (fun (v, n) ->
+        if (Mp.state n).informed && informed_round.(v) = 0 then
+          informed_round.(v) <- round)
+      (Network.states net)
+  done;
+  Graph.iter_nodes g (fun v ->
+      if v <> 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "node %d informed at its distance" v)
+          dist.(v) informed_round.(v))
+
+let test_flood_quiesces () =
+  let g = Gen.cycle 15 in
+  let net = Network.init ~rng:(Prng.create ~seed:2) g (Mp.to_fssga (flood ~originator:0)) in
+  let o = Runner.run ~max_rounds:200 net in
+  Alcotest.(check bool) "quiesced" true o.Runner.quiesced;
+  Alcotest.(check int) "everyone informed" 15
+    (Network.count_if net (fun n -> (Mp.state n).informed))
+
+(* Max computation by messages: every node repeatedly broadcasts the
+   largest value it has heard. *)
+let max_protocol : (int, int) Mp.protocol =
+  {
+    name = "mp-max";
+    init = (fun _g v -> (v, Some v));
+    round =
+      (fun ~self ~rng:_ ~inbox ->
+        let best =
+          match View.join_with max inbox with
+          | Some m -> max self m
+          | None -> self
+        in
+        (best, if best > self then Some best else None));
+  }
+
+let test_mp_max_agrees_with_gossip () =
+  let g = Gen.random_connected (Prng.create ~seed:3) ~n:30 ~extra_edges:15 in
+  let g2 = Graph.copy g in
+  let net = Network.init ~rng:(Prng.create ~seed:4) g (Mp.to_fssga max_protocol) in
+  ignore (Runner.run ~max_rounds:1_000 net);
+  let gossip_net =
+    Network.init ~rng:(Prng.create ~seed:5) g2
+      (Sl.gossip Sl.max_int_lattice ~init:(fun _g v -> v))
+  in
+  ignore (Runner.run ~max_rounds:1_000 gossip_net);
+  List.iter2
+    (fun (v1, n) (v2, s) ->
+      Alcotest.(check int) "same node" v1 v2;
+      Alcotest.(check int)
+        (Printf.sprintf "node %d: message passing = gossip" v1)
+        s (Mp.state n))
+    (Network.states net) (Network.states gossip_net)
+
+let test_messages_live_one_round () =
+  (* after the initial burst, a node that stops sending has an empty
+     outbox visible to neighbours *)
+  let g = Gen.path 3 in
+  let net = Network.init ~rng:(Prng.create ~seed:6) g (Mp.to_fssga (flood ~originator:0)) in
+  ignore (Network.sync_step net);
+  (* round 1: originator's initial token was consumed; its new outbox is
+     empty *)
+  Alcotest.(check (option unit)) "outbox cleared" None
+    (Mp.outbox (Network.state net 0));
+  Alcotest.(check bool) "node 1 informed" true
+    (Mp.state (Network.state net 1)).informed;
+  Alcotest.(check bool) "node 2 not yet" false
+    (Mp.state (Network.state net 2)).informed
+
+let test_inbox_multiplicity_visible () =
+  (* a node can count identical messages up to a cap — the inbox is a
+     genuine multiset view *)
+  let counting : (int, unit) Mp.protocol =
+    {
+      name = "count";
+      init = (fun _g v -> (0, if v <> 0 then Some () else None));
+      round =
+        (fun ~self ~rng:_ ~inbox ->
+          if self = 0 then (View.count_where_upto inbox (fun () -> true) ~cap:9, None)
+          else (self, None));
+    }
+  in
+  let g = Gen.star 6 in
+  let net = Network.init ~rng:(Prng.create ~seed:7) g (Mp.to_fssga counting) in
+  ignore (Network.sync_step net);
+  Alcotest.(check int) "centre counted 5 tokens" 5
+    (Mp.state (Network.state net 0))
+
+let suite =
+  [
+    Alcotest.test_case "flood informs at distance" `Quick
+      test_flood_informs_in_distance_rounds;
+    Alcotest.test_case "flood quiesces" `Quick test_flood_quiesces;
+    Alcotest.test_case "mp max = gossip max" `Quick test_mp_max_agrees_with_gossip;
+    Alcotest.test_case "messages live one round" `Quick test_messages_live_one_round;
+    Alcotest.test_case "inbox multiplicities" `Quick test_inbox_multiplicity_visible;
+  ]

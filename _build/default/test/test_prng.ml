@@ -1,0 +1,151 @@
+module Prng = Symnet_prng.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_divergence () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "nearby seeds diverge" 0 !same
+
+let test_copy () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let child = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 child then incr same
+  done;
+  Alcotest.(check int) "split streams differ" 0 !same
+
+let test_int_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_int_uniformity () =
+  let g = Prng.create ~seed:11 in
+  let counts = Array.make 10 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Prng.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 10 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (abs (c - expected) < expected / 10))
+    counts
+
+let test_float_range () =
+  let g = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let f = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_bool_balance () =
+  let g = Prng.create ~seed:13 in
+  let heads = ref 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    if Prng.bool g then incr heads
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fair coin (%d)" !heads)
+    true
+    (abs (!heads - (trials / 2)) < trials / 50)
+
+let test_bernoulli () =
+  let g = Prng.create ~seed:17 in
+  let hits = ref 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    if Prng.bernoulli g ~p:0.25 then incr hits
+  done;
+  let observed = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "p=0.25 (got %.3f)" observed)
+    true
+    (abs_float (observed -. 0.25) < 0.01)
+
+let test_geometric_bit () =
+  let g = Prng.create ~seed:19 in
+  let counts = Array.make 5 0 in
+  let nones = ref 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    match Prng.geometric_bit g ~max:4 with
+    | Some i -> counts.(i) <- counts.(i) + 1
+    | None -> incr nones
+  done;
+  (* P(i) = 2^-i for i in 1..4, None with 2^-4 *)
+  List.iter
+    (fun i ->
+      let expected = float_of_int trials *. (2. ** float_of_int (-i)) in
+      let got = float_of_int counts.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "P(%d) ~ 2^-%d (got %.0f want %.0f)" i i got expected)
+        true
+        (abs_float (got -. expected) < (expected /. 10.) +. 50.))
+    [ 1; 2; 3; 4 ];
+  let expected_none = float_of_int trials /. 16. in
+  Alcotest.(check bool)
+    "P(None) ~ 2^-4" true
+    (abs_float (float_of_int !nones -. expected_none) < expected_none /. 5.)
+
+let test_permutation () =
+  let g = Prng.create ~seed:23 in
+  let p = Prng.permutation g 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_uniform_small () =
+  (* All 6 permutations of 3 elements should appear roughly equally. *)
+  let g = Prng.create ~seed:29 in
+  let tbl = Hashtbl.create 6 in
+  let trials = 60_000 in
+  for _ = 1 to trials do
+    let a = [| 0; 1; 2 |] in
+    Prng.shuffle g a;
+    let key = Array.to_list a in
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  done;
+  Alcotest.(check int) "all 6 orders occur" 6 (Hashtbl.length tbl);
+  Hashtbl.iter
+    (fun _ c ->
+      Alcotest.(check bool) "near uniform" true (abs (c - 10_000) < 1_000))
+    tbl
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed divergence" `Quick test_seed_divergence;
+    Alcotest.test_case "copy replays" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bool balance" `Slow test_bool_balance;
+    Alcotest.test_case "bernoulli" `Slow test_bernoulli;
+    Alcotest.test_case "geometric bit distribution" `Slow test_geometric_bit;
+    Alcotest.test_case "permutation" `Quick test_permutation;
+    Alcotest.test_case "shuffle uniformity" `Slow test_shuffle_uniform_small;
+  ]

@@ -1,0 +1,129 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Rw = Symnet_algorithms.Random_walk
+
+let test_single_walker_invariant () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net = Network.init ~rng:(Prng.create ~seed:1) g (Rw.automaton ~start:0) in
+  for _ = 1 to 2_000 do
+    ignore (Network.sync_step net);
+    let walkers = Network.count_if net Rw.is_walker in
+    Alcotest.(check int) "exactly one walker" 1 walkers
+  done
+
+let test_walker_moves () =
+  let g = Gen.cycle 6 in
+  let stats = Rw.run_moves ~rng:(Prng.create ~seed:2) g ~start:0 ~moves:50 () in
+  Alcotest.(check int) "50 moves" 50 stats.Rw.moves;
+  Alcotest.(check bool) "took rounds" true (stats.Rw.rounds > 50)
+
+let test_moves_are_edges () =
+  (* every recorded arrival is a neighbour of the previous position *)
+  let g = Gen.petersen () in
+  let net = Network.init ~rng:(Prng.create ~seed:3) g (Rw.automaton ~start:0) in
+  let pos = ref 0 in
+  for _ = 1 to 3_000 do
+    ignore (Network.sync_step net);
+    match Rw.walker_position net with
+    | Some p when p <> !pos ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%d -> %d is an edge" !pos p)
+          true
+          (Graph.mem_edge g !pos p);
+        pos := p
+    | _ -> ()
+  done
+
+let test_destination_uniform_on_star () =
+  (* from the centre of a star, each leaf should win equally often *)
+  let d = 8 in
+  let g = Gen.star (d + 1) in
+  let trials = 800 in
+  let counts = Array.make (d + 1) 0 in
+  let rng = Prng.create ~seed:4 in
+  for _ = 1 to trials do
+    let g = Gen.star (d + 1) in
+    let net = Network.init ~rng g (Rw.automaton ~start:0) in
+    let dest = ref None in
+    while !dest = None do
+      ignore (Network.sync_step net);
+      match Rw.walker_position net with
+      | Some p when p <> 0 -> dest := Some p
+      | _ -> ()
+    done;
+    match !dest with
+    | Some p -> counts.(p) <- counts.(p) + 1
+    | None -> assert false
+  done;
+  ignore g;
+  let expected = trials / d in
+  for leaf = 1 to d do
+    Alcotest.(check bool)
+      (Printf.sprintf "leaf %d count %d ~ %d" leaf counts.(leaf) expected)
+      true
+      (abs (counts.(leaf) - expected) < expected / 2)
+  done
+
+let test_rounds_scale_logarithmically () =
+  (* mean rounds per move on a star of degree d grows like log d: the
+     ratio rounds(d=64)/rounds(d=4) should be well below 64/4 = 16 *)
+  let mean_rounds d =
+    let g = Gen.star (d + 1) in
+    (* walker at the centre must pick one of d leaves; run many moves but
+       always from the centre by restarting *)
+    let total = ref 0 in
+    let trials = 60 in
+    let rng = Prng.create ~seed:(5 + d) in
+    for _ = 1 to trials do
+      let g = Gen.star (d + 1) in
+      let net = Network.init ~rng g (Rw.automaton ~start:0) in
+      let rounds = ref 0 in
+      let moved = ref false in
+      while not !moved do
+        ignore (Network.sync_step net);
+        incr rounds;
+        match Rw.walker_position net with
+        | Some p when p <> 0 -> moved := true
+        | _ -> ()
+      done;
+      total := !total + !rounds
+    done;
+    ignore g;
+    float_of_int !total /. float_of_int trials
+  in
+  let r4 = mean_rounds 4 and r64 = mean_rounds 64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "r64=%.1f / r4=%.1f < 4" r64 r4)
+    true
+    (r64 /. r4 < 4.);
+  Alcotest.(check bool) "more neighbours take longer" true (r64 > r4)
+
+let test_visits_cover_graph () =
+  (* a long walk visits every node of a small connected graph *)
+  let g = Gen.random_connected (Prng.create ~seed:6) ~n:12 ~extra_edges:6 in
+  let stats = Rw.run_moves ~rng:(Prng.create ~seed:7) g ~start:0 ~moves:2_000 () in
+  Array.iteri
+    (fun v c ->
+      if v <> 0 then
+        Alcotest.(check bool) (Printf.sprintf "node %d visited" v) true (c > 0))
+    stats.Rw.visits
+
+let test_two_node_graph () =
+  let g = Gen.path 2 in
+  let stats = Rw.run_moves ~rng:(Prng.create ~seed:8) g ~start:0 ~moves:10 () in
+  Alcotest.(check int) "bounces" 10 stats.Rw.moves
+
+let suite =
+  [
+    Alcotest.test_case "single walker invariant" `Quick test_single_walker_invariant;
+    Alcotest.test_case "walker moves" `Quick test_walker_moves;
+    Alcotest.test_case "moves follow edges" `Quick test_moves_are_edges;
+    Alcotest.test_case "uniform destination on star" `Slow
+      test_destination_uniform_on_star;
+    Alcotest.test_case "rounds scale like log d" `Slow
+      test_rounds_scale_logarithmically;
+    Alcotest.test_case "long walk covers graph" `Quick test_visits_cover_graph;
+    Alcotest.test_case "two-node bounce" `Quick test_two_node_graph;
+  ]

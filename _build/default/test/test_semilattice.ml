@@ -1,0 +1,106 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Scheduler = Symnet_engine.Scheduler
+module Fault = Symnet_engine.Fault
+module Sl = Symnet_core.Semilattice
+
+let ints = List.init 16 Fun.id
+
+let test_laws () =
+  Alcotest.(check bool) "bor" true (Sl.laws_hold Sl.bor ~elements:ints);
+  Alcotest.(check bool) "max" true (Sl.laws_hold Sl.max_int_lattice ~elements:ints);
+  Alcotest.(check bool) "min" true (Sl.laws_hold Sl.min_int_lattice ~elements:ints);
+  Alcotest.(check bool) "union" true
+    (Sl.laws_hold (Sl.union ()) ~elements:[ []; [ 1 ]; [ 2 ]; [ 1; 2 ]; [ 3 ] ]);
+  (* a non-semilattice op fails the check *)
+  let plus = Sl.make ~name:"plus" ~join:( + ) in
+  Alcotest.(check bool) "plus is not idempotent" false
+    (Sl.laws_hold plus ~elements:ints)
+
+let converge ?faults ?(scheduler = Scheduler.Synchronous) l g init =
+  let net = Network.init ~rng:(Prng.create ~seed:5) g (Sl.gossip l ~init:(fun _g v -> init v)) in
+  let o = Runner.run ?faults ~scheduler ~max_rounds:100_000 net in
+  (net, o)
+
+let check_fixpoint l g init net =
+  List.iter
+    (fun (v, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d at component join" v)
+        true
+        (Network.state net v = expected))
+    (Sl.component_fixpoint l g ~init)
+
+let test_gossip_converges () =
+  let g = Gen.grid ~rows:5 ~cols:5 in
+  let init v = 1 lsl (v mod 12) in
+  let net, o = converge Sl.bor g init in
+  Alcotest.(check bool) "quiesced" true o.Runner.quiesced;
+  check_fixpoint Sl.bor g init net
+
+let test_gossip_async () =
+  let g = Gen.random_connected (Prng.create ~seed:2) ~n:40 ~extra_edges:20 in
+  let init v = v * 3 mod 17 in
+  let net, o = converge ~scheduler:Scheduler.Random_permutation Sl.max_int_lattice g init in
+  Alcotest.(check bool) "quiesced" true o.Runner.quiesced;
+  check_fixpoint Sl.max_int_lattice g init net
+
+let test_gossip_union () =
+  let g = Gen.cycle 9 in
+  let l = Sl.union () in
+  let init v = [ v mod 4 ] in
+  let net, _ = converge l g init in
+  check_fixpoint l g init net
+
+let test_automatic_fault_tolerance () =
+  (* the §5 point: benign faults need no special handling at all *)
+  let g = Gen.cycle 30 in
+  let init v = 1 lsl (v mod 10) in
+  let faults =
+    [
+      { Fault.at_round = 2; action = Fault.Kill_edge (0, 1) };
+      { Fault.at_round = 4; action = Fault.Kill_node 15 };
+    ]
+  in
+  let net, o = converge ~faults Sl.bor g init in
+  Alcotest.(check bool) "quiesced" true o.Runner.quiesced;
+  (* after the faults the graph may have split; every component must sit
+     at its own join *)
+  check_fixpoint Sl.bor (Network.graph net) init net
+
+let test_min_is_shortest_path_core () =
+  (* min-gossip over (label+1)-style is the §2.2 skeleton; plain min
+     converges to the global minimum *)
+  let g = Gen.complete_binary_tree ~depth:4 in
+  let init v = 100 - v in
+  let net, _ = converge Sl.min_int_lattice g init in
+  List.iter
+    (fun (_, s) -> Alcotest.(check int) "global min everywhere" (100 - 30) s)
+    (Network.states net)
+
+let prop_random_lattice_runs =
+  QCheck.Test.make ~name:"gossip reaches component join on random graphs"
+    ~count:30
+    QCheck.(pair (int_range 2 40) (int_range 0 25))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (Prng.create ~seed:(n + (59 * extra))) ~n ~extra_edges:extra in
+      let init v = (v * 7) land 0xff in
+      let net, _ = converge Sl.bor g init in
+      List.for_all
+        (fun (v, expected) -> Network.state net v = expected)
+        (Sl.component_fixpoint Sl.bor g ~init))
+
+let suite =
+  [
+    Alcotest.test_case "laws" `Quick test_laws;
+    Alcotest.test_case "gossip converges (sync)" `Quick test_gossip_converges;
+    Alcotest.test_case "gossip converges (async)" `Quick test_gossip_async;
+    Alcotest.test_case "set-union gossip" `Quick test_gossip_union;
+    Alcotest.test_case "automatic fault tolerance" `Quick
+      test_automatic_fault_tolerance;
+    Alcotest.test_case "min gossip" `Quick test_min_is_shortest_path_core;
+    QCheck_alcotest.to_alcotest prop_random_lattice_runs;
+  ]

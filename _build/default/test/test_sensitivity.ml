@@ -1,0 +1,129 @@
+module Gen = Symnet_graph.Gen
+module Prng = Symnet_prng.Prng
+module Sens = Symnet_sensitivity.Sensitivity
+module Census = Symnet_algorithms.Census
+
+let rng () = Prng.create ~seed:2024
+
+let graph () = Gen.random_connected (Prng.create ~seed:99) ~n:24 ~extra_edges:16
+
+let test_census_zero_sensitive () =
+  let report =
+    Sens.estimate ~rng:(rng ())
+      (Sens.census_instance ~k:(Census.recommended_k 24))
+      ~graph ~trials:10 ~faults_per_trial:3 ~max_steps:200
+  in
+  Alcotest.(check int) "chi always empty" 0 report.Sens.max_critical;
+  Alcotest.(check int) "all reasonably correct" report.Sens.trials
+    report.Sens.correct
+
+let test_shortest_paths_zero_sensitive () =
+  let report =
+    Sens.estimate ~rng:(rng ())
+      (Sens.shortest_paths_instance ~sinks:[ 0 ])
+      ~graph ~trials:10 ~faults_per_trial:3 ~max_steps:300
+  in
+  Alcotest.(check int) "chi always empty" 0 report.Sens.max_critical;
+  Alcotest.(check int) "labels always exact" report.Sens.trials
+    report.Sens.correct
+
+let test_bridges_one_sensitive () =
+  let report =
+    Sens.estimate ~rng:(rng ())
+      (Sens.bridges_instance ~steps_per_advance:50)
+      ~graph ~trials:8 ~faults_per_trial:2 ~max_steps:400
+  in
+  Alcotest.(check int) "chi is the agent" 1 report.Sens.max_critical;
+  Alcotest.(check int) "sound on all trials" report.Sens.trials
+    report.Sens.correct
+
+let test_greedy_tourist_one_sensitive () =
+  let report =
+    Sens.estimate ~rng:(rng ())
+      (Sens.greedy_tourist_instance ())
+      ~graph ~trials:10 ~faults_per_trial:3 ~max_steps:2_000
+  in
+  Alcotest.(check int) "chi is the agent" 1 report.Sens.max_critical;
+  Alcotest.(check int) "covers surviving component" report.Sens.trials
+    report.Sens.correct
+
+let test_milgram_theta_n_sensitive () =
+  (* the interesting number: Milgram's chi grows with n (the whole arm) *)
+  let report_small =
+    Sens.estimate ~rng:(rng ())
+      (Sens.milgram_instance ())
+      ~graph:(fun () -> Gen.path 8)
+      ~trials:3 ~faults_per_trial:0 ~max_steps:100_000
+  in
+  let report_large =
+    Sens.estimate ~rng:(rng ())
+      (Sens.milgram_instance ())
+      ~graph:(fun () -> Gen.path 24)
+      ~trials:3 ~faults_per_trial:0 ~max_steps:100_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi grows with n: %d -> %d" report_small.Sens.max_critical
+       report_large.Sens.max_critical)
+    true
+    (report_large.Sens.max_critical > report_small.Sens.max_critical);
+  Alcotest.(check bool) "chi reaches Theta(n)" true
+    (report_large.Sens.max_critical >= 12)
+
+let test_milgram_correct_without_faults () =
+  let report =
+    Sens.estimate ~rng:(rng ())
+      (Sens.milgram_instance ())
+      ~graph:(fun () -> Gen.grid ~rows:3 ~cols:4)
+      ~trials:3 ~faults_per_trial:0 ~max_steps:100_000
+  in
+  Alcotest.(check int) "completes fault-free" report.Sens.trials
+    report.Sens.correct
+
+let test_tree_census_large_chi () =
+  let report =
+    Sens.estimate ~rng:(rng ())
+      (Sens.tree_census_instance ())
+      ~graph:(fun () -> Gen.complete_binary_tree ~depth:4)
+      ~trials:4 ~faults_per_trial:2 ~max_steps:100
+  in
+  (* a depth-4 complete binary tree has 15 internal nodes *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi = internal nodes (%d >= 10)" report.Sens.max_critical)
+    true
+    (report.Sens.max_critical >= 10);
+  Alcotest.(check int) "correct when faults are non-critical"
+    report.Sens.trials report.Sens.correct
+
+let test_sensitivity_ranking () =
+  (* the paper's qualitative ranking: decentralized < agent < tree *)
+  let chi_of instance graph trials steps =
+    (Sens.estimate ~rng:(rng ()) instance ~graph ~trials ~faults_per_trial:1
+       ~max_steps:steps)
+      .Sens.max_critical
+  in
+  let census = chi_of (Sens.census_instance ~k:10) graph 3 100 in
+  let tourist = chi_of (Sens.greedy_tourist_instance ()) graph 3 1_000 in
+  let tree =
+    chi_of (Sens.tree_census_instance ())
+      (fun () -> Gen.random_tree (Prng.create ~seed:4) 24)
+      3 100
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "census %d < tourist %d < tree %d" census tourist tree)
+    true
+    (census < tourist && tourist < tree)
+
+let suite =
+  [
+    Alcotest.test_case "census is 0-sensitive" `Quick test_census_zero_sensitive;
+    Alcotest.test_case "shortest paths is 0-sensitive" `Quick
+      test_shortest_paths_zero_sensitive;
+    Alcotest.test_case "bridge walk is 1-sensitive" `Quick test_bridges_one_sensitive;
+    Alcotest.test_case "greedy tourist is 1-sensitive" `Quick
+      test_greedy_tourist_one_sensitive;
+    Alcotest.test_case "milgram chi grows with n" `Quick test_milgram_theta_n_sensitive;
+    Alcotest.test_case "milgram correct fault-free" `Quick
+      test_milgram_correct_without_faults;
+    Alcotest.test_case "tree census has big chi" `Quick test_tree_census_large_chi;
+    Alcotest.test_case "sensitivity ranking" `Quick test_sensitivity_ranking;
+  ]

@@ -1,0 +1,137 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Scheduler = Symnet_engine.Scheduler
+module Fault = Symnet_engine.Fault
+module Sp = Symnet_algorithms.Shortest_paths
+
+let setup ?(sinks = [ 0 ]) g =
+  let cap = Graph.node_count g in
+  Network.init ~rng:(Prng.create ~seed:42) g (Sp.automaton ~sinks ~cap)
+
+let check_labels net g sinks =
+  let dist = Analysis.distances g ~sources:sinks in
+  let cap = Graph.original_size g in
+  List.iter
+    (fun (v, s) ->
+      let expected = if dist.(v) = max_int then cap else min cap dist.(v) in
+      Alcotest.(check int) (Printf.sprintf "label of %d" v) expected (Sp.label s))
+    (Network.states net)
+
+let test_grid_converges () =
+  let g = Gen.grid ~rows:6 ~cols:6 in
+  let net = setup g in
+  let outcome = Runner.run net in
+  Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+  check_labels net g [ 0 ]
+
+let test_converges_within_d_rounds () =
+  (* a node at distance d stabilizes within d rounds (+1 round to detect
+     quiescence) *)
+  let g = Gen.path 30 in
+  let net = setup g in
+  let outcome = Runner.run net in
+  Alcotest.(check bool) "rounds <= diameter + 1" true
+    (outcome.Runner.rounds <= Analysis.diameter g + 1)
+
+let test_multiple_sinks () =
+  let g = Gen.grid ~rows:5 ~cols:5 in
+  let sinks = [ 0; 24 ] in
+  let net = setup ~sinks g in
+  ignore (Runner.run net);
+  check_labels net g sinks
+
+let test_no_sink_caps () =
+  let g = Gen.cycle 8 in
+  let net = setup ~sinks:[] g in
+  ignore (Runner.run ~max_rounds:100 net);
+  List.iter
+    (fun (_, s) -> Alcotest.(check int) "capped" 8 (Sp.label s))
+    (Network.states net)
+
+let test_async () =
+  let g = Gen.random_connected (Prng.create ~seed:5) ~n:40 ~extra_edges:20 in
+  let net = setup g in
+  let outcome = Runner.run ~scheduler:Scheduler.Random_permutation net in
+  Alcotest.(check bool) "quiesced" true outcome.Runner.quiesced;
+  check_labels net g [ 0 ]
+
+let test_zero_sensitivity_edge_fault () =
+  (* kill an edge mid-run; labels re-converge to the new distances *)
+  let g = Gen.cycle 20 in
+  let faults = [ { Fault.at_round = 2; action = Fault.Kill_edge (10, 11) } ] in
+  let net = setup g in
+  ignore (Runner.run ~faults net);
+  check_labels net g [ 0 ]
+
+let test_zero_sensitivity_node_fault () =
+  let g = Gen.grid ~rows:5 ~cols:5 in
+  let faults = [ { Fault.at_round = 3; action = Fault.Kill_node 12 } ] in
+  let net = setup g in
+  ignore (Runner.run ~faults net);
+  check_labels net g [ 0 ]
+
+let test_labels_rise_after_disconnection () =
+  (* cutting off the sink leaves the far side capped *)
+  let g = Gen.path 10 in
+  let net = setup g in
+  ignore (Runner.run net);
+  (* disconnect after full convergence, then let it re-converge *)
+  Graph.remove_edge_between g 4 5;
+  ignore (Runner.run net);
+  check_labels net g [ 0 ]
+
+let test_routing_follows_shortest_path () =
+  let g = Gen.grid ~rows:6 ~cols:6 in
+  let net = setup g in
+  ignore (Runner.run net);
+  let dist = Analysis.distances g ~sources:[ 0 ] in
+  List.iter
+    (fun (v, _) ->
+      let path = Sp.route_path net ~src:v in
+      Alcotest.(check int)
+        (Printf.sprintf "path length from %d" v)
+        (dist.(v) + 1) (List.length path);
+      match List.rev path with
+      | last :: _ -> Alcotest.(check int) "reaches sink" 0 last
+      | [] -> Alcotest.fail "empty path")
+    (Network.states net)
+
+let test_route_next_none_at_sink () =
+  let g = Gen.path 4 in
+  let net = setup g in
+  ignore (Runner.run net);
+  Alcotest.(check (option int)) "sink routes nowhere" None (Sp.route_next net 0);
+  Alcotest.(check (option int)) "next hop" (Some 0) (Sp.route_next net 1)
+
+let prop_random_graphs_converge_correctly =
+  QCheck.Test.make ~name:"shortest paths correct on random graphs" ~count:25
+    QCheck.(pair (int_range 2 40) (int_range 0 30))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (Prng.create ~seed:(n + (41 * extra))) ~n ~extra_edges:extra in
+      let net = setup g in
+      ignore (Runner.run net);
+      let dist = Analysis.distances g ~sources:[ 0 ] in
+      List.for_all
+        (fun (v, s) -> Sp.label s = min n dist.(v))
+        (Network.states net))
+
+let suite =
+  [
+    Alcotest.test_case "grid converges" `Quick test_grid_converges;
+    Alcotest.test_case "converges within d rounds" `Quick test_converges_within_d_rounds;
+    Alcotest.test_case "multiple sinks" `Quick test_multiple_sinks;
+    Alcotest.test_case "no sink caps" `Quick test_no_sink_caps;
+    Alcotest.test_case "asynchronous run" `Quick test_async;
+    Alcotest.test_case "0-sensitive: edge fault" `Quick test_zero_sensitivity_edge_fault;
+    Alcotest.test_case "0-sensitive: node fault" `Quick test_zero_sensitivity_node_fault;
+    Alcotest.test_case "labels rise after disconnect" `Quick
+      test_labels_rise_after_disconnection;
+    Alcotest.test_case "routing follows shortest paths" `Quick
+      test_routing_follows_shortest_path;
+    Alcotest.test_case "route_next at sink" `Quick test_route_next_none_at_sink;
+    QCheck_alcotest.to_alcotest prop_random_graphs_converge_correctly;
+  ]

@@ -1,0 +1,326 @@
+module Sm = Symnet_core.Sm
+module Sm_compile = Symnet_core.Sm_compile
+module Prng = Symnet_prng.Prng
+
+(* A hand-written sequential program: threshold counter "at least two 1s"
+   over Q = {0,1}, R = {0,1}. *)
+let seq_at_least_two_ones : Sm.sequential =
+  {
+    sq_q_size = 2;
+    sq_w_size = 3;
+    (* w = number of 1s seen, saturating at 2 *)
+    sq_w0 = 0;
+    sq_p = [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 2 |] |];
+    sq_beta = [| 0; 0; 1 |];
+    sq_r_size = 2;
+  }
+
+(* A hand-written parallel program: parity of the number of 1s. *)
+let par_parity_of_ones : Sm.parallel =
+  {
+    pa_q_size = 2;
+    pa_w_size = 2;
+    pa_alpha = [| 0; 1 |];
+    pa_p = [| [| 0; 1 |]; [| 1; 0 |] |];
+    pa_beta = [| 0; 1 |];
+    pa_r_size = 2;
+  }
+
+(* A sequential program that is NOT an SM function: returns the last
+   input. *)
+let seq_last_input : Sm.sequential =
+  {
+    sq_q_size = 2;
+    sq_w_size = 2;
+    sq_w0 = 0;
+    sq_p = [| [| 0; 1 |]; [| 0; 1 |] |];
+    sq_beta = [| 0; 1 |];
+    sq_r_size = 2;
+  }
+
+(* A parallel program that is NOT an SM function: p keeps its left
+   argument, so the result is the leftmost leaf — order dependent. *)
+let par_keep_left : Sm.parallel =
+  {
+    pa_q_size = 2;
+    pa_w_size = 2;
+    pa_alpha = [| 0; 1 |];
+    pa_p = [| [| 0; 0 |]; [| 1; 1 |] |];
+    pa_beta = [| 0; 1 |];
+    pa_r_size = 2;
+  }
+
+let test_run_sequential () =
+  Alcotest.(check int) "0 ones" 0 (Sm.run_sequential seq_at_least_two_ones [ 0; 0; 0 ]);
+  Alcotest.(check int) "1 one" 0 (Sm.run_sequential seq_at_least_two_ones [ 0; 1; 0 ]);
+  Alcotest.(check int) "2 ones" 1 (Sm.run_sequential seq_at_least_two_ones [ 1; 0; 1 ]);
+  Alcotest.(check int) "many" 1
+    (Sm.run_sequential seq_at_least_two_ones [ 1; 1; 1; 1 ])
+
+let test_run_sequential_empty () =
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Sm.run_sequential: empty input") (fun () ->
+      ignore (Sm.run_sequential seq_at_least_two_ones []))
+
+let test_run_parallel_trees () =
+  let input = [ 1; 0; 1; 1; 0; 1 ] in
+  let balanced = Sm.run_parallel par_parity_of_ones input in
+  let left = Sm.run_parallel ~tree:(Sm.left_comb_tree 6) par_parity_of_ones input in
+  Alcotest.(check int) "balanced" 0 balanced;
+  Alcotest.(check int) "left comb agrees" balanced left;
+  let rng = Prng.create ~seed:99 in
+  for _ = 1 to 20 do
+    let t = Sm.random_tree rng 6 in
+    Alcotest.(check int) "random tree agrees" balanced
+      (Sm.run_parallel ~tree:t par_parity_of_ones input)
+  done
+
+let test_tree_builders () =
+  List.iter
+    (fun k ->
+      Alcotest.(check int) "left leaves" k (Sm.tree_leaves (Sm.left_comb_tree k));
+      Alcotest.(check int) "balanced leaves" k (Sm.tree_leaves (Sm.balanced_tree k)))
+    [ 1; 2; 3; 7; 16 ]
+
+let test_mod_thresh_run () =
+  (* "at least two 1s" as a mod-thresh program *)
+  let mt : Sm.mod_thresh =
+    {
+      mt_q_size = 2;
+      mt_clauses = [ (Sm.Not (Sm.Thresh (1, 2)), 1) ];
+      mt_default = 0;
+      mt_r_size = 2;
+    }
+  in
+  Alcotest.(check int) "two ones" 1 (Sm.run_mod_thresh mt [ 1; 0; 1 ]);
+  Alcotest.(check int) "one one" 0 (Sm.run_mod_thresh mt [ 1; 0; 0 ]);
+  (* parity via mod atom *)
+  let par : Sm.mod_thresh =
+    {
+      mt_q_size = 2;
+      mt_clauses = [ (Sm.Mod (1, 1, 2), 1) ];
+      mt_default = 0;
+      mt_r_size = 2;
+    }
+  in
+  Alcotest.(check int) "odd" 1 (Sm.run_mod_thresh par [ 1; 1; 1; 0 ]);
+  Alcotest.(check int) "even" 0 (Sm.run_mod_thresh par [ 1; 1; 0 ])
+
+let test_multiplicities () =
+  Alcotest.(check (array int)) "counts" [| 2; 3; 0 |]
+    (Sm.multiplicities ~q_size:3 [ 0; 1; 1; 0; 1 ])
+
+let test_multisets () =
+  Alcotest.(check int) "(2+2-1 choose 2) = 3" 3
+    (List.length (Sm.multisets ~q_size:2 ~len:2));
+  Alcotest.(check int) "(3 multichoose 4) = 15" 15
+    (List.length (Sm.multisets ~q_size:3 ~len:4))
+
+let test_is_sm_positive () =
+  Alcotest.(check bool) "threshold counter is SM" true
+    (Sm.sequential_is_sm seq_at_least_two_ones ~max_len:5);
+  Alcotest.(check bool) "parity parallel is SM" true
+    (Sm.parallel_is_sm par_parity_of_ones ~max_len:5)
+
+let test_is_sm_negative () =
+  Alcotest.(check bool) "last-input is not SM" false
+    (Sm.sequential_is_sm seq_last_input ~max_len:3);
+  Alcotest.(check bool) "keep-left combine is not SM" false
+    (Sm.parallel_is_sm par_keep_left ~max_len:3)
+
+(* --------------------------------------------------------------- *)
+(* Theorem 3.7 round trips                                           *)
+(* --------------------------------------------------------------- *)
+
+let exhaustive_inputs ~q_size ~max_len =
+  List.concat_map
+    (fun len -> Sm.multisets ~q_size ~len)
+    (List.init max_len (fun i -> i + 1))
+
+let test_lemma_3_5 () =
+  (* parallel -> sequential preserves the function *)
+  let s = Sm_compile.parallel_to_sequential par_parity_of_ones in
+  List.iter
+    (fun input ->
+      Alcotest.(check int) "agree" (Sm.run_parallel par_parity_of_ones input)
+        (Sm.run_sequential s input))
+    (exhaustive_inputs ~q_size:2 ~max_len:6)
+
+let test_lemma_3_8 () =
+  (* mod-thresh -> parallel preserves the function *)
+  let mt : Sm.mod_thresh =
+    {
+      mt_q_size = 3;
+      mt_clauses =
+        [
+          (Sm.And (Sm.Mod (0, 1, 2), Sm.Not (Sm.Thresh (1, 2))), 2);
+          (Sm.Or (Sm.Thresh (2, 1), Sm.Mod (1, 0, 3)), 1);
+        ];
+      mt_default = 0;
+      mt_r_size = 3;
+    }
+  in
+  let p = Sm_compile.mod_thresh_to_parallel mt in
+  Alcotest.(check bool) "compiled parallel is SM" true
+    (Sm.parallel_is_sm p ~max_len:4);
+  List.iter
+    (fun input ->
+      Alcotest.(check int) "agree" (Sm.run_mod_thresh mt input)
+        (Sm.run_parallel p input))
+    (exhaustive_inputs ~q_size:3 ~max_len:5)
+
+let test_lemma_3_9 () =
+  (* sequential -> mod-thresh preserves the function *)
+  let mt = Sm_compile.sequential_to_mod_thresh seq_at_least_two_ones in
+  List.iter
+    (fun input ->
+      Alcotest.(check int) "agree"
+        (Sm.run_sequential seq_at_least_two_ones input)
+        (Sm.run_mod_thresh mt input))
+    (exhaustive_inputs ~q_size:2 ~max_len:7)
+
+let test_full_circle () =
+  (* mod-thresh -> parallel -> sequential -> mod-thresh *)
+  let mt0 : Sm.mod_thresh =
+    {
+      mt_q_size = 2;
+      mt_clauses = [ (Sm.Mod (0, 0, 2), 1); (Sm.Thresh (1, 3), 0) ];
+      mt_default = 1;
+      mt_r_size = 2;
+    }
+  in
+  let p = Sm_compile.mod_thresh_to_parallel mt0 in
+  let s = Sm_compile.parallel_to_sequential p in
+  let mt1 = Sm_compile.sequential_to_mod_thresh s in
+  List.iter
+    (fun input ->
+      let expected = Sm.run_mod_thresh mt0 input in
+      Alcotest.(check int) "parallel" expected (Sm.run_parallel p input);
+      Alcotest.(check int) "sequential" expected (Sm.run_sequential s input);
+      Alcotest.(check int) "mod-thresh" expected (Sm.run_mod_thresh mt1 input))
+    (exhaustive_inputs ~q_size:2 ~max_len:8)
+
+let test_sequential_to_parallel () =
+  let p = Sm_compile.sequential_to_parallel seq_at_least_two_ones in
+  Alcotest.(check bool) "result is SM" true (Sm.parallel_is_sm p ~max_len:4);
+  List.iter
+    (fun input ->
+      Alcotest.(check int) "agree"
+        (Sm.run_sequential seq_at_least_two_ones input)
+        (Sm.run_parallel p input))
+    (exhaustive_inputs ~q_size:2 ~max_len:6)
+
+let test_too_large_guard () =
+  let rng = Prng.create ~seed:5 in
+  let mt =
+    Sm_compile.random_mod_thresh rng ~q_size:4 ~r_size:3 ~clauses:6 ~max_mod:6
+      ~max_thresh:9 ~depth:3
+  in
+  (* with a tiny budget the compiler must refuse rather than blow up *)
+  match Sm_compile.mod_thresh_to_parallel ~max_states:10 mt with
+  | exception Sm_compile.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
+(* Random mod-thresh programs survive the full circle (the heart of the
+   Theorem 3.7 reproduction). *)
+let prop_theorem_3_7_random =
+  QCheck.Test.make ~name:"theorem 3.7 round trip on random programs"
+    ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let q_size = 2 + Prng.int rng 2 in
+      let mt0 =
+        Sm_compile.random_mod_thresh rng ~q_size ~r_size:(1 + Prng.int rng 3)
+          ~clauses:(1 + Prng.int rng 3)
+          ~max_mod:3 ~max_thresh:3 ~depth:2
+      in
+      match Sm_compile.mod_thresh_to_parallel ~max_states:40_000 mt0 with
+      | exception Sm_compile.Too_large _ -> QCheck.assume_fail ()
+      | p -> (
+          let s = Sm_compile.parallel_to_sequential p in
+          match Sm_compile.sequential_to_mod_thresh ~max_clauses:60_000 s with
+          | exception Sm_compile.Too_large _ -> QCheck.assume_fail ()
+          | mt1 ->
+              List.for_all
+                (fun input ->
+                  let expected = Sm.run_mod_thresh mt0 input in
+                  Sm.run_parallel p input = expected
+                  && Sm.run_sequential s input = expected
+                  && Sm.run_mod_thresh mt1 input = expected)
+                (exhaustive_inputs ~q_size ~max_len:5)))
+
+(* Compiled parallel programs are tree- and order-independent on random
+   long inputs. *)
+let prop_compiled_parallel_tree_independent =
+  QCheck.Test.make ~name:"compiled parallel is tree independent" ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let mt =
+        Sm_compile.random_mod_thresh rng ~q_size:2 ~r_size:2 ~clauses:2
+          ~max_mod:3 ~max_thresh:3 ~depth:2
+      in
+      match Sm_compile.mod_thresh_to_parallel ~max_states:40_000 mt with
+      | exception Sm_compile.Too_large _ -> QCheck.assume_fail ()
+      | p ->
+          let len = 1 + Prng.int rng 20 in
+          let input = List.init len (fun _ -> Prng.int rng 2) in
+          let reference = Sm.run_parallel p input in
+          List.for_all
+            (fun _ ->
+              let t = Sm.random_tree rng len in
+              let perm = Prng.permutation rng len in
+              let arr = Array.of_list input in
+              let shuffled =
+                Array.to_list (Array.map (fun i -> arr.(i)) perm)
+              in
+              Sm.run_parallel ~tree:t p shuffled = reference)
+            (List.init 10 Fun.id))
+
+let test_mod_atom_detection () =
+  Alcotest.(check bool) "mod detected" true
+    (Sm.prop_uses_mod (Sm.And (Sm.Thresh (0, 1), Sm.Mod (1, 0, 2))));
+  Alcotest.(check bool) "thresh only" false
+    (Sm.prop_uses_mod (Sm.Or (Sm.Not (Sm.Thresh (0, 3)), Sm.True)));
+  Alcotest.(check bool) "modulus 1 is trivial" false
+    (Sm.prop_uses_mod (Sm.Mod (0, 0, 1)));
+  (* the paper's §5.2 observation: the library's algorithm programs are
+     thresh-only (here: the 2-colouring family) *)
+  let tc_family q =
+    (* rebuild the two-colouring family shape used by the algorithm *)
+    let has c = Sm.Not (Sm.Thresh (c, 1)) in
+    {
+      Sm.mt_q_size = 4;
+      mt_clauses = [ (has 3, 3); (Sm.And (has 1, has 2), 3) ];
+      mt_default = q;
+      mt_r_size = 4;
+    }
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "thresh-only program" false
+        (Sm.mod_thresh_uses_mod (tc_family q)))
+    [ 0; 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "mod atom detection" `Quick test_mod_atom_detection;
+    Alcotest.test_case "run sequential" `Quick test_run_sequential;
+    Alcotest.test_case "sequential rejects empty" `Quick test_run_sequential_empty;
+    Alcotest.test_case "run parallel over trees" `Quick test_run_parallel_trees;
+    Alcotest.test_case "tree builders" `Quick test_tree_builders;
+    Alcotest.test_case "run mod-thresh" `Quick test_mod_thresh_run;
+    Alcotest.test_case "multiplicities" `Quick test_multiplicities;
+    Alcotest.test_case "multiset enumeration" `Quick test_multisets;
+    Alcotest.test_case "SM checker accepts" `Quick test_is_sm_positive;
+    Alcotest.test_case "SM checker rejects" `Quick test_is_sm_negative;
+    Alcotest.test_case "lemma 3.5" `Quick test_lemma_3_5;
+    Alcotest.test_case "lemma 3.8" `Quick test_lemma_3_8;
+    Alcotest.test_case "lemma 3.9" `Quick test_lemma_3_9;
+    Alcotest.test_case "theorem 3.7 full circle" `Quick test_full_circle;
+    Alcotest.test_case "sequential -> parallel" `Quick test_sequential_to_parallel;
+    Alcotest.test_case "Too_large guard" `Quick test_too_large_guard;
+    QCheck_alcotest.to_alcotest prop_theorem_3_7_random;
+    QCheck_alcotest.to_alcotest prop_compiled_parallel_tree_independent;
+  ]

@@ -1,0 +1,100 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module B = Symnet_core.Sm_bounded
+
+let count_value arr q =
+  Array.fold_left
+    (fun acc p -> match p with B.Value v when v = q -> acc + 1 | _ -> acc)
+    0 arr
+
+(* A Life-like majority rule on degree <= 4 graphs: become 1 iff at least
+   two live padded neighbours; symmetric by construction. *)
+let majority : int B.t =
+  {
+    name = "majority";
+    delta = 4;
+    step = (fun ~self arr -> if count_value arr 1 >= 2 then 1 else self);
+  }
+
+(* An asymmetric rule: copy the first slot. *)
+let copy_first : int B.t =
+  {
+    name = "copy-first";
+    delta = 3;
+    step =
+      (fun ~self arr ->
+        match arr.(0) with B.Value v -> v | B.Epsilon -> self);
+  }
+
+let test_check_symmetric_accepts () =
+  Alcotest.(check bool) "majority is symmetric" true
+    (B.check_symmetric majority ~universe:[ 0; 1 ])
+
+let test_check_symmetric_rejects () =
+  Alcotest.(check bool) "copy-first is not symmetric" false
+    (B.check_symmetric copy_first ~universe:[ 0; 1 ])
+
+let test_embedding_matches_direct () =
+  (* the padded automaton and a direct View implementation must produce
+     identical synchronous runs on a degree-<=4 graph *)
+  let init _g v = if v mod 5 = 0 then 1 else 0 in
+  let direct =
+    Fssga.deterministic ~name:"majority-direct" ~init ~step:(fun ~self view ->
+        if View.at_least view 1 2 then 1 else self)
+  in
+  let padded = B.to_fssga majority ~universe:[ 0; 1 ] ~init in
+  let g1 = Gen.grid ~rows:5 ~cols:5 and g2 = Gen.grid ~rows:5 ~cols:5 in
+  let n1 = Network.init ~rng:(Prng.create ~seed:1) g1 direct in
+  let n2 = Network.init ~rng:(Prng.create ~seed:1) g2 padded in
+  for _ = 1 to 20 do
+    ignore (Network.sync_step n1);
+    ignore (Network.sync_step n2);
+    List.iter2
+      (fun (v1, s1) (v2, s2) ->
+        Alcotest.(check int) "node" v1 v2;
+        Alcotest.(check int) (Printf.sprintf "state at %d" v1) s1 s2)
+      (Network.states n1) (Network.states n2)
+  done
+
+let test_embedding_runs_on_cycle () =
+  let init _g v = v mod 2 in
+  let padded = B.to_fssga majority ~universe:[ 0; 1 ] ~init in
+  let net = Network.init ~rng:(Prng.create ~seed:2) (Gen.cycle 10) padded in
+  let o = Runner.run ~max_rounds:100 net in
+  (* alternating 0101... on an even cycle: every node has exactly one
+     live neighbour in state 1? no: each 0 has two 1-neighbours -> all
+     become 1 -> quiesce at all-ones *)
+  Alcotest.(check bool) "quiesced" true o.Runner.quiesced;
+  Alcotest.(check int) "all ones" 10 (Network.count_if net (fun s -> s = 1))
+
+let test_degree_bound_enforced () =
+  let init _g _v = 0 in
+  let padded = B.to_fssga majority ~universe:[ 0; 1 ] ~init in
+  let net = Network.init ~rng:(Prng.create ~seed:3) (Gen.star 7) padded in
+  (* the centre has degree 6 > delta = 4 *)
+  Alcotest.check_raises "degree bound"
+    (Invalid_argument "majority: node degree exceeds the bound Delta")
+    (fun () -> ignore (Network.sync_step net))
+
+let test_universe_enforced () =
+  let init _g v = v (* states outside {0,1} *) in
+  let padded = B.to_fssga majority ~universe:[ 0; 1 ] ~init in
+  let net = Network.init ~rng:(Prng.create ~seed:4) (Gen.path 3) padded in
+  Alcotest.check_raises "universe"
+    (Invalid_argument "majority: neighbour state outside the universe")
+    (fun () -> ignore (Network.sync_step net))
+
+let suite =
+  [
+    Alcotest.test_case "symmetric check accepts" `Quick test_check_symmetric_accepts;
+    Alcotest.test_case "symmetric check rejects" `Quick test_check_symmetric_rejects;
+    Alcotest.test_case "embedding matches direct" `Quick test_embedding_matches_direct;
+    Alcotest.test_case "embedding on a cycle" `Quick test_embedding_runs_on_cycle;
+    Alcotest.test_case "degree bound enforced" `Quick test_degree_bound_enforced;
+    Alcotest.test_case "universe enforced" `Quick test_universe_enforced;
+  ]

@@ -1,0 +1,132 @@
+module Sm = Symnet_core.Sm
+module Sm_tape = Symnet_core.Sm_tape
+module Sm_compile = Symnet_core.Sm_compile
+module Prng = Symnet_prng.Prng
+
+let exhaustive_inputs ~q_size ~max_len =
+  List.concat_map
+    (fun len -> Sm.multisets ~q_size ~len)
+    (List.init max_len (fun i -> i + 1))
+
+let test_threshold_semantics () =
+  List.iter
+    (fun n ->
+      let s = Sm_tape.instantiate Sm_tape.threshold_family ~n in
+      List.iter
+        (fun input ->
+          let ones = List.length (List.filter (fun q -> q = 1) input) in
+          Alcotest.(check int)
+            (Printf.sprintf "n=%d ones=%d" n ones)
+            (if ones >= n then 1 else 0)
+            (Sm.run_sequential s input))
+        (exhaustive_inputs ~q_size:2 ~max_len:(n + 2)))
+    [ 1; 2; 3; 5 ]
+
+let test_mod_semantics () =
+  let f = Sm_tape.mod_family 5 in
+  let s = Sm_tape.instantiate f ~n:3 in
+  List.iter
+    (fun input ->
+      let ones = List.length (List.filter (fun q -> q = 1) input) in
+      Alcotest.(check int)
+        (Printf.sprintf "ones=%d" ones)
+        (if ones mod 3 = 0 then 1 else 0)
+        (Sm.run_sequential s input))
+    (exhaustive_inputs ~q_size:2 ~max_len:7)
+
+let test_instantiated_families_are_sm () =
+  Alcotest.(check bool) "threshold" true
+    (Sm.sequential_is_sm (Sm_tape.instantiate Sm_tape.threshold_family ~n:3) ~max_len:5);
+  Alcotest.(check bool) "mod" true
+    (Sm.sequential_is_sm (Sm_tape.instantiate (Sm_tape.mod_family 4) ~n:3) ~max_len:5);
+  Alcotest.(check bool) "parity" true
+    (Sm.sequential_is_sm
+       (Sm_tape.instantiate Sm_tape.all_values_parity_family ~n:2)
+       ~max_len:4)
+
+let test_compiled_parallel_agrees () =
+  List.iter
+    (fun n ->
+      let s = Sm_tape.instantiate Sm_tape.threshold_family ~n in
+      let p = Sm_tape.compile_parallel Sm_tape.threshold_family ~n in
+      List.iter
+        (fun input ->
+          Alcotest.(check int) "agree" (Sm.run_sequential s input)
+            (Sm.run_parallel p input))
+        (exhaustive_inputs ~q_size:2 ~max_len:(n + 2)))
+    [ 1; 2; 4 ]
+
+let test_parity_family_compiles_and_agrees () =
+  let f = Sm_tape.all_values_parity_family in
+  let n = 2 in
+  let s = Sm_tape.instantiate f ~n in
+  let p = Sm_tape.compile_parallel f ~n in
+  List.iter
+    (fun input ->
+      Alcotest.(check int) "agree" (Sm.run_sequential s input)
+        (Sm.run_parallel p input))
+    (exhaustive_inputs ~q_size:4 ~max_len:4)
+
+let test_width_bound () =
+  (* the §5 bound w'(N) <= 2^q(N) * (w(N)+1) bits holds for every family *)
+  List.iter
+    (fun (f, ns) ->
+      List.iter
+        (fun n ->
+          match Sm_tape.compile_parallel f ~n with
+          | p ->
+              let achieved = Sm_tape.parallel_bits p in
+              let bound = Sm_tape.paper_bound_bits f ~n in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s n=%d: %.1f <= %.1f" f.Sm_tape.name n
+                   achieved bound)
+                true (achieved <= bound)
+          | exception Sm_compile.Too_large _ -> ())
+        ns)
+    [
+      (Sm_tape.threshold_family, [ 1; 2; 4; 8; 16 ]);
+      (Sm_tape.mod_family 7, [ 2; 3; 5; 7 ]);
+      (Sm_tape.all_values_parity_family, [ 1; 2 ]);
+    ]
+
+let test_threshold_width_stays_linear () =
+  (* evidence for the open question: for the threshold family the
+     compiled width tracks w(N), not 2^q * w *)
+  List.iter
+    (fun n ->
+      let p = Sm_tape.compile_parallel Sm_tape.threshold_family ~n in
+      let achieved = Sm_tape.parallel_bits p in
+      let w = float_of_int (Sm_tape.threshold_family.Sm_tape.w_bits n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: %.1f <= w+2 = %.1f" n achieved (w +. 2.))
+        true
+        (achieved <= w +. 2.))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_check_family_rejects () =
+  let bad =
+    {
+      Sm_tape.name = "bad";
+      q_bits = (fun _ -> 1);
+      w_bits = (fun _ -> 2);
+      w0 = (fun _ -> 0);
+      p = (fun _ _ _ -> 99);
+      beta = (fun _ _ -> 0);
+      r_bits = (fun _ -> 1);
+    }
+  in
+  Alcotest.check_raises "p range" (Invalid_argument "bad: p out of range")
+    (fun () -> Sm_tape.check_family bad ~n:1)
+
+let suite =
+  [
+    Alcotest.test_case "threshold semantics" `Quick test_threshold_semantics;
+    Alcotest.test_case "mod semantics" `Quick test_mod_semantics;
+    Alcotest.test_case "families are SM" `Quick test_instantiated_families_are_sm;
+    Alcotest.test_case "compiled parallel agrees" `Quick test_compiled_parallel_agrees;
+    Alcotest.test_case "parity family agrees" `Quick test_parity_family_compiles_and_agrees;
+    Alcotest.test_case "paper width bound holds" `Quick test_width_bound;
+    Alcotest.test_case "threshold width is O(w)" `Quick
+      test_threshold_width_stays_linear;
+    Alcotest.test_case "check_family rejects" `Quick test_check_family_rejects;
+  ]

@@ -1,0 +1,107 @@
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Spec = Symnet_graph.Spec
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Trace = Symnet_engine.Trace
+module Fssga = Symnet_core.Fssga
+
+let rng () = Prng.create ~seed:31337
+
+let test_spec_shapes () =
+  List.iter
+    (fun (spec, n, m) ->
+      match Spec.parse (rng ()) spec with
+      | Error e -> Alcotest.fail e
+      | Ok g ->
+          Alcotest.(check int) (spec ^ " nodes") n (Graph.node_count g);
+          Alcotest.(check int) (spec ^ " edges") m (Graph.edge_count g))
+    [
+      ("path:7", 7, 6);
+      ("cycle:9", 9, 9);
+      ("complete:5", 5, 10);
+      ("star:6", 6, 5);
+      ("grid:3x4", 12, 17);
+      ("hypercube:3", 8, 12);
+      ("tree:2", 7, 6);
+      ("theta:1,2,3", 8, 9);
+      ("barbell:3", 6, 7);
+      ("lollipop:3,2", 5, 5);
+      ("petersen", 10, 15);
+      ("random:10,5", 10, 14);
+      ("rtree:12", 12, 11);
+    ]
+
+let test_spec_random_forms () =
+  (match Spec.parse (rng ()) "gnp:30,0.2" with
+  | Ok g -> Alcotest.(check int) "gnp nodes" 30 (Graph.node_count g)
+  | Error e -> Alcotest.fail e);
+  (match Spec.parse (rng ()) "geometric:25,0.4" with
+  | Ok g -> Alcotest.(check int) "geometric nodes" 25 (Graph.node_count g)
+  | Error e -> Alcotest.fail e);
+  match Spec.parse (rng ()) "bipartite:5,7,0.3" with
+  | Ok g ->
+      Alcotest.(check int) "bipartite nodes" 12 (Graph.node_count g);
+      Alcotest.(check bool) "bipartite" true (Analysis.is_bipartite g)
+  | Error e -> Alcotest.fail e
+
+let test_spec_determinism () =
+  let g1 = Spec.parse_exn (Prng.create ~seed:5) "random:20,10" in
+  let g2 = Spec.parse_exn (Prng.create ~seed:5) "random:20,10" in
+  Alcotest.(check bool) "same edges" true
+    (List.map (fun (e : Graph.edge) -> (e.u, e.v)) (Graph.edges g1)
+    = List.map (fun (e : Graph.edge) -> (e.u, e.v)) (Graph.edges g2))
+
+let test_spec_errors () =
+  List.iter
+    (fun spec ->
+      match Spec.parse (rng ()) spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (spec ^ " should not parse"))
+    [ "nope"; "path:"; "path:x"; "grid:3"; "grid:3y4"; "gnp:10"; "theta:1,2" ];
+  Alcotest.(check bool) "known_forms non-empty" true (Spec.known_forms <> [])
+
+let const_automaton =
+  Fssga.deterministic ~name:"const"
+    ~init:(fun _g v -> v mod 3)
+    ~step:(fun ~self _view -> self)
+
+let test_render_line () =
+  let g = Gen.path 6 in
+  let net = Network.init ~rng:(rng ()) g const_automaton in
+  let to_char q = Char.chr (Char.code '0' + q) in
+  Alcotest.(check string) "line" "012012" (Trace.render_line net ~to_char);
+  Graph.remove_node g 2;
+  Alcotest.(check string) "dead node dotted" "01.012"
+    (Trace.render_line net ~to_char)
+
+let test_render_grid () =
+  let g = Gen.grid ~rows:2 ~cols:3 in
+  let net = Network.init ~rng:(rng ()) g const_automaton in
+  let to_char q = Char.chr (Char.code '0' + q) in
+  Alcotest.(check string) "grid" "012\n012"
+    (Trace.render_grid net ~rows:2 ~cols:3 ~to_char)
+
+let test_watch_emits () =
+  let g = Gen.path 4 in
+  let net = Network.init ~rng:(rng ()) g const_automaton in
+  let lines = ref [] in
+  let _ =
+    Trace.watch ~max_rounds:3 ~to_char:(fun q -> Char.chr (Char.code '0' + q))
+      ~out:(fun s -> lines := s :: !lines)
+      net
+  in
+  (* constant automaton quiesces after round 1 *)
+  Alcotest.(check int) "one line" 1 (List.length !lines)
+
+let suite =
+  [
+    Alcotest.test_case "spec shapes" `Quick test_spec_shapes;
+    Alcotest.test_case "spec random forms" `Quick test_spec_random_forms;
+    Alcotest.test_case "spec determinism" `Quick test_spec_determinism;
+    Alcotest.test_case "spec errors" `Quick test_spec_errors;
+    Alcotest.test_case "render line" `Quick test_render_line;
+    Alcotest.test_case "render grid" `Quick test_render_grid;
+    Alcotest.test_case "watch emits" `Quick test_watch_emits;
+  ]

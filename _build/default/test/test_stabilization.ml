@@ -1,0 +1,104 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Stab = Symnet_sensitivity.Stabilization
+module Sp = Symnet_algorithms.Shortest_paths
+module Census = Symnet_algorithms.Census
+module Tc = Symnet_algorithms.Two_colouring
+
+let rng () = Prng.create ~seed:4242
+
+let graph () = Gen.random_connected (Prng.create ~seed:33) ~n:24 ~extra_edges:12
+
+let test_shortest_paths_self_stabilizes () =
+  (* min+1 relaxation forgets any corrupted labels: this is the
+     self-stabilizing one *)
+  let cap = 24 in
+  let verdict =
+    Stab.probe ~rng:(rng ())
+      ~automaton:(Sp.automaton ~sinks:[ 0 ] ~cap)
+      ~graph
+      ~corrupt:(fun rng _g v ->
+        (* arbitrary garbage labels; the sink flag itself is part of the
+           protected identity, not soft state *)
+        { Sp.is_sink = v = 0; label = Prng.int rng (cap + 1) })
+      ~legitimate:(fun net ->
+        let g = Network.graph net in
+        let dist = Analysis.distances g ~sources:[ 0 ] in
+        List.for_all
+          (fun (v, s) -> Sp.label s = min cap dist.(v))
+          (Network.states net))
+      ~trials:15 ~max_rounds:500
+  in
+  Alcotest.(check int) "always recovers" verdict.Stab.trials
+    verdict.Stab.recovered;
+  Alcotest.(check bool) "recovers quickly" true
+    (verdict.Stab.mean_recovery_rounds < 100.)
+
+let test_shortest_paths_recovers_from_too_small_labels () =
+  (* the adversarial direction: corrupted labels *below* the truth must
+     also be forgotten (they rise by one per round) *)
+  let cap = 24 in
+  let verdict =
+    Stab.probe ~rng:(rng ())
+      ~automaton:(Sp.automaton ~sinks:[ 0 ] ~cap)
+      ~graph
+      ~corrupt:(fun _rng _g v -> { Sp.is_sink = v = 0; label = 0 })
+      ~legitimate:(fun net ->
+        let g = Network.graph net in
+        let dist = Analysis.distances g ~sources:[ 0 ] in
+        List.for_all
+          (fun (v, s) -> Sp.label s = min cap dist.(v))
+          (Network.states net))
+      ~trials:5 ~max_rounds:500
+  in
+  Alcotest.(check int) "recovers from all-zero" verdict.Stab.trials
+    verdict.Stab.recovered
+
+let test_census_is_not_self_stabilizing () =
+  (* a single corrupted all-ones bitmap floods by OR and can never be
+     unset, pinning every estimate at the saturated maximum *)
+  let k = Census.recommended_k 24 in
+  let verdict =
+    Stab.probe ~rng:(rng ()) ~automaton:(Census.automaton ~k) ~graph
+      ~corrupt:(fun _rng _g v ->
+        if v = 5 then Census.of_bits ~k ((1 lsl k) - 1) else Census.fresh ~k)
+      ~legitimate:(fun net ->
+        match
+          List.filter_map (fun (_, s) -> Census.estimate s) (Network.states net)
+        with
+        | [] -> false
+        | estimates -> List.for_all (fun e -> e < 8. *. 24.) estimates)
+      ~trials:5 ~max_rounds:300
+  in
+  Alcotest.(check int) "never recovers" 0 verdict.Stab.recovered
+
+let test_two_colouring_not_self_stabilizing () =
+  (* a single corrupted FAILED floods the network even on a bipartite
+     graph, and can never be cleared *)
+  let automaton = Tc.automaton ~seed:0 in
+  let verdict =
+    Stab.probe ~rng:(rng ())
+      ~automaton:
+        { automaton with Symnet_core.Fssga.name = "tc-corrupt" }
+      ~graph:(fun () -> Gen.grid ~rows:4 ~cols:4)
+      ~corrupt:(fun _rng _g v ->
+        if v = 7 then Tc.Failed else if v = 0 then Tc.Red else Tc.Blank)
+      ~legitimate:(fun net -> Tc.verdict net = `Bipartite)
+      ~trials:5 ~max_rounds:300
+  in
+  Alcotest.(check int) "never recovers" 0 verdict.Stab.recovered
+
+let suite =
+  [
+    Alcotest.test_case "shortest paths self-stabilizes" `Quick
+      test_shortest_paths_self_stabilizes;
+    Alcotest.test_case "shortest paths recovers from low labels" `Quick
+      test_shortest_paths_recovers_from_too_small_labels;
+    Alcotest.test_case "census does not self-stabilize" `Quick
+      test_census_is_not_self_stabilizing;
+    Alcotest.test_case "two-colouring does not self-stabilize" `Quick
+      test_two_colouring_not_self_stabilizing;
+  ]

@@ -1,0 +1,145 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Scheduler = Symnet_engine.Scheduler
+module Sync = Symnet_algorithms.Synchronizer
+
+(* Deterministic inner automaton with non-trivial evolution: each node
+   computes (self + sum of neighbour values) mod 7.  Its synchronous
+   trajectory is a precise fingerprint for simulation checks. *)
+let mix_automaton =
+  Fssga.deterministic ~name:"mix"
+    ~init:(fun _g v -> v mod 7)
+    ~step:(fun ~self view ->
+      let s = ref self in
+      for q = 0 to 6 do
+        s := (!s + (q * View.count_mod view q ~modulus:7)) mod 7
+      done;
+      !s)
+
+let sync_trajectory g ~rounds =
+  let net = Network.init ~rng:(Prng.create ~seed:0) g mix_automaton in
+  let history = ref [] in
+  for _ = 1 to rounds do
+    ignore (Network.sync_step net);
+    history := List.map snd (Network.states net) :: !history
+  done;
+  List.rev !history
+
+let test_wrapped_simulates_synchronous () =
+  (* Under an arbitrary fair async schedule, the wrapped automaton's
+     simulated state at clock value c equals the synchronous state after c
+     rounds. *)
+  List.iter
+    (fun seed ->
+      let g = Gen.grid ~rows:4 ~cols:4 in
+      let reference = sync_trajectory (Graph.copy g) ~rounds:30 in
+      let wrapped = Sync.wrap mix_automaton in
+      let net = Network.init ~rng:(Prng.create ~seed) g wrapped in
+      (* track each node's true clock *)
+      let n = Graph.original_size g in
+      let advances = ref (Array.make n 0) in
+      for _round = 1 to 200 do
+        ignore (Scheduler.round Scheduler.Random_permutation net ~round:0);
+        advances := Sync.total_advances net !advances;
+        List.iter
+          (fun (v, s) ->
+            let c = !advances.(v) in
+            if c >= 1 && c <= 30 then begin
+              let expected = List.nth (List.nth reference (c - 1)) v in
+              Alcotest.(check int)
+                (Printf.sprintf "node %d at clock %d" v c)
+                expected (Sync.simulated s)
+            end)
+          (Network.states net)
+      done)
+    [ 1; 2; 3 ]
+
+let test_adjacent_clocks_within_one () =
+  let g = Gen.random_connected (Prng.create ~seed:9) ~n:30 ~extra_edges:15 in
+  let wrapped = Sync.wrap mix_automaton in
+  let net = Network.init ~rng:(Prng.create ~seed:10) g wrapped in
+  let advances = ref (Array.make (Graph.original_size g) 0) in
+  for _ = 1 to 300 do
+    ignore (Scheduler.round Scheduler.Random_permutation net ~round:0);
+    advances := Sync.total_advances net !advances;
+    Alcotest.(check bool) "adjacent clocks within 1" true
+      (Sync.advances_legal (Network.graph net) !advances)
+  done
+
+let test_progress_guarantee () =
+  (* k units of fair time => every clock advanced at least ~k/3 times
+     (the paper claims >= k with unit-time normalization; under a
+     permutation schedule one activation per node per round advances a
+     node unless a neighbour is behind, giving at least one advance per 3
+     rounds in the worst case; we check a conservative linear bound and
+     also that it is at most k). *)
+  let g = Gen.path 20 in
+  let wrapped = Sync.wrap mix_automaton in
+  let net = Network.init ~rng:(Prng.create ~seed:11) g wrapped in
+  let advances = ref (Array.make 20 0) in
+  let rounds = 300 in
+  for _ = 1 to rounds do
+    ignore (Scheduler.round Scheduler.Rotor net ~round:0);
+    advances := Sync.total_advances net !advances
+  done;
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "advance count %d in [rounds/3, rounds]" a)
+        true
+        (a >= rounds / 3 && a <= rounds))
+    !advances
+
+let test_no_wait_under_synchronous () =
+  (* under the synchronous scheduler nobody is ever behind, so every
+     round advances every clock exactly once *)
+  let g = Gen.cycle 8 in
+  let wrapped = Sync.wrap mix_automaton in
+  let net = Network.init ~rng:(Prng.create ~seed:12) g wrapped in
+  for r = 1 to 20 do
+    ignore (Network.sync_step net);
+    List.iter
+      (fun (_, s) -> Alcotest.(check int) "clock" (r mod 3) (Sync.clock s))
+      (Network.states net)
+  done
+
+let test_adversarial_single_node_stalls_neighbours () =
+  (* starve one node: its neighbours may advance at most one step ahead *)
+  let g = Gen.path 5 in
+  let wrapped = Sync.wrap mix_automaton in
+  let net = Network.init ~rng:(Prng.create ~seed:13) g wrapped in
+  (* activate everyone except node 2, many times *)
+  let others = [ 0; 1; 3; 4 ] in
+  for _ = 1 to 50 do
+    ignore (Scheduler.round (Scheduler.Adversarial (fun ~round:_ -> others)) net ~round:0)
+  done;
+  Alcotest.(check int) "starved node clock" 0 (Sync.clock (Network.state net 2));
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "neighbour %d at most 1 ahead" v)
+        true
+        (Sync.clock (Network.state net v) <= 1))
+    [ 1; 3 ];
+  (* nodes two hops away can be at most 2 ahead *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "two hops at most 2 ahead" true
+        (Sync.clock (Network.state net v) <= 2))
+    [ 0; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "wrapped simulates synchronous" `Quick
+      test_wrapped_simulates_synchronous;
+    Alcotest.test_case "adjacent clocks within one" `Quick
+      test_adjacent_clocks_within_one;
+    Alcotest.test_case "progress guarantee" `Quick test_progress_guarantee;
+    Alcotest.test_case "synchronous never waits" `Quick test_no_wait_under_synchronous;
+    Alcotest.test_case "starved node stalls neighbours" `Quick
+      test_adversarial_single_node_stalls_neighbours;
+  ]

@@ -1,0 +1,141 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Tr = Symnet_algorithms.Traversal
+
+let run ?(seed = 0) ?(originator = 0) g =
+  Tr.run ~rng:(Prng.create ~seed) g ~originator ~max_rounds:2_000_000 ()
+
+let test_completes_on_shapes () =
+  List.iter
+    (fun (name, g) ->
+      let stats = run g in
+      Alcotest.(check bool) (name ^ " completed") true stats.Tr.completed)
+    [
+      ("path", Gen.path 10);
+      ("cycle", Gen.cycle 9);
+      ("star", Gen.star 8);
+      ("grid", Gen.grid ~rows:4 ~cols:4);
+      ("complete", Gen.complete 6);
+      ("tree", Gen.complete_binary_tree ~depth:3);
+      ("petersen", Gen.petersen ());
+    ]
+
+let test_hand_moves_exactly_2n_minus_2 () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.node_count g in
+      let stats = run g in
+      Alcotest.(check bool) (name ^ " completed") true stats.Tr.completed;
+      Alcotest.(check int)
+        (Printf.sprintf "%s hand moves (n=%d)" name n)
+        ((2 * n) - 2)
+        stats.Tr.hand_moves)
+    [
+      ("path", Gen.path 8);
+      ("cycle", Gen.cycle 7);
+      ("grid", Gen.grid ~rows:3 ~cols:4);
+      ("complete", Gen.complete 5);
+      ("star", Gen.star 9);
+    ]
+
+let test_single_node () =
+  let g = Gen.path 1 in
+  let stats = run g in
+  Alcotest.(check bool) "completed" true stats.Tr.completed;
+  Alcotest.(check int) "no moves" 0 stats.Tr.hand_moves
+
+let test_two_nodes () =
+  let g = Gen.path 2 in
+  let stats = run g in
+  Alcotest.(check bool) "completed" true stats.Tr.completed;
+  Alcotest.(check int) "2n-2 = 2" 2 stats.Tr.hand_moves
+
+let test_different_originators () =
+  List.iter
+    (fun originator ->
+      let g = Gen.grid ~rows:3 ~cols:3 in
+      let stats = run ~originator g in
+      Alcotest.(check bool)
+        (Printf.sprintf "from %d" originator)
+        true stats.Tr.completed;
+      Alcotest.(check int) "moves" 16 stats.Tr.hand_moves)
+    [ 0; 4; 8 ]
+
+let test_rounds_near_n_log_n () =
+  (* O(n log n) total time: check the per-move round cost grows slowly *)
+  let cost n =
+    let g = Gen.complete n in
+    let stats = run g in
+    Alcotest.(check bool) "completed" true stats.Tr.completed;
+    float_of_int stats.Tr.rounds /. float_of_int ((2 * n) - 2)
+  in
+  let c8 = cost 8 and c64 = cost 64 in
+  (* per-move cost is O(log n): the ratio should be far below 8x *)
+  Alcotest.(check bool)
+    (Printf.sprintf "c64=%.1f / c8=%.1f < 4" c64 c8)
+    true
+    (c64 /. c8 < 4.)
+
+let test_seeds_agree () =
+  (* different randomness, same invariants *)
+  List.iter
+    (fun seed ->
+      let g = Gen.random_connected (Prng.create ~seed:(100 + seed)) ~n:20 ~extra_edges:10 in
+      let stats = run ~seed g in
+      Alcotest.(check bool) "completed" true stats.Tr.completed;
+      Alcotest.(check int) "moves" 38 stats.Tr.hand_moves)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_arm_never_touches_itself () =
+  (* run step by step and verify the arm+hand set always induces a path
+     (property 3 of §4.5) *)
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net = Network.init ~rng:(Prng.create ~seed:9) g (Tr.automaton ~originator:0) in
+  for _ = 1 to 5_000 do
+    ignore (Network.sync_step net);
+    let chain =
+      Network.find_nodes net (fun s ->
+          match Tr.status s with
+          | Tr.Arm | Tr.Hand _ -> true
+          | _ -> false)
+    in
+    let k = List.length chain in
+    if k > 0 then begin
+      (* count internal edges of the chain: a simple path has k-1 *)
+      let internal = ref 0 in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v -> if u < v && Graph.mem_edge g u v then incr internal)
+            chain)
+        chain;
+      Alcotest.(check int)
+        (Printf.sprintf "chain of %d nodes induces a path" k)
+        (k - 1) !internal
+    end
+  done
+
+let prop_traversal_complete_random =
+  QCheck.Test.make ~name:"traversal visits everything on random graphs"
+    ~count:15
+    QCheck.(pair (int_range 2 25) (int_range 0 15))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (Prng.create ~seed:(n * 7 + extra)) ~n ~extra_edges:extra in
+      let stats = run ~seed:(n + extra) g in
+      stats.Tr.completed && stats.Tr.hand_moves = (2 * n) - 2)
+
+let suite =
+  [
+    Alcotest.test_case "completes on standard shapes" `Quick test_completes_on_shapes;
+    Alcotest.test_case "hand moves exactly 2n-2" `Quick
+      test_hand_moves_exactly_2n_minus_2;
+    Alcotest.test_case "single node" `Quick test_single_node;
+    Alcotest.test_case "two nodes" `Quick test_two_nodes;
+    Alcotest.test_case "different originators" `Quick test_different_originators;
+    Alcotest.test_case "rounds near n log n" `Slow test_rounds_near_n_log_n;
+    Alcotest.test_case "seeds agree on move count" `Quick test_seeds_agree;
+    Alcotest.test_case "arm never touches itself" `Slow test_arm_never_touches_itself;
+    QCheck_alcotest.to_alcotest prop_traversal_complete_random;
+  ]

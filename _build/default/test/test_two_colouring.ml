@@ -1,0 +1,122 @@
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Scheduler = Symnet_engine.Scheduler
+module Tc = Symnet_algorithms.Two_colouring
+
+let run ?(scheduler = Scheduler.Synchronous) ?(seed = 0) g =
+  let net = Network.init ~rng:(Prng.create ~seed) g (Tc.automaton ~seed:0) in
+  let outcome = Runner.run ~scheduler ~max_rounds:10_000 net in
+  (net, outcome)
+
+let verdict_testable =
+  Alcotest.testable
+    (fun fmt v ->
+      Format.pp_print_string fmt
+        (match v with
+        | `Bipartite -> "bipartite"
+        | `Odd_cycle -> "odd-cycle"
+        | `Undecided -> "undecided"))
+    ( = )
+
+let test_bipartite_cases () =
+  List.iter
+    (fun (name, g) ->
+      let net, outcome = run g in
+      Alcotest.(check bool) (name ^ " quiesced") true outcome.Runner.quiesced;
+      Alcotest.check verdict_testable name `Bipartite (Tc.verdict net))
+    [
+      ("path", Gen.path 12);
+      ("even cycle", Gen.cycle 10);
+      ("grid", Gen.grid ~rows:5 ~cols:6);
+      ("tree", Gen.complete_binary_tree ~depth:4);
+      ("hypercube", Gen.hypercube ~dim:4);
+    ]
+
+let test_odd_cases () =
+  List.iter
+    (fun (name, g) ->
+      let net, _ = run g in
+      Alcotest.check verdict_testable name `Odd_cycle (Tc.verdict net))
+    [
+      ("triangle", Gen.cycle 3);
+      ("odd cycle", Gen.cycle 9);
+      ("complete 4", Gen.complete 4);
+      ("petersen", Gen.petersen ());
+    ]
+
+let test_colours_match_parity () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net, _ = run g in
+  let dist = Analysis.distances g ~sources:[ 0 ] in
+  List.iter
+    (fun (v, c) ->
+      let expected = if dist.(v) mod 2 = 0 then Tc.Red else Tc.Blue in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d colour parity" v)
+        true (c = expected))
+    (Network.states net)
+
+let test_async_schedules () =
+  List.iter
+    (fun seed ->
+      let net, _ =
+        run ~scheduler:Scheduler.Random_permutation ~seed (Gen.cycle 9)
+      in
+      Alcotest.check verdict_testable "odd async" `Odd_cycle (Tc.verdict net);
+      let net, _ =
+        run ~scheduler:Scheduler.Random_permutation ~seed (Gen.cycle 10)
+      in
+      Alcotest.check verdict_testable "even async" `Bipartite (Tc.verdict net))
+    [ 1; 2; 3 ]
+
+let test_formal_agrees_with_ergonomic () =
+  (* the literal mod-thresh family and the ergonomic automaton compute the
+     same synchronous run, state by state *)
+  List.iter
+    (fun g_make ->
+      let g1 = g_make () and g2 = g_make () in
+      let n1 = Network.init ~rng:(Prng.create ~seed:0) g1 (Tc.automaton ~seed:0) in
+      let n2 =
+        Network.init ~rng:(Prng.create ~seed:0) g2 (Tc.formal_automaton ~seed:0)
+      in
+      for _ = 1 to 30 do
+        ignore (Network.sync_step n1);
+        ignore (Network.sync_step n2);
+        List.iter2
+          (fun (v1, c) (v2, i) ->
+            Alcotest.(check int) "same node" v1 v2;
+            Alcotest.(check bool) "same state" true (c = Tc.colour_of_int i))
+          (Network.states n1) (Network.states n2)
+      done)
+    [
+      (fun () -> Gen.cycle 9);
+      (fun () -> Gen.cycle 10);
+      (fun () -> Gen.grid ~rows:3 ~cols:5);
+      (fun () -> Gen.petersen ());
+    ]
+
+let prop_matches_oracle =
+  QCheck.Test.make ~name:"verdict matches bipartiteness oracle" ~count:30
+    QCheck.(pair (int_range 3 30) (int_range 0 20))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (Prng.create ~seed:(n * 31 + extra)) ~n ~extra_edges:extra in
+      let oracle = Analysis.is_bipartite g in
+      let net, _ = run (Graph.copy g) in
+      match Tc.verdict net with
+      | `Bipartite -> oracle
+      | `Odd_cycle -> not oracle
+      | `Undecided -> false)
+
+let suite =
+  [
+    Alcotest.test_case "bipartite cases" `Quick test_bipartite_cases;
+    Alcotest.test_case "odd cases" `Quick test_odd_cases;
+    Alcotest.test_case "colours match parity" `Quick test_colours_match_parity;
+    Alcotest.test_case "async schedules" `Quick test_async_schedules;
+    Alcotest.test_case "formal = ergonomic" `Quick test_formal_agrees_with_ergonomic;
+    QCheck_alcotest.to_alcotest prop_matches_oracle;
+  ]
