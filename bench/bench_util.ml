@@ -1,6 +1,8 @@
 (* Shared helpers for the experiment harness. *)
 
 module Prng = Symnet_prng.Prng
+module Jsonx = Symnet_obs.Jsonx
+module Stats = Symnet_obs.Stats
 
 let section id claim =
   Printf.printf "\n=== %s ===\n%s\n\n" id claim
@@ -21,16 +23,31 @@ let median l =
       let a = Array.of_list sorted in
       a.(Array.length a / 2)
 
-let percentile p l =
-  match List.sort compare l with
-  | [] -> nan
-  | sorted ->
-      let a = Array.of_list sorted in
-      let i = int_of_float (p *. float_of_int (Array.length a - 1)) in
-      a.(i)
+let percentile p l = Stats.percentile p (Array.of_list l)
+(* Linear interpolation between neighbouring order statistics; the old
+   truncating index biased p95/p99 low on small samples. *)
 
 let log2 x = log x /. log 2.
 
 let seeds k = List.init k (fun i -> i + 1)
 
 let rng seed = Prng.create ~seed
+
+(* --- machine-readable metric rows ----------------------------------- *)
+
+(* One JSONL object per experiment configuration, prefixed so the lines
+   can be grepped out of the human-readable tables:
+
+     METRIC {"experiment":"e01","n":64,...}
+
+   This is what lets BENCH_*.json track message/activation complexity
+   across PRs instead of re-parsing the fixed-width tables. *)
+let metric_row ~experiment fields =
+  print_string "METRIC ";
+  print_endline
+    (Jsonx.to_string (Jsonx.Obj (("experiment", Jsonx.String experiment) :: fields)))
+
+let jint n = Jsonx.Int n
+let jfloat f = Jsonx.Float f
+let jstr s = Jsonx.String s
+let jbool b = Jsonx.Bool b

@@ -23,13 +23,13 @@ let one_ratio ~faulty n seed =
   in
   let k = Census.recommended_k n in
   let net = Network.init ~rng:(rng seed) g (Census.automaton ~k) in
-  ignore (Runner.run ~faults ~max_rounds:100_000 net);
+  let o = Runner.run ~faults ~max_rounds:100_000 net in
   match
     List.filter_map (fun (_, s) -> Census.estimate s) (Network.states net)
   with
-  | [] -> (nan, false)
+  | [] -> (nan, false, o)
   | e :: rest ->
-      (e /. float_of_int n, List.for_all (fun e' -> e' = e) rest)
+      (e /. float_of_int n, List.for_all (fun e' -> e' = e) rest, o)
 
 let run () =
   section "E1  census"
@@ -42,9 +42,9 @@ let run () =
       List.iter
         (fun faulty ->
           let results = List.map (one_ratio ~faulty n) (seeds 25) in
-          let ratios = List.map fst results in
+          let ratios = List.map (fun (r, _, _) -> r) results in
           let agree =
-            List.length (List.filter snd results) = List.length results
+            List.for_all (fun (_, a, _) -> a) results
           in
           let within =
             List.length (List.filter (fun r -> r >= 0.25 && r <= 4.) ratios)
@@ -53,6 +53,21 @@ let run () =
             (if faulty then "20% edges" else "none")
             (median ratios) (percentile 0.1 ratios) (percentile 0.9 ratios)
             (float_of_int within /. float_of_int (List.length ratios))
-            agree)
+            agree;
+          let rounds = List.map (fun (_, _, o) -> o.Runner.rounds) results in
+          let activations =
+            List.map (fun (_, _, o) -> o.Runner.activations) results
+          in
+          metric_row ~experiment:"e01"
+            [
+              ("n", jint n);
+              ("faulty", jbool faulty);
+              ("trials", jint (List.length results));
+              ("median_ratio", jfloat (median ratios));
+              ("agreement", jbool agree);
+              ("mean_rounds", jfloat (meani rounds));
+              ("p95_rounds", jfloat (percentile 0.95 (List.map float_of_int rounds)));
+              ("mean_activations", jfloat (meani activations));
+            ])
         [ false; true ])
     [ 16; 64; 256; 1024 ]

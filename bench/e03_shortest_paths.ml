@@ -48,7 +48,17 @@ let run () =
       ignore (Runner.run ~faults ~max_rounds:100_000 net2);
       let exact2 = labels_exact net2 g2 sinks cap in
       row "  %-16s %-6d %-10d %-10d %-8b %-16b\n" name (Graph.node_count g) ecc
-        o.Runner.rounds exact exact2)
+        o.Runner.rounds exact exact2;
+      metric_row ~experiment:"e03"
+        [
+          ("graph", jstr name);
+          ("n", jint (Graph.node_count g));
+          ("eccentricity", jint ecc);
+          ("rounds", jint o.Runner.rounds);
+          ("activations", jint o.Runner.activations);
+          ("exact", jbool exact);
+          ("exact_after_faults", jbool exact2);
+        ])
     [
       ("grid 12x12", Gen.grid ~rows:12 ~cols:12);
       ("cycle 64", Gen.cycle 64);

@@ -35,7 +35,17 @@ let run () =
       let lg = log2 (float_of_int n) in
       row "  %-6d %-10.0f %-16.2f %-8.1f %-14.2f %d/%d\n" n (meani !rounds)
         (meani !rounds /. (float_of_int n *. lg))
-        (meani !phases) (meani !phases /. lg) !unique trials)
+        (meani !phases) (meani !phases /. lg) !unique trials;
+      metric_row ~experiment:"e10"
+        [
+          ("n", jint n);
+          ("trials", jint trials);
+          ("mean_rounds", jfloat (meani !rounds));
+          ("p95_rounds",
+           jfloat (percentile 0.95 (List.map float_of_int !rounds)));
+          ("mean_phases", jfloat (meani !phases));
+          ("unique_leader", jint !unique);
+        ])
     [ 8; 16; 32; 64; 128; 256 ];
 
   (* claim 4.1: per-phase elimination rate among remaining nodes *)

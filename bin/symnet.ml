@@ -23,6 +23,7 @@ module Analysis = Symnet_graph.Analysis
 module Network = Symnet_engine.Network
 module Runner = Symnet_engine.Runner
 module Trace = Symnet_engine.Trace
+module Obs = Symnet_obs
 module A = Symnet_algorithms
 
 (* ------------------------------------------------------------------ *)
@@ -63,11 +64,57 @@ let report_outcome (o : Runner.outcome) =
      else if o.Runner.stopped then "stopped"
      else "budget exhausted")
 
+(* --- telemetry flags shared by the run subcommands ------------------ *)
+
+let metrics_arg =
+  let fmt = Arg.enum [ ("json", `Json); ("csv", `Csv) ] in
+  Arg.(
+    value
+    & opt (some fmt) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Print a metrics document ($(b,json) or $(b,csv)) instead of the \
+           human-readable report.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a JSONL event trace of the run to $(docv).")
+
+let recorder_of metrics trace_out =
+  match (metrics, trace_out) with
+  | None, None -> Obs.Recorder.null
+  | _ ->
+      let sink =
+        match trace_out with
+        | Some path -> (
+            try Obs.Events.file path
+            with Sys_error msg ->
+              prerr_endline msg;
+              exit 2)
+        | None -> Obs.Events.null
+      in
+      Obs.Recorder.create ~sink ()
+
+let report_metrics metrics recorder =
+  Obs.Recorder.close recorder;
+  match (metrics, Obs.Recorder.snapshot recorder) with
+  | Some `Json, Some snap ->
+      print_endline (Obs.Jsonx.to_string (Obs.Metrics.to_json snap))
+  | Some `Csv, Some snap -> print_string (Obs.Metrics.to_csv snap)
+  | _ -> ()
+
+(* With --metrics the machine-readable document is the whole output, so
+   the human-readable report lines are suppressed. *)
+let unless_metrics metrics f = if metrics = None then f ()
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let two_colouring graph seed max_rounds watch =
+let two_colouring graph seed max_rounds watch metrics trace_out =
   let g = make_graph seed graph in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Two_colouring.automaton ~seed:0) in
   let to_char = function
@@ -76,46 +123,57 @@ let two_colouring graph seed max_rounds watch =
     | A.Two_colouring.Blue -> 'b'
     | A.Two_colouring.Failed -> 'X'
   in
+  let recorder = recorder_of metrics trace_out in
   let o =
-    if watch then Trace.watch ~max_rounds ~to_char ~out:print_endline net
-    else Runner.run ~max_rounds net
+    if watch then Trace.watch ~max_rounds ~recorder ~to_char ~out:print_endline net
+    else Runner.run ~max_rounds ~recorder net
   in
-  report_outcome o;
-  print_endline
-    (match A.Two_colouring.verdict net with
-    | `Bipartite -> "verdict: bipartite"
-    | `Odd_cycle -> "verdict: not bipartite"
-    | `Undecided -> "verdict: undecided")
+  unless_metrics metrics (fun () ->
+      report_outcome o;
+      print_endline
+        (match A.Two_colouring.verdict net with
+        | `Bipartite -> "verdict: bipartite"
+        | `Odd_cycle -> "verdict: not bipartite"
+        | `Undecided -> "verdict: undecided"));
+  report_metrics metrics recorder
 
-let census graph seed max_rounds =
+let census graph seed max_rounds metrics trace_out =
   let g = make_graph seed graph in
   let n = Graph.node_count g in
   let k = A.Census.recommended_k n in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
-  let o = Runner.run ~max_rounds net in
-  report_outcome o;
-  (match
-     List.filter_map (fun (_, s) -> A.Census.estimate s) (Network.states net)
-   with
-  | e :: _ -> Printf.printf "estimate: %.0f   truth: %d   ratio: %.2f\n" e n (e /. float_of_int n)
-  | [] -> print_endline "no estimate")
+  let recorder = recorder_of metrics trace_out in
+  let o = Runner.run ~max_rounds ~recorder net in
+  unless_metrics metrics (fun () ->
+      report_outcome o;
+      match
+        List.filter_map (fun (_, s) -> A.Census.estimate s) (Network.states net)
+      with
+      | e :: _ ->
+          Printf.printf "estimate: %.0f   truth: %d   ratio: %.2f\n" e n
+            (e /. float_of_int n)
+      | [] -> print_endline "no estimate");
+  report_metrics metrics recorder
 
-let bfs graph seed max_rounds target =
+let bfs graph seed max_rounds target metrics trace_out =
   let g = make_graph seed graph in
   let targets = match target with Some t -> [ t ] | None -> [] in
   let net =
     Network.init ~rng:(Prng.create ~seed) g (A.Bfs.automaton ~originator:0 ~targets)
   in
-  let o = Runner.run ~max_rounds net in
-  report_outcome o;
-  Printf.printf "originator status: %s\nlabels consistent: %b\n"
-    (match A.Bfs.originator_status net with
-    | A.Bfs.Found -> "found"
-    | A.Bfs.Failed -> "failed"
-    | A.Bfs.Waiting -> "waiting")
-    (A.Bfs.labels_consistent net ~originator:0)
+  let recorder = recorder_of metrics trace_out in
+  let o = Runner.run ~max_rounds ~recorder net in
+  unless_metrics metrics (fun () ->
+      report_outcome o;
+      Printf.printf "originator status: %s\nlabels consistent: %b\n"
+        (match A.Bfs.originator_status net with
+        | A.Bfs.Found -> "found"
+        | A.Bfs.Failed -> "failed"
+        | A.Bfs.Waiting -> "waiting")
+        (A.Bfs.labels_consistent net ~originator:0));
+  report_metrics metrics recorder
 
-let election graph seed max_rounds watch =
+let election graph seed max_rounds watch metrics trace_out =
   let g = make_graph seed graph in
   if watch then begin
     let net = Network.init ~rng:(Prng.create ~seed) g (A.Election.automaton ()) in
@@ -131,11 +189,15 @@ let election graph seed max_rounds watch =
     in
     report_outcome o
   end;
-  let stats = A.Election.run ~rng:(Prng.create ~seed) g ~max_rounds () in
-  Printf.printf "rounds: %d   phase changes: %d   stabilized: %b\nleaders: [%s]\n"
-    stats.A.Election.rounds stats.A.Election.phase_increments
-    stats.A.Election.stabilized
-    (String.concat "; " (List.map string_of_int stats.A.Election.leaders))
+  let recorder = recorder_of metrics trace_out in
+  let stats = A.Election.run ~rng:(Prng.create ~seed) g ~max_rounds ~recorder () in
+  unless_metrics metrics (fun () ->
+      Printf.printf
+        "rounds: %d   phase changes: %d   stabilized: %b\nleaders: [%s]\n"
+        stats.A.Election.rounds stats.A.Election.phase_increments
+        stats.A.Election.stabilized
+        (String.concat "; " (List.map string_of_int stats.A.Election.leaders)));
+  report_metrics metrics recorder
 
 let traversal graph seed max_rounds =
   let g = make_graph seed graph in
@@ -169,7 +231,7 @@ let bridges graph seed confidence =
     (String.concat "; " (List.map string_of_int truth))
     (List.sort compare suspected = truth)
 
-let shortest_paths graph seed max_rounds sinks =
+let shortest_paths graph seed max_rounds sinks metrics trace_out =
   let g = make_graph seed graph in
   let sinks =
     match sinks with
@@ -180,15 +242,18 @@ let shortest_paths graph seed max_rounds sinks =
   let net =
     Network.init ~rng:(Prng.create ~seed) g (A.Shortest_paths.automaton ~sinks ~cap)
   in
-  let o = Runner.run ~max_rounds net in
-  report_outcome o;
-  let dist = Analysis.distances g ~sources:sinks in
-  let exact =
-    List.for_all
-      (fun (v, s) -> A.Shortest_paths.label s = min cap dist.(v))
-      (Network.states net)
-  in
-  Printf.printf "labels equal true distances: %b\n" exact
+  let recorder = recorder_of metrics trace_out in
+  let o = Runner.run ~max_rounds ~recorder net in
+  unless_metrics metrics (fun () ->
+      report_outcome o;
+      let dist = Analysis.distances g ~sources:sinks in
+      let exact =
+        List.for_all
+          (fun (v, s) -> A.Shortest_paths.label s = min cap dist.(v))
+          (Network.states net)
+      in
+      Printf.printf "labels equal true distances: %b\n" exact);
+  report_metrics metrics recorder
 
 let random_walk graph seed moves =
   let g = make_graph seed graph in
@@ -238,6 +303,28 @@ let sensitivity graph seed =
     (Sens.estimate ~rng (Sens.tree_census_instance ()) ~graph:spec_graph
        ~trials:3 ~faults_per_trial:1 ~max_steps:300)
 
+let stats file format =
+  let summarise ic =
+    match Obs.Stats.read_lines ic with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 2
+    | Ok events -> Obs.Stats.summarise events
+  in
+  let summaries =
+    if file = "-" then summarise stdin
+    else
+      match open_in file with
+      | ic ->
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> summarise ic)
+      | exception Sys_error msg ->
+          prerr_endline msg;
+          exit 2
+  in
+  match format with
+  | `Table -> print_string (Obs.Stats.to_table summaries)
+  | `Json -> print_endline (Obs.Jsonx.to_string (Obs.Stats.to_json summaries))
+
 (* ------------------------------------------------------------------ *)
 (* Command wiring                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -256,16 +343,36 @@ let moves_arg =
 let confidence_arg =
   Arg.(value & opt int 2 & info [ "c" ] ~docv:"C" ~doc:"Walk budget multiplier c.")
 
+let trace_in_arg =
+  Arg.(
+    value
+    & pos 0 string "-"
+    & info [] ~docv:"TRACE" ~doc:"JSONL trace file ('-' for stdin).")
+
+let stats_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format (table or json).")
+
 let commands =
   [
     cmd "two-colouring" "Decide bipartiteness (§4.1)."
-      Term.(const two_colouring $ graph_arg $ seed_arg $ rounds_arg $ watch_arg);
+      Term.(
+        const two_colouring $ graph_arg $ seed_arg $ rounds_arg $ watch_arg
+        $ metrics_arg $ trace_out_arg);
     cmd "census" "Flajolet-Martin size estimation (§1)."
-      Term.(const census $ graph_arg $ seed_arg $ rounds_arg);
+      Term.(
+        const census $ graph_arg $ seed_arg $ rounds_arg $ metrics_arg
+        $ trace_out_arg);
     cmd "bfs" "Breadth-first search / broadcast (§4.3)."
-      Term.(const bfs $ graph_arg $ seed_arg $ rounds_arg $ target_arg);
+      Term.(
+        const bfs $ graph_arg $ seed_arg $ rounds_arg $ target_arg $ metrics_arg
+        $ trace_out_arg);
     cmd "election" "Randomized leader election (§4.7)."
-      Term.(const election $ graph_arg $ seed_arg $ rounds_arg $ watch_arg);
+      Term.(
+        const election $ graph_arg $ seed_arg $ rounds_arg $ watch_arg
+        $ metrics_arg $ trace_out_arg);
     cmd "traversal" "Milgram's graph traversal (§4.5)."
       Term.(const traversal $ graph_arg $ seed_arg $ rounds_arg);
     cmd "tourist" "Greedy tourist traversal (§4.6)."
@@ -273,13 +380,17 @@ let commands =
     cmd "bridges" "Biconnectivity via a random walk (§2.1)."
       Term.(const bridges $ graph_arg $ seed_arg $ confidence_arg);
     cmd "shortest-paths" "Decentralized distances to sinks (§2.2)."
-      Term.(const shortest_paths $ graph_arg $ seed_arg $ rounds_arg $ sinks_arg);
+      Term.(
+        const shortest_paths $ graph_arg $ seed_arg $ rounds_arg $ sinks_arg
+        $ metrics_arg $ trace_out_arg);
     cmd "random-walk" "FSSGA random walk (§4.4)."
       Term.(const random_walk $ graph_arg $ seed_arg $ moves_arg);
     cmd "firing-squad" "Firing squad on a path (§5.2 extension)."
       Term.(const firing_squad $ graph_arg $ seed_arg $ rounds_arg);
     cmd "sensitivity" "Empirical k-sensitivity survey (§2)."
       Term.(const sensitivity $ graph_arg $ seed_arg);
+    cmd "stats" "Summarise a JSONL event trace (p50/p95/max per series)."
+      Term.(const stats $ trace_in_arg $ stats_format_arg);
   ]
 
 let () =

@@ -426,12 +426,16 @@ type run_stats = {
 }
 
 let run ~rng g ?(max_rounds = 2_000_000) ?stable_window
+    ?(recorder = Symnet_obs.Recorder.null)
     ?(scheduler = Symnet_engine.Scheduler.Synchronous) () =
   let n = Graph.node_count g in
   let window =
     match stable_window with Some w -> w | None -> (4 * n) + 64
   in
   let net = Network.init ~rng g (automaton ()) in
+  Network.set_recorder net recorder;
+  Symnet_obs.Recorder.run_start recorder ~nodes:n ~edges:(Graph.edge_count g)
+    ~scheduler:(Symnet_engine.Scheduler.name scheduler);
   let probe = match Graph.nodes g with v :: _ -> v | [] -> 0 in
   let increments = ref 0 in
   let last_phase = ref 0 in
@@ -440,8 +444,10 @@ let run ~rng g ?(max_rounds = 2_000_000) ?stable_window
   let rounds = ref 0 in
   let stabilized = ref false in
   while (not !stabilized) && !rounds < max_rounds do
-    ignore (Symnet_engine.Scheduler.round scheduler net ~round:!rounds);
+    Symnet_obs.Recorder.round_start recorder ~round:(!rounds + 1);
+    let changed = Symnet_engine.Scheduler.round scheduler net ~round:!rounds in
     incr rounds;
+    Symnet_obs.Recorder.round_end recorder ~round:!rounds ~changed;
     let ph = phase_of (Network.state net probe) in
     if ph <> !last_phase then begin
       incr increments;
@@ -455,6 +461,8 @@ let run ~rng g ?(max_rounds = 2_000_000) ?stable_window
     end;
     if !stable_for >= window then stabilized := true
   done;
+  Symnet_obs.Recorder.run_end recorder ~round:!rounds
+    ~reason:(if !stabilized then "stopped" else "budget");
   {
     rounds = !rounds;
     phase_increments = !increments;

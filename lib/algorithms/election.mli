@@ -65,6 +65,7 @@ val run :
   Symnet_graph.Graph.t ->
   ?max_rounds:int ->
   ?stable_window:int ->
+  ?recorder:Symnet_obs.Recorder.t ->
   ?scheduler:Symnet_engine.Scheduler.t ->
   unit ->
   run_stats

@@ -10,11 +10,15 @@ let apply_one g = function
   | Kill_node v -> if Graph.is_live_node g v then Graph.remove_node g v
   | Kill_edge (u, v) -> Graph.remove_edge_between g u v
 
-let apply_due schedule ~round g =
+let apply_due ?on_apply schedule ~round g =
   let due, pending =
     List.partition (fun e -> e.at_round <= round) schedule
   in
-  List.iter (fun e -> apply_one g e.action) due;
+  List.iter
+    (fun e ->
+      apply_one g e.action;
+      match on_apply with Some f -> f e.action | None -> ())
+    due;
   pending
 
 let sort_schedule s =

@@ -11,9 +11,15 @@ type event = { at_round : int; action : action }
 
 type schedule = event list
 
-val apply_due : schedule -> round:int -> Symnet_graph.Graph.t -> schedule
+val apply_due :
+  ?on_apply:(action -> unit) ->
+  schedule ->
+  round:int ->
+  Symnet_graph.Graph.t ->
+  schedule
 (** Apply every event with [at_round <= round]; returns the events still
-    pending. *)
+    pending.  [on_apply] observes each action right after it lands (the
+    runner uses it to emit fault telemetry). *)
 
 val random_edge_faults :
   Symnet_prng.Prng.t ->

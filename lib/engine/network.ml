@@ -2,6 +2,7 @@ module Graph = Symnet_graph.Graph
 module Prng = Symnet_prng.Prng
 module View = Symnet_core.View
 module Fssga = Symnet_core.Fssga
+module Recorder = Symnet_obs.Recorder
 
 type 'q t = {
   graph : Graph.t;
@@ -9,17 +10,20 @@ type 'q t = {
   automaton : 'q Fssga.t;
   rng : Prng.t;
   mutable activations : int;
+  mutable recorder : Recorder.t;
 }
 
 let init ~rng graph (automaton : 'q Fssga.t) =
   let states =
     Array.init (Graph.original_size graph) (fun v -> automaton.init graph v)
   in
-  { graph; states; automaton; rng; activations = 0 }
+  { graph; states; automaton; rng; activations = 0; recorder = Recorder.null }
 
 let graph t = t.graph
 let automaton t = t.automaton
 let rng t = t.rng
+let recorder t = t.recorder
+let set_recorder t r = t.recorder <- r
 
 let state t v = t.states.(v)
 let set_state t v q = t.states.(v) <- q
@@ -36,6 +40,9 @@ let activate t v =
     in
     let changed = q' <> t.states.(v) in
     t.states.(v) <- q';
+    if Recorder.enabled t.recorder then
+      Recorder.activation t.recorder ~node:v ~view_size:(Graph.degree t.graph v)
+        ~changed;
     changed
   end
 
@@ -49,10 +56,14 @@ let sync_step t =
         (v, t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)))
       nodes
   in
+  let record = Recorder.enabled t.recorder in
   List.fold_left
     (fun changed (v, q') ->
       let c = q' <> t.states.(v) in
       t.states.(v) <- q';
+      if record then
+        Recorder.activation t.recorder ~node:v ~view_size:(Graph.degree t.graph v)
+          ~changed:c;
       changed || c)
     false updates
 

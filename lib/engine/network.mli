@@ -15,6 +15,15 @@ val graph : 'q t -> Graph.t
 val automaton : 'q t -> 'q Symnet_core.Fssga.t
 val rng : 'q t -> Prng.t
 
+val recorder : 'q t -> Symnet_obs.Recorder.t
+(** The telemetry recorder activations are reported to; defaults to
+    {!Symnet_obs.Recorder.null} (hooks short-circuit). *)
+
+val set_recorder : 'q t -> Symnet_obs.Recorder.t -> unit
+(** Attach a recorder.  {!Runner.run} does this automatically from its
+    [?recorder] argument; attach one directly when driving the network
+    with {!activate}/{!sync_step} or a hand-rolled loop. *)
+
 val state : 'q t -> int -> 'q
 (** Current state of a node (dead nodes retain their last state). *)
 

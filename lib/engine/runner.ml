@@ -1,29 +1,53 @@
+module Graph = Symnet_graph.Graph
+module Obs = Symnet_obs
+
 type outcome = {
   rounds : int;
   activations : int;
   quiesced : bool;
   stopped : bool;
+  metrics : Obs.Metrics.snapshot option;
 }
 
+let fault_event : Fault.action -> Obs.Events.fault_action = function
+  | Fault.Kill_node v -> Obs.Events.Kill_node v
+  | Fault.Kill_edge (u, v) -> Obs.Events.Kill_edge (u, v)
+
 let run ?(scheduler = Scheduler.Synchronous) ?(faults = []) ?(max_rounds = 100_000)
-    ?stop ?on_round net =
+    ?(recorder = Obs.Recorder.null) ?stop ?on_round net =
   let g = Network.graph net in
+  Network.set_recorder net recorder;
+  Obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
+    ~edges:(Graph.edge_count g) ~scheduler:(Scheduler.name scheduler);
   let pending = ref faults in
+  let finish ~round ~quiesced ~stopped =
+    let reason =
+      if stopped then "stopped" else if quiesced then "quiesced" else "budget"
+    in
+    Obs.Recorder.run_end recorder ~round ~reason;
+    {
+      rounds = round;
+      activations = Network.activations net;
+      quiesced;
+      stopped;
+      metrics = Obs.Recorder.snapshot recorder;
+    }
+  in
   let rec go round =
-    if round > max_rounds then
-      { rounds = max_rounds; activations = Network.activations net;
-        quiesced = false; stopped = false }
+    if round > max_rounds then finish ~round:max_rounds ~quiesced:false ~stopped:false
     else begin
-      pending := Fault.apply_due !pending ~round g;
+      Obs.Recorder.round_start recorder ~round;
+      pending :=
+        Fault.apply_due !pending ~round g
+          ~on_apply:(fun a ->
+            Obs.Recorder.fault recorder ~action:(fault_event a));
       let changed = Scheduler.round scheduler net ~round in
+      Obs.Recorder.round_end recorder ~round ~changed;
       (match on_round with Some f -> f ~round net | None -> ());
       let stop_now = match stop with Some f -> f ~round net | None -> false in
-      if stop_now then
-        { rounds = round; activations = Network.activations net;
-          quiesced = false; stopped = true }
+      if stop_now then finish ~round ~quiesced:false ~stopped:true
       else if (not changed) && !pending = [] then
-        { rounds = round; activations = Network.activations net;
-          quiesced = true; stopped = false }
+        finish ~round ~quiesced:true ~stopped:false
       else go (round + 1)
     end
   in

@@ -1,5 +1,6 @@
 (** Running a network to quiescence, to a stopping condition, or for a
-    bounded number of rounds, with optional fault injection. *)
+    bounded number of rounds, with optional fault injection and
+    telemetry. *)
 
 type outcome = {
   rounds : int;  (** rounds actually executed *)
@@ -8,12 +9,16 @@ type outcome = {
       (** the run ended because a round produced no state change (only
           meaningful for deterministic automata) *)
   stopped : bool;  (** the run ended because [stop] returned true *)
+  metrics : Symnet_obs.Metrics.snapshot option;
+      (** snapshot of the run's metrics when a recorder was supplied;
+          [None] otherwise *)
 }
 
 val run :
   ?scheduler:Scheduler.t ->
   ?faults:Fault.schedule ->
   ?max_rounds:int ->
+  ?recorder:Symnet_obs.Recorder.t ->
   ?stop:(round:int -> 'q Network.t -> bool) ->
   ?on_round:(round:int -> 'q Network.t -> unit) ->
   'q Network.t ->
@@ -22,4 +27,10 @@ val run :
     scheduler, call [on_round], then test [stop].  Defaults: synchronous
     scheduler, no faults, [max_rounds = 100_000], no stop condition.
     Quiescence only terminates the run when no faults remain pending (a
-    pending deletion can wake a stable network up again). *)
+    pending deletion can wake a stable network up again).
+
+    [recorder] (default {!Symnet_obs.Recorder.null}, which short-circuits
+    every hook) is attached to the network for the duration of the run
+    and fed the full event stream: run/round boundaries, per-activation
+    records, applied faults, and the final outcome.  The resulting
+    metrics snapshot is embedded in the returned outcome. *)

@@ -7,6 +7,13 @@ type t =
   | Uniform_singles
   | Adversarial of (round:int -> int list)
 
+let name = function
+  | Synchronous -> "synchronous"
+  | Rotor -> "rotor"
+  | Random_permutation -> "random_permutation"
+  | Uniform_singles -> "uniform_singles"
+  | Adversarial _ -> "adversarial"
+
 let activate_all net order =
   List.fold_left (fun changed v -> Network.activate net v || changed) false order
 

@@ -17,5 +17,9 @@ type t =
   | Adversarial of (round:int -> int list)
       (** explicit activation list for each round (dead nodes skipped) *)
 
+val name : t -> string
+(** Stable lowercase identifier ("synchronous", "rotor", ...) used in
+    telemetry records. *)
+
 val round : t -> 'q Network.t -> round:int -> bool
 (** Run one round; [true] if any activation changed a state. *)

@@ -17,9 +17,12 @@ let render_grid net ~rows ~cols ~to_char =
   String.concat "\n" (List.init rows line)
 
 let watch ?(max_rounds = 1000) ?(every = 1) ?(scheduler = Scheduler.Synchronous)
-    ?stop ~to_char ~out net =
-  Runner.run ~scheduler ~max_rounds ?stop
+    ?(recorder = Symnet_obs.Recorder.null) ?stop ~to_char ~out net =
+  Runner.run ~scheduler ~max_rounds ~recorder ?stop
     ~on_round:(fun ~round net ->
-      if round mod every = 0 then
-        out (Printf.sprintf "%4d  %s" round (render_line net ~to_char)))
+      if round mod every = 0 then begin
+        let line = render_line net ~to_char in
+        Symnet_obs.Recorder.frame recorder ~line;
+        out (Printf.sprintf "%4d  %s" round line)
+      end)
     net

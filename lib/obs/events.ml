@@ -1,0 +1,172 @@
+type fault_action = Kill_node of int | Kill_edge of int * int
+
+type t =
+  | Run_start of { nodes : int; edges : int; scheduler : string }
+  | Round_start of { round : int }
+  | Round_end of { round : int; activations : int; changed : bool }
+  | Activation of { round : int; node : int; view_size : int; changed : bool }
+  | Transition of { round : int; node : int }
+  | Fault of { round : int; action : fault_action }
+  | Frame of { round : int; line : string }
+  | Run_end of { round : int; activations : int; reason : string }
+
+type event = t
+
+open Jsonx
+
+let to_json = function
+  | Run_start { nodes; edges; scheduler } ->
+      Obj
+        [
+          ("ev", String "run_start");
+          ("nodes", Int nodes);
+          ("edges", Int edges);
+          ("scheduler", String scheduler);
+        ]
+  | Round_start { round } -> Obj [ ("ev", String "round_start"); ("round", Int round) ]
+  | Round_end { round; activations; changed } ->
+      Obj
+        [
+          ("ev", String "round_end");
+          ("round", Int round);
+          ("activations", Int activations);
+          ("changed", Bool changed);
+        ]
+  | Activation { round; node; view_size; changed } ->
+      Obj
+        [
+          ("ev", String "activation");
+          ("round", Int round);
+          ("node", Int node);
+          ("view_size", Int view_size);
+          ("changed", Bool changed);
+        ]
+  | Transition { round; node } ->
+      Obj [ ("ev", String "transition"); ("round", Int round); ("node", Int node) ]
+  | Fault { round; action = Kill_node v } ->
+      Obj
+        [
+          ("ev", String "fault");
+          ("round", Int round);
+          ("action", String "kill_node");
+          ("node", Int v);
+        ]
+  | Fault { round; action = Kill_edge (u, v) } ->
+      Obj
+        [
+          ("ev", String "fault");
+          ("round", Int round);
+          ("action", String "kill_edge");
+          ("u", Int u);
+          ("v", Int v);
+        ]
+  | Frame { round; line } ->
+      Obj [ ("ev", String "frame"); ("round", Int round); ("line", String line) ]
+  | Run_end { round; activations; reason } ->
+      Obj
+        [
+          ("ev", String "run_end");
+          ("round", Int round);
+          ("activations", Int activations);
+          ("reason", String reason);
+        ]
+
+let field name conv j =
+  match conv (Option.value ~default:Null (member name j)) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let ( let* ) = Result.bind
+
+let of_json j =
+  let* ev = field "ev" to_str j in
+  match ev with
+  | "run_start" ->
+      let* nodes = field "nodes" to_int j in
+      let* edges = field "edges" to_int j in
+      let* scheduler = field "scheduler" to_str j in
+      Ok (Run_start { nodes; edges; scheduler })
+  | "round_start" ->
+      let* round = field "round" to_int j in
+      Ok (Round_start { round })
+  | "round_end" ->
+      let* round = field "round" to_int j in
+      let* activations = field "activations" to_int j in
+      let* changed = field "changed" to_bool j in
+      Ok (Round_end { round; activations; changed })
+  | "activation" ->
+      let* round = field "round" to_int j in
+      let* node = field "node" to_int j in
+      let* view_size = field "view_size" to_int j in
+      let* changed = field "changed" to_bool j in
+      Ok (Activation { round; node; view_size; changed })
+  | "transition" ->
+      let* round = field "round" to_int j in
+      let* node = field "node" to_int j in
+      Ok (Transition { round; node })
+  | "fault" -> (
+      let* round = field "round" to_int j in
+      let* action = field "action" to_str j in
+      match action with
+      | "kill_node" ->
+          let* node = field "node" to_int j in
+          Ok (Fault { round; action = Kill_node node })
+      | "kill_edge" ->
+          let* u = field "u" to_int j in
+          let* v = field "v" to_int j in
+          Ok (Fault { round; action = Kill_edge (u, v) })
+      | a -> Error (Printf.sprintf "unknown fault action %S" a))
+  | "frame" ->
+      let* round = field "round" to_int j in
+      let* line = field "line" to_str j in
+      Ok (Frame { round; line })
+  | "run_end" ->
+      let* round = field "round" to_int j in
+      let* activations = field "activations" to_int j in
+      let* reason = field "reason" to_str j in
+      Ok (Run_end { round; activations; reason })
+  | ev -> Error (Printf.sprintf "unknown event %S" ev)
+
+let of_line line =
+  let* j = Jsonx.of_string line in
+  of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink_state =
+  | Null
+  | Fn of (event -> unit)
+  | Buf of Buffer.t
+  | Chan of { oc : out_channel; owned : bool }
+
+type sink = { mutable state : sink_state }
+
+let null = { state = Null }
+let buffer b = { state = Buf b }
+let channel oc = { state = Chan { oc; owned = false } }
+let file path = { state = Chan { oc = open_out path; owned = true } }
+let fn f = { state = Fn f }
+let is_null s = match s.state with Null -> true | _ -> false
+
+let emit s ev =
+  match s.state with
+  | Null -> ()
+  | Fn f -> f ev
+  | Buf b ->
+      Buffer.add_string b (Jsonx.to_string (to_json ev));
+      Buffer.add_char b '\n'
+  | Chan { oc; _ } ->
+      output_string oc (Jsonx.to_string (to_json ev));
+      output_char oc '\n'
+
+let close s =
+  match s.state with
+  | Null | Fn _ | Buf _ -> ()
+  | Chan { oc; owned } ->
+      if owned then begin
+        close_out oc;
+        s.state <- Null
+      end
+      else flush oc

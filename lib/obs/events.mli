@@ -1,0 +1,59 @@
+(** Structured run events and JSONL sinks.
+
+    Every record the engine can emit during a run is a constructor here;
+    sinks serialise them as one JSON object per line (JSONL), the format
+    [symnet stats] and the trace round-trip tests read back.  The [Null]
+    sink makes emission free, so instrumented code paths can emit
+    unconditionally. *)
+
+type fault_action = Kill_node of int | Kill_edge of int * int
+
+type t =
+  | Run_start of { nodes : int; edges : int; scheduler : string }
+  | Round_start of { round : int }
+  | Round_end of { round : int; activations : int; changed : bool }
+      (** [activations] counts this round only. *)
+  | Activation of { round : int; node : int; view_size : int; changed : bool }
+  | Transition of { round : int; node : int }
+      (** A state change observed at [node] (subset of activations). *)
+  | Fault of { round : int; action : fault_action }
+  | Frame of { round : int; line : string }
+      (** A rendered visualisation frame teed from {!Symnet_engine.Trace}. *)
+  | Run_end of { round : int; activations : int; reason : string }
+      (** [reason] is ["quiesced"], ["stopped"] or ["budget"];
+          [activations] is the whole-run total. *)
+
+val to_json : t -> Jsonx.t
+(** Tagged object, e.g. [{"ev":"round_end","round":3,"activations":12,
+    "changed":true}]. *)
+
+val of_json : Jsonx.t -> (t, string) result
+(** Inverse of {!to_json}. *)
+
+val of_line : string -> (t, string) result
+(** Parse one JSONL line. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+(** Drops everything; {!emit} on it is a single branch. *)
+
+val buffer : Buffer.t -> sink
+(** Appends JSONL lines to the buffer. *)
+
+val channel : out_channel -> sink
+(** Writes JSONL lines to the channel; {!close} flushes but does not
+    close the channel (the caller owns it). *)
+
+val file : string -> sink
+(** Opens (truncating) a file; {!close} closes it. *)
+
+val fn : (t -> unit) -> sink
+(** Fully pluggable: the callback receives each event. *)
+
+val is_null : sink -> bool
+val emit : sink -> t -> unit
+val close : sink -> unit
+(** Flush/close as appropriate for the sink; idempotent. *)

@@ -1,0 +1,39 @@
+(** Minimal JSON values: emission and parsing.
+
+    The telemetry subsystem speaks JSON (metrics documents, JSONL event
+    traces) but the toolchain has no JSON library baked in, so this is a
+    small self-contained implementation.  It covers exactly what the
+    subsystem needs: a value type, a compact printer with correct string
+    escaping, and a strict parser for reading traces back (the [symnet
+    stats] subcommand and sink round-trip tests). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Strings are escaped per RFC 8259;
+    non-finite floats render as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document (surrounding whitespace
+    allowed).  Numbers without [.], [e] or [E] parse as [Int]. *)
+
+(** {1 Accessors} — convenience for consuming parsed documents. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int n] (and integral [Float]) as [int]. *)
+
+val to_float : t -> float option
+(** [Int] or [Float] as [float]. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,188 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : int array;
+  bucket_counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type t = {
+  mutable counters : counter list;
+  mutable gauges : gauge list;
+  mutable histograms : histogram list;
+}
+
+let create () = { counters = []; gauges = []; histograms = [] }
+
+let default_bounds =
+  [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 |]
+
+let counter t name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      t.counters <- c :: t.counters;
+      c
+
+let gauge t name =
+  match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; value = 0. } in
+      t.gauges <- g :: t.gauges;
+      g
+
+let histogram t ?(bounds = default_bounds) name =
+  match List.find_opt (fun h -> h.h_name = name) t.histograms with
+  | Some h -> h
+  | None ->
+      if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty bounds";
+      Array.iteri
+        (fun i b ->
+          if i > 0 && bounds.(i - 1) >= b then
+            invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+        bounds;
+      let h =
+        {
+          h_name = name;
+          bounds = Array.copy bounds;
+          bucket_counts = Array.make (Array.length bounds + 1) 0;
+          h_count = 0;
+          h_sum = 0;
+          h_min = 0;
+          h_max = 0;
+        }
+      in
+      t.histograms <- h :: t.histograms;
+      h
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  c.count <- c.count + n
+
+let set g v = g.value <- v
+
+(* First bucket whose bound admits [v]; linear scan is fine for the
+   short fixed arrays we use, and branch-predictable for the common
+   small values. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let i = bucket_index h.bounds v in
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
+  if h.h_count = 0 || v < h.h_min then h.h_min <- v;
+  if h.h_count = 0 || v > h.h_max then h.h_max <- v;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (string * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot (t : t) =
+  let counters =
+    List.sort by_name
+      (List.map (fun (c : counter) -> (c.c_name, c.count)) t.counters)
+  in
+  let gauges =
+    List.sort by_name (List.map (fun (g : gauge) -> (g.g_name, g.value)) t.gauges)
+  in
+  let histograms =
+    List.sort by_name
+      (List.map
+         (fun h ->
+           let labelled =
+             List.init
+               (Array.length h.bucket_counts)
+               (fun i ->
+                 let label =
+                   if i < Array.length h.bounds then
+                     Printf.sprintf "<=%d" h.bounds.(i)
+                   else Printf.sprintf ">%d" h.bounds.(Array.length h.bounds - 1)
+                 in
+                 (label, h.bucket_counts.(i)))
+           in
+           ( h.h_name,
+             {
+               count = h.h_count;
+               sum = h.h_sum;
+               min = h.h_min;
+               max = h.h_max;
+               buckets = labelled;
+             } ))
+         t.histograms)
+  in
+  { counters; gauges; histograms }
+
+let hist_to_json (h : hist_snapshot) =
+  let mean =
+    if h.count = 0 then Jsonx.Null
+    else Jsonx.Float (float_of_int h.sum /. float_of_int h.count)
+  in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int h.count);
+      ("sum", Jsonx.Int h.sum);
+      ("min", Jsonx.Int h.min);
+      ("max", Jsonx.Int h.max);
+      ("mean", mean);
+      ("buckets", Jsonx.Obj (List.map (fun (l, n) -> (l, Jsonx.Int n)) h.buckets));
+    ]
+
+let to_json s =
+  Jsonx.Obj
+    [
+      ("counters", Jsonx.Obj (List.map (fun (n, v) -> (n, Jsonx.Int v)) s.counters));
+      ("gauges", Jsonx.Obj (List.map (fun (n, v) -> (n, Jsonx.Float v)) s.gauges));
+      ( "histograms",
+        Jsonx.Obj (List.map (fun (n, h) -> (n, hist_to_json h)) s.histograms) );
+    ]
+
+let to_csv s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "kind,name,field,value\n";
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "counter,%s,value,%d\n" n v))
+    s.counters;
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "gauge,%s,value,%g\n" n v))
+    s.gauges;
+  List.iter
+    (fun (n, h) ->
+      Buffer.add_string buf (Printf.sprintf "histogram,%s,count,%d\n" n h.count);
+      Buffer.add_string buf (Printf.sprintf "histogram,%s,sum,%d\n" n h.sum);
+      Buffer.add_string buf (Printf.sprintf "histogram,%s,min,%d\n" n h.min);
+      Buffer.add_string buf (Printf.sprintf "histogram,%s,max,%d\n" n h.max);
+      List.iter
+        (fun (l, c) ->
+          Buffer.add_string buf (Printf.sprintf "histogram,%s,%s,%d\n" n l c))
+        h.buckets)
+    s.histograms;
+  Buffer.contents buf

@@ -1,0 +1,65 @@
+(** Allocation-light run metrics: monotonic counters, gauges, and
+    fixed-bucket histograms.
+
+    A {!t} is a registry; instruments are created (or re-fetched — lookup
+    by name is idempotent) against it and mutated in place on the hot
+    path, so recording a sample is a couple of integer stores.  A
+    {!snapshot} freezes the whole registry into immutable data that can
+    be rendered as JSON or CSV, embedded in a {!Symnet_engine.Runner}
+    outcome, or diffed across runs. *)
+
+type t
+(** A metrics registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Fetch-or-create the named counter. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> ?bounds:int array -> string -> histogram
+(** [bounds] are inclusive upper bounds of the buckets, strictly
+    increasing; one overflow bucket is added past the last bound.  The
+    default is powers of two up to 65536.  [bounds] is ignored when the
+    histogram already exists. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Counters are monotonic: [add] with a negative amount raises
+    [Invalid_argument]. *)
+
+val set : gauge -> float -> unit
+val observe : histogram -> int -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** meaningless (0) when [count = 0] *)
+  max : int;
+  buckets : (string * int) list;
+      (** [("<=8", n)] per bucket plus a final overflow bucket [(">65536",
+          n)]; empty buckets are kept so series align across runs. *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+(** All lists are sorted by instrument name. *)
+
+val snapshot : t -> snapshot
+
+val to_json : snapshot -> Jsonx.t
+(** [{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+    max,mean,buckets}}}] *)
+
+val to_csv : snapshot -> string
+(** One [kind,name,field,value] row per scalar, histogram buckets
+    flattened; header row included. *)

@@ -1,0 +1,107 @@
+type enabled = {
+  reg : Metrics.t;
+  out : Events.sink;
+  activation_events : bool;
+  (* pre-fetched instruments: the hooks are the engine's hot path *)
+  c_rounds : Metrics.counter;
+  c_activations : Metrics.counter;
+  c_transitions : Metrics.counter;
+  c_faults : Metrics.counter;
+  c_frames : Metrics.counter;
+  h_activations_per_round : Metrics.histogram;
+  h_view_size : Metrics.histogram;
+  g_quiescence : Metrics.gauge;
+  mutable round : int;
+  mutable activations_total : int;
+  mutable activations_at_round_start : int;
+}
+
+type t = Disabled | Enabled of enabled
+
+let null = Disabled
+
+let create ?(sink = Events.null) ?(activation_events = true) () =
+  let reg = Metrics.create () in
+  Enabled
+    {
+      reg;
+      out = sink;
+      activation_events;
+      c_rounds = Metrics.counter reg "rounds";
+      c_activations = Metrics.counter reg "activations";
+      c_transitions = Metrics.counter reg "state_transitions";
+      c_faults = Metrics.counter reg "faults";
+      c_frames = Metrics.counter reg "frames";
+      h_activations_per_round = Metrics.histogram reg "activations_per_round";
+      h_view_size =
+        Metrics.histogram reg "view_size"
+          ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |];
+      g_quiescence = Metrics.gauge reg "rounds_to_quiescence";
+      round = 0;
+      activations_total = 0;
+      activations_at_round_start = 0;
+    }
+
+let enabled = function Disabled -> false | Enabled _ -> true
+let metrics = function Disabled -> None | Enabled e -> Some e.reg
+let snapshot = function Disabled -> None | Enabled e -> Some (Metrics.snapshot e.reg)
+let sink = function Disabled -> Events.null | Enabled e -> e.out
+let close = function Disabled -> () | Enabled e -> Events.close e.out
+
+let run_start t ~nodes ~edges ~scheduler =
+  match t with
+  | Disabled -> ()
+  | Enabled e -> Events.emit e.out (Events.Run_start { nodes; edges; scheduler })
+
+let round_start t ~round =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      e.round <- round;
+      e.activations_at_round_start <- e.activations_total;
+      Events.emit e.out (Events.Round_start { round })
+
+let round_end t ~round ~changed =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      let activations = e.activations_total - e.activations_at_round_start in
+      Metrics.incr e.c_rounds;
+      Metrics.observe e.h_activations_per_round activations;
+      Events.emit e.out (Events.Round_end { round; activations; changed })
+
+let activation t ~node ~view_size ~changed =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      e.activations_total <- e.activations_total + 1;
+      Metrics.incr e.c_activations;
+      Metrics.observe e.h_view_size view_size;
+      if changed then Metrics.incr e.c_transitions;
+      if e.activation_events && not (Events.is_null e.out) then begin
+        Events.emit e.out
+          (Events.Activation { round = e.round; node; view_size; changed });
+        if changed then Events.emit e.out (Events.Transition { round = e.round; node })
+      end
+
+let fault t ~action =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      Metrics.incr e.c_faults;
+      Events.emit e.out (Events.Fault { round = e.round; action })
+
+let frame t ~line =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      Metrics.incr e.c_frames;
+      Events.emit e.out (Events.Frame { round = e.round; line })
+
+let run_end t ~round ~reason =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      if reason = "quiesced" then Metrics.set e.g_quiescence (float_of_int round);
+      Events.emit e.out
+        (Events.Run_end { round; activations = e.activations_total; reason })

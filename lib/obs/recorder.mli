@@ -1,0 +1,57 @@
+(** The telemetry hook the engine threads through a run.
+
+    A recorder bundles a {!Metrics} registry and an {!Events} sink behind
+    the hook functions the engine calls ([activation], [round_end], ...).
+    {!null} is the disabled recorder: every hook on it is a single tag
+    check and returns immediately, so uninstrumented runs pay nothing
+    measurable.
+
+    Round numbers are threaded implicitly: {!round_start} latches the
+    current round so per-activation hooks (called from
+    {!Symnet_engine.Network}, which has no round concept) can stamp their
+    events without the engine passing the round everywhere.
+
+    Metrics maintained on an enabled recorder:
+    - counters [rounds], [activations], [state_transitions], [faults],
+      [frames];
+    - histograms [activations_per_round], [view_size];
+    - gauge [rounds_to_quiescence] (set by {!run_end} when the reason is
+      ["quiesced"]). *)
+
+type t
+
+val null : t
+(** The disabled recorder; all hooks are no-ops. *)
+
+val create : ?sink:Events.sink -> ?activation_events:bool -> unit -> t
+(** An enabled recorder.  [sink] (default {!Events.null}) receives the
+    event stream; [activation_events] (default [true]) controls whether
+    per-activation/per-transition events are emitted to the sink —
+    metrics record them regardless.  Disable it for long runs where only
+    round-level records are wanted in the trace. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t option
+(** [None] on {!null}. *)
+
+val snapshot : t -> Metrics.snapshot option
+(** [None] on {!null}. *)
+
+val sink : t -> Events.sink
+(** {!Events.null} on {!null}. *)
+
+val close : t -> unit
+(** Close the underlying sink; idempotent. *)
+
+(** {1 Engine hooks} *)
+
+val run_start : t -> nodes:int -> edges:int -> scheduler:string -> unit
+val round_start : t -> round:int -> unit
+val round_end : t -> round:int -> changed:bool -> unit
+(** Computes the round's activation count as the delta since the matching
+    {!round_start}. *)
+
+val activation : t -> node:int -> view_size:int -> changed:bool -> unit
+val fault : t -> action:Events.fault_action -> unit
+val frame : t -> line:string -> unit
+val run_end : t -> round:int -> reason:string -> unit

@@ -1,0 +1,103 @@
+let percentile p a =
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    let a = Array.copy a in
+    Array.sort compare a;
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    let lo = max 0 (min lo (n - 1)) and hi = max 0 (min hi (n - 1)) in
+    let frac = pos -. Float.floor pos in
+    ((1. -. frac) *. a.(lo)) +. (frac *. a.(hi))
+  end
+
+type summary = {
+  name : string;
+  count : int;
+  total : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let summarise events =
+  (* name -> reversed observation list *)
+  let series : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let push name v =
+    match Hashtbl.find_opt series name with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.add series name (ref [ v ])
+  in
+  (* transitions arrive as individual events; re-bucket them per round *)
+  let transitions_in_round = ref 0 in
+  let flush_transitions () =
+    push "transitions_per_round" (float_of_int !transitions_in_round);
+    transitions_in_round := 0
+  in
+  List.iter
+    (fun (ev : Events.t) ->
+      match ev with
+      | Events.Round_end { activations; _ } ->
+          push "activations_per_round" (float_of_int activations);
+          flush_transitions ()
+      | Events.Activation { view_size; _ } -> push "view_size" (float_of_int view_size)
+      | Events.Transition _ -> incr transitions_in_round
+      | Events.Fault _ -> push "faults" 1.
+      | Events.Run_end { round; _ } -> push "rounds" (float_of_int round)
+      | Events.Run_start _ | Events.Round_start _ | Events.Frame _ -> ())
+    events;
+  Hashtbl.fold
+    (fun name obs acc ->
+      let a = Array.of_list !obs in
+      {
+        name;
+        count = Array.length a;
+        total = Array.fold_left ( +. ) 0. a;
+        p50 = percentile 0.5 a;
+        p95 = percentile 0.95 a;
+        max = Array.fold_left max neg_infinity a;
+      }
+      :: acc)
+    series []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let read_lines ic =
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | "" -> go acc (lineno + 1)
+    | line -> (
+        match Events.of_line line with
+        | Ok ev -> go (ev :: acc) (lineno + 1)
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go [] 1
+
+let to_table summaries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %8s %12s %10s %10s %10s\n" "series" "count" "total" "p50"
+       "p95" "max");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %8d %12.0f %10.1f %10.1f %10.0f\n" s.name s.count
+           s.total s.p50 s.p95 s.max))
+    summaries;
+  Buffer.contents buf
+
+let to_json summaries =
+  Jsonx.Obj
+    (List.map
+       (fun s ->
+         ( s.name,
+           Jsonx.Obj
+             [
+               ("count", Jsonx.Int s.count);
+               ("total", Jsonx.Float s.total);
+               ("p50", Jsonx.Float s.p50);
+               ("p95", Jsonx.Float s.p95);
+               ("max", Jsonx.Float s.max);
+             ] ))
+       summaries)

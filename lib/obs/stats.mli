@@ -1,0 +1,37 @@
+(** Summarising JSONL event traces, plus shared order statistics.
+
+    This is the offline half of the telemetry subsystem: read a trace
+    written through {!Events}, derive one numeric series per counter of
+    interest, and report count / p50 / p95 / max for each — the [symnet
+    stats] subcommand is a thin shell around it. *)
+
+val percentile : float -> float array -> float
+(** [percentile p a] for [p] in [0, 1], with linear interpolation between
+    the two neighbouring order statistics (the "type 7" estimator).
+    Sorts a copy of [a]; [nan] when [a] is empty. *)
+
+type summary = {
+  name : string;
+  count : int;
+  total : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarise : Events.t list -> summary list
+(** Series derived from a trace, sorted by name:
+    - [activations_per_round] and [transitions_per_round] from
+      [Round_end]/[Transition] records;
+    - [view_size] from [Activation] records;
+    - [faults] (1 per fault event);
+    - [rounds] (one observation per [Run_end], the final round). *)
+
+val read_lines : in_channel -> (Events.t list, string) result
+(** Parse a JSONL trace; blank lines are skipped, the first malformed
+    line aborts with its line number. *)
+
+val to_table : summary list -> string
+(** Fixed-width table, one summary per row. *)
+
+val to_json : summary list -> Jsonx.t

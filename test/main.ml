@@ -27,4 +27,5 @@ let () =
       ("message-passing", Test_message_passing.suite);
       ("sm-bounded", Test_sm_bounded.suite);
       ("spec-trace", Test_spec_trace.suite);
+      ("obs", Test_obs.suite);
     ]

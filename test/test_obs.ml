@@ -1,0 +1,338 @@
+(* The telemetry subsystem: metric instrument semantics, JSONL sink
+   round-trips, recorder neutrality (instrumented runs behave exactly
+   like uninstrumented ones), and the runner's per-round hook contract. *)
+
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Prng = Symnet_prng.Prng
+module View = Symnet_core.View
+module Fssga = Symnet_core.Fssga
+module Network = Symnet_engine.Network
+module Fault = Symnet_engine.Fault
+module Runner = Symnet_engine.Runner
+module Trace = Symnet_engine.Trace
+module Obs = Symnet_obs
+
+let rng () = Prng.create ~seed:4242
+
+let max_flood ~top =
+  Fssga.deterministic ~name:"max-flood"
+    ~init:(fun _g v -> v mod (top + 1))
+    ~step:(fun ~self view ->
+      let rec scan best j =
+        if j > top then best
+        else if j > best && View.at_least view j 1 then scan j (j + 1)
+        else scan best (j + 1)
+      in
+      scan self 0)
+
+(* --- metrics -------------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "c" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  (* registration is idempotent: same instrument comes back *)
+  Obs.Metrics.incr (Obs.Metrics.counter reg "c");
+  let snap = Obs.Metrics.snapshot reg in
+  Alcotest.(check (list (pair string int))) "counter" [ ("c", 6) ] snap.Obs.Metrics.counters;
+  Alcotest.check_raises "monotonic" (Invalid_argument "Metrics.add: counters are monotonic")
+    (fun () -> Obs.Metrics.add c (-1))
+
+let test_histogram_semantics () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "h" ~bounds:[| 1; 4; 16 |] in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 2; 4; 5; 16; 17; 1000 ];
+  let snap = Obs.Metrics.snapshot reg in
+  match snap.Obs.Metrics.histograms with
+  | [ ("h", hs) ] ->
+      Alcotest.(check int) "count" 8 hs.Obs.Metrics.count;
+      Alcotest.(check int) "sum" 1045 hs.Obs.Metrics.sum;
+      Alcotest.(check int) "min" 0 hs.Obs.Metrics.min;
+      Alcotest.(check int) "max" 1000 hs.Obs.Metrics.max;
+      Alcotest.(check (list (pair string int))) "buckets"
+        [ ("<=1", 2); ("<=4", 2); ("<=16", 2); (">16", 2) ]
+        hs.Obs.Metrics.buckets
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_metrics_json_valid () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter reg "n") 3;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "g") 1.5;
+  Obs.Metrics.observe (Obs.Metrics.histogram reg "h") 7;
+  let json = Obs.Metrics.to_json (Obs.Metrics.snapshot reg) in
+  match Obs.Jsonx.of_string (Obs.Jsonx.to_string json) with
+  | Ok reparsed ->
+      Alcotest.(check (option int)) "counter survives" (Some 3)
+        Obs.Jsonx.(Option.bind (member "counters" reparsed) (member "n")
+                   |> Option.map (fun j -> Option.get (to_int j)))
+  | Error e -> Alcotest.fail ("metrics JSON does not reparse: " ^ e)
+
+(* --- jsonx ---------------------------------------------------------- *)
+
+let test_jsonx_roundtrip () =
+  let v =
+    Obs.Jsonx.(
+      Obj
+        [
+          ("s", String "a \"quoted\"\nline\t\\");
+          ("i", Int (-42));
+          ("f", Float 2.5);
+          ("b", Bool true);
+          ("nul", Null);
+          ("l", List [ Int 1; Int 2; Obj [] ]);
+        ])
+  in
+  match Obs.Jsonx.of_string (Obs.Jsonx.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trip" true (v = v')
+  | Error e -> Alcotest.fail e
+
+let test_jsonx_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Jsonx.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "{} {}"; "\"unterminated" ]
+
+(* --- events and sinks ----------------------------------------------- *)
+
+let all_events =
+  Obs.Events.
+    [
+      Run_start { nodes = 5; edges = 4; scheduler = "synchronous" };
+      Round_start { round = 1 };
+      Activation { round = 1; node = 3; view_size = 2; changed = true };
+      Transition { round = 1; node = 3 };
+      Fault { round = 1; action = Kill_node 4 };
+      Fault { round = 1; action = Kill_edge (0, 1) };
+      Frame { round = 1; line = "1  .x.." };
+      Round_end { round = 1; activations = 5; changed = true };
+      Run_end { round = 1; activations = 5; reason = "quiesced" };
+    ]
+
+let test_event_jsonl_roundtrip () =
+  let buf = Buffer.create 256 in
+  let sink = Obs.Events.buffer buf in
+  List.iter (Obs.Events.emit sink) all_events;
+  Obs.Events.close sink;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" (List.length all_events)
+    (List.length lines);
+  List.iter2
+    (fun ev line ->
+      match Obs.Events.of_line line with
+      | Ok ev' -> Alcotest.(check bool) "event round-trips" true (ev = ev')
+      | Error e -> Alcotest.fail (e ^ ": " ^ line))
+    all_events lines
+
+let test_file_sink () =
+  let path = Filename.temp_file "symnet_obs" ".jsonl" in
+  let sink = Obs.Events.file path in
+  List.iter (Obs.Events.emit sink) all_events;
+  Obs.Events.close sink;
+  let ic = open_in path in
+  let events =
+    match Obs.Stats.read_lines ic with
+    | Ok evs -> evs
+    | Error e -> Alcotest.fail e
+  in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file round-trips" true (events = all_events)
+
+(* --- recorder neutrality -------------------------------------------- *)
+
+let run_once recorder =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:20) in
+  let faults = [ { Fault.at_round = 2; action = Fault.Kill_node 15 } ] in
+  (Runner.run ~faults ~recorder net, Network.states net)
+
+let test_recorder_neutral () =
+  (* A run with a recorder must be indistinguishable from one without:
+     same outcome fields, same final states. *)
+  let o_plain, s_plain = run_once Obs.Recorder.null in
+  let r = Obs.Recorder.create () in
+  let o_rec, s_rec = run_once r in
+  Alcotest.(check int) "rounds" o_plain.Runner.rounds o_rec.Runner.rounds;
+  Alcotest.(check int) "activations" o_plain.Runner.activations
+    o_rec.Runner.activations;
+  Alcotest.(check bool) "quiesced" o_plain.Runner.quiesced o_rec.Runner.quiesced;
+  Alcotest.(check bool) "stopped" o_plain.Runner.stopped o_rec.Runner.stopped;
+  Alcotest.(check bool) "states" true (s_plain = s_rec);
+  Alcotest.(check bool) "plain run has no snapshot" true
+    (o_plain.Runner.metrics = None)
+
+let test_recorder_counts_match_outcome () =
+  let r = Obs.Recorder.create () in
+  let o, _ = run_once r in
+  match o.Runner.metrics with
+  | None -> Alcotest.fail "expected a metrics snapshot"
+  | Some snap ->
+      let counter name = List.assoc name snap.Obs.Metrics.counters in
+      Alcotest.(check int) "activations counter" o.Runner.activations
+        (counter "activations");
+      Alcotest.(check int) "rounds counter" o.Runner.rounds (counter "rounds");
+      Alcotest.(check int) "fault counter" 1 (counter "faults");
+      let hist = List.assoc "activations_per_round" snap.Obs.Metrics.histograms in
+      Alcotest.(check int) "one observation per round" o.Runner.rounds
+        hist.Obs.Metrics.count;
+      Alcotest.(check int) "histogram sums to total activations"
+        o.Runner.activations hist.Obs.Metrics.sum
+
+let test_trace_events_consistent () =
+  let buf = Buffer.create 1024 in
+  let r = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
+  let o, _ = run_once r in
+  let events =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Obs.Events.of_line l with
+           | Ok ev -> ev
+           | Error e -> Alcotest.fail (e ^ ": " ^ l))
+  in
+  let count p = List.length (List.filter p events) in
+  Alcotest.(check int) "round_start per round" o.Runner.rounds
+    (count (function Obs.Events.Round_start _ -> true | _ -> false));
+  Alcotest.(check int) "round_end per round" o.Runner.rounds
+    (count (function Obs.Events.Round_end _ -> true | _ -> false));
+  Alcotest.(check int) "activation events" o.Runner.activations
+    (count (function Obs.Events.Activation _ -> true | _ -> false));
+  Alcotest.(check int) "one run_start" 1
+    (count (function Obs.Events.Run_start _ -> true | _ -> false));
+  Alcotest.(check int) "one run_end" 1
+    (count (function Obs.Events.Run_end _ -> true | _ -> false));
+  Alcotest.(check int) "one fault" 1
+    (count (function Obs.Events.Fault _ -> true | _ -> false))
+
+(* --- runner hook ordering (runner.mli contract) ---------------------- *)
+
+let test_runner_hook_order () =
+  (* Per round: faults land first, then the scheduler, then [on_round],
+     then [stop].  Witness all of it at round 3: the fault due that round
+     must already be applied when [on_round] fires, and [on_round] must
+     fire before [stop] is consulted. *)
+  let g = Gen.path 6 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:20) in
+  let faults = [ { Fault.at_round = 3; action = Fault.Kill_node 5 } ] in
+  let log = ref [] in
+  let o =
+    Runner.run ~faults
+      ~on_round:(fun ~round net ->
+        if round = 3 then
+          Alcotest.(check bool) "fault applied before on_round" false
+            (Graph.is_live_node (Network.graph net) 5);
+        log := `On_round round :: !log)
+      ~stop:(fun ~round _ ->
+        log := `Stop round :: !log;
+        round >= 3)
+      net
+  in
+  Alcotest.(check bool) "stopped" true o.Runner.stopped;
+  Alcotest.(check int) "stopped at 3" 3 o.Runner.rounds;
+  Alcotest.(check
+              (list (testable (fun ppf -> function
+                 | `On_round r -> Format.fprintf ppf "on_round %d" r
+                 | `Stop r -> Format.fprintf ppf "stop %d" r)
+                 ( = ))))
+    "on_round precedes stop each round"
+    [ `On_round 1; `Stop 1; `On_round 2; `Stop 2; `On_round 3; `Stop 3 ]
+    (List.rev !log)
+
+(* --- Trace.watch tee ------------------------------------------------- *)
+
+let test_watch_tees_frames () =
+  let g = Gen.path 5 in
+  let net = Network.init ~rng:(rng ()) g (max_flood ~top:20) in
+  let buf = Buffer.create 1024 in
+  let r = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
+  let rendered = ref [] in
+  let o =
+    Trace.watch ~recorder:r
+      ~to_char:(fun q -> Char.chr (Char.code '0' + (q mod 10)))
+      ~out:(fun line -> rendered := line :: !rendered)
+      net
+  in
+  let frames =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.filter_map (fun l ->
+           match Obs.Events.of_line l with
+           | Ok (Obs.Events.Frame { line; _ }) -> Some line
+           | Ok _ -> None
+           | Error e -> Alcotest.fail e)
+  in
+  Alcotest.(check int) "frame per rendered round" o.Runner.rounds
+    (List.length frames);
+  Alcotest.(check int) "out callback still fires" o.Runner.rounds
+    (List.length !rendered);
+  (* teed frames are the same renderings out received (minus the round
+     number prefix) *)
+  List.iter2
+    (fun frame out_line ->
+      Alcotest.(check bool) "frame text matches" true
+        (String.length out_line >= String.length frame
+        && frame
+           = String.sub out_line
+               (String.length out_line - String.length frame)
+               (String.length frame)))
+    frames
+    (List.rev !rendered)
+
+(* --- stats ----------------------------------------------------------- *)
+
+let test_percentile_interpolates () =
+  let a = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "p50" 25. (Obs.Stats.percentile 0.5 a);
+  Alcotest.(check (float 1e-9)) "p0" 10. (Obs.Stats.percentile 0. a);
+  Alcotest.(check (float 1e-9)) "p100" 40. (Obs.Stats.percentile 1. a);
+  (* the old truncating estimator returned 30 here *)
+  Alcotest.(check (float 1e-9)) "p95" 38.5 (Obs.Stats.percentile 0.95 a);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Obs.Stats.percentile 0.5 [||]))
+
+let test_stats_summarise () =
+  let events =
+    Obs.Events.
+      [
+        Round_end { round = 1; activations = 10; changed = true };
+        Round_end { round = 2; activations = 20; changed = false };
+        Run_end { round = 2; activations = 30; reason = "quiesced" };
+      ]
+  in
+  let summaries = Obs.Stats.summarise events in
+  let find name = List.find (fun s -> s.Obs.Stats.name = name) summaries in
+  let apr = find "activations_per_round" in
+  Alcotest.(check int) "count" 2 apr.Obs.Stats.count;
+  Alcotest.(check (float 1e-9)) "total" 30. apr.Obs.Stats.total;
+  Alcotest.(check (float 1e-9)) "p50" 15. apr.Obs.Stats.p50;
+  Alcotest.(check (float 1e-9)) "max" 20. apr.Obs.Stats.max;
+  let rounds = find "rounds" in
+  Alcotest.(check (float 1e-9)) "final round" 2. rounds.Obs.Stats.max
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "metrics JSON reparses" `Quick test_metrics_json_valid;
+    Alcotest.test_case "jsonx round-trip" `Quick test_jsonx_roundtrip;
+    Alcotest.test_case "jsonx rejects garbage" `Quick test_jsonx_rejects_garbage;
+    Alcotest.test_case "event JSONL round-trip" `Quick test_event_jsonl_roundtrip;
+    Alcotest.test_case "file sink round-trip" `Quick test_file_sink;
+    Alcotest.test_case "recorder is neutral" `Quick test_recorder_neutral;
+    Alcotest.test_case "recorder counts match outcome" `Quick
+      test_recorder_counts_match_outcome;
+    Alcotest.test_case "trace events consistent" `Quick
+      test_trace_events_consistent;
+    Alcotest.test_case "runner hook order" `Quick test_runner_hook_order;
+    Alcotest.test_case "watch tees frames" `Quick test_watch_tees_frames;
+    Alcotest.test_case "percentile interpolates" `Quick
+      test_percentile_interpolates;
+    Alcotest.test_case "stats summarise" `Quick test_stats_summarise;
+  ]
