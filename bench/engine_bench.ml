@@ -1,0 +1,248 @@
+(* Engine hot-path benchmark: ns/activation and allocations/activation
+   for three representative workloads (e01 census, e03 shortest paths,
+   e10 election) on fixed seeds, written to BENCH_engine.json so the
+   perf trajectory is machine-tracked across PRs.
+
+   Methodology: each workload is a network on an n=10k graph driven
+   through a fixed number of naive synchronous rounds (the per-activation
+   cost path — dirty-set scheduling is measured separately since it
+   changes the activation count).  ns/activation = wall time / activation
+   delta; allocations/activation = minor words delta / activation delta.
+
+   The [baseline] block records the same measurements taken immediately
+   before the CSR/zero-alloc-view engine rework (commit bf413a5, same
+   machine class), giving the denominator for the >= 2x acceptance
+   criterion of that PR. *)
+
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Fssga = Symnet_core.Fssga
+module View = Symnet_core.View
+module Jsonx = Symnet_obs.Jsonx
+module A = Symnet_algorithms
+
+let rng seed = Prng.create ~seed
+
+(* Pre-rework measurements (commit bf413a5, n=10000, same rounds):
+   the denominator for the >= 2x acceptance criterion. *)
+let baseline =
+  [
+    ("e01_census", 744.4, 191.92);
+    ("e03_shortest_paths", 134772.3, 38090.70);
+    ("e10_election", 784.5, 142.26);
+  ]
+
+type sample = {
+  workload : string;
+  n : int;
+  rounds : int;
+  activations : int;
+  ns_per_activation : float;
+  words_per_activation : float;
+}
+
+(* Drive [rounds] naive synchronous rounds and measure cost per
+   activation. *)
+let measure ~workload ~rounds net =
+  let g = Network.graph net in
+  (* warm-up: one round populates caches and any lazily-grown scratch *)
+  ignore (Network.sync_step net);
+  let a0 = Network.activations net in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    ignore (Network.sync_step net)
+  done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  let acts = Network.activations net - a0 in
+  {
+    workload;
+    n = Graph.node_count g;
+    rounds;
+    activations = acts;
+    ns_per_activation = (t1 -. t0) *. 1e9 /. float_of_int (max 1 acts);
+    words_per_activation = (w1 -. w0) /. float_of_int (max 1 acts);
+  }
+
+let census_net ~n =
+  let g = Gen.random_connected (rng 42) ~n ~extra_edges:n in
+  Network.init ~rng:(rng 1) g (A.Census.automaton ~k:(A.Census.recommended_k n))
+
+let sp_net ~side =
+  let g = Gen.grid ~rows:side ~cols:side in
+  Network.init ~rng:(rng 2) g
+    (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:(side * side))
+
+let election_net ~n =
+  let g = Gen.random_connected (rng 43) ~n ~extra_edges:(n / 2) in
+  Network.init ~rng:(rng 3) g (A.Election.automaton ())
+
+(* --- zero-allocation view assertion ---------------------------------- *)
+
+(* A deterministic automaton whose state is an immediate int and whose
+   step allocates nothing, so any minor words charged to a warm
+   [Network.activate] pass come from the engine itself — the view fill,
+   the step dispatch, the commit.  The acceptance bar is exactly zero. *)
+let flood_automaton =
+  Fssga.deterministic ~name:"bench-flood"
+    ~init:(fun _g v -> v land 7)
+    ~step:(fun ~self view ->
+      let succ = (self + 1) land 7 in
+      if View.at_least view succ 1 then succ else self)
+
+let assert_zero_alloc_view ~n =
+  let g = Gen.random_connected (rng 44) ~n ~extra_edges:n in
+  let net = Network.init ~rng:(rng 4) g flood_automaton in
+  (* warm up: grows the view scratch and the engine buffers to capacity *)
+  for _ = 1 to 2 do
+    Graph.iter_nodes g (fun v -> ignore (Network.activate net v))
+  done;
+  let a0 = Network.activations net in
+  let w0 = Gc.minor_words () in
+  Graph.iter_nodes g (fun v -> ignore (Network.activate net v));
+  let w1 = Gc.minor_words () in
+  let acts = Network.activations net - a0 in
+  let delta = w1 -. w0 in
+  (* [iter_nodes]'s closure and the two meter reads are the only
+     permitted allocations; anything scaling with [acts] is a
+     regression. *)
+  let pass = delta < 64.0 in
+  if not pass then
+    Printf.printf
+      "  FAIL zero-alloc: %d activations allocated %.0f minor words\n" acts
+      delta;
+  (acts, delta, pass)
+
+(* --- change-driven scheduling ---------------------------------------- *)
+
+type dirty_sample = {
+  d_workload : string;
+  naive_s : float;
+  naive_acts : int;
+  dirty_s : float;
+  dirty_acts : int;
+  rounds_equal : bool;
+}
+
+(* Run the same deterministic workload to quiescence naively and with the
+   dirty-set fast path; outcomes must agree on round counts while the
+   dirty run performs far fewer activations. *)
+let measure_dirty ~workload mk =
+  let go ~dirty =
+    let net = mk () in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Runner.run ~dirty net in
+    (Unix.gettimeofday () -. t0, Network.activations net, outcome.Runner.rounds)
+  in
+  let naive_s, naive_acts, naive_rounds = go ~dirty:false in
+  let dirty_s, dirty_acts, dirty_rounds = go ~dirty:true in
+  {
+    d_workload = workload;
+    naive_s;
+    naive_acts;
+    dirty_s;
+    dirty_acts;
+    rounds_equal = naive_rounds = dirty_rounds;
+  }
+
+let sample_json s =
+  Jsonx.Obj
+    [
+      ("workload", Jsonx.String s.workload);
+      ("n", Jsonx.Int s.n);
+      ("rounds", Jsonx.Int s.rounds);
+      ("activations", Jsonx.Int s.activations);
+      ("ns_per_activation", Jsonx.Float s.ns_per_activation);
+      ("words_per_activation", Jsonx.Float s.words_per_activation);
+    ]
+
+let baseline_json =
+  Jsonx.List
+    (List.map
+       (fun (w, ns, words) ->
+         Jsonx.Obj
+           [
+             ("workload", Jsonx.String w);
+             ("ns_per_activation", Jsonx.Float ns);
+             ("words_per_activation", Jsonx.Float words);
+           ])
+       baseline)
+
+let dirty_json d =
+  Jsonx.Obj
+    [
+      ("workload", Jsonx.String d.d_workload);
+      ("naive_seconds", Jsonx.Float d.naive_s);
+      ("naive_activations", Jsonx.Int d.naive_acts);
+      ("dirty_seconds", Jsonx.Float d.dirty_s);
+      ("dirty_activations", Jsonx.Int d.dirty_acts);
+      ("rounds_equal", Jsonx.Bool d.rounds_equal);
+    ]
+
+let run ?(out = "BENCH_engine.json") ?(smoke = false) () =
+  let n = if smoke then 400 else 10_000 in
+  let side = if smoke then 20 else 100 in
+  let rounds = if smoke then 5 else 25 in
+  let samples =
+    [
+      measure ~workload:"e01_census" ~rounds (census_net ~n);
+      measure ~workload:"e03_shortest_paths" ~rounds:(2 * rounds)
+        (sp_net ~side);
+      measure ~workload:"e10_election" ~rounds (election_net ~n);
+    ]
+  in
+  List.iter
+    (fun s ->
+      let speedup =
+        match List.find_opt (fun (w, _, _) -> w = s.workload) baseline with
+        | Some (_, ns, _) when not smoke -> ns /. s.ns_per_activation
+        | _ -> Float.nan
+      in
+      Printf.printf
+        "  %-22s n=%-6d %8.1f ns/activation  %6.2f words/activation%s\n"
+        s.workload s.n s.ns_per_activation s.words_per_activation
+        (if Float.is_nan speedup then ""
+         else Printf.sprintf "  (%.1fx vs baseline)" speedup))
+    samples;
+  let za_acts, za_words, za_pass = assert_zero_alloc_view ~n in
+  Printf.printf "  zero-alloc view:       %d activations, %.0f minor words: %s\n"
+    za_acts za_words
+    (if za_pass then "ok" else "FAIL");
+  let dirty_samples =
+    [ measure_dirty ~workload:"e03_shortest_paths" (fun () -> sp_net ~side) ]
+  in
+  List.iter
+    (fun d ->
+      Printf.printf
+        "  dirty %-16s %d -> %d activations (%.1fx fewer), %s round count\n"
+        d.d_workload d.naive_acts d.dirty_acts
+        (float_of_int d.naive_acts /. float_of_int (max 1 d.dirty_acts))
+        (if d.rounds_equal then "identical" else "DIVERGENT"))
+    dirty_samples;
+  let doc =
+    Jsonx.Obj
+      [
+        ("suite", Jsonx.String "engine");
+        ("smoke", Jsonx.Bool smoke);
+        ("samples", Jsonx.List (List.map sample_json samples));
+        ("baseline", baseline_json);
+        ( "zero_alloc_view",
+          Jsonx.Obj
+            [
+              ("activations", Jsonx.Int za_acts);
+              ("minor_words_delta", Jsonx.Float za_words);
+              ("pass", Jsonx.Bool za_pass);
+            ] );
+        ("dirty", Jsonx.List (List.map dirty_json dirty_samples));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Jsonx.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out;
+  if not za_pass then exit 1

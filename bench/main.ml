@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- e10     # one experiment
      dune exec bench/main.exe -- tables  # all experiment tables, no kernels
      dune exec bench/main.exe -- kernels # bechamel kernels only
+     dune exec bench/main.exe -- engine  # hot-path bench -> BENCH_engine.json
+     dune exec bench/main.exe -- engine --smoke   # tiny CI variant
 *)
 
 let experiments =
@@ -38,12 +40,15 @@ let () =
       Kernels.run ()
   | [ _; "tables" ] -> run_tables ()
   | [ _; "kernels" ] -> Kernels.run ()
+  | [ _; "engine" ] -> Engine_bench.run ()
+  | [ _; "engine"; "--smoke" ] -> Engine_bench.run ~smoke:true ()
   | [ _; name ] -> (
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %s (e01..e14, tables, kernels)\n" name;
+          Printf.eprintf
+            "unknown experiment %s (e01..e14, tables, kernels, engine)\n" name;
           exit 2)
   | _ ->
-      prerr_endline "usage: main.exe [e01..e14|tables|kernels|all]";
+      prerr_endline "usage: main.exe [e01..e14|tables|kernels|engine|all]";
       exit 2

@@ -30,13 +30,21 @@ let step t =
       | None -> assert false);
       true
 
-let run t ~steps =
+let run ?(recorder = Symnet_obs.Recorder.null) t ~steps =
+  let g = Walk.graph t.walk in
+  Symnet_obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
+    ~edges:(Graph.edge_count g) ~scheduler:"agent-walk";
   let continue = ref true in
   let i = ref 0 in
   while !continue && !i < steps do
+    (* One recorder round per walk step. *)
+    Symnet_obs.Recorder.round_start recorder ~round:(!i + 1);
     continue := step t;
-    incr i
-  done
+    incr i;
+    Symnet_obs.Recorder.round_end recorder ~round:!i ~changed:!continue
+  done;
+  Symnet_obs.Recorder.run_end recorder ~round:!i
+    ~reason:(if !continue then "budget" else "stopped")
 
 let counter t id = t.counters.(id)
 let exceeded t id = t.exceeded_flags.(id)

@@ -16,8 +16,10 @@ val step : t -> bool
 (** One random-walk step; [false] if the agent is stuck (isolated node).
     Updates counters and the exceeded-flags. *)
 
-val run : t -> steps:int -> unit
-(** [steps] random-walk steps (stops early only if stuck). *)
+val run : ?recorder:Symnet_obs.Recorder.t -> t -> steps:int -> unit
+(** [steps] random-walk steps (stops early only if stuck).  [recorder]
+    (default {!Symnet_obs.Recorder.null}) receives run/round events, one
+    round per walk step. *)
 
 val counter : t -> int -> int
 (** Current counter of an edge id. *)

@@ -22,25 +22,20 @@ let automaton ~k =
         in
         Bits (k, mask)
     | Bits (k, mask) ->
-        (* OR in the neighbours' vectors.  Bit j of the result is set iff
-           we have it or some initialized neighbour has it — a thresh
-           observation per bit, hence mod-thresh overall. *)
-        let has_bit j = function
-          | Fresh _ -> false
-          | Bits (_, m) -> bit_is_set m j
-        in
+        (* OR in the neighbours' vectors in one pass: lor is a
+           semilattice operation on bit vectors, so the OR-join is a
+           legal SM observation (per bit it is exactly the thresh atom
+           "some initialized neighbour has bit j" — §5's infimum
+           functions, here a supremum in the subset lattice). *)
+        let mask_of = function Fresh _ -> 0 | Bits (_, m) -> m in
         let mask' =
-          List.fold_left
-            (fun acc j ->
-              if bit_is_set mask j || View.exists view (has_bit j) then
-                acc lor (1 lsl (j - 1))
-              else acc)
-            0
-            (List.init k (fun i -> i + 1))
+          match View.map_join mask_of ( lor ) view with
+          | None -> mask
+          | Some nbrs -> mask lor nbrs
         in
         Bits (k, mask')
   in
-  { Fssga.name = "census"; init; step }
+  { Fssga.name = "census"; init; step; deterministic = false }
 
 let of_bits ~k mask =
   if k < 1 || k > 60 then invalid_arg "Census.of_bits: k in 1..60";

@@ -4,24 +4,6 @@ module Prng = Symnet_prng.Prng
 module Network = Symnet_engine.Network
 module Graph = Symnet_graph.Graph
 
-(* Milgram-agent machinery, embedded (cf. Traversal). *)
-type trav_part = P_none | P_heads | P_tails | P_eliminated
-type trav_hand = H_idle | H_flip | H_waiting | H_notails | H_onetails
-
-type trav =
-  | T_blank of trav_part
-  | T_by_arm
-  | T_arm
-  | T_hand of trav_hand
-  | T_visited
-
-type membership = {
-  dist3 : int;  (** distance to my root, mod 3 *)
-  root_label : int;  (** the label my cluster's root drew this phase *)
-  colour : int;  (** the root colour most recently relayed to me *)
-  echo : bool;  (** my BFS subtree is completely constructed *)
-}
-
 (* Within a phase the cluster computation (BFS growth, colour waves,
    echo, agent protocol) must be logically synchronous even though nodes
    enter the phase at different rounds (the NP wave takes time to
@@ -29,391 +11,528 @@ type membership = {
    paper's own alpha-synchronizer discipline (§4.2): each node keeps a
    per-phase tick counter mod 6, waits while a same-phase neighbour is a
    tick behind, and reads a one-tick-ahead neighbour's *previous*
-   wave-state.  Even ticks do maintenance, odd ticks run the agent. *)
-type body = {
-  remain : bool;
-  label : int;  (** my own label; meaningful when [remain] *)
-  phase : int;  (** mod 3 *)
-  tick : int;  (** intra-phase logical time, mod 6 *)
-  memb : membership option;
-  trav : trav;
-  prev_memb : membership option;  (** wave-state at tick - 1 *)
-  prev_trav : trav;
-  np : int option;  (** [Some l] = state NP_l *)
-  released : bool;  (** root: my agent is out *)
-  leader : bool;
-}
+   wave-state.  Even ticks do maintenance, odd ticks run the agent.
 
-(* [Fresh] defers the initial coin flips to the first activation, since
-   initialization is deterministic in the engine. *)
-type state = Fresh | Live of body
+   The whole node state is packed into one immediate int.  The election
+   step is memory-bound: the digest scan visits every neighbour's state,
+   and with records it walked a [Live] box, a body block and pointed-to
+   membership/option blocks per neighbour.  As a bare int the states
+   array is flat, the scan is register arithmetic on one loaded word,
+   and a transition allocates nothing at all.
 
-let is_leader = function Live b -> b.leader | Fresh -> false
-let is_remaining = function Live b -> b.remain | Fresh -> true
-let phase_of = function Live b -> b.phase | Fresh -> 0
+   [Fresh] is -1 (it defers the initial coin flips to the first
+   activation, since initialization is deterministic in the engine).
+   A live body (>= 0) has the layout
 
-let is_trav_arm_or_hand = function T_arm | T_hand _ -> true | _ -> false
-let is_trav_blank = function T_blank _ -> true | _ -> false
+     bit 0      remain         (I am still a candidate root)
+     bit 1      label          (my own label; meaningful when remaining)
+     bits 2-3   phase mod 3
+     bits 4-6   tick mod 6     (intra-phase logical time)
+     bits 7-8   np             (0 = no NP; 1 + l = state NP_l)
+     bit 9      released       (root: my agent is out)
+     bit 10     leader
+     bits 11-16 membership     (see the mb_* accessors)
+     bits 17-22 prev membership  (wave-state at tick - 1)
+     bits 23-26 traversal code (see the tv_* constants)
+     bits 27-30 prev traversal code
+
+   A membership sub-word is 0 when the node belongs to no cluster, else
+
+     bit 0      present
+     bits 1-2   dist3          (distance to my root, mod 3)
+     bit 3      root_label     (the label my cluster's root drew)
+     bit 4      colour         (the root colour most recently relayed)
+     bit 5      echo           (my BFS subtree is completely constructed)
+
+   The traversal code embeds the Milgram-agent machinery (cf.
+   Traversal): 0-3 are the blank parts (none / heads / tails /
+   eliminated), then by-arm, arm, visited, and 8 + s is a hand in
+   substate s (idle / flip / waiting / no-tails / one-tails). *)
+
+let fresh = -1
+
+let m_remain m = m land 1 <> 0
+let m_label m = (m lsr 1) land 1
+let m_phase m = (m lsr 2) land 3
+let m_tick m = (m lsr 4) land 7
+let m_np m = (m lsr 7) land 3
+let m_released m = m land 0x200 <> 0
+let m_leader m = m land 0x400 <> 0
+
+let meta_make ~remain ~label ~phase ~tick ~np ~released ~leader =
+  (if remain then 1 else 0)
+  lor (label lsl 1) lor (phase lsl 2) lor (tick lsl 4)
+  lor (np lsl 7)
+  lor (if released then 0x200 else 0)
+  lor (if leader then 0x400 else 0)
+
+(* enter state NP_l / advance the tick, leaving the other fields alone *)
+let set_np m l = (m land lnot (3 lsl 7)) lor ((1 + l) lsl 7)
+let set_tick m t = (m land lnot (7 lsl 4)) lor (t lsl 4)
+
+(* membership sub-words *)
+let mb_none = 0
+
+let mb_make ~dist3 ~root_label ~colour ~echo =
+  1 lor (dist3 lsl 1) lor (root_label lsl 3) lor (colour lsl 4)
+  lor (if echo then 0x20 else 0)
+
+let mb_present mb = mb land 1 <> 0
+let mb_dist3 mb = (mb lsr 1) land 3
+let mb_root_label mb = (mb lsr 3) land 1
+let mb_colour mb = (mb lsr 4) land 1
+
+let mb_set_colour_echo mb ~colour ~echo =
+  (mb land lnot 0x30) lor (colour lsl 4) lor (if echo then 0x20 else 0)
+
+let b_memb b = (b lsr 11) land 0x3f
+let b_prev_memb b = (b lsr 17) land 0x3f
+let set_memb b mb = (b land lnot (0x3f lsl 11)) lor (mb lsl 11)
+
+(* traversal codes *)
+let tv_blank_none = 0 (* blank parts: the code IS the part, 0-3 *)
+let tv_blank_heads = 1
+let tv_blank_tails = 2
+let tv_blank_elim = 3
+let tv_by_arm = 4
+let tv_arm = 5
+let tv_visited = 6
+let tv_hand = 8 (* 8 + substate: idle, flip, waiting, notails, onetails *)
+
+let b_trav b = (b lsr 23) land 0xf
+let b_prev_trav b = (b lsr 27) land 0xf
+let set_trav b tv = (b land lnot (0xf lsl 23)) lor (tv lsl 23)
+
+let body_make ~meta ~memb ~trav ~prev_memb ~prev_trav =
+  meta lor (memb lsl 11) lor (prev_memb lsl 17) lor (trav lsl 23)
+  lor (prev_trav lsl 27)
+
+(* roll the current wave-state into the previous-tick slots *)
+let set_prev b ~memb ~trav =
+  b land lnot ((0x3f lsl 17) lor (0xf lsl 27))
+  lor (memb lsl 17) lor (trav lsl 27)
+
+type state = int
+
+let is_leader s = s >= 0 && m_leader s
+let is_remaining s = s < 0 || m_remain s
+let phase_of s = if s < 0 then 0 else m_phase s
+
 
 (* ------------------------------------------------------------------ *)
-(* Raw view helpers (phase machinery reads current values)              *)
+(* One-pass view digest                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let body_exists view pred =
-  View.exists view (function Live b -> pred b | Fresh -> false)
+(* Everything the transition function wants to know about the view,
+   computed in a single traversal.  The step previously performed a
+   dozen-plus separate scans, each allocating a predicate closure and —
+   for the tick-aligned ones — a tuple per neighbour; on the engine's
+   zero-allocation hot path that dominated the activation cost.  Every
+   field is a pure function of the same frozen view and none consumes
+   randomness, so precomputing them is behaviourally invisible.
 
-(* Tick-aligned wave-state of a neighbour, as seen from [b]: same-phase
+   Tick alignment (the alpha-synchronizer discipline): same-phase
    neighbours at my tick expose their current memb/trav; neighbours one
    tick ahead expose their previous ones; everything else (other phases,
    NP transients, Fresh) is invisible to the wave computation. *)
-let aligned (b : body) = function
-  | Fresh -> None
-  | Live b' ->
-      if b'.phase <> b.phase || b'.np <> None then None
-      else if b'.tick = b.tick then Some (b'.remain, b'.memb, b'.trav)
-      else if b'.tick = (b.tick + 1) mod 6 then
-        Some (b'.remain, b'.prev_memb, b'.prev_trav)
-      else None
+type digest = {
+  (* per-activation constants, set by [digest_prepare]: the observer's
+     phase/tick neighbourhood, precomputed once so the per-neighbour scan
+     performs no integer division *)
+  mutable p_self : int;
+  mutable p_next : int;  (* (phase + 1) mod 3 *)
+  mutable p_prev : int;  (* (phase + 2) mod 3 *)
+  mutable t_self : int;
+  mutable t_next : int;  (* (tick + 1) mod 6 *)
+  mutable t_prev : int;  (* (tick + 5) mod 6 *)
+  (* raw facts (any phase, any tick) *)
+  mutable fresh_seen : bool;
+  mutable phase_behind : bool;  (* a body at phase p+2 *)
+  mutable phase_ahead : bool;  (* a body at phase p+1 *)
+  mutable same_phase_np : bool;  (* a same-phase body relaying NP *)
+  mutable sync_wait : bool;  (* same-phase, np-free, one tick behind me *)
+  mutable raw_np1 : bool;  (* a body relaying NP_1 *)
+  mutable raw_rl1 : bool;  (* a body whose membership has root label 1 *)
+  (* aligned membership facts *)
+  mutable memb_dc : int;  (* bit [2*dist3 + colour] per aligned member *)
+  mutable memb_dl : int;  (* bit [2*dist3 + root_label] *)
+  mutable memb_unechoed : int;  (* bit [dist3]: some aligned member unechoed *)
+  mutable not_joined : bool;  (* the echo wave's all-joined test fails *)
+  (* aligned traversal facts *)
+  mutable arm_seen : bool;
+  mutable arm_or_hand : int;  (* count, saturating at 2 *)
+  mutable tails : int;  (* blank-tails count, saturating at 2 *)
+  mutable hands : int;  (* bit per visible hand substate *)
+  mutable eligible_blank : bool;  (* a blank aligned cluster member *)
+}
 
-let aligned_exists b view pred =
-  View.exists view (fun s -> match aligned b s with Some a -> pred a | None -> false)
+let digest_prepare d b =
+  let phase = m_phase b and tick = m_tick b in
+  d.p_self <- phase;
+  d.p_next <- (phase + 1) mod 3;
+  d.p_prev <- (phase + 2) mod 3;
+  d.t_self <- tick;
+  d.t_next <- (tick + 1) mod 6;
+  d.t_prev <- (tick + 5) mod 6;
+  d.fresh_seen <- false;
+  d.phase_behind <- false;
+  d.phase_ahead <- false;
+  d.same_phase_np <- false;
+  d.sync_wait <- false;
+  d.raw_np1 <- false;
+  d.raw_rl1 <- false;
+  d.memb_dc <- 0;
+  d.memb_dl <- 0;
+  d.memb_unechoed <- 0;
+  d.not_joined <- false;
+  d.arm_seen <- false;
+  d.arm_or_hand <- 0;
+  d.tails <- 0;
+  d.hands <- 0;
+  d.eligible_blank <- false
 
-let aligned_memb_exists b view pred =
-  aligned_exists b view (fun (_, m, _) ->
-      match m with Some m -> pred m | None -> false)
+let digest_make () =
+  {
+    p_self = 0;
+    p_next = 0;
+    p_prev = 0;
+    t_self = 0;
+    t_next = 0;
+    t_prev = 0;
+    fresh_seen = false;
+    phase_behind = false;
+    phase_ahead = false;
+    same_phase_np = false;
+    sync_wait = false;
+    raw_np1 = false;
+    raw_rl1 = false;
+    memb_dc = 0;
+    memb_dl = 0;
+    memb_unechoed = 0;
+    not_joined = false;
+    arm_seen = false;
+    arm_or_hand = 0;
+    tails = 0;
+    hands = 0;
+    eligible_blank = false;
+  }
 
-let aligned_count_upto b view pred ~cap =
-  View.count_where_upto view
-    (fun s -> match aligned b s with Some a -> pred a | None -> false)
-    ~cap
+let digest_add d s =
+  if s < 0 then begin
+    d.fresh_seen <- true;
+    d.not_joined <- true
+  end
+  else begin
+    let np_code = m_np s in
+    let np_set = np_code <> 0 in
+    let phase = m_phase s in
+    let tick = m_tick s in
+    if np_code = 2 then d.raw_np1 <- true;
+    (* present (bit 0) and root_label (bit 3) of the current membership *)
+    if b_memb s land 0b1001 = 0b1001 then d.raw_rl1 <- true;
+    if phase = d.p_prev then d.phase_behind <- true;
+    if phase = d.p_next then d.phase_ahead <- true;
+    if phase = d.p_self && np_set then d.same_phase_np <- true;
+    if phase = d.p_self && (not np_set) && tick = d.t_prev then
+      d.sync_wait <- true;
+    let code =
+      (* 0 invisible, 1 my tick (current wave-state), 2 one ahead
+         (previous wave-state) *)
+      if phase <> d.p_self || np_set then 0
+      else if tick = d.t_self then 1
+      else if tick = d.t_next then 2
+      else 0
+    in
+    if code = 0 then begin
+      if phase = d.p_self && not np_set then d.not_joined <- true
+    end
+    else begin
+      let mb = if code = 1 then b_memb s else b_prev_memb s in
+      let tv = if code = 1 then b_trav s else b_prev_trav s in
+      if not (mb_present mb) then d.not_joined <- true
+      else begin
+        let dist3 = mb_dist3 mb in
+        d.memb_dc <- d.memb_dc lor (1 lsl ((2 * dist3) + mb_colour mb));
+        d.memb_dl <- d.memb_dl lor (1 lsl ((2 * dist3) + mb_root_label mb));
+        if mb land 0x20 = 0 then
+          d.memb_unechoed <- d.memb_unechoed lor (1 lsl dist3)
+      end;
+      if tv = tv_arm then begin
+        d.arm_seen <- true;
+        if d.arm_or_hand < 2 then d.arm_or_hand <- d.arm_or_hand + 1
+      end
+      else if tv >= tv_hand then begin
+        if d.arm_or_hand < 2 then d.arm_or_hand <- d.arm_or_hand + 1;
+        d.hands <- d.hands lor (1 lsl (tv - tv_hand))
+      end
+      else if tv <= tv_blank_elim then begin
+        if tv = tv_blank_tails && d.tails < 2 then d.tails <- d.tails + 1;
+        if mb_present mb then d.eligible_blank <- true
+      end
+    end
+  end
+
+(* membership-present test at a given cluster distance (either colour) *)
+let memb_at d x = d.memb_dc land (0b11 lsl (2 * x)) <> 0
+let memb_at_colour d x c = d.memb_dc land (1 lsl ((2 * x) + c)) <> 0
+let memb_at_label d x l = d.memb_dl land (1 lsl ((2 * x) + l)) <> 0
+let memb_label_any d l = d.memb_dl land (0b010101 lsl l) <> 0
 
 (* ------------------------------------------------------------------ *)
 (* Conflict detection (the "few ways to discover multiple clusters")    *)
 (* ------------------------------------------------------------------ *)
 
-let conflict (b : body) view =
+let conflict b d =
+  let mb = b_memb b in
   (* (a) two different root labels visible among my neighbours *)
-  let labels_both =
-    aligned_memb_exists b view (fun m -> m.root_label = 0)
-    && aligned_memb_exists b view (fun m -> m.root_label = 1)
-  in
+  let labels_both = memb_label_any d 0 && memb_label_any d 1 in
   (* (a') my own cluster label differs from a neighbour's *)
   let label_mismatch =
-    match b.memb with
-    | Some m -> aligned_memb_exists b view (fun m' -> m'.root_label <> m.root_label)
-    | None -> false
+    mb_present mb && memb_label_any d (1 - mb_root_label mb)
   in
   (* (b) my predecessors disagree on colour *)
   let preds_disagree =
-    match b.memb with
-    | Some m ->
-        let pd = (m.dist3 + 2) mod 3 in
-        aligned_memb_exists b view (fun m' -> m'.dist3 = pd && m'.colour = 0)
-        && aligned_memb_exists b view (fun m' -> m'.dist3 = pd && m'.colour = 1)
-    | None -> false
+    mb_present mb
+    &&
+    let pd = (mb_dist3 mb + 2) mod 3 in
+    memb_at_colour d pd 0 && memb_at_colour d pd 1
   in
   (* (b') an equidistant neighbour shows a different colour — impossible
      in a single logically-synchronous cluster *)
   let siblings_disagree =
-    match b.memb with
-    | Some m ->
-        aligned_memb_exists b view (fun m' ->
-            m'.dist3 = m.dist3 && m'.colour <> m.colour)
-    | None -> false
+    mb_present mb && memb_at_colour d (mb_dist3 mb) (1 - mb_colour mb)
   in
   (* (c) two adjacent roots: a root's neighbour is at cluster distance 1,
      never 0 mod 3, in a single cluster *)
-  let adjacent_root =
-    b.remain && b.memb <> None
-    && aligned_memb_exists b view (fun m' -> m'.dist3 = 0)
-  in
+  let adjacent_root = m_remain b && mb_present mb && memb_at d 0 in
   labels_both || label_mismatch || preds_disagree || siblings_disagree
   || adjacent_root
 
 (* largest label this node can currently know about *)
-let known_max_label (b : body) view =
-  let np1 = body_exists view (fun b' -> b'.np = Some 1) in
+let known_max_label b d =
   let own =
-    (b.remain && b.label = 1)
-    || (match b.memb with Some m -> m.root_label = 1 | None -> false)
+    (m_remain b && m_label b = 1) || b_memb b land 0b1001 = 0b1001
   in
-  let nbr =
-    body_exists view (fun b' ->
-        match b'.memb with Some m -> m.root_label = 1 | None -> false)
-  in
-  if np1 || own || nbr then 1 else 0
+  if d.raw_np1 || own || d.raw_rl1 then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* Phase increment                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let increment rng (b : body) view ~np_label =
-  let np1_nearby =
-    np_label = Some 1 || body_exists view (fun b' -> b'.np = Some 1)
-  in
-  let remain' = b.remain && not (np1_nearby && b.label = 0) in
-  let label' = if remain' then Prng.int rng 2 else b.label in
+let increment rng b d ~np1 =
+  let np1_nearby = np1 || d.raw_np1 in
+  let remain' = m_remain b && not (np1_nearby && m_label b = 0) in
+  let label' = if remain' then Prng.int rng 2 else m_label b in
   let memb' =
     if remain' then
-      Some
-        { dist3 = 0; root_label = label'; colour = Prng.int rng 2; echo = false }
-    else None
+      mb_make ~dist3:0 ~root_label:label' ~colour:(Prng.int rng 2) ~echo:false
+    else mb_none
   in
-  {
-    remain = remain';
-    label = label';
-    phase = (b.phase + 1) mod 3;
-    tick = 0;
-    memb = memb';
-    trav = T_blank P_none;
-    prev_memb = memb';
-    prev_trav = T_blank P_none;
-    np = None;
-    released = false;
-    leader = false;
-  }
+  body_make
+    ~meta:
+      (meta_make ~remain:remain' ~label:label'
+         ~phase:((m_phase b + 1) mod 3)
+         ~tick:0 ~np:0 ~released:false ~leader:false)
+    ~memb:memb' ~trav:tv_blank_none ~prev_memb:memb' ~prev_trav:tv_blank_none
 
 (* ------------------------------------------------------------------ *)
 (* Even ticks: BFS growth, colour wave, echo, by-arm upkeep             *)
 (* ------------------------------------------------------------------ *)
 
-let echo_complete (b : body) m view =
+let echo_complete mb d =
   (* every neighbour visible at my tick has joined some cluster, and all
      my successors have echoed *)
-  let succ_dist = (m.dist3 + 1) mod 3 in
-  let all_joined =
-    View.for_all view (fun s ->
-        match s with
-        | Fresh -> false
-        | Live b' -> (
-            match aligned b s with
-            | None -> b'.phase <> b.phase || b'.np <> None
-            | Some (_, m', _) -> m' <> None))
-  in
-  let succs_echoed =
-    View.for_all view (fun s ->
-        match aligned b s with
-        | None -> true
-        | Some (_, m', _) -> (
-            match m' with
-            | Some m' -> m'.dist3 <> succ_dist || m'.echo
-            | None -> true))
-  in
-  all_joined && succs_echoed
+  let succ_dist = (mb_dist3 mb + 1) mod 3 in
+  (not d.not_joined) && d.memb_unechoed land (1 lsl succ_dist) = 0
 
-let trav_upkeep (b : body) view trav =
-  match trav with
-  | T_blank P_none | T_by_arm ->
-      if aligned_exists b view (fun (_, _, t) -> t = T_arm) then T_by_arm
-      else T_blank P_none
-  | t -> t
+let trav_upkeep d tv =
+  if tv = tv_blank_none || tv = tv_by_arm then
+    if d.arm_seen then tv_by_arm else tv_blank_none
+  else tv
 
-let maintenance rng (b : body) view =
-  let trav' = trav_upkeep b view b.trav in
-  match b.memb with
-  | None -> (
-      (* an eliminated node joins the first cluster that reaches it;
-         simultaneous different-label offers were caught as a conflict
-         before this point, so all offers agree on the label *)
-      let offer_at x =
-        aligned_memb_exists b view (fun m' -> m'.dist3 = x)
+let maintenance rng b d =
+  let trav' = trav_upkeep d (b_trav b) in
+  let mb = b_memb b in
+  if not (mb_present mb) then begin
+    (* an eliminated node joins the first cluster that reaches it;
+       simultaneous different-label offers were caught as a conflict
+       before this point, so all offers agree on the label *)
+    let rec first_offer x =
+      if x > 2 then -1 else if memb_at d x then x else first_offer (x + 1)
+    in
+    match first_offer 0 with
+    | -1 -> set_trav b trav'
+    | x ->
+        if memb_at_colour d x 0 && memb_at_colour d x 1 then
+          (* same-label clusters arriving together with clashing
+             colours: treat as a witnessed conflict *)
+          set_np b (known_max_label b d)
+        else begin
+          let colour = if memb_at_colour d x 1 then 1 else 0 in
+          let root_label = if memb_at_label d x 1 then 1 else 0 in
+          set_trav
+            (set_memb b
+               (mb_make ~dist3:((x + 1) mod 3) ~root_label ~colour ~echo:false))
+            trav'
+        end
+  end
+  else begin
+    let echo' = echo_complete mb d in
+    if m_remain b then begin
+      (* root: recolour every maintenance tick; release the agent when
+         the cluster construction echoes back complete *)
+      let colour' = if m_leader b then mb_colour mb else Prng.int rng 2 in
+      let release_now = echo' && not (m_released b) in
+      let b' = set_memb b (mb_set_colour_echo mb ~colour:colour' ~echo:echo') in
+      if release_now then set_trav b' (tv_hand + 0) lor 0x200
+      else set_trav b' trav'
+    end
+    else begin
+      (* member: adopt my predecessors' colour (they agree — any
+         disagreement was caught as a conflict before this point) *)
+      let pd = (mb_dist3 mb + 2) mod 3 in
+      let colour' =
+        if memb_at_colour d pd 1 then 1
+        else if memb_at_colour d pd 0 then 0
+        else mb_colour mb
       in
-      let rec first_offer x =
-        if x > 2 then None else if offer_at x then Some x else first_offer (x + 1)
-      in
-      match first_offer 0 with
-      | None -> { b with trav = trav' }
-      | Some x ->
-          let from_offer pred =
-            aligned_memb_exists b view (fun m' -> m'.dist3 = x && pred m')
-          in
-          if
-            from_offer (fun m' -> m'.colour = 0)
-            && from_offer (fun m' -> m'.colour = 1)
-          then
-            (* same-label clusters arriving together with clashing
-               colours: treat as a witnessed conflict *)
-            { b with np = Some (known_max_label b view) }
-          else begin
-            let colour = if from_offer (fun m' -> m'.colour = 1) then 1 else 0 in
-            let root_label =
-              if from_offer (fun m' -> m'.root_label = 1) then 1 else 0
-            in
-            {
-              b with
-              memb =
-                Some { dist3 = (x + 1) mod 3; root_label; colour; echo = false };
-              trav = trav';
-            }
-          end)
-  | Some m ->
-      let echo' = echo_complete b m view in
-      if b.remain then begin
-        (* root: recolour every maintenance tick; release the agent when
-           the cluster construction echoes back complete *)
-        let colour' = if b.leader then m.colour else Prng.int rng 2 in
-        let release_now = echo' && not b.released in
-        {
-          b with
-          memb = Some { m with colour = colour'; echo = echo' };
-          released = b.released || release_now;
-          trav = (if release_now then T_hand H_idle else trav');
-        }
-      end
-      else begin
-        (* member: adopt my predecessors' colour (they agree — any
-           disagreement was caught as a conflict before this point) *)
-        let pd = (m.dist3 + 2) mod 3 in
-        let pred_colour c =
-          aligned_memb_exists b view (fun m' -> m'.dist3 = pd && m'.colour = c)
-        in
-        let colour' =
-          if pred_colour 1 then 1 else if pred_colour 0 then 0 else m.colour
-        in
-        { b with memb = Some { m with colour = colour'; echo = echo' }; trav = trav' }
-      end
+      set_trav (set_memb b (mb_set_colour_echo mb ~colour:colour' ~echo:echo'))
+        trav'
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Odd ticks: the embedded Milgram traversal                            *)
 (* ------------------------------------------------------------------ *)
 
-let hand_neighbour_sub (b : body) view =
-  let check sub = aligned_exists b view (fun (_, _, t) -> t = T_hand sub) in
-  if check H_onetails then Some H_onetails
-  else if check H_notails then Some H_notails
-  else if check H_flip then Some H_flip
-  else if check H_waiting then Some H_waiting
-  else if check H_idle then Some H_idle
-  else None
+(* the unique hand's election substate among the aligned neighbours,
+   as an offset from [tv_hand]; -1 when no hand is visible *)
+let hand_neighbour_sub d =
+  if d.hands land 0x10 <> 0 then 4 (* one-tails *)
+  else if d.hands land 0x8 <> 0 then 3 (* no-tails *)
+  else if d.hands land 0x2 <> 0 then 1 (* flip *)
+  else if d.hands land 0x4 <> 0 then 2 (* waiting *)
+  else if d.hands land 0x1 <> 0 then 0 (* idle *)
+  else -1
 
-(* eligibility: only cluster members visible at my tick are traversable *)
-let eligible_blank (_, m, t) = is_trav_blank t && m <> None
-
-let agent_ops rng (b : body) view =
-  match b.trav with
-  | T_arm ->
-      let tips =
-        aligned_count_upto b view
-          (fun (_, _, t) -> is_trav_arm_or_hand t)
-          ~cap:2
-      in
-      let i_am_origin = b.remain && b.released in
-      if ((not i_am_origin) && tips <= 1) || (i_am_origin && tips = 0) then
-        { b with trav = T_hand H_idle }
-      else b
-  | T_hand sub -> (
-      match sub with
-      | H_idle ->
-          if aligned_exists b view eligible_blank then
-            { b with trav = T_hand H_flip }
-          else if b.remain && b.released then
-            (* my agent has returned: the Theta(n) wait is over *)
-            { b with trav = T_visited; leader = true }
-          else { b with trav = T_visited }
-      | H_flip -> { b with trav = T_hand H_waiting }
-      | H_waiting -> (
-          match
-            aligned_count_upto b view
-              (fun (_, _, t) -> t = T_blank P_tails)
-              ~cap:2
-          with
-          | 0 -> { b with trav = T_hand H_notails }
-          | 1 -> { b with trav = T_hand H_onetails }
-          | _ -> { b with trav = T_hand H_flip })
-      | H_notails -> { b with trav = T_hand H_waiting }
-      | H_onetails -> { b with trav = T_arm })
-  | T_blank part -> (
-      match hand_neighbour_sub b view with
-      | Some H_flip ->
-          if part = P_heads then { b with trav = T_blank P_eliminated }
-          else if part <> P_eliminated && b.memb <> None then
-            { b with trav = T_blank (if Prng.bool rng then P_heads else P_tails) }
-          else b
-      | Some H_notails ->
-          if part = P_heads then
-            { b with trav = T_blank (if Prng.bool rng then P_heads else P_tails) }
-          else b
-      | Some H_onetails ->
-          if part = P_tails then { b with trav = T_hand H_idle }
-          else { b with trav = T_blank P_none }
-      | Some (H_idle | H_waiting) -> b
-      | None ->
-          if part <> P_none then { b with trav = T_blank P_none } else b)
-  | T_by_arm | T_visited -> b
+let agent_ops rng b d =
+  let tv = b_trav b in
+  if tv = tv_arm then begin
+    let tips = d.arm_or_hand in
+    let i_am_origin = m_remain b && m_released b in
+    if ((not i_am_origin) && tips <= 1) || (i_am_origin && tips = 0) then
+      set_trav b (tv_hand + 0)
+    else b
+  end
+  else if tv >= tv_hand then begin
+    match tv - tv_hand with
+    | 0 (* idle *) ->
+        (* eligibility: only cluster members visible at my tick are
+           traversable *)
+        if d.eligible_blank then set_trav b (tv_hand + 1)
+        else if m_remain b && m_released b then
+          (* my agent has returned: the Theta(n) wait is over *)
+          set_trav b tv_visited lor 0x400
+        else set_trav b tv_visited
+    | 1 (* flip *) -> set_trav b (tv_hand + 2)
+    | 2 (* waiting *) -> (
+        match d.tails with
+        | 0 -> set_trav b (tv_hand + 3)
+        | 1 -> set_trav b (tv_hand + 4)
+        | _ -> set_trav b (tv_hand + 1))
+    | 3 (* no-tails *) -> set_trav b (tv_hand + 2)
+    | _ (* one-tails *) -> set_trav b tv_arm
+  end
+  else if tv <= tv_blank_elim then begin
+    (* blank: the code is the coin part *)
+    match hand_neighbour_sub d with
+    | 1 (* flip *) ->
+        if tv = tv_blank_heads then set_trav b tv_blank_elim
+        else if tv <> tv_blank_elim && mb_present (b_memb b) then
+          set_trav b (if Prng.bool rng then tv_blank_heads else tv_blank_tails)
+        else b
+    | 3 (* no-tails *) ->
+        if tv = tv_blank_heads then
+          set_trav b (if Prng.bool rng then tv_blank_heads else tv_blank_tails)
+        else b
+    | 4 (* one-tails *) ->
+        if tv = tv_blank_tails then set_trav b (tv_hand + 0)
+        else set_trav b tv_blank_none
+    | 0 | 2 (* idle, waiting *) -> b
+    | _ (* no hand *) ->
+        if tv <> tv_blank_none then set_trav b tv_blank_none else b
+  end
+  else b (* by-arm, visited *)
 
 (* ------------------------------------------------------------------ *)
 (* The automaton                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let automaton () : state Fssga.t =
-  let init _g _v = Fresh in
-  let step ~self ~rng view =
-    match self with
-    | Fresh ->
-        let label = Prng.int rng 2 in
-        let memb =
-          Some
-            { dist3 = 0; root_label = label; colour = Prng.int rng 2; echo = false }
-        in
-        Live
-          {
-            remain = true;
-            label;
-            phase = 0;
-            tick = 0;
-            memb;
-            trav = T_blank P_none;
-            prev_memb = memb;
-            prev_trav = T_blank P_none;
-            np = None;
-            released = false;
-            leader = false;
-          }
-    | Live b ->
-        let p = b.phase in
-        if View.exists view (fun s -> s = Fresh) then
-          (* an asynchronously-scheduled neighbour has not taken its
-             initialization step yet: it is logically at tick -1, so wait
-             (no-op under the synchronous scheduler, where Fresh vanishes
-             everywhere in round 1) *)
-          self
-        else if body_exists view (fun b' -> b'.phase = (p + 2) mod 3) then
-          (* freeze while a neighbour lags a phase behind *)
-          self
-        else if b.np <> None then Live (increment rng b view ~np_label:b.np)
-        else if body_exists view (fun b' -> b'.phase = (p + 1) mod 3) then
-          Live (increment rng b view ~np_label:None)
-        else if
-          body_exists view (fun b' -> b'.phase = p && b'.np <> None)
-        then
-          (* relay the NP wave *)
-          Live { b with np = Some (known_max_label b view) }
-        else if
-          (* alpha-synchronizer wait: a same-phase neighbour is a tick
-             behind me *)
-          body_exists view (fun b' ->
-              b'.phase = p && b'.np = None && b'.tick = (b.tick + 5) mod 6)
-        then self
-        else if conflict b view then
-          Live { b with np = Some (known_max_label b view) }
-        else begin
-          (* perform this tick's action with aligned reads *)
-          let b' =
-            if b.tick mod 2 = 0 then maintenance rng b view
-            else agent_ops rng b view
-          in
-          if b'.np <> None then Live b' (* adoption-time conflict *)
-          else
-            Live
-              {
-                b' with
-                tick = (b.tick + 1) mod 6;
-                prev_memb = b.memb;
-                prev_trav = b.trav;
-              }
-        end
+  let init _g _v = fresh in
+  (* One digest per automaton, reset and refilled on every activation.
+     The engine is single-threaded per network and the view is consumed
+     before the activation returns, so the reuse is safe.  The scan
+     predicate is preallocated for the same reason [Network]'s view
+     filler is: no closure allocation on the hot path. *)
+  let d = digest_make () in
+  let scan s =
+    digest_add d s;
+    true
   in
-  { Fssga.name = "leader-election"; init; step }
+  let step ~self ~rng view =
+    if self < 0 then begin
+      (* Fresh: take the initial coin flips *)
+      let label = Prng.int rng 2 in
+      let memb =
+        mb_make ~dist3:0 ~root_label:label ~colour:(Prng.int rng 2)
+          ~echo:false
+      in
+      body_make
+        ~meta:
+          (meta_make ~remain:true ~label ~phase:0 ~tick:0 ~np:0
+             ~released:false ~leader:false)
+        ~memb ~trav:tv_blank_none ~prev_memb:memb ~prev_trav:tv_blank_none
+    end
+    else begin
+      let b = self in
+      digest_prepare d b;
+      ignore (View.for_all view scan);
+      if d.fresh_seen then
+        (* an asynchronously-scheduled neighbour has not taken its
+           initialization step yet: it is logically at tick -1, so wait
+           (no-op under the synchronous scheduler, where Fresh vanishes
+           everywhere in round 1) *)
+        self
+      else if d.phase_behind then
+        (* freeze while a neighbour lags a phase behind *)
+        self
+      else if m_np b <> 0 then increment rng b d ~np1:(m_np b = 2)
+      else if d.phase_ahead then increment rng b d ~np1:false
+      else if d.same_phase_np then
+        (* relay the NP wave *)
+        set_np b (known_max_label b d)
+      else if
+        (* alpha-synchronizer wait: a same-phase neighbour is a tick
+           behind me *)
+        d.sync_wait
+      then self
+      else if conflict b d then set_np b (known_max_label b d)
+      else begin
+        (* perform this tick's action with aligned reads *)
+        let b' =
+          if m_tick b land 1 = 0 then maintenance rng b d
+          else agent_ops rng b d
+        in
+        if m_np b' <> 0 then b' (* adoption-time conflict *)
+        else
+          set_prev
+            (set_tick b' ((m_tick b + 1) mod 6))
+            ~memb:(b_memb b) ~trav:(b_trav b)
+      end
+    end
+  in
+  { Fssga.name = "leader-election"; init; step; deterministic = false }
 
 let leaders net = Network.find_nodes net is_leader
 let remaining net = Network.find_nodes net is_remaining

@@ -1,6 +1,7 @@
 module View = Symnet_core.View
 module Fssga = Symnet_core.Fssga
 module Network = Symnet_engine.Network
+module Scheduler = Symnet_engine.Scheduler
 module Graph = Symnet_graph.Graph
 module Prng = Symnet_prng.Prng
 
@@ -211,17 +212,29 @@ type outcome = {
   rounds_run : int;
 }
 
-let run ~rng g ~general ?(max_rounds = 100_000) () =
+let run ~rng g ~general ?(recorder = Symnet_obs.Recorder.null)
+    ?(max_rounds = 100_000) () =
   let net = Network.init ~rng g (automaton ~general) in
+  Network.set_recorder net recorder;
+  Symnet_obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
+    ~edges:(Graph.edge_count g) ~scheduler:"synchronous";
   let n = Graph.node_count g in
   let rounds = ref 0 in
   let fire_round = ref None in
   let simultaneous = ref true in
   while !fire_round = None && !rounds < max_rounds do
-    ignore (Network.sync_step net);
+    Symnet_obs.Recorder.round_start recorder ~round:(!rounds + 1);
+    (* The automaton is deterministic, so the change-driven scheduler is
+       sound and most of the quiet path is skipped each round. *)
+    let changed =
+      Scheduler.round Scheduler.Synchronous net ~round:(!rounds + 1)
+    in
     incr rounds;
+    Symnet_obs.Recorder.round_end recorder ~round:!rounds ~changed;
     let fired = Network.count_if net has_fired in
     if fired > 0 then
       if fired = n then fire_round := Some !rounds else simultaneous := false
   done;
+  Symnet_obs.Recorder.run_end recorder ~round:!rounds
+    ~reason:(if !fire_round <> None then "stopped" else "budget");
   { fire_round = !fire_round; simultaneous = !simultaneous; rounds_run = !rounds }

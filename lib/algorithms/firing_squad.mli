@@ -42,7 +42,11 @@ val run :
   rng:Symnet_prng.Prng.t ->
   Symnet_graph.Graph.t ->
   general:int ->
+  ?recorder:Symnet_obs.Recorder.t ->
   ?max_rounds:int ->
   unit ->
   outcome
-(** Drive the squad; checks round by round that firing is all-or-none. *)
+(** Drive the squad; checks round by round that firing is all-or-none.
+    The automaton is deterministic, so rounds use the change-driven
+    synchronous scheduler.  [recorder] (default
+    {!Symnet_obs.Recorder.null}) receives run/round/activation events. *)

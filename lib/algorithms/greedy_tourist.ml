@@ -100,19 +100,31 @@ type stats = {
   completed : bool;
 }
 
-let run ~rng g ~start ?on_step ?(max_steps = 10_000_000) () =
+let run ~rng g ~start ?on_step ?(recorder = Symnet_obs.Recorder.null)
+    ?(max_steps = 10_000_000) () =
   let t = create ~rng g ~start in
+  Symnet_obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
+    ~edges:(Graph.edge_count g) ~scheduler:"agent-greedy";
   let continue = ref true in
   while !continue && t.steps < max_steps do
+    (* One recorder round per agent step (the simulation's time unit;
+       the accounted FSSGA rounds live in [fssga_rounds]). *)
+    Symnet_obs.Recorder.round_start recorder ~round:(t.steps + 1);
     continue := advance t;
+    Symnet_obs.Recorder.round_end recorder ~round:t.steps ~changed:!continue;
     if !continue then
       match on_step with
       | Some f -> f ~step:t.steps g t.pos
       | None -> ()
   done;
-  {
-    agent_steps = t.steps;
-    fssga_rounds = t.rounds;
-    visited = List.length (visited_nodes t);
-    completed = completed t;
-  }
+  let stats =
+    {
+      agent_steps = t.steps;
+      fssga_rounds = t.rounds;
+      visited = List.length (visited_nodes t);
+      completed = completed t;
+    }
+  in
+  Symnet_obs.Recorder.run_end recorder ~round:t.steps
+    ~reason:(if t.steps >= max_steps then "budget" else "stopped");
+  stats

@@ -40,13 +40,15 @@ val run :
   Symnet_graph.Graph.t ->
   start:int ->
   ?on_step:(step:int -> Symnet_graph.Graph.t -> int -> unit) ->
+  ?recorder:Symnet_obs.Recorder.t ->
   ?max_steps:int ->
   unit ->
   stats
 (** [on_step ~step g pos] is called after every agent step with the live
     graph and the agent position — tests use it to inject faults; the
     tourist recomputes distances each step so benign faults only
-    re-route it. *)
+    re-route it.  [recorder] (default {!Symnet_obs.Recorder.null})
+    receives run/round events, one round per agent step. *)
 
 val election_cost : degree:int -> int
 (** The charged symmetry-breaking cost of one move past a node of the

@@ -56,7 +56,7 @@ let automaton ~start =
         | Onetails -> Blank (* clear the walker's remains *)
         | s -> s)
   in
-  { Fssga.name = "random-walk"; init; step }
+  { Fssga.name = "random-walk"; init; step; deterministic = false }
 
 let walker_position net =
   match Network.find_nodes net is_walker with

@@ -17,15 +17,22 @@ let automaton ~sinks ~cap =
        self-stabilizing from corrupted configurations *)
     if self.is_sink then { self with label = 0 }
     else begin
-      (* Smallest neighbour label, found by scanning the finite label
-         range with thresh observations; [cap - 1 + 1 = cap] when no
-         neighbour has a finite-useful label. *)
-      let rec scan j =
-        if j >= cap then cap
-        else if View.exists view (fun s -> s.label = j) then min cap (j + 1)
-        else scan (j + 1)
+      (* Smallest neighbour label + 1, capped.  min over the label
+         multiset is the canonical infimum observation of §5 (on a
+         finite label range it unfolds into the per-label thresh scan
+         "is some neighbour labelled j?"), computed here in one
+         allocation-free pass instead of cap view scans. *)
+      let label =
+        match
+          View.map_join
+            (fun s -> s.label)
+            (fun (a : int) b -> if a <= b then a else b)
+            view
+        with
+        | None -> cap
+        | Some m -> min cap (m + 1)
       in
-      { self with label = scan 0 }
+      { self with label }
     end
   in
   Fssga.deterministic ~name:"shortest-paths" ~init ~step

@@ -24,7 +24,14 @@ let wrap (inner : 'q Fssga.t) : 'q state Fssga.t =
       { cur = cur'; prev = self.cur; clock = ahead }
     end
   in
-  { Fssga.name = inner.Fssga.name ^ "+alpha-sync"; init; step }
+  (* The wrapper adds no randomness of its own: determinism is inherited
+     from the simulated automaton. *)
+  {
+    Fssga.name = inner.Fssga.name ^ "+alpha-sync";
+    init;
+    step;
+    deterministic = inner.Fssga.deterministic;
+  }
 
 let clock s = s.clock
 let simulated s = s.cur

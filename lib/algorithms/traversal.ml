@@ -103,7 +103,7 @@ let automaton ~originator =
     in
     { self with parity = not self.parity; status = status' }
   in
-  { Fssga.name = "milgram-traversal"; init; step }
+  { Fssga.name = "milgram-traversal"; init; step; deterministic = false }
 
 let hand_position net =
   match Network.find_nodes net (fun s -> is_hand s.status) with
@@ -119,15 +119,21 @@ let arm_nodes net = Network.find_nodes net (fun s -> s.status = Arm)
 
 type stats = { rounds : int; hand_moves : int; completed : bool }
 
-let run ~rng g ~originator ?(max_rounds = 10_000_000) () =
+let run ~rng g ~originator ?(recorder = Symnet_obs.Recorder.null)
+    ?(max_rounds = 10_000_000) () =
   let net = Network.init ~rng g (automaton ~originator) in
+  Network.set_recorder net recorder;
+  Symnet_obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
+    ~edges:(Graph.edge_count g) ~scheduler:"synchronous";
   let moves = ref 0 in
   let pos = ref (Some originator) in
   let rounds = ref 0 in
   let continue = ref true in
   while !continue && !rounds < max_rounds do
-    ignore (Network.sync_step net);
+    Symnet_obs.Recorder.round_start recorder ~round:(!rounds + 1);
+    let changed = Network.sync_step net in
     incr rounds;
+    Symnet_obs.Recorder.round_end recorder ~round:!rounds ~changed;
     (match hand_position net with
     | Some p when !pos <> Some p ->
         incr moves;
@@ -136,4 +142,7 @@ let run ~rng g ~originator ?(max_rounds = 10_000_000) () =
     | None -> pos := None);
     if all_visited net then continue := false
   done;
-  { rounds = !rounds; hand_moves = !moves; completed = all_visited net }
+  let completed = all_visited net in
+  Symnet_obs.Recorder.run_end recorder ~round:!rounds
+    ~reason:(if completed then "stopped" else "budget");
+  { rounds = !rounds; hand_moves = !moves; completed }

@@ -52,6 +52,9 @@ val run :
   rng:Symnet_prng.Prng.t ->
   Symnet_graph.Graph.t ->
   originator:int ->
+  ?recorder:Symnet_obs.Recorder.t ->
   ?max_rounds:int ->
   unit ->
   stats
+(** [recorder] (default {!Symnet_obs.Recorder.null}) receives run/round
+    events and the per-activation stream from the underlying network. *)

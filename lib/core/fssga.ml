@@ -7,10 +7,18 @@ type 'q t = {
   name : string;
   init : Graph.t -> int -> 'q;
   step : 'q transition;
+  deterministic : bool;
 }
 
 let deterministic ~name ~init ~step =
-  { name; init; step = (fun ~self ~rng:_ view -> step ~self view) }
+  {
+    name;
+    init;
+    step = (fun ~self ~rng:_ view -> step ~self view);
+    deterministic = true;
+  }
+
+let is_deterministic t = t.deterministic
 
 let uniform_init q _g _v = q
 
@@ -60,7 +68,9 @@ let of_probabilistic_family ~name ~q_size ~r ~init ~family =
       run_mod_thresh_on_view programs.(self).(i) view
     end
   in
-  { name; init; step }
+  (* Even [r = 1] counts as probabilistic: each step consumes an rng
+     draw, so skipping quiescent nodes would shift the draw sequence. *)
+  { name; init; step; deterministic = false }
 
 let of_mod_thresh_family ~name ~q_size ~init ~family =
   let programs = Array.init q_size family in
@@ -74,4 +84,4 @@ let of_mod_thresh_family ~name ~q_size ~init ~family =
     if View.is_empty view then self
     else run_mod_thresh_on_view programs.(self) view
   in
-  { name; init; step }
+  { name; init; step; deterministic = true }

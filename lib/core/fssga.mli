@@ -26,6 +26,15 @@ type 'q t = {
           §4.1, the originator of §4.3, the walker start of §4.4) — the
           {e automaton} itself remains identical at every node. *)
   step : 'q transition;
+  deterministic : bool;
+      (** [true] iff [step] never consults [rng].  The engine uses this
+          to decide whether change-driven (dirty-set) scheduling is
+          sound: re-stepping a node whose closed neighbourhood is
+          unchanged is a provable no-op for a deterministic transition,
+          but for a probabilistic one skipping it would shift the rng
+          draw sequence of every later activation.  When building the
+          record by hand, claim [true] only for transitions that ignore
+          [rng] entirely. *)
 }
 
 val deterministic :
@@ -33,7 +42,10 @@ val deterministic :
   init:(Symnet_graph.Graph.t -> int -> 'q) ->
   step:(self:'q -> 'q View.t -> 'q) ->
   'q t
-(** Build an automaton whose transition ignores randomness. *)
+(** Build an automaton whose transition ignores randomness (and is
+    flagged as such for the dirty-set scheduler). *)
+
+val is_deterministic : 'q t -> bool
 
 val uniform_init : 'q -> Symnet_graph.Graph.t -> int -> 'q
 (** All nodes start in the same state (the strict symmetric start required

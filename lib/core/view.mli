@@ -22,6 +22,26 @@ val of_list : 'q list -> 'q t
 (** Build a view from the raw neighbour states.  Engine-side constructor;
     algorithm code should only consume views. *)
 
+(** {1 Engine-side cursor construction}
+
+    The representation is an indexed cursor over a reusable buffer: the
+    engine keeps one scratch view per network and refills it in place
+    before each activation, so a warm activation allocates nothing for
+    the view.  A view built this way is only valid until the next refill;
+    transition functions must consume it immediately and never retain it
+    (every observer below is strict, so this falls out naturally).
+    Algorithm code has no business calling these. *)
+
+val scratch : unit -> 'q t
+(** A fresh empty reusable view. *)
+
+val clear : 'q t -> unit
+(** Reset to empty, keeping the underlying buffer for reuse. *)
+
+val push : 'q t -> 'q -> unit
+(** Append one neighbour state, growing the buffer (amortized O(1),
+    allocation-free once the buffer has reached the node's degree). *)
+
 val at_least : 'q t -> 'q -> int -> bool
 (** [at_least v q t]: does state [q] occur with multiplicity [>= t]?
     (The negation of the paper's thresh atom "mu_q < t".)  States are
@@ -69,3 +89,12 @@ val join_with : ('q -> 'q -> 'q) -> 'q t -> 'q option
     observation (paper §5's infimum functions).  With a non-semilattice
     operation the result would leak ordering and multiplicity information
     the model forbids. *)
+
+val map_join : ('q -> 'p) -> ('p -> 'p -> 'p) -> 'q t -> 'p option
+(** [map_join f j v] is observationally [join_with j (map f v)] without
+    allocating the intermediate view — the allocation-free form of the
+    paper's infimum observations (min over neighbour labels in §2.2,
+    OR over bit vectors in §1).  Same caller obligation as {!join_with}:
+    [j] must be a semilattice operation {e on the image of [f]} —
+    associative, commutative, idempotent — so the result depends only on
+    the set of relabelled states present. *)

@@ -25,7 +25,9 @@ let to_fssga p : ('s, 'm) node Fssga.t =
     let state, outbox = p.round ~self:self.state ~rng ~inbox in
     { state; outbox }
   in
-  { Fssga.name = p.name ^ "-mp"; init; step }
+  (* Conservative: the protocol record cannot declare rng-freedom, so
+     never enable dirty-set skipping for compiled protocols. *)
+  { Fssga.name = p.name ^ "-mp"; init; step; deterministic = false }
 
 let state n = n.state
 let outbox n = n.outbox

@@ -9,15 +9,48 @@ type 'q t = {
   states : 'q array;
   automaton : 'q Fssga.t;
   rng : Prng.t;
+  scratch : 'q View.t; (* reusable neighbour-state cursor *)
+  mutable push_state : int -> unit; (* preallocated [fill] closure *)
+  mutable next : 'q array; (* sync-step commit buffer; [||] until used *)
   mutable activations : int;
   mutable recorder : Recorder.t;
+  (* Change-driven (dirty-set) scheduling.  [dirty] is empty until a
+     dirty round is first requested; from then on it tracks, across every
+     mutation path, the nodes whose closed neighbourhood changed since
+     they last stepped.  [dirty_scratch] is the reusable list of nodes
+     stepped in the current dirty sync round. *)
+  mutable dirty : bool array;
+  mutable dirty_scratch : int array;
+  mutable graph_version : int;
+      (* last Graph.version accounted for in [dirty]; a mismatch at the
+         start of a dirty round means the graph was mutated directly
+         (outside the fault pipeline) and the whole set is stale *)
 }
 
 let init ~rng graph (automaton : 'q Fssga.t) =
   let states =
     Array.init (Graph.original_size graph) (fun v -> automaton.init graph v)
   in
-  { graph; states; automaton; rng; activations = 0; recorder = Recorder.null }
+  let t =
+    {
+      graph;
+      states;
+      automaton;
+      rng;
+      scratch = View.scratch ();
+      push_state = ignore;
+      next = [||];
+      activations = 0;
+      recorder = Recorder.null;
+      dirty = [||];
+      dirty_scratch = [||];
+      graph_version = Graph.version graph;
+    }
+  in
+  (* Allocate the view-filling closure once: [view_of] then runs the CSR
+     neighbour loop with zero per-call allocation. *)
+  t.push_state <- (fun w -> View.push t.scratch t.states.(w));
+  t
 
 let graph t = t.graph
 let automaton t = t.automaton
@@ -26,54 +59,172 @@ let recorder t = t.recorder
 let set_recorder t r = t.recorder <- r
 
 let state t v = t.states.(v)
-let set_state t v q = t.states.(v) <- q
 
 let view_of t v =
-  View.of_list (List.map (fun w -> t.states.(w)) (Graph.neighbours t.graph v))
+  View.clear t.scratch;
+  Graph.iter_neighbours t.graph v t.push_state;
+  t.scratch
+
+(* --- dirty-set bookkeeping ------------------------------------------- *)
+
+let dirty_tracking t = Array.length t.dirty > 0
+
+let mark_dirty t v =
+  if dirty_tracking t && v >= 0 && v < Array.length t.dirty then t.dirty.(v) <- true
+
+(* A changed state at [v] invalidates the last step of [v] itself and of
+   every live neighbour. *)
+let mark_dirty_around t v =
+  if dirty_tracking t then begin
+    t.dirty.(v) <- true;
+    Graph.iter_neighbours t.graph v (fun w -> t.dirty.(w) <- true)
+  end
+
+let ensure_tracking t =
+  if not (dirty_tracking t) then begin
+    (* First dirty round: everything is stale. *)
+    t.dirty <- Array.make (Graph.original_size t.graph) true;
+    t.graph_version <- Graph.version t.graph
+  end
+
+let ack_graph_mutations t = t.graph_version <- Graph.version t.graph
+
+(* Deletions performed directly on the graph (not via the runner's fault
+   pipeline, which marks precisely and calls [ack_graph_mutations]) shrink
+   an unknown set of views: fall back to everything-dirty. *)
+let reconcile_graph t =
+  if dirty_tracking t && t.graph_version <> Graph.version t.graph then begin
+    t.graph_version <- Graph.version t.graph;
+    Array.fill t.dirty 0 (Array.length t.dirty) true
+  end
+
+let set_state t v q =
+  t.states.(v) <- q;
+  mark_dirty_around t v
+
+(* --- activation ------------------------------------------------------ *)
 
 let activate t v =
   if not (Graph.is_live_node t.graph v) then false
   else begin
     t.activations <- t.activations + 1;
-    let q' =
-      t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)
-    in
-    let changed = q' <> t.states.(v) in
-    t.states.(v) <- q';
+    let q' = t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v) in
+    (* physical equality first: steps that return [self] unchanged (waits,
+       fixpoints) skip the deep structural compare *)
+    let changed = q' != t.states.(v) && q' <> t.states.(v) in
+    if changed then begin
+      t.states.(v) <- q';
+      mark_dirty_around t v
+    end;
     if Recorder.enabled t.recorder then
       Recorder.activation t.recorder ~node:v ~view_size:(Graph.degree t.graph v)
         ~changed;
     changed
   end
 
+let ensure_next t =
+  if Array.length t.next < Array.length t.states then
+    t.next <- Array.copy t.states;
+  t.next
+
+let commit t v q' =
+  let changed = q' != t.states.(v) && q' <> t.states.(v) in
+  if changed then begin
+    t.states.(v) <- q';
+    mark_dirty_around t v
+  end;
+  if Recorder.enabled t.recorder then
+    Recorder.activation t.recorder ~node:v ~view_size:(Graph.degree t.graph v)
+      ~changed;
+  changed
+
 let sync_step t =
-  let nodes = Graph.nodes t.graph in
+  let g = t.graph in
+  let n = Graph.original_size g in
+  let next = ensure_next t in
   (* Read phase against the frozen snapshot, then commit. *)
-  let updates =
-    List.map
-      (fun v ->
-        t.activations <- t.activations + 1;
-        (v, t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)))
-      nodes
-  in
-  let record = Recorder.enabled t.recorder in
-  List.fold_left
-    (fun changed (v, q') ->
-      let c = q' <> t.states.(v) in
-      t.states.(v) <- q';
-      if record then
-        Recorder.activation t.recorder ~node:v ~view_size:(Graph.degree t.graph v)
-          ~changed:c;
-      changed || c)
-    false updates
+  for v = 0 to n - 1 do
+    if Graph.is_live_node g v then begin
+      t.activations <- t.activations + 1;
+      next.(v) <- t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)
+    end
+  done;
+  let any = ref false in
+  for v = 0 to n - 1 do
+    if Graph.is_live_node g v then if commit t v next.(v) then any := true
+  done;
+  !any
+
+(* One synchronous round stepping only dirty nodes.  Sound for
+   deterministic automata: a node whose own state and whole neighbourhood
+   are unchanged since its last step recomputes the same state (the local
+   fixpoint argument behind Dijkstra-style self-stabilizing repair), so
+   skipping it is a provable no-op and round counts, change flags and
+   final states match naive stepping bit for bit. *)
+let sync_step_dirty t =
+  ensure_tracking t;
+  reconcile_graph t;
+  let g = t.graph in
+  let n = Graph.original_size g in
+  let next = ensure_next t in
+  if Array.length t.dirty_scratch < n then t.dirty_scratch <- Array.make n 0;
+  let frontier = t.dirty_scratch in
+  let k = ref 0 in
+  (* Read phase over the dirty frontier, ascending for determinism of the
+     telemetry stream. *)
+  for v = 0 to n - 1 do
+    if t.dirty.(v) && Graph.is_live_node g v then begin
+      frontier.(!k) <- v;
+      incr k;
+      t.activations <- t.activations + 1;
+      next.(v) <- t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)
+    end
+  done;
+  (* The frontier is consumed: clear before committing so that the
+     commits re-mark exactly the closed neighbourhoods of changed
+     nodes. *)
+  for i = 0 to !k - 1 do
+    t.dirty.(frontier.(i)) <- false
+  done;
+  let any = ref false in
+  for i = 0 to !k - 1 do
+    let v = frontier.(i) in
+    if commit t v next.(v) then any := true
+  done;
+  !any
+
+(* A rotor (fixed ascending order, sequential) round over dirty nodes
+   only.  [activate] re-marks closed neighbourhoods on change, so a node
+   made dirty by an earlier activation in the same pass is picked up
+   later in the same pass — exactly the nodes whose naive-rotor
+   activation could have changed state. *)
+let rotor_step_dirty t =
+  ensure_tracking t;
+  reconcile_graph t;
+  let g = t.graph in
+  let any = ref false in
+  for v = 0 to Graph.original_size g - 1 do
+    if t.dirty.(v) && Graph.is_live_node g v then begin
+      t.dirty.(v) <- false;
+      if activate t v then any := true
+    end
+  done;
+  !any
+
+let rotor_step t =
+  let any = ref false in
+  Graph.iter_nodes t.graph (fun v -> if activate t v then any := true);
+  !any
+
+let dirty_step_sound t = Fssga.is_deterministic t.automaton
 
 let activations t = t.activations
 let live_nodes t = Graph.nodes t.graph
 
 let count_if t pred =
-  List.fold_left
-    (fun acc v -> if pred t.states.(v) then acc + 1 else acc)
-    0 (live_nodes t)
+  let acc = ref 0 in
+  Graph.iter_nodes t.graph (fun v -> if pred t.states.(v) then incr acc);
+  !acc
 
 let find_nodes t pred = List.filter (fun v -> pred t.states.(v)) (live_nodes t)
 let states t = List.map (fun v -> (v, t.states.(v))) (live_nodes t)

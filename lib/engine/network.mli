@@ -1,6 +1,15 @@
 (** A graph populated with one FSSGA automaton per node (a "network state"
     sigma in the paper's terminology, §3.4), plus the mutation primitives
-    the dynamics are built from. *)
+    the dynamics are built from.
+
+    Hot-path contract: a network owns one reusable {!Symnet_core.View.t}
+    scratch buffer.  {!view_of} fills it in place by iterating the
+    graph's CSR adjacency, so {!activate} and {!sync_step} perform zero
+    per-node heap allocation for the view.  The returned view is only
+    valid until the next activation — transition functions consume it
+    synchronously (the {!Symnet_core.View} interface is strict, so this
+    cannot be violated from algorithm code), and callers of {!view_of}
+    must observe it before touching the network again. *)
 
 module Graph := Symnet_graph.Graph
 module Prng := Symnet_prng.Prng
@@ -28,10 +37,13 @@ val state : 'q t -> int -> 'q
 (** Current state of a node (dead nodes retain their last state). *)
 
 val set_state : 'q t -> int -> 'q -> unit
-(** Override a node's state (tests and adversarial setups). *)
+(** Override a node's state (tests and adversarial setups).  Keeps the
+    dirty set honest when tracking is active. *)
 
 val view_of : 'q t -> int -> 'q Symnet_core.View.t
-(** The symmetric view of a node's live neighbourhood. *)
+(** The symmetric view of a node's live neighbourhood, filled into the
+    network's scratch buffer — allocation-free, but invalidated by the
+    next activation or [view_of] call on the same network. *)
 
 val activate : 'q t -> int -> bool
 (** Asynchronous activation of one live node (atomic read of self +
@@ -41,6 +53,65 @@ val activate : 'q t -> int -> bool
 val sync_step : 'q t -> bool
 (** One synchronous step: all live nodes transition simultaneously from
     the same snapshot.  Returns [true] if any state changed. *)
+
+(** {1 Change-driven (dirty-set) stepping}
+
+    A node is {e dirty} when its own state or a neighbour's state changed
+    since it last stepped (or a fault touched its neighbourhood).  For a
+    {e deterministic} automaton, re-stepping a clean node is a provable
+    no-op — same self, same view, same transition — so the dirty variants
+    below step only dirty nodes and still produce bit-identical round
+    counts, change flags and final states to their naive counterparts.
+    They are unsound for probabilistic automata (skipping a node shifts
+    the rng draw sequence); {!Scheduler.round} consults
+    {!dirty_step_sound} and falls back to naive stepping automatically.
+
+    Tracking begins at the first dirty call (everything starts dirty) and
+    is thereafter maintained by every mutation path ([activate],
+    [sync_step], [set_state]).  Fault application must be reported via
+    {!mark_dirty} / {!mark_dirty_around}; {!Runner.run} does this. *)
+
+val sync_step_dirty : 'q t -> bool
+(** {!sync_step}, stepping only dirty nodes. *)
+
+val rotor_step : 'q t -> bool
+(** One rotor pass: activate every live node in ascending order
+    (list-free equivalent of folding {!activate} over {!live_nodes}). *)
+
+val rotor_step_dirty : 'q t -> bool
+(** {!rotor_step}, activating only nodes that are dirty when their turn
+    comes — including nodes dirtied earlier in the same pass. *)
+
+val dirty_step_sound : 'q t -> bool
+(** Whether dirty stepping is sound for this network's automaton
+    ({!Symnet_core.Fssga.is_deterministic}). *)
+
+val dirty_tracking : 'q t -> bool
+(** Whether dirty tracking has been initialised (diagnostics). *)
+
+val mark_dirty : 'q t -> int -> unit
+(** Mark one node dirty (no-op before tracking starts).  Call for each
+    endpoint of a deleted edge. *)
+
+val mark_dirty_around : 'q t -> int -> unit
+(** Mark a node and its live neighbours dirty.  Call {e before} deleting
+    a node so its neighbourhood is still enumerable. *)
+
+val reconcile_graph : 'q t -> unit
+(** If the graph was mutated since the network last accounted for it
+    (compared via {!Symnet_graph.Graph.version}), mark {e everything}
+    dirty.  The dirty steps call this themselves, so deletions performed
+    directly on the graph — outside the runner's fault pipeline — are
+    always picked up; the runner calls it before its precise per-fault
+    marking.  No-op before tracking starts. *)
+
+val ack_graph_mutations : 'q t -> unit
+(** Declare that all graph mutations so far have been accounted for by
+    precise {!mark_dirty} / {!mark_dirty_around} calls, suppressing the
+    blanket invalidation of {!reconcile_graph}.  Only the fault pipeline
+    should call this, after marking and applying its deletions. *)
+
+(** {1 Aggregate queries} *)
 
 val activations : 'q t -> int
 (** Total activations performed so far (n per synchronous step). *)

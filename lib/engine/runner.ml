@@ -13,13 +13,32 @@ let fault_event : Fault.action -> Obs.Events.fault_action = function
   | Fault.Kill_node v -> Obs.Events.Kill_node v
   | Fault.Kill_edge (u, v) -> Obs.Events.Kill_edge (u, v)
 
-let run ?(scheduler = Scheduler.Synchronous) ?(faults = []) ?(max_rounds = 100_000)
-    ?(recorder = Obs.Recorder.null) ?stop ?on_round net =
+let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
+    ?(max_rounds = 100_000) ?(recorder = Obs.Recorder.null) ?stop ?on_round net =
   let g = Network.graph net in
   Network.set_recorder net recorder;
   Obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
     ~edges:(Graph.edge_count g) ~scheduler:(Scheduler.name scheduler);
   let pending = ref faults in
+  (* Deletions change the views of the surviving neighbourhood: mark it
+     dirty while it is still enumerable, i.e. before the fault lands. *)
+  let mark_due_faults_dirty round =
+    if Network.dirty_tracking net then begin
+      (* Mutations made behind the engine's back (e.g. from an [on_round]
+         callback) first invalidate the whole set, so the ack below cannot
+         swallow them. *)
+      Network.reconcile_graph net;
+      List.iter
+        (fun e ->
+          if e.Fault.at_round <= round then
+            match e.Fault.action with
+            | Fault.Kill_node v -> Network.mark_dirty_around net v
+            | Fault.Kill_edge (u, v) ->
+                Network.mark_dirty net u;
+                Network.mark_dirty net v)
+        !pending
+    end
+  in
   let finish ~round ~quiesced ~stopped =
     let reason =
       if stopped then "stopped" else if quiesced then "quiesced" else "budget"
@@ -37,11 +56,13 @@ let run ?(scheduler = Scheduler.Synchronous) ?(faults = []) ?(max_rounds = 100_0
     if round > max_rounds then finish ~round:max_rounds ~quiesced:false ~stopped:false
     else begin
       Obs.Recorder.round_start recorder ~round;
+      mark_due_faults_dirty round;
       pending :=
         Fault.apply_due !pending ~round g
           ~on_apply:(fun a ->
             Obs.Recorder.fault recorder ~action:(fault_event a));
-      let changed = Scheduler.round scheduler net ~round in
+      if Network.dirty_tracking net then Network.ack_graph_mutations net;
+      let changed = Scheduler.round ~dirty scheduler net ~round in
       Obs.Recorder.round_end recorder ~round ~changed;
       (match on_round with Some f -> f ~round net | None -> ());
       let stop_now = match stop with Some f -> f ~round net | None -> false in

@@ -16,6 +16,7 @@ type outcome = {
 
 val run :
   ?scheduler:Scheduler.t ->
+  ?dirty:bool ->
   ?faults:Fault.schedule ->
   ?max_rounds:int ->
   ?recorder:Symnet_obs.Recorder.t ->
@@ -26,6 +27,10 @@ val run :
 (** Executes rounds [1, 2, ...].  Per round: apply due faults, run the
     scheduler, call [on_round], then test [stop].  Defaults: synchronous
     scheduler, no faults, [max_rounds = 100_000], no stop condition.
+    [dirty] (default [true]) is forwarded to {!Scheduler.round}: it
+    permits change-driven stepping where sound (deterministic automata
+    under [Synchronous]/[Rotor]) and is otherwise ignored; the runner
+    keeps the dirty set consistent across fault applications.
     Quiescence only terminates the run when no faults remain pending (a
     pending deletion can wake a stable network up again).
 

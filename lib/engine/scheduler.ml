@@ -17,14 +17,23 @@ let name = function
 let activate_all net order =
   List.fold_left (fun changed v -> Network.activate net v || changed) false order
 
-let round t net ~round =
+let round ?(dirty = true) t net ~round =
+  (* Change-driven stepping engages automatically for the fixed-order
+     disciplines running deterministic automata; it is provably
+     outcome-preserving there and unsound elsewhere (probabilistic
+     automata would see a shifted rng stream, random-order schedulers a
+     shifted shuffle). *)
+  let dirty = dirty && Network.dirty_step_sound net in
   match t with
-  | Synchronous -> Network.sync_step net
-  | Rotor -> activate_all net (Network.live_nodes net)
+  | Synchronous ->
+      if dirty then Network.sync_step_dirty net else Network.sync_step net
+  | Rotor -> if dirty then Network.rotor_step_dirty net else Network.rotor_step net
   | Random_permutation ->
       let nodes = Array.of_list (Network.live_nodes net) in
       Prng.shuffle (Network.rng net) nodes;
-      activate_all net (Array.to_list nodes)
+      Array.fold_left
+        (fun changed v -> Network.activate net v || changed)
+        false nodes
   | Uniform_singles ->
       let nodes = Array.of_list (Network.live_nodes net) in
       if Array.length nodes = 0 then false

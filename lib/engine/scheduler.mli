@@ -21,5 +21,17 @@ val name : t -> string
 (** Stable lowercase identifier ("synchronous", "rotor", ...) used in
     telemetry records. *)
 
-val round : t -> 'q Network.t -> round:int -> bool
-(** Run one round; [true] if any activation changed a state. *)
+val round : ?dirty:bool -> t -> 'q Network.t -> round:int -> bool
+(** Run one round; [true] if any activation changed a state.
+
+    [dirty] (default [true]) permits the change-driven fast path: for
+    {!Synchronous} and {!Rotor} rounds of a {e deterministic} automaton,
+    only nodes whose closed neighbourhood changed since their last step
+    are re-stepped ({!Network.sync_step_dirty} /
+    {!Network.rotor_step_dirty}), which is provably outcome- and
+    round-count-preserving.  It is ignored — naive stepping is used —
+    for probabilistic automata (skipping shifts the rng draw sequence)
+    and for the random-order and adversarial disciplines.  Pass
+    [~dirty:false] to force naive stepping, e.g. when benchmarking the
+    per-activation cost itself or differentially testing the fast
+    path. *)

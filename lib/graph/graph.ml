@@ -1,13 +1,25 @@
 type edge = { id : int; u : int; v : int }
 
+(* Adjacency is CSR (compressed sparse row): [off] has n+1 entries and
+   slots [off.(v) .. off.(v+1)-1] of the flat [tgt]/[eid] arrays hold
+   node v's neighbours and the ids of the connecting edges, ascending by
+   edge id.  The arrays are built once at [create] and never change;
+   faults only flip liveness bits, and every iteration filters on them.
+   [deg] caches the live degree (incident edges with the edge and both
+   endpoints alive) and is maintained incrementally by the fault
+   primitives. *)
 type t = {
   n : int;
   edges_arr : edge array;
   node_alive : bool array;
   edge_alive : bool array;
-  inc : int list array; (* incident edge ids, static; filtered on read *)
+  off : int array; (* n + 1 CSR row offsets *)
+  tgt : int array; (* 2m neighbour node per slot *)
+  eid : int array; (* 2m edge id per slot *)
+  deg : int array; (* live degree, maintained on deletion *)
   mutable live_nodes : int;
   mutable live_edges : int;
+  mutable version : int; (* bumped on every effective deletion *)
 }
 
 let original_size g = g.n
@@ -33,22 +45,43 @@ let create ~n ~edges =
       edges
   in
   let edges_arr = Array.of_list (List.mapi (fun id (u, v) -> { id; u; v }) canon) in
-  let inc = Array.make n [] in
+  let m = Array.length edges_arr in
+  let deg = Array.make n 0 in
   Array.iter
     (fun e ->
-      inc.(e.u) <- e.id :: inc.(e.u);
-      inc.(e.v) <- e.id :: inc.(e.v))
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
     edges_arr;
-  (* Keep incident lists ascending by edge id for determinism. *)
-  Array.iteri (fun i l -> inc.(i) <- List.rev l) inc;
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + deg.(v)
+  done;
+  let pos = Array.sub off 0 (max n 1) in
+  let tgt = Array.make (2 * m) 0 in
+  let eid = Array.make (2 * m) 0 in
+  (* Filling in ascending edge-id order keeps each row ascending by edge
+     id — the iteration order the list-based representation had. *)
+  Array.iter
+    (fun e ->
+      tgt.(pos.(e.u)) <- e.v;
+      eid.(pos.(e.u)) <- e.id;
+      pos.(e.u) <- pos.(e.u) + 1;
+      tgt.(pos.(e.v)) <- e.u;
+      eid.(pos.(e.v)) <- e.id;
+      pos.(e.v) <- pos.(e.v) + 1)
+    edges_arr;
   {
     n;
     edges_arr;
     node_alive = Array.make n true;
-    edge_alive = Array.make (Array.length edges_arr) true;
-    inc;
+    edge_alive = Array.make m true;
+    off;
+    tgt;
+    eid;
+    deg;
     live_nodes = n;
-    live_edges = Array.length edges_arr;
+    live_edges = m;
+    version = 0;
   }
 
 let copy g =
@@ -56,6 +89,7 @@ let copy g =
     g with
     node_alive = Array.copy g.node_alive;
     edge_alive = Array.copy g.edge_alive;
+    deg = Array.copy g.deg;
   }
 
 let node_count g = g.live_nodes
@@ -74,14 +108,24 @@ let edge g id =
 let iter_live_incident g v f =
   check_node g v;
   if g.node_alive.(v) then
-    List.iter
-      (fun id ->
-        if g.edge_alive.(id) then begin
-          let e = g.edges_arr.(id) in
-          let w = if e.u = v then e.v else e.u in
-          if g.node_alive.(w) then f e w
-        end)
-      g.inc.(v)
+    for i = g.off.(v) to g.off.(v + 1) - 1 do
+      let id = g.eid.(i) in
+      if g.edge_alive.(id) then begin
+        let w = g.tgt.(i) in
+        if g.node_alive.(w) then f g.edges_arr.(id) w
+      end
+    done
+
+(* The allocation-free hot path: no edge record is materialised. *)
+let iter_neighbours g v f =
+  check_node g v;
+  if g.node_alive.(v) then
+    for i = g.off.(v) to g.off.(v + 1) - 1 do
+      if g.edge_alive.(g.eid.(i)) then begin
+        let w = g.tgt.(i) in
+        if g.node_alive.(w) then f w
+      end
+    done
 
 let edge_between g a b =
   if not (is_live_node g a && is_live_node g b) then None
@@ -93,13 +137,7 @@ let edge_between g a b =
 
 let mem_edge g a b = edge_between g a b <> None
 
-let degree g v =
-  if not (is_live_node g v) then 0
-  else begin
-    let d = ref 0 in
-    iter_live_incident g v (fun _ _ -> incr d);
-    !d
-  end
+let degree g v = if is_live_node g v then g.deg.(v) else 0
 
 let nodes g =
   let acc = ref [] in
@@ -108,7 +146,14 @@ let nodes g =
   done;
   !acc
 
-let max_degree g = List.fold_left (fun m v -> max m (degree g v)) 0 (nodes g)
+let version g = g.version
+
+let max_degree g =
+  let m = ref 0 in
+  for v = 0 to g.n - 1 do
+    if g.node_alive.(v) && g.deg.(v) > !m then m := g.deg.(v)
+  done;
+  !m
 
 let edges g =
   Array.to_list g.edges_arr
@@ -117,7 +162,7 @@ let edges g =
 
 let neighbours g v =
   let acc = ref [] in
-  iter_live_incident g v (fun _ w -> acc := w :: !acc);
+  iter_neighbours g v (fun w -> acc := w :: !acc);
   List.rev !acc
 
 let iter_nodes g f =
@@ -126,11 +171,10 @@ let iter_nodes g f =
   done
 
 let iter_edges g f = List.iter f (edges g)
-let iter_neighbours g v f = iter_live_incident g v (fun _ w -> f w)
 
 let fold_neighbours g v ~init ~f =
   let acc = ref init in
-  iter_live_incident g v (fun _ w -> acc := f !acc w);
+  iter_neighbours g v (fun w -> acc := f !acc w);
   !acc
 
 let incident g v =
@@ -145,7 +189,13 @@ let live_edge_endpoints_live g id =
 let remove_edge g id =
   if id < 0 || id >= Array.length g.edges_arr then
     invalid_arg (Printf.sprintf "Graph.remove_edge: bad id %d" id);
-  if live_edge_endpoints_live g id then g.live_edges <- g.live_edges - 1;
+  if live_edge_endpoints_live g id then begin
+    let e = g.edges_arr.(id) in
+    g.live_edges <- g.live_edges - 1;
+    g.deg.(e.u) <- g.deg.(e.u) - 1;
+    g.deg.(e.v) <- g.deg.(e.v) - 1;
+    g.version <- g.version + 1
+  end;
   g.edge_alive.(id) <- false
 
 let remove_edge_between g a b =
@@ -154,12 +204,17 @@ let remove_edge_between g a b =
 let remove_node g v =
   check_node g v;
   if g.node_alive.(v) then begin
-    (* Count edges that die with the node before flipping liveness. *)
+    (* Incident live edges die with the node: update the survivors'
+       cached degrees and the live-edge count before flipping liveness. *)
     let dying = ref 0 in
-    iter_live_incident g v (fun _ _ -> incr dying);
+    iter_live_incident g v (fun _ w ->
+        incr dying;
+        g.deg.(w) <- g.deg.(w) - 1);
     g.live_edges <- g.live_edges - !dying;
+    g.deg.(v) <- 0;
     g.node_alive.(v) <- false;
-    g.live_nodes <- g.live_nodes - 1
+    g.live_nodes <- g.live_nodes - 1;
+    g.version <- g.version + 1
   end
 
 let pp fmt g =

@@ -6,7 +6,17 @@
     survives unrelated mutations.  The paper's fault model is {e decreasing
     benign}: nodes and edges may be deleted but never added, so the
     structure supports deletion only — [remove_node] and [remove_edge] mark
-    entities dead without renumbering the survivors. *)
+    entities dead without renumbering the survivors.
+
+    Adjacency is stored as CSR (compressed sparse row): flat offset /
+    target / edge-id [int array]s built once at [create], with liveness
+    bits filtered on iteration.  [iter_neighbours] and [fold_neighbours]
+    are therefore allocation-free and cache-friendly — they are the
+    engine's per-activation hot path; the list-returning accessors
+    ([neighbours], [incident], [nodes], [edges]) are compatibility shims
+    that materialise fresh lists on each call.  Live degrees are cached
+    and maintained incrementally by the deletion primitives, making
+    [degree] and [max_degree] O(1) and O(n). *)
 
 type t
 
@@ -47,9 +57,17 @@ val edge_between : t -> int -> int -> edge option
 val mem_edge : t -> int -> int -> bool
 
 val degree : t -> int -> int
-(** Live degree of a live node (0 for a dead node). *)
+(** Live degree of a live node (0 for a dead node).  O(1): read from the
+    incrementally maintained degree cache. *)
 
 val max_degree : t -> int
+(** Largest live degree; one pass over the cached degree array. *)
+
+val version : t -> int
+(** Mutation counter: incremented by every effective deletion (an edge or
+    node that was actually live).  Lets clients that cache graph-derived
+    state — e.g. the engine's change-driven scheduler — detect mutations
+    performed behind their back and invalidate. *)
 
 val nodes : t -> int list
 (** Live nodes, ascending. *)
@@ -62,7 +80,12 @@ val neighbours : t -> int -> int list
 
 val iter_nodes : t -> (int -> unit) -> unit
 val iter_edges : t -> (edge -> unit) -> unit
+
 val iter_neighbours : t -> int -> (int -> unit) -> unit
+(** Allocation-free iteration over the live neighbours of a node, in the
+    same (ascending edge id) order as {!neighbours}.  Dead nodes iterate
+    nothing. *)
+
 val fold_neighbours : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
 
 val incident : t -> int -> edge list

@@ -140,7 +140,7 @@ let automaton (p : Iwa.program) ~start ~init_labels : state Fssga.t =
         | `Moving_waiting | `Quiet_agent -> self
         | `None -> if self.part <> P_none then { self with part = P_none } else self)
   in
-  { Fssga.name = "fssga-of-iwa"; init; step }
+  { Fssga.name = "fssga-of-iwa"; init; step; deterministic = false }
 
 let agent_halted net =
   Network.count_if net (fun s ->

@@ -3,6 +3,7 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("graph", Test_graph.suite);
+      ("csr-equiv", Test_csr_equiv.suite);
       ("view", Test_view.suite);
       ("sm", Test_sm.suite);
       ("engine", Test_engine.suite);

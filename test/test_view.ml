@@ -45,11 +45,17 @@ let test_empty () =
 
 let test_invalid_args () =
   Alcotest.check_raises "negative cap"
-    (Invalid_argument "View.count_where_upto: negative cap") (fun () ->
+    (Invalid_argument "View.count_upto: negative cap") (fun () ->
       ignore (View.count_upto v 1 ~cap:(-1)));
+  Alcotest.check_raises "negative cap (where)"
+    (Invalid_argument "View.count_where_upto: negative cap") (fun () ->
+      ignore (View.count_where_upto v (fun _ -> true) ~cap:(-1)));
   Alcotest.check_raises "bad modulus"
+    (Invalid_argument "View.count_mod: modulus >= 1") (fun () ->
+      ignore (View.count_mod v 1 ~modulus:0));
+  Alcotest.check_raises "bad modulus (where)"
     (Invalid_argument "View.count_where_mod: modulus >= 1") (fun () ->
-      ignore (View.count_mod v 1 ~modulus:0))
+      ignore (View.count_where_mod v (fun _ -> true) ~modulus:0))
 
 (* Order independence: every observation must agree across permutations —
    the SM-by-construction claim for the view interface. *)
