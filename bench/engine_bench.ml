@@ -19,6 +19,7 @@ module Graph = Symnet_graph.Graph
 module Gen = Symnet_graph.Gen
 module Network = Symnet_engine.Network
 module Runner = Symnet_engine.Runner
+module Domain_pool = Symnet_engine.Domain_pool
 module Fssga = Symnet_core.Fssga
 module View = Symnet_core.View
 module Jsonx = Symnet_obs.Jsonx
@@ -81,6 +82,14 @@ let election_net ~n =
   let g = Gen.random_connected (rng 43) ~n ~extra_edges:(n / 2) in
   Network.init ~rng:(rng 3) g (A.Election.automaton ())
 
+let bfs_net ~side =
+  let g = Gen.grid ~rows:side ~cols:side in
+  Network.init ~rng:(rng 5) g (A.Bfs.automaton ~originator:0 ~targets:[])
+
+let two_colouring_net ~n =
+  let g = Gen.random_connected (rng 45) ~n ~extra_edges:n in
+  Network.init ~rng:(rng 6) g (A.Two_colouring.automaton ~seed:0)
+
 (* --- zero-allocation view assertion ---------------------------------- *)
 
 (* A deterministic automaton whose state is an immediate int and whose
@@ -116,6 +125,61 @@ let assert_zero_alloc_view ~n =
       "  FAIL zero-alloc: %d activations allocated %.0f minor words\n" acts
       delta;
   (acts, delta, pass)
+
+(* --- parallel synchronous rounds ------------------------------------- *)
+
+type par_sample = {
+  p_workload : string;
+  p_n : int;
+  p_domains : int;
+  p_rounds : int;
+  p_seconds : float;
+  rounds_per_sec : float;
+  p_speedup : float; (* vs the 1-domain row of the same workload *)
+  p_identical : bool; (* states + change flags match the 1-domain run *)
+}
+
+(* Drive [rounds] pool-sharded synchronous rounds at each domain count and
+   check the outcome is bit-identical to the 1-domain run: the claim of
+   [Network.sync_step_par] is semantic equivalence at every count, so the
+   bench doubles as an end-to-end check on the real workloads. *)
+let measure_parallel ~workload ~rounds ~domain_counts mk =
+  let drive domains =
+    Domain_pool.with_pool ~domains (fun pool ->
+        let net = mk () in
+        (* warm-up: grows per-slot scratch and the commit buffer *)
+        ignore (Network.sync_step_par ~pool net);
+        let changed = Array.make rounds false in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to rounds - 1 do
+          changed.(i) <- Network.sync_step_par ~pool net
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        ( dt,
+          changed,
+          Network.states net,
+          Network.activations net,
+          Graph.node_count (Network.graph net) ))
+  in
+  let base_dt, base_changed, base_states, base_acts, n = drive 1 in
+  let sample domains (dt, changed, states, acts, _) =
+    {
+      p_workload = workload;
+      p_n = n;
+      p_domains = domains;
+      p_rounds = rounds;
+      p_seconds = dt;
+      rounds_per_sec = float_of_int rounds /. dt;
+      p_speedup = base_dt /. dt;
+      p_identical =
+        changed = base_changed && states = base_states && acts = base_acts;
+    }
+  in
+  List.map
+    (fun d ->
+      if d = 1 then sample 1 (base_dt, base_changed, base_states, base_acts, n)
+      else sample d (drive d))
+    domain_counts
 
 (* --- change-driven scheduling ---------------------------------------- *)
 
@@ -183,7 +247,19 @@ let dirty_json d =
       ("rounds_equal", Jsonx.Bool d.rounds_equal);
     ]
 
-let run ?(out = "BENCH_engine.json") ?(smoke = false) () =
+let par_fields p =
+  [
+    ("workload", Jsonx.String p.p_workload);
+    ("n", Jsonx.Int p.p_n);
+    ("domains", Jsonx.Int p.p_domains);
+    ("rounds", Jsonx.Int p.p_rounds);
+    ("seconds", Jsonx.Float p.p_seconds);
+    ("rounds_per_sec", Jsonx.Float p.rounds_per_sec);
+    ("speedup", Jsonx.Float p.p_speedup);
+    ("identical_to_sequential", Jsonx.Bool p.p_identical);
+  ]
+
+let run ?(out = "BENCH_engine.json") ?(smoke = false) ?domains () =
   let n = if smoke then 400 else 10_000 in
   let side = if smoke then 20 else 100 in
   let rounds = if smoke then 5 else 25 in
@@ -192,6 +268,8 @@ let run ?(out = "BENCH_engine.json") ?(smoke = false) () =
       measure ~workload:"e01_census" ~rounds (census_net ~n);
       measure ~workload:"e03_shortest_paths" ~rounds:(2 * rounds)
         (sp_net ~side);
+      measure ~workload:"e04_two_colouring" ~rounds (two_colouring_net ~n);
+      measure ~workload:"e06_bfs" ~rounds:(2 * rounds) (bfs_net ~side);
       measure ~workload:"e10_election" ~rounds (election_net ~n);
     ]
   in
@@ -206,7 +284,14 @@ let run ?(out = "BENCH_engine.json") ?(smoke = false) () =
         "  %-22s n=%-6d %8.1f ns/activation  %6.2f words/activation%s\n"
         s.workload s.n s.ns_per_activation s.words_per_activation
         (if Float.is_nan speedup then ""
-         else Printf.sprintf "  (%.1fx vs baseline)" speedup))
+         else Printf.sprintf "  (%.1fx vs baseline)" speedup);
+      Bench_util.metric_row ~experiment:"engine"
+        [
+          ("workload", Jsonx.String s.workload);
+          ("n", Jsonx.Int s.n);
+          ("ns_per_activation", Jsonx.Float s.ns_per_activation);
+          ("words_per_activation", Jsonx.Float s.words_per_activation);
+        ])
     samples;
   let za_acts, za_words, za_pass = assert_zero_alloc_view ~n in
   Printf.printf "  zero-alloc view:       %d activations, %.0f minor words: %s\n"
@@ -223,6 +308,33 @@ let run ?(out = "BENCH_engine.json") ?(smoke = false) () =
         (float_of_int d.naive_acts /. float_of_int (max 1 d.dirty_acts))
         (if d.rounds_equal then "identical" else "DIVERGENT"))
     dirty_samples;
+  (* Parallel rounds: a >= 100k-node synchronous workload per domain
+     count, plus the probabilistic census to exercise the per-node
+     stream path.  Reported speedups are hardware-dependent (a 1-core
+     container shows ~1x with the pool overhead); the identical flag is
+     the part that must hold everywhere. *)
+  let domain_counts =
+    match domains with Some d when d > 1 -> [ 1; d ] | _ -> [ 1; 2; 4 ]
+  in
+  let par_side = if smoke then 20 else 317 (* 100,489 nodes *) in
+  let par_n = if smoke then 400 else 100_000 in
+  let par_rounds = if smoke then 5 else 20 in
+  let par_samples =
+    measure_parallel ~workload:"e03_shortest_paths" ~rounds:par_rounds
+      ~domain_counts (fun () -> sp_net ~side:par_side)
+    @ measure_parallel ~workload:"e01_census" ~rounds:par_rounds ~domain_counts
+        (fun () -> census_net ~n:par_n)
+  in
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  par %-18s n=%-6d domains=%d  %8.1f rounds/s  %.2fx  %s\n"
+        p.p_workload p.p_n p.p_domains p.rounds_per_sec p.p_speedup
+        (if p.p_identical then "identical" else "DIVERGENT");
+      Bench_util.metric_row ~experiment:"engine"
+        (("kind", Jsonx.String "parallel") :: par_fields p))
+    par_samples;
+  let par_ok = List.for_all (fun p -> p.p_identical) par_samples in
   let doc =
     Jsonx.Obj
       [
@@ -238,6 +350,9 @@ let run ?(out = "BENCH_engine.json") ?(smoke = false) () =
               ("pass", Jsonx.Bool za_pass);
             ] );
         ("dirty", Jsonx.List (List.map dirty_json dirty_samples));
+        ( "parallel",
+          Jsonx.List
+            (List.map (fun p -> Jsonx.Obj (par_fields p)) par_samples) );
       ]
   in
   let oc = open_out out in
@@ -245,4 +360,4 @@ let run ?(out = "BENCH_engine.json") ?(smoke = false) () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "  wrote %s\n" out;
-  if not za_pass then exit 1
+  if not (za_pass && par_ok) then exit 1

@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- kernels # bechamel kernels only
      dune exec bench/main.exe -- engine  # hot-path bench -> BENCH_engine.json
      dune exec bench/main.exe -- engine --smoke   # tiny CI variant
+     dune exec bench/main.exe -- engine --domains 4   # pin parallel rows to {1,4}
 *)
 
 let experiments =
@@ -40,8 +41,22 @@ let () =
       Kernels.run ()
   | [ _; "tables" ] -> run_tables ()
   | [ _; "kernels" ] -> Kernels.run ()
-  | [ _; "engine" ] -> Engine_bench.run ()
-  | [ _; "engine"; "--smoke" ] -> Engine_bench.run ~smoke:true ()
+  | _ :: "engine" :: rest -> (
+      (* engine [--smoke] [--domains N] in any order *)
+      let rec parse smoke domains = function
+        | [] -> Some (smoke, domains)
+        | "--smoke" :: rest -> parse true domains rest
+        | "--domains" :: n :: rest -> (
+            match int_of_string_opt n with
+            | Some d when d >= 1 -> parse smoke (Some d) rest
+            | _ -> None)
+        | _ -> None
+      in
+      match parse false None rest with
+      | Some (smoke, domains) -> Engine_bench.run ~smoke ?domains ()
+      | None ->
+          prerr_endline "usage: main.exe engine [--smoke] [--domains N]";
+          exit 2)
   | [ _; name ] -> (
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()

@@ -49,6 +49,15 @@ let rounds_arg =
 let watch_arg =
   Arg.(value & flag & info [ "w"; "watch" ] ~doc:"Print the network each round.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Shard synchronous rounds over $(docv) domains (0 = one per \
+           recommended core).  The run is bit-identical at every count.")
+
 let make_graph seed spec =
   let rng = Prng.create ~seed:(seed * 7919) in
   match Spec.parse rng spec with
@@ -114,7 +123,7 @@ let unless_metrics metrics f = if metrics = None then f ()
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let two_colouring graph seed max_rounds watch metrics trace_out =
+let two_colouring graph seed max_rounds domains watch metrics trace_out =
   let g = make_graph seed graph in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Two_colouring.automaton ~seed:0) in
   let to_char = function
@@ -126,7 +135,7 @@ let two_colouring graph seed max_rounds watch metrics trace_out =
   let recorder = recorder_of metrics trace_out in
   let o =
     if watch then Trace.watch ~max_rounds ~recorder ~to_char ~out:print_endline net
-    else Runner.run ~max_rounds ~recorder net
+    else Runner.run ~max_rounds ~recorder ~domains net
   in
   unless_metrics metrics (fun () ->
       report_outcome o;
@@ -137,13 +146,13 @@ let two_colouring graph seed max_rounds watch metrics trace_out =
         | `Undecided -> "verdict: undecided"));
   report_metrics metrics recorder
 
-let census graph seed max_rounds metrics trace_out =
+let census graph seed max_rounds domains metrics trace_out =
   let g = make_graph seed graph in
   let n = Graph.node_count g in
   let k = A.Census.recommended_k n in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder net in
+  let o = Runner.run ~max_rounds ~recorder ~domains net in
   unless_metrics metrics (fun () ->
       report_outcome o;
       match
@@ -155,14 +164,14 @@ let census graph seed max_rounds metrics trace_out =
       | [] -> print_endline "no estimate");
   report_metrics metrics recorder
 
-let bfs graph seed max_rounds target metrics trace_out =
+let bfs graph seed max_rounds domains target metrics trace_out =
   let g = make_graph seed graph in
   let targets = match target with Some t -> [ t ] | None -> [] in
   let net =
     Network.init ~rng:(Prng.create ~seed) g (A.Bfs.automaton ~originator:0 ~targets)
   in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder net in
+  let o = Runner.run ~max_rounds ~recorder ~domains net in
   unless_metrics metrics (fun () ->
       report_outcome o;
       Printf.printf "originator status: %s\nlabels consistent: %b\n"
@@ -231,7 +240,7 @@ let bridges graph seed confidence =
     (String.concat "; " (List.map string_of_int truth))
     (List.sort compare suspected = truth)
 
-let shortest_paths graph seed max_rounds sinks metrics trace_out =
+let shortest_paths graph seed max_rounds domains sinks metrics trace_out =
   let g = make_graph seed graph in
   let sinks =
     match sinks with
@@ -243,7 +252,7 @@ let shortest_paths graph seed max_rounds sinks metrics trace_out =
     Network.init ~rng:(Prng.create ~seed) g (A.Shortest_paths.automaton ~sinks ~cap)
   in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder net in
+  let o = Runner.run ~max_rounds ~recorder ~domains net in
   unless_metrics metrics (fun () ->
       report_outcome o;
       let dist = Analysis.distances g ~sources:sinks in
@@ -303,15 +312,15 @@ let sensitivity graph seed =
     (Sens.estimate ~rng (Sens.tree_census_instance ()) ~graph:spec_graph
        ~trials:3 ~faults_per_trial:1 ~max_steps:300)
 
-let stats file format =
-  let summarise ic =
-    match Obs.Stats.read_lines ic with
-    | Error msg ->
-        Printf.eprintf "%s: %s\n" file msg;
-        exit 2
-    | Ok events -> Obs.Stats.summarise events
-  in
-  let summaries =
+let stats file file_b diff format =
+  let summarise_file file =
+    let summarise ic =
+      match Obs.Stats.read_lines ic with
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          exit 2
+      | Ok events -> Obs.Stats.summarise events
+    in
     if file = "-" then summarise stdin
     else
       match open_in file with
@@ -321,9 +330,29 @@ let stats file format =
           prerr_endline msg;
           exit 2
   in
-  match format with
-  | `Table -> print_string (Obs.Stats.to_table summaries)
-  | `Json -> print_endline (Obs.Jsonx.to_string (Obs.Stats.to_json summaries))
+  if diff then begin
+    match file_b with
+    | None ->
+        prerr_endline "symnet stats --diff needs two TRACE arguments";
+        exit 2
+    | Some b -> (
+        let rows = Obs.Stats.diff (summarise_file file) (summarise_file b) in
+        match format with
+        | `Table -> print_string (Obs.Stats.diff_to_table rows)
+        | `Json ->
+            print_endline (Obs.Jsonx.to_string (Obs.Stats.diff_to_json rows)))
+  end
+  else begin
+    (match file_b with
+    | Some _ ->
+        prerr_endline "symnet stats: a second TRACE argument requires --diff";
+        exit 2
+    | None -> ());
+    let summaries = summarise_file file in
+    match format with
+    | `Table -> print_string (Obs.Stats.to_table summaries)
+    | `Json -> print_endline (Obs.Jsonx.to_string (Obs.Stats.to_json summaries))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Command wiring                                                      *)
@@ -349,6 +378,20 @@ let trace_in_arg =
     & pos 0 string "-"
     & info [] ~docv:"TRACE" ~doc:"JSONL trace file ('-' for stdin).")
 
+let trace_in_b_arg =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"TRACE_B" ~doc:"Second trace, compared against with --diff.")
+
+let stats_diff_arg =
+  Arg.(
+    value & flag
+    & info [ "diff" ]
+        ~doc:
+          "Compare two traces: per series and field, the value in each run \
+           plus absolute and percent change.")
+
 let stats_format_arg =
   Arg.(
     value
@@ -359,16 +402,16 @@ let commands =
   [
     cmd "two-colouring" "Decide bipartiteness (§4.1)."
       Term.(
-        const two_colouring $ graph_arg $ seed_arg $ rounds_arg $ watch_arg
-        $ metrics_arg $ trace_out_arg);
+        const two_colouring $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
+        $ watch_arg $ metrics_arg $ trace_out_arg);
     cmd "census" "Flajolet-Martin size estimation (§1)."
       Term.(
-        const census $ graph_arg $ seed_arg $ rounds_arg $ metrics_arg
-        $ trace_out_arg);
+        const census $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
+        $ metrics_arg $ trace_out_arg);
     cmd "bfs" "Breadth-first search / broadcast (§4.3)."
       Term.(
-        const bfs $ graph_arg $ seed_arg $ rounds_arg $ target_arg $ metrics_arg
-        $ trace_out_arg);
+        const bfs $ graph_arg $ seed_arg $ rounds_arg $ domains_arg $ target_arg
+        $ metrics_arg $ trace_out_arg);
     cmd "election" "Randomized leader election (§4.7)."
       Term.(
         const election $ graph_arg $ seed_arg $ rounds_arg $ watch_arg
@@ -381,16 +424,20 @@ let commands =
       Term.(const bridges $ graph_arg $ seed_arg $ confidence_arg);
     cmd "shortest-paths" "Decentralized distances to sinks (§2.2)."
       Term.(
-        const shortest_paths $ graph_arg $ seed_arg $ rounds_arg $ sinks_arg
-        $ metrics_arg $ trace_out_arg);
+        const shortest_paths $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
+        $ sinks_arg $ metrics_arg $ trace_out_arg);
     cmd "random-walk" "FSSGA random walk (§4.4)."
       Term.(const random_walk $ graph_arg $ seed_arg $ moves_arg);
     cmd "firing-squad" "Firing squad on a path (§5.2 extension)."
       Term.(const firing_squad $ graph_arg $ seed_arg $ rounds_arg);
     cmd "sensitivity" "Empirical k-sensitivity survey (§2)."
       Term.(const sensitivity $ graph_arg $ seed_arg);
-    cmd "stats" "Summarise a JSONL event trace (p50/p95/max per series)."
-      Term.(const stats $ trace_in_arg $ stats_format_arg);
+    cmd "stats"
+      "Summarise a JSONL event trace (p50/p95/max per series), or diff two \
+       traces with --diff."
+      Term.(
+        const stats $ trace_in_arg $ trace_in_b_arg $ stats_diff_arg
+        $ stats_format_arg);
   ]
 
 let () =

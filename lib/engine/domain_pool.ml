@@ -1,0 +1,140 @@
+(* Long-lived worker domains, one mutex/condition pair each.  A worker's
+   [state] cycles 0 (idle/done) -> 1 (chunk pending) -> 0; 2 means quit.
+   The chunk bounds travel through mutable int fields rather than a job
+   constructor so a round allocates nothing in the pool. *)
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable state : int; (* 0 = idle/done, 1 = chunk pending, 2 = quit *)
+  mutable lo : int;
+  mutable hi : int;
+  mutable failed : exn option;
+}
+
+type t = {
+  size : int;
+  workers : worker array; (* size - 1 entries; worker i runs slot i+1 *)
+  mutable work : int -> int -> int -> unit; (* current round's body *)
+  mutable busy : bool;
+  mutable live : bool;
+  mutable handles : unit Domain.t array;
+}
+
+let noop _ _ _ = ()
+
+let size pool = pool.size
+
+let recommended () = Domain.recommended_domain_count ()
+
+let bounds pool ~n slot =
+  let chunk = (n + pool.size - 1) / pool.size in
+  let lo = min n (slot * chunk) in
+  let hi = min n (lo + chunk) in
+  (lo, hi)
+
+let worker_loop pool w slot =
+  let rec go () =
+    Mutex.lock w.mutex;
+    while w.state = 0 do
+      Condition.wait w.cond w.mutex
+    done;
+    let st = w.state in
+    Mutex.unlock w.mutex;
+    if st = 1 then begin
+      (try pool.work slot w.lo w.hi with e -> w.failed <- Some e);
+      Mutex.lock w.mutex;
+      w.state <- 0;
+      Condition.signal w.cond;
+      Mutex.unlock w.mutex;
+      go ()
+    end
+  in
+  go ()
+
+let create domains =
+  let size = max 1 domains in
+  let pool =
+    {
+      size;
+      workers =
+        Array.init (size - 1) (fun _ ->
+            {
+              mutex = Mutex.create ();
+              cond = Condition.create ();
+              state = 0;
+              lo = 0;
+              hi = 0;
+              failed = None;
+            });
+      work = noop;
+      busy = false;
+      live = true;
+      handles = [||];
+    }
+  in
+  pool.handles <-
+    Array.mapi
+      (fun i w -> Domain.spawn (fun () -> worker_loop pool w (i + 1)))
+      pool.workers;
+  pool
+
+let run pool ~n f =
+  if not pool.live then invalid_arg "Domain_pool.run: pool is shut down";
+  if pool.size = 1 then f 0 0 n
+  else begin
+    if pool.busy then invalid_arg "Domain_pool.run: reentrant use";
+    pool.busy <- true;
+    pool.work <- f;
+    Array.iteri
+      (fun i w ->
+        let lo, hi = bounds pool ~n (i + 1) in
+        w.lo <- lo;
+        w.hi <- hi;
+        w.failed <- None;
+        Mutex.lock w.mutex;
+        w.state <- 1;
+        Condition.signal w.cond;
+        Mutex.unlock w.mutex)
+      pool.workers;
+    let own_err =
+      let lo, hi = bounds pool ~n 0 in
+      match f 0 lo hi with () -> None | exception e -> Some e
+    in
+    (* Barrier: even on failure every worker must return to idle before we
+       re-raise, or the next round would race a straggler. *)
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        while w.state <> 0 do
+          Condition.wait w.cond w.mutex
+        done;
+        Mutex.unlock w.mutex)
+      pool.workers;
+    pool.work <- noop;
+    pool.busy <- false;
+    let err =
+      Array.fold_left
+        (fun acc w -> match acc with Some _ -> acc | None -> w.failed)
+        own_err pool.workers
+    in
+    match err with Some e -> raise e | None -> ()
+  end
+
+let shutdown pool =
+  if pool.live then begin
+    pool.live <- false;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.state <- 2;
+        Condition.signal w.cond;
+        Mutex.unlock w.mutex)
+      pool.workers;
+    Array.iter Domain.join pool.handles;
+    pool.handles <- [||]
+  end
+
+let with_pool ~domains f =
+  let pool = create domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -9,47 +9,69 @@ type 'q t = {
   states : 'q array;
   automaton : 'q Fssga.t;
   rng : Prng.t;
-  scratch : 'q View.t; (* reusable neighbour-state cursor *)
-  mutable push_state : int -> unit; (* preallocated [fill] closure *)
+  (* Per-slot view cursors and their preallocated [fill] closures.  Slot 0
+     is the sequential cursor ([view_of], [activate]); a parallel round
+     over a pool of [k] domains uses slots [0 .. k-1], one per domain, so
+     cursors never race.  Grown on demand by [ensure_slots]. *)
+  mutable scratches : 'q View.t array;
+  mutable pushes : (int -> unit) array;
+  (* Per-node streams for synchronous probabilistic stepping: node [v]
+     draws from [node_rngs.(v)], a keyed split (key = v) of a base stream
+     forked off [rng] at the first probabilistic synchronous round, so
+     its draw sequence is a function of (base, v) alone — independent of
+     domain count and shard schedule.  The fork advances [rng] once, so
+     successive networks sharing one rng get distinct walks.  [||] until
+     the first probabilistic synchronous round. *)
+  mutable node_rngs : Prng.t array;
   mutable next : 'q array; (* sync-step commit buffer; [||] until used *)
   mutable activations : int;
   mutable recorder : Recorder.t;
   (* Change-driven (dirty-set) scheduling.  [dirty] is empty until a
      dirty round is first requested; from then on it tracks, across every
      mutation path, the nodes whose closed neighbourhood changed since
-     they last stepped.  [dirty_scratch] is the reusable list of nodes
-     stepped in the current dirty sync round. *)
+     they last stepped.  [dirty_scratch] is the reusable frontier of the
+     current dirty sync round: the sequential step packs it from index 0,
+     the parallel step packs each shard's entries from the shard's own
+     chunk base so shards never contend. *)
   mutable dirty : bool array;
   mutable dirty_scratch : int array;
   mutable graph_version : int;
       (* last Graph.version accounted for in [dirty]; a mismatch at the
          start of a dirty round means the graph was mutated directly
          (outside the fault pipeline) and the whole set is stale *)
+  (* Parallel-round merge buffers, one cell per pool slot: activation
+     counts and change flags written by each shard, summed/OR-ed on the
+     calling domain at the barrier. *)
+  mutable shard_counts : int array;
+  mutable shard_changed : bool array;
 }
+
+let push_into scratch states = fun w -> View.push scratch states.(w)
 
 let init ~rng graph (automaton : 'q Fssga.t) =
   let states =
     Array.init (Graph.original_size graph) (fun v -> automaton.init graph v)
   in
+  let scratch = View.scratch () in
   let t =
     {
       graph;
       states;
       automaton;
       rng;
-      scratch = View.scratch ();
-      push_state = ignore;
+      scratches = [| scratch |];
+      pushes = [| push_into scratch states |];
+      node_rngs = [||];
       next = [||];
       activations = 0;
       recorder = Recorder.null;
       dirty = [||];
       dirty_scratch = [||];
       graph_version = Graph.version graph;
+      shard_counts = [| 0 |];
+      shard_changed = [| false |];
     }
   in
-  (* Allocate the view-filling closure once: [view_of] then runs the CSR
-     neighbour loop with zero per-call allocation. *)
-  t.push_state <- (fun w -> View.push t.scratch t.states.(w));
   t
 
 let graph t = t.graph
@@ -61,9 +83,37 @@ let set_recorder t r = t.recorder <- r
 let state t v = t.states.(v)
 
 let view_of t v =
-  View.clear t.scratch;
-  Graph.iter_neighbours t.graph v t.push_state;
-  t.scratch
+  let scratch = t.scratches.(0) in
+  View.clear scratch;
+  Graph.iter_neighbours t.graph v t.pushes.(0);
+  scratch
+
+(* --- per-slot / per-node resources ----------------------------------- *)
+
+let ensure_slots t k =
+  if Array.length t.scratches < k then begin
+    let old = Array.length t.scratches in
+    let scratches =
+      Array.init k (fun i ->
+          if i < old then t.scratches.(i) else View.scratch ())
+    in
+    let pushes =
+      Array.init k (fun i ->
+          if i < old then t.pushes.(i) else push_into scratches.(i) t.states)
+    in
+    t.scratches <- scratches;
+    t.pushes <- pushes;
+    t.shard_counts <- Array.make k 0;
+    t.shard_changed <- Array.make k false
+  end
+
+let node_rngs t =
+  if Array.length t.node_rngs = 0 then begin
+    let base = Prng.split t.rng in
+    t.node_rngs <-
+      Array.init (Array.length t.states) (fun v -> Prng.split_key base ~key:v)
+  end;
+  t.node_rngs
 
 (* --- dirty-set bookkeeping ------------------------------------------- *)
 
@@ -73,7 +123,10 @@ let mark_dirty t v =
   if dirty_tracking t && v >= 0 && v < Array.length t.dirty then t.dirty.(v) <- true
 
 (* A changed state at [v] invalidates the last step of [v] itself and of
-   every live neighbour. *)
+   every live neighbour.  Shard-safe: parallel commits from different
+   shards may race on a neighbour's flag, but every writer stores [true],
+   so the result is the same set a sequential commit pass would produce
+   (bool cells are immediates — no tearing). *)
 let mark_dirty_around t v =
   if dirty_tracking t then begin
     t.dirty.(v) <- true;
@@ -138,20 +191,32 @@ let commit t v q' =
       ~changed;
   changed
 
+(* Fill [next.(v)] for one node through the slot's cursor.  The rng a
+   probabilistic step sees is the node's private stream, never the shared
+   one — that is the whole determinism contract of synchronous rounds. *)
+let read_node t ~slot ~det v =
+  let scratch = t.scratches.(slot) in
+  View.clear scratch;
+  Graph.iter_neighbours t.graph v t.pushes.(slot);
+  let rng = if det then t.rng else t.node_rngs.(v) in
+  t.next.(v) <- t.automaton.step ~self:t.states.(v) ~rng scratch
+
 let sync_step t =
   let g = t.graph in
   let n = Graph.original_size g in
-  let next = ensure_next t in
+  ignore (ensure_next t);
+  let det = Fssga.is_deterministic t.automaton in
+  if not det then ignore (node_rngs t);
   (* Read phase against the frozen snapshot, then commit. *)
   for v = 0 to n - 1 do
     if Graph.is_live_node g v then begin
       t.activations <- t.activations + 1;
-      next.(v) <- t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)
+      read_node t ~slot:0 ~det v
     end
   done;
   let any = ref false in
   for v = 0 to n - 1 do
-    if Graph.is_live_node g v then if commit t v next.(v) then any := true
+    if Graph.is_live_node g v then if commit t v t.next.(v) then any := true
   done;
   !any
 
@@ -166,7 +231,9 @@ let sync_step_dirty t =
   reconcile_graph t;
   let g = t.graph in
   let n = Graph.original_size g in
-  let next = ensure_next t in
+  ignore (ensure_next t);
+  let det = Fssga.is_deterministic t.automaton in
+  if not det then ignore (node_rngs t);
   if Array.length t.dirty_scratch < n then t.dirty_scratch <- Array.make n 0;
   let frontier = t.dirty_scratch in
   let k = ref 0 in
@@ -177,7 +244,7 @@ let sync_step_dirty t =
       frontier.(!k) <- v;
       incr k;
       t.activations <- t.activations + 1;
-      next.(v) <- t.automaton.step ~self:t.states.(v) ~rng:t.rng (view_of t v)
+      read_node t ~slot:0 ~det v
     end
   done;
   (* The frontier is consumed: clear before committing so that the
@@ -189,8 +256,13 @@ let sync_step_dirty t =
   let any = ref false in
   for i = 0 to !k - 1 do
     let v = frontier.(i) in
-    if commit t v next.(v) then any := true
+    if commit t v t.next.(v) then any := true
   done;
+  !any
+
+let rotor_step t =
+  let any = ref false in
+  Graph.iter_nodes t.graph (fun v -> if activate t v then any := true);
   !any
 
 (* A rotor (fixed ascending order, sequential) round over dirty nodes
@@ -211,10 +283,143 @@ let rotor_step_dirty t =
   done;
   !any
 
-let rotor_step t =
-  let any = ref false in
-  Graph.iter_nodes t.graph (fun v -> if activate t v then any := true);
-  !any
+(* --- parallel synchronous rounds ------------------------------------- *)
+
+(* A commit without the recorder hook: the parallel commit phase is only
+   taken when no recorder is attached (with one, the commit phase runs
+   sequentially so the telemetry stream is bit-identical to the
+   sequential engine).  The [mark_dirty_around] stores are the only
+   cross-shard writes and are benign (every racer writes [true]). *)
+let commit_quiet t v q' =
+  let changed = q' != t.states.(v) && q' <> t.states.(v) in
+  if changed then begin
+    t.states.(v) <- q';
+    mark_dirty_around t v
+  end;
+  changed
+
+(* Each shard body reads only its own chunk's nodes and writes only its
+   own chunk's [next]/[states] cells, its own frontier segment, and its
+   own slot's merge cells; [Domain_pool.run]'s mutex hand-off provides
+   the happens-before edges either side of each phase. *)
+
+let sync_step_par ~pool t =
+  if Domain_pool.size pool <= 1 then sync_step t
+  else begin
+    let g = t.graph in
+    let n = Graph.original_size g in
+    ignore (ensure_next t);
+    ensure_slots t (Domain_pool.size pool);
+    let det = Fssga.is_deterministic t.automaton in
+    if not det then ignore (node_rngs t);
+    Domain_pool.run pool ~n (fun slot lo hi ->
+        let c = ref 0 in
+        for v = lo to hi - 1 do
+          if Graph.is_live_node g v then begin
+            incr c;
+            read_node t ~slot ~det v
+          end
+        done;
+        t.shard_counts.(slot) <- !c);
+    for slot = 0 to Domain_pool.size pool - 1 do
+      t.activations <- t.activations + t.shard_counts.(slot)
+    done;
+    if Recorder.enabled t.recorder then begin
+      (* Exact telemetry: sequential ascending commit, indistinguishable
+         from [sync_step]'s commit phase. *)
+      let any = ref false in
+      for v = 0 to n - 1 do
+        if Graph.is_live_node g v then if commit t v t.next.(v) then any := true
+      done;
+      !any
+    end
+    else begin
+      Domain_pool.run pool ~n (fun slot lo hi ->
+          let any = ref false in
+          for v = lo to hi - 1 do
+            if Graph.is_live_node g v then
+              if commit_quiet t v t.next.(v) then any := true
+          done;
+          t.shard_changed.(slot) <- !any);
+      let any = ref false in
+      for slot = 0 to Domain_pool.size pool - 1 do
+        if t.shard_changed.(slot) then any := true
+      done;
+      !any
+    end
+  end
+
+(* Dirty rounds compose with sharding: each shard walks only the dirty
+   nodes of its chunk, packing the stepped nodes into its own segment of
+   [dirty_scratch] (base = the chunk's [lo]), so the frontier needs no
+   cross-shard coordination.  The flags are cleared between the read and
+   commit barriers — exactly the sequential ordering — so commit-phase
+   re-marks of a node in another shard's chunk are never lost. *)
+let sync_step_dirty_par ~pool t =
+  if Domain_pool.size pool <= 1 then sync_step_dirty t
+  else begin
+    ensure_tracking t;
+    reconcile_graph t;
+    let g = t.graph in
+    let n = Graph.original_size g in
+    ignore (ensure_next t);
+    ensure_slots t (Domain_pool.size pool);
+    let det = Fssga.is_deterministic t.automaton in
+    if not det then ignore (node_rngs t);
+    if Array.length t.dirty_scratch < n then t.dirty_scratch <- Array.make n 0;
+    let frontier = t.dirty_scratch in
+    Domain_pool.run pool ~n (fun slot lo hi ->
+        let k = ref lo in
+        for v = lo to hi - 1 do
+          if t.dirty.(v) && Graph.is_live_node g v then begin
+            frontier.(!k) <- v;
+            incr k;
+            read_node t ~slot ~det v
+          end
+        done;
+        t.shard_counts.(slot) <- !k - lo);
+    let slots = Domain_pool.size pool in
+    for slot = 0 to slots - 1 do
+      t.activations <- t.activations + t.shard_counts.(slot)
+    done;
+    (* Clear the consumed frontier before any commit runs (cheap: one
+       store per stepped node), so commits re-mark exactly the closed
+       neighbourhoods of changed nodes, shards included. *)
+    for slot = 0 to slots - 1 do
+      let lo, _ = Domain_pool.bounds pool ~n slot in
+      for i = lo to lo + t.shard_counts.(slot) - 1 do
+        t.dirty.(frontier.(i)) <- false
+      done
+    done;
+    if Recorder.enabled t.recorder then begin
+      (* Segments ascend within a slot and slots ascend by base, so this
+         visits the frontier in ascending node order — the sequential
+         dirty commit order, telemetry included. *)
+      let any = ref false in
+      for slot = 0 to slots - 1 do
+        let lo, _ = Domain_pool.bounds pool ~n slot in
+        for i = lo to lo + t.shard_counts.(slot) - 1 do
+          let v = frontier.(i) in
+          if commit t v t.next.(v) then any := true
+        done
+      done;
+      !any
+    end
+    else begin
+      Domain_pool.run pool ~n (fun slot lo _hi ->
+          let any = ref false in
+          for i = lo to lo + t.shard_counts.(slot) - 1 do
+            let v = frontier.(i) in
+            if commit_quiet t v t.next.(v) then any := true
+          done;
+          t.shard_changed.(slot) <- !any);
+      let any = ref false in
+      for slot = 0 to slots - 1 do
+        if t.shard_changed.(slot) then any := true
+      done;
+      !any
+    end
+  end
 
 let dirty_step_sound t = Fssga.is_deterministic t.automaton
 

@@ -3,13 +3,30 @@
     the dynamics are built from.
 
     Hot-path contract: a network owns one reusable {!Symnet_core.View.t}
-    scratch buffer.  {!view_of} fills it in place by iterating the
-    graph's CSR adjacency, so {!activate} and {!sync_step} perform zero
-    per-node heap allocation for the view.  The returned view is only
-    valid until the next activation — transition functions consume it
-    synchronously (the {!Symnet_core.View} interface is strict, so this
-    cannot be violated from algorithm code), and callers of {!view_of}
-    must observe it before touching the network again. *)
+    scratch cursor per execution slot (slot 0 is the sequential one; a
+    parallel round over a [k]-domain pool uses [k] cursors, one per
+    domain, so they never race).  {!view_of} fills slot 0 in place by
+    iterating the graph's CSR adjacency, so {!activate} and {!sync_step}
+    perform zero per-node heap allocation for the view.  The returned
+    view is only valid until the next activation — transition functions
+    consume it synchronously (the {!Symnet_core.View} interface is
+    strict, so this cannot be violated from algorithm code), and callers
+    of {!view_of} must observe it before touching the network again.
+
+    Randomness contract for synchronous rounds: a {e probabilistic}
+    automaton stepped by {!sync_step} (or its parallel/dirty variants)
+    draws from a private per-node stream — a
+    {!Symnet_prng.Prng.split_key} (key = node id) of a base stream the
+    network forks off its rng at the first probabilistic synchronous
+    round — not from the shared stream.  A node's draw sequence is
+    therefore a function of (base, node) alone, which is what makes
+    {!sync_step_par} bit-identical to {!sync_step} at every domain
+    count; the one-off fork advances the shared rng, so successive
+    networks built over one rng still see distinct randomness.
+    Asynchronous activation ({!activate}, and the rotor/random
+    disciplines built on it) keeps drawing from the shared stream: there
+    the activation order is the schedule, and sequential semantics are
+    the point. *)
 
 module Graph := Symnet_graph.Graph
 module Prng := Symnet_prng.Prng
@@ -53,6 +70,23 @@ val activate : 'q t -> int -> bool
 val sync_step : 'q t -> bool
 (** One synchronous step: all live nodes transition simultaneously from
     the same snapshot.  Returns [true] if any state changed. *)
+
+val sync_step_par : pool:Domain_pool.t -> 'q t -> bool
+(** {!sync_step} with the read phase (view fill + transition) sharded
+    over the pool's domains — bit-identical outcome at every pool size:
+    same states, same change flag, same activation count, and (via the
+    per-node streams) the same probabilistic draws.  Commit-phase writes
+    are per-node disjoint, so the hot path takes no locks; when a
+    recorder is attached the commit phase runs sequentially so the
+    telemetry stream is also bit-identical to the sequential engine.
+    With a pool of size 1 this {e is} {!sync_step}. *)
+
+val sync_step_dirty_par : pool:Domain_pool.t -> 'q t -> bool
+(** {!sync_step_dirty} sharded the same way: each shard walks only the
+    dirty nodes of its chunk.  Same soundness condition as the
+    sequential dirty step (deterministic automata only — consult
+    {!dirty_step_sound}); bit-identical to {!sync_step_dirty} at every
+    pool size. *)
 
 (** {1 Change-driven (dirty-set) stepping}
 

@@ -13,8 +13,8 @@ let fault_event : Fault.action -> Obs.Events.fault_action = function
   | Fault.Kill_node v -> Obs.Events.Kill_node v
   | Fault.Kill_edge (u, v) -> Obs.Events.Kill_edge (u, v)
 
-let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
-    ?(max_rounds = 100_000) ?(recorder = Obs.Recorder.null) ?stop ?on_round net =
+let run_with ?pool ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop
+    ?on_round net =
   let g = Network.graph net in
   Network.set_recorder net recorder;
   Obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
@@ -62,7 +62,7 @@ let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
           ~on_apply:(fun a ->
             Obs.Recorder.fault recorder ~action:(fault_event a));
       if Network.dirty_tracking net then Network.ack_graph_mutations net;
-      let changed = Scheduler.round ~dirty scheduler net ~round in
+      let changed = Scheduler.round ?pool ~dirty scheduler net ~round in
       Obs.Recorder.round_end recorder ~round ~changed;
       (match on_round with Some f -> f ~round net | None -> ());
       let stop_now = match stop with Some f -> f ~round net | None -> false in
@@ -73,3 +73,20 @@ let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
     end
   in
   go 1
+
+let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
+    ?(max_rounds = 100_000) ?(recorder = Obs.Recorder.null) ?pool ?(domains = 1)
+    ?stop ?on_round net =
+  match pool with
+  | Some _ ->
+      run_with ?pool ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop
+        ?on_round net
+  | None ->
+      let domains = if domains = 0 then Domain_pool.recommended () else domains in
+      if domains <= 1 then
+        run_with ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop ?on_round
+          net
+      else
+        Domain_pool.with_pool ~domains (fun pool ->
+            run_with ~pool ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop
+              ?on_round net)

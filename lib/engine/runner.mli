@@ -20,6 +20,8 @@ val run :
   ?faults:Fault.schedule ->
   ?max_rounds:int ->
   ?recorder:Symnet_obs.Recorder.t ->
+  ?pool:Domain_pool.t ->
+  ?domains:int ->
   ?stop:(round:int -> 'q Network.t -> bool) ->
   ?on_round:(round:int -> 'q Network.t -> unit) ->
   'q Network.t ->
@@ -33,6 +35,14 @@ val run :
     keeps the dirty set consistent across fault applications.
     Quiescence only terminates the run when no faults remain pending (a
     pending deletion can wake a stable network up again).
+
+    [domains] (default 1) runs {!Scheduler.Synchronous} rounds sharded
+    over that many domains — the run is bit-identical at every count
+    (see {!Network.sync_step_par}); [0] means
+    {!Domain_pool.recommended}.  A fresh pool is created for the run and
+    shut down afterwards; callers executing many runs should instead
+    pass a long-lived [pool] (which takes precedence over [domains]).
+    Asynchronous schedulers ignore both.
 
     [recorder] (default {!Symnet_obs.Recorder.null}, which short-circuits
     every hook) is attached to the network for the duration of the run

@@ -101,3 +101,95 @@ let to_json summaries =
                ("max", Jsonx.Float s.max);
              ] ))
        summaries)
+
+(* --- cross-run diffing ------------------------------------------------ *)
+
+type diff_row = {
+  series : string;
+  field : string;
+  a : float;
+  b : float;
+  delta : float;
+  percent : float;
+}
+
+let fields_of s =
+  [
+    ("count", float_of_int s.count);
+    ("total", s.total);
+    ("p50", s.p50);
+    ("p95", s.p95);
+    ("max", s.max);
+  ]
+
+let diff sa sb =
+  (* Union of series names, in sorted order (both inputs already are). *)
+  let names =
+    List.sort_uniq compare (List.map (fun s -> s.name) (sa @ sb))
+  in
+  let find name l = List.find_opt (fun s -> s.name = name) l in
+  List.concat_map
+    (fun name ->
+      let fa = Option.map fields_of (find name sa) in
+      let fb = Option.map fields_of (find name sb) in
+      let field_names =
+        match (fa, fb) with
+        | Some f, _ | None, Some f -> List.map fst f
+        | None, None -> []
+      in
+      List.map
+        (fun field ->
+          let get = function
+            | Some f -> List.assoc field f
+            | None -> nan
+          in
+          let a = get fa and b = get fb in
+          let delta = b -. a in
+          let percent =
+            if Float.is_nan delta then nan
+            else if a = 0. then if delta = 0. then 0. else nan
+            else 100. *. delta /. Float.abs a
+          in
+          { series = name; field; a; b; delta; percent })
+        field_names)
+    names
+
+let diff_to_table rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %-6s %12s %12s %12s %9s\n" "series" "field" "a" "b"
+       "delta" "percent");
+  let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+  let pct v = if Float.is_nan v then "-" else Printf.sprintf "%+.1f%%" v in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %-6s %12s %12s %12s %9s\n" r.series r.field
+           (cell r.a) (cell r.b) (cell r.delta) (pct r.percent)))
+    rows;
+  Buffer.contents buf
+
+let diff_to_json rows =
+  (* group rows back by series: {series: {field: {a,b,delta,percent}}} *)
+  let rec group = function
+    | [] -> []
+    | r :: _ as rows ->
+        let mine, rest =
+          List.partition (fun r' -> r'.series = r.series) rows
+        in
+        ( r.series,
+          Jsonx.Obj
+            (List.map
+               (fun r ->
+                 ( r.field,
+                   Jsonx.Obj
+                     [
+                       ("a", Jsonx.Float r.a);
+                       ("b", Jsonx.Float r.b);
+                       ("delta", Jsonx.Float r.delta);
+                       ("percent", Jsonx.Float r.percent);
+                     ] ))
+               mine) )
+        :: group rest
+  in
+  Jsonx.Obj (group rows)

@@ -35,3 +35,31 @@ val to_table : summary list -> string
 (** Fixed-width table, one summary per row. *)
 
 val to_json : summary list -> Jsonx.t
+
+(** {1 Cross-run diffing} — [symnet stats --diff A.jsonl B.jsonl]. *)
+
+type diff_row = {
+  series : string;
+  field : string;  (** ["count"], ["total"], ["p50"], ["p95"] or ["max"] *)
+  a : float;  (** value in run A; [nan] when the series is absent there *)
+  b : float;  (** value in run B; [nan] when absent *)
+  delta : float;  (** [b - a]; [nan] when either side is absent *)
+  percent : float;
+      (** [100 * delta / |a|]; [nan] when undefined (absent side, or
+          [a = 0] with a non-zero delta) *)
+}
+
+val diff : summary list -> summary list -> diff_row list
+(** Field-by-field comparison over the union of the two runs' series,
+    sorted by series name — five rows (count, total, p50, p95, max) per
+    series.  Series present in only one run appear with [nan] on the
+    missing side, so regressions that add or drop a counter are visible
+    rather than silently skipped. *)
+
+val diff_to_table : diff_row list -> string
+(** Fixed-width table; absent values and undefined percentages print as
+    ["-"]. *)
+
+val diff_to_json : diff_row list -> Jsonx.t
+(** [{series: {field: {a, b, delta, percent}}}]; non-finite values render
+    as [null] (see {!Jsonx.to_string}). *)

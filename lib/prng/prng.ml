@@ -40,10 +40,31 @@ let create ~seed =
 
 let bits64 g = mix64 (next_seed g)
 
+(* Native-int projection of the same stream step: the low 63 bits of what
+   [bits64] would return, without surfacing the boxed [Int64].  Returning
+   [int] lets hot loops (coin flips, masked draws) stay in immediate
+   arithmetic after the mandatory 64-bit mixing; [Int64.to_int] truncates,
+   so the value ranges over all of [min_int, max_int]. *)
+let bits g = Int64.to_int (mix64 (next_seed g))
+
 let split g =
   let state = mix64 (next_seed g) in
   let gamma = mix_gamma (next_seed g) in
   { state; gamma }
+
+(* Keyed split: the child stream is a pure function of the parent's
+   current state and [key], and the parent is NOT advanced.  Key [k] uses
+   the virtual draws [state + (2k+1)*gamma] and [state + (2k+2)*gamma] —
+   the counter values [2k+1] sequential splits would consume — so
+   distinct keys give independent streams exactly as plain [split] does,
+   and [split_key ~key:0] coincides with the stream the next [split]
+   would have returned. *)
+let split_key g ~key =
+  if key < 0 then invalid_arg "Prng.split_key: negative key";
+  let k = Int64.of_int key in
+  let s1 = Int64.add g.state (Int64.mul (Int64.add (Int64.mul 2L k) 1L) g.gamma) in
+  let s2 = Int64.add g.state (Int64.mul (Int64.add (Int64.mul 2L k) 2L) g.gamma) in
+  { state = mix64 s1; gamma = mix_gamma s2 }
 
 let copy g = { state = g.state; gamma = g.gamma }
 
@@ -59,7 +80,10 @@ let int g n =
   in
   draw ()
 
-let bool g = Int64.(logand (bits64 g) 1L) = 1L
+(* Same draw as [Int64.logand (bits64 g) 1L = 1L] — [bits] keeps the low
+   bit — but the comparison happens on an immediate int, which is the
+   whole fast path for the census/geometric hot loops. *)
+let bool g = bits g land 1 = 1
 
 let float g =
   (* 53 uniform bits into the mantissa. *)

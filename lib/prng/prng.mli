@@ -19,11 +19,30 @@ val split : t -> t
 (** [split g] advances [g] and returns a statistically independent child
     generator.  Distinct calls yield distinct streams. *)
 
+val split_key : t -> key:int -> t
+(** [split_key g ~key] derives an independent child stream as a {e pure
+    function} of [g]'s current state and the non-negative [key], without
+    advancing [g].  Distinct keys give independent streams; repeated calls
+    with the same key replay the same stream.  This is how the engine
+    gives every node of a network a private per-node stream (key = node
+    id) whose draws do not depend on which domain, or in which order, the
+    node is stepped — the determinism contract of the parallel engine.
+    [split_key ~key:0] coincides with the stream the next {!split} would
+    return.  @raise Invalid_argument on a negative key. *)
+
 val copy : t -> t
 (** [copy g] duplicates the exact current state (same future outputs). *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** The native-int fast path: the same stream step as {!bits64} truncated
+    to the 63-bit native [int] (its low bits), uniform over the whole
+    [int] range — mask with [land] for smaller draws.  Advances the state
+    exactly one step, so [bits] and {!bits64} draws interleave
+    reproducibly; {!bool} is [bits g land 1 = 1] and matches the historic
+    [Int64] low-bit draw bit for bit. *)
 
 val int : t -> int -> int
 (** [int g n] is uniform on [0, n-1].  Requires [n > 0]. *)

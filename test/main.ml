@@ -7,6 +7,7 @@ let () =
       ("view", Test_view.suite);
       ("sm", Test_sm.suite);
       ("engine", Test_engine.suite);
+      ("parallel", Test_parallel.suite);
       ("census", Test_census.suite);
       ("shortest-paths", Test_shortest_paths.suite);
       ("two-colouring", Test_two_colouring.suite);

@@ -20,6 +20,32 @@ let test_copy () =
   let b = Prng.copy a in
   Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
 
+let test_bits_matches_bits64 () =
+  (* [bits] is the low 63 bits of the same stream step as [bits64]; the
+     two must stay interleavable without drift. *)
+  let a = Prng.create ~seed:31 and b = Prng.create ~seed:31 in
+  for i = 1 to 200 do
+    let v64 = Prng.bits64 a in
+    let v = Prng.bits b in
+    Alcotest.(check int)
+      (Printf.sprintf "draw %d: low 63 bits" i)
+      (Int64.to_int v64) v
+  done;
+  (* and the streams are still aligned after mixing the two entry points *)
+  ignore (Prng.bits a);
+  ignore (Prng.bits64 b);
+  Alcotest.(check int64) "still aligned" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_bool_matches_low_bit () =
+  (* [bool] must keep matching the historic Int64 low-bit draw. *)
+  let a = Prng.create ~seed:37 and b = Prng.create ~seed:37 in
+  for i = 1 to 200 do
+    Alcotest.(check bool)
+      (Printf.sprintf "draw %d" i)
+      (Int64.logand (Prng.bits64 a) 1L = 1L)
+      (Prng.bool b)
+  done
+
 let test_split_independent () =
   let a = Prng.create ~seed:7 in
   let child = Prng.split a in
@@ -28,6 +54,35 @@ let test_split_independent () =
     if Prng.bits64 a = Prng.bits64 child then incr same
   done;
   Alcotest.(check int) "split streams differ" 0 !same
+
+let test_split_key_pure () =
+  (* split_key must not advance the parent and must replay per key *)
+  let g = Prng.create ~seed:41 in
+  ignore (Prng.bits64 g);
+  let probe = Prng.copy g in
+  let c1 = Prng.split_key g ~key:5 in
+  let c2 = Prng.split_key g ~key:5 in
+  Alcotest.(check int64) "parent unadvanced" (Prng.bits64 probe) (Prng.bits64 g);
+  Alcotest.(check int64) "same key replays" (Prng.bits64 c1) (Prng.bits64 c2)
+
+let test_split_key_distinct () =
+  let g = Prng.create ~seed:43 in
+  let streams = List.init 16 (fun k -> Prng.split_key g ~key:k) in
+  let firsts = List.map Prng.bits64 streams in
+  Alcotest.(check int)
+    "16 keys, 16 distinct first draws" 16
+    (List.length (List.sort_uniq compare firsts))
+
+let test_split_key_zero_is_split () =
+  (* key 0 coincides with the stream the next [split] would return *)
+  let a = Prng.create ~seed:47 and b = Prng.create ~seed:47 in
+  let keyed = Prng.split_key a ~key:0 in
+  let child = Prng.split b in
+  for i = 1 to 16 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Prng.bits64 child) (Prng.bits64 keyed)
+  done
 
 let test_int_bounds () =
   let g = Prng.create ~seed:3 in
@@ -139,7 +194,13 @@ let suite =
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "seed divergence" `Quick test_seed_divergence;
     Alcotest.test_case "copy replays" `Quick test_copy;
+    Alcotest.test_case "bits matches bits64" `Quick test_bits_matches_bits64;
+    Alcotest.test_case "bool matches low bit" `Quick test_bool_matches_low_bit;
     Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "split_key purity" `Quick test_split_key_pure;
+    Alcotest.test_case "split_key distinct keys" `Quick test_split_key_distinct;
+    Alcotest.test_case "split_key 0 is next split" `Quick
+      test_split_key_zero_is_split;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
     Alcotest.test_case "float range" `Quick test_float_range;
