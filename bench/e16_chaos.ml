@@ -1,0 +1,123 @@
+(* E16 — chaos engine: MTTR under composable fault processes (§5, §5.2).
+   A crash–restart burst plus a state-corruption burst hit each
+   algorithm mid-run; we measure mean rounds from the last possible
+   fault to regained legitimacy.  The paper's predictions separate
+   cleanly: the §2.2 min+1 relaxation and §5 semilattice gossip recover,
+   the §1 census OR and the §4.1 2-colouring cannot clear corrupted
+   state. *)
+
+open Bench_util
+module Prng = Symnet_prng.Prng
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Analysis = Symnet_graph.Analysis
+module Network = Symnet_engine.Network
+module Chaos = Symnet_engine.Chaos
+module Semilattice = Symnet_core.Semilattice
+module Stab = Symnet_sensitivity.Stabilization
+module Sp = Symnet_algorithms.Shortest_paths
+module Census = Symnet_algorithms.Census
+module Tc = Symnet_algorithms.Two_colouring
+
+(* Crash early, corrupt at the horizon: MTTR then counts exactly the
+   rounds the corruption takes to heal. *)
+let processes =
+  [
+    Chaos.Burst
+      { at = 2; width = 1; count = 1; kind = Chaos.Crash { downtime = 2 };
+        target = Chaos.Uniform };
+    Chaos.Burst
+      { at = 5; width = 2; count = 1; kind = Chaos.Corrupt;
+        target = Chaos.Uniform };
+  ]
+
+let run ?(smoke = false) () =
+  let n = if smoke then 16 else 48 in
+  let trials = if smoke then 3 else 12 in
+  let max_rounds = if smoke then 300 else 2_000 in
+  section "E16 chaos MTTR (fault processes of §2/§5/§5.2)"
+    "crash-restart burst + corruption burst; MTTR = mean rounds from\n\
+     the last possible fault to a legitimate configuration";
+  row "  %-18s %-12s %-14s %s\n" "algorithm" "recovered" "MTTR (rounds)"
+    "paper prediction";
+  let graph () = Gen.random_connected (rng 33) ~n ~extra_edges:(n / 2) in
+  let report name (v : _ Stab.verdict) prediction =
+    let recovers = v.Stab.recovered = v.Stab.trials in
+    row "  %-18s %d/%-10d %-14s %s\n" name v.Stab.recovered v.Stab.trials
+      (if v.Stab.recovered = 0 then "-"
+       else Printf.sprintf "%.1f" v.Stab.mean_recovery_rounds)
+      prediction;
+    metric_row ~experiment:"e16"
+      [
+        ("algorithm", jstr name);
+        ("n", jint n);
+        ("trials", jint v.Stab.trials);
+        ("recovered", jint v.Stab.recovered);
+        ( "mttr_rounds",
+          if v.Stab.recovered = 0 then Jsonx.Null
+          else jfloat v.Stab.mean_recovery_rounds );
+        ("recovers", jbool recovers);
+        ("prediction", jstr prediction);
+      ]
+  in
+  let cap = n in
+  report "shortest-paths"
+    (Stab.mttr ~rng:(rng 1)
+       ~automaton:(Sp.automaton ~sinks:[ 0 ] ~cap)
+       ~graph ~chaos:processes
+       ~corrupt:(fun rng net v ->
+         let s = Network.state net v in
+         { s with Sp.label = Prng.int rng (cap + 1) })
+       ~legitimate:(fun net ->
+         let g = Network.graph net in
+         let dist = Analysis.distances g ~sources:[ 0 ] in
+         List.for_all
+           (fun (v, s) -> Sp.label s = min cap dist.(v))
+           (Network.states net))
+       ~trials ~max_rounds ())
+    "recovers";
+  let min_l = Semilattice.min_int_lattice in
+  report "gossip-min"
+    (Stab.mttr ~rng:(rng 2)
+       ~automaton:(Semilattice.gossip min_l ~init:(fun _ v -> v))
+       ~graph ~chaos:processes
+       ~corrupt:(fun rng _net _v -> Prng.int rng n)
+       ~legitimate:(fun net ->
+         let g = Network.graph net in
+         let expect =
+           Semilattice.component_fixpoint min_l g ~init:(fun v -> v)
+         in
+         List.for_all
+           (fun (v, s) -> List.assoc_opt v expect = Some s)
+           (Network.states net))
+       ~trials ~max_rounds ())
+    "recovers";
+  let k = Census.recommended_k n in
+  report "census"
+    (Stab.mttr ~rng:(rng 3)
+       ~automaton:(Census.automaton ~k)
+       ~graph ~chaos:processes
+       ~corrupt:(fun _rng _net _v -> Census.of_bits ~k ((1 lsl k) - 1))
+       ~legitimate:(fun net ->
+         match
+           List.filter_map
+             (fun (_, s) -> Census.estimate s)
+             (Network.states net)
+         with
+         | [] -> false
+         | es -> List.for_all (fun e -> e < 8. *. float_of_int n) es)
+       ~trials ~max_rounds ())
+    "stuck";
+  report "two-colouring"
+    (Stab.mttr ~rng:(rng 4)
+       ~automaton:(Tc.automaton ~seed:0)
+       ~graph:(fun () -> Gen.grid ~rows:4 ~cols:(max 2 (n / 4)))
+       ~chaos:processes
+       ~corrupt:(fun _rng _net _v -> Tc.Failed)
+       ~legitimate:(fun net -> Tc.verdict net = `Bipartite)
+       ~trials ~max_rounds ())
+    "stuck";
+  row
+    "  -> corruption heals exactly where the paper predicts: state that\n\
+    \     is recomputed from neighbours each round recovers; state that\n\
+    \     only accretes (OR bits, FAILED flags) sticks\n"

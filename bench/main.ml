@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- engine  # hot-path bench -> BENCH_engine.json
      dune exec bench/main.exe -- engine --smoke   # tiny CI variant
      dune exec bench/main.exe -- engine --domains 4   # pin parallel rows to {1,4}
+     dune exec bench/main.exe -- e16 --smoke     # tiny chaos-MTTR variant
 *)
 
 let experiments =
@@ -30,6 +31,7 @@ let experiments =
     ("e13", E13_sensitivity.run);
     ("e14", E14_firing_squad.run);
     ("e15", E15_stabilization.run);
+    ("e16", fun () -> E16_chaos.run ());
   ]
 
 let run_tables () = List.iter (fun (_, f) -> f ()) experiments
@@ -57,13 +59,14 @@ let () =
       | None ->
           prerr_endline "usage: main.exe engine [--smoke] [--domains N]";
           exit 2)
+  | [ _; "e16"; "--smoke" ] -> E16_chaos.run ~smoke:true ()
   | [ _; name ] -> (
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
           Printf.eprintf
-            "unknown experiment %s (e01..e14, tables, kernels, engine)\n" name;
+            "unknown experiment %s (e01..e16, tables, kernels, engine)\n" name;
           exit 2)
   | _ ->
-      prerr_endline "usage: main.exe [e01..e14|tables|kernels|engine|all]";
+      prerr_endline "usage: main.exe [e01..e16|tables|kernels|engine|all]";
       exit 2

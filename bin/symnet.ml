@@ -12,6 +12,8 @@
      symnet random-walk   --graph petersen --moves 50
      symnet firing-squad  --graph path:40
      symnet sensitivity   --graph random:24,12
+     symnet chaos         --graph random:32,16 --trials 5
+     symnet shortest-paths --graph grid:6x8 --chaos bernoulli:p=0.05:kind=crash
 *)
 
 open Cmdliner
@@ -22,7 +24,10 @@ module Spec = Symnet_graph.Spec
 module Analysis = Symnet_graph.Analysis
 module Network = Symnet_engine.Network
 module Runner = Symnet_engine.Runner
+module Chaos = Symnet_engine.Chaos
 module Trace = Symnet_engine.Trace
+module Semilattice = Symnet_core.Semilattice
+module Stab = Symnet_sensitivity.Stabilization
 module Obs = Symnet_obs
 module A = Symnet_algorithms
 
@@ -58,6 +63,29 @@ let domains_arg =
           "Shard synchronous rounds over $(docv) domains (0 = one per \
            recommended core).  The run is bit-identical at every count.")
 
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Inject stochastic faults during the run.  $(docv) is \
+           PROC(;PROC)* with PROC = name(:key=value)*.  Names: \
+           $(b,bernoulli) (key p), $(b,burst) (keys at, width, count), \
+           $(b,periodic) (keys every, phase).  Common keys: kind \
+           (kill_node|kill_edge|corrupt|crash), downtime, target \
+           (uniform|degree).  Example: \
+           'burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash'.")
+
+let chaos_of seed = function
+  | None -> None
+  | Some spec -> (
+      match Chaos.of_spec ~seed spec with
+      | Ok c -> Some c
+      | Error m ->
+          prerr_endline m;
+          exit 2)
+
 let make_graph seed spec =
   let rng = Prng.create ~seed:(seed * 7919) in
   match Spec.parse rng spec with
@@ -71,7 +99,13 @@ let report_outcome (o : Runner.outcome) =
     o.Runner.activations
     (if o.Runner.quiesced then "quiesced"
      else if o.Runner.stopped then "stopped"
-     else "budget exhausted")
+     else if o.Runner.gave_up then "gave up"
+     else "budget exhausted");
+  if o.Runner.faults_applied > 0 || o.Runner.faults_noop > 0
+     || o.Runner.recoveries > 0
+  then
+    Printf.printf "faults: %d (%d no-op)   recoveries: %d\n"
+      o.Runner.faults_applied o.Runner.faults_noop o.Runner.recoveries
 
 (* --- telemetry flags shared by the run subcommands ------------------ *)
 
@@ -123,8 +157,10 @@ let unless_metrics metrics f = if metrics = None then f ()
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let two_colouring graph seed max_rounds domains watch metrics trace_out =
+let two_colouring graph seed max_rounds domains watch chaos_spec metrics
+    trace_out =
   let g = make_graph seed graph in
+  let chaos = chaos_of seed chaos_spec in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Two_colouring.automaton ~seed:0) in
   let to_char = function
     | A.Two_colouring.Blank -> '_'
@@ -134,8 +170,9 @@ let two_colouring graph seed max_rounds domains watch metrics trace_out =
   in
   let recorder = recorder_of metrics trace_out in
   let o =
-    if watch then Trace.watch ~max_rounds ~recorder ~to_char ~out:print_endline net
-    else Runner.run ~max_rounds ~recorder ~domains net
+    if watch then
+      Trace.watch ~max_rounds ~recorder ?chaos ~to_char ~out:print_endline net
+    else Runner.run ~max_rounds ~recorder ~domains ?chaos net
   in
   unless_metrics metrics (fun () ->
       report_outcome o;
@@ -146,13 +183,14 @@ let two_colouring graph seed max_rounds domains watch metrics trace_out =
         | `Undecided -> "verdict: undecided"));
   report_metrics metrics recorder
 
-let census graph seed max_rounds domains metrics trace_out =
+let census graph seed max_rounds domains chaos_spec metrics trace_out =
   let g = make_graph seed graph in
+  let chaos = chaos_of seed chaos_spec in
   let n = Graph.node_count g in
   let k = A.Census.recommended_k n in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder ~domains net in
+  let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
   unless_metrics metrics (fun () ->
       report_outcome o;
       match
@@ -164,14 +202,15 @@ let census graph seed max_rounds domains metrics trace_out =
       | [] -> print_endline "no estimate");
   report_metrics metrics recorder
 
-let bfs graph seed max_rounds domains target metrics trace_out =
+let bfs graph seed max_rounds domains target chaos_spec metrics trace_out =
   let g = make_graph seed graph in
+  let chaos = chaos_of seed chaos_spec in
   let targets = match target with Some t -> [ t ] | None -> [] in
   let net =
     Network.init ~rng:(Prng.create ~seed) g (A.Bfs.automaton ~originator:0 ~targets)
   in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder ~domains net in
+  let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
   unless_metrics metrics (fun () ->
       report_outcome o;
       Printf.printf "originator status: %s\nlabels consistent: %b\n"
@@ -240,8 +279,10 @@ let bridges graph seed confidence =
     (String.concat "; " (List.map string_of_int truth))
     (List.sort compare suspected = truth)
 
-let shortest_paths graph seed max_rounds domains sinks metrics trace_out =
+let shortest_paths graph seed max_rounds domains sinks chaos_spec metrics
+    trace_out =
   let g = make_graph seed graph in
+  let chaos = chaos_of seed chaos_spec in
   let sinks =
     match sinks with
     | "" -> [ 0 ]
@@ -252,7 +293,7 @@ let shortest_paths graph seed max_rounds domains sinks metrics trace_out =
     Network.init ~rng:(Prng.create ~seed) g (A.Shortest_paths.automaton ~sinks ~cap)
   in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder ~domains net in
+  let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
   unless_metrics metrics (fun () ->
       report_outcome o;
       let dist = Analysis.distances g ~sources:sinks in
@@ -311,6 +352,156 @@ let sensitivity graph seed =
   line "tree-census"
     (Sens.estimate ~rng (Sens.tree_census_instance ()) ~graph:spec_graph
        ~trials:3 ~faults_per_trial:1 ~max_steps:300)
+
+(* --- symnet chaos: MTTR survey and determinism smoke test ----------- *)
+
+(* Both Crash_restart and Corrupt_state, bounded so MTTR has a last-fault
+   round to measure from; the corruption lands at the horizon so the
+   rounds it takes to heal are what MTTR counts. *)
+let default_chaos_spec =
+  "burst:at=2:count=1:kind=crash:downtime=2;burst:at=5:width=2:count=1:kind=corrupt"
+
+let chaos_processes seed spec =
+  match Chaos.of_spec ~seed (Option.value ~default:default_chaos_spec spec) with
+  | Ok c -> Chaos.processes c
+  | Error m ->
+      prerr_endline m;
+      exit 2
+
+(* A 2-colourable stand-in graph: the MTTR story for 2-colouring needs a
+   graph where the legitimate verdict is [`Bipartite], whatever --graph
+   says. *)
+let bipartite_stand_in n = Gen.grid ~rows:4 ~cols:(max 2 (n / 4))
+
+let chaos_smoke graph seed spec =
+  (* Bit-identity under chaos: run each algorithm at --domains 1/2/4 with
+     a full event trace into a buffer; traces and outcomes must agree
+     byte for byte. *)
+  let processes = chaos_processes seed spec in
+  let check name mk_net =
+    let run domains =
+      let buf = Buffer.create 4096 in
+      let recorder = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
+      let o =
+        Runner.run ~max_rounds:300 ~recorder ~domains
+          ~chaos:(Chaos.create ~seed processes)
+          (mk_net ())
+      in
+      Obs.Recorder.close recorder;
+      ( Buffer.contents buf,
+        (o.Runner.rounds, o.Runner.activations, o.Runner.transitions),
+        (o.Runner.faults_applied, o.Runner.faults_noop) )
+    in
+    let base = run 1 in
+    let ok = List.for_all (fun d -> run d = base) [ 2; 4 ] in
+    Printf.printf "%-16s %s\n" name
+      (if ok then "OK   (bit-identical at --domains 1/2/4)" else "MISMATCH");
+    ok
+  in
+  let fresh_graph () = make_graph seed graph in
+  let n = Graph.node_count (fresh_graph ()) in
+  let ok_tc =
+    check "two-colouring" (fun () ->
+        Network.init ~rng:(Prng.create ~seed) (bipartite_stand_in n)
+          (A.Two_colouring.automaton ~seed:0))
+  in
+  let ok_sp =
+    check "shortest-paths" (fun () ->
+        let g = fresh_graph () in
+        Network.init ~rng:(Prng.create ~seed) g
+          (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:(Graph.node_count g)))
+  in
+  if ok_tc && ok_sp then print_endline "chaos smoke: PASS"
+  else begin
+    print_endline "chaos smoke: FAIL";
+    exit 1
+  end
+
+(* The paper's split, measured: shortest paths and semilattice gossip
+   recover from transient corruption; the census OR and a corrupted
+   2-colouring FAILED can never be cleared. *)
+let chaos_mttr graph seed spec trials max_rounds =
+  let processes = chaos_processes seed spec in
+  let graph_thunk () = make_graph seed graph in
+  let n = Graph.node_count (graph_thunk ()) in
+  let mttr ~automaton ~graph ~corrupt ~legitimate =
+    try
+      Stab.mttr ~rng:(Prng.create ~seed) ~automaton ~graph ~chaos:processes
+        ~corrupt ~legitimate ~trials ~max_rounds ()
+    with Invalid_argument m ->
+      prerr_endline m;
+      exit 2
+  in
+  let line name (v : _ Stab.verdict) expect =
+    Printf.printf "%-16s recovered %d/%d   MTTR: %-12s paper: %s\n" name
+      v.Stab.recovered v.Stab.trials
+      (if v.Stab.recovered = 0 then "-"
+       else Printf.sprintf "%.1f rounds" v.Stab.mean_recovery_rounds)
+      expect
+  in
+  let cap = n in
+  line "shortest-paths"
+    (mttr
+       ~automaton:(A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap)
+       ~graph:graph_thunk
+       ~corrupt:(fun rng net v ->
+         let s = Network.state net v in
+         { s with A.Shortest_paths.label = Prng.int rng (cap + 1) })
+       ~legitimate:(fun net ->
+         let g = Network.graph net in
+         let dist = Analysis.distances g ~sources:[ 0 ] in
+         List.for_all
+           (fun (v, s) -> A.Shortest_paths.label s = min cap dist.(v))
+           (Network.states net)))
+    "recovers (min+1 relaxation, §2.2)";
+  let min_l = Semilattice.min_int_lattice in
+  line "gossip-min"
+    (mttr
+       ~automaton:(Semilattice.gossip min_l ~init:(fun _ v -> v))
+       ~graph:graph_thunk
+       ~corrupt:(fun rng _net _v -> Prng.int rng n)
+       ~legitimate:(fun net ->
+         let g = Network.graph net in
+         let expect =
+           Semilattice.component_fixpoint min_l g ~init:(fun v -> v)
+         in
+         List.for_all
+           (fun (v, s) -> List.assoc_opt v expect = Some s)
+           (Network.states net)))
+    "recovers (semilattice, §5)";
+  let k = A.Census.recommended_k n in
+  line "census"
+    (mttr
+       ~automaton:(A.Census.automaton ~k)
+       ~graph:graph_thunk
+       ~corrupt:(fun _rng _net _v -> A.Census.of_bits ~k ((1 lsl k) - 1))
+       ~legitimate:(fun net ->
+         match
+           List.filter_map
+             (fun (_, s) -> A.Census.estimate s)
+             (Network.states net)
+         with
+         | [] -> false
+         | es -> List.for_all (fun e -> e < 8. *. float_of_int n) es))
+    "stuck (OR cannot unset a bit, §5.2)";
+  line "two-colouring"
+    (mttr
+       ~automaton:(A.Two_colouring.automaton ~seed:0)
+       ~graph:(fun () -> bipartite_stand_in n)
+       ~corrupt:(fun _rng _net _v -> A.Two_colouring.Failed)
+       ~legitimate:(fun net -> A.Two_colouring.verdict net = `Bipartite))
+    "stuck (FAILED floods, §4.1)"
+
+let chaos_cmd graph seed spec trials max_rounds smoke =
+  if smoke then chaos_smoke graph seed spec
+  else begin
+    Printf.printf
+      "chaos: %s\n(seed %d, %d trials; MTTR measured from the last possible \
+       fault round)\n\n"
+      (Option.value ~default:default_chaos_spec spec)
+      seed trials;
+    chaos_mttr graph seed spec trials max_rounds
+  end
 
 let stats file file_b diff format =
   let summarise_file file =
@@ -372,6 +563,20 @@ let moves_arg =
 let confidence_arg =
   Arg.(value & opt int 2 & info [ "c" ] ~docv:"C" ~doc:"Walk budget multiplier c.")
 
+let trials_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "trials" ] ~docv:"N" ~doc:"Chaos trials per algorithm.")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "Determinism smoke test: run 2-colouring and shortest-paths under \
+           the chaos spec at --domains 1/2/4 and compare full event traces \
+           byte for byte; exit 1 on any mismatch.")
+
 let trace_in_arg =
   Arg.(
     value
@@ -403,15 +608,15 @@ let commands =
     cmd "two-colouring" "Decide bipartiteness (§4.1)."
       Term.(
         const two_colouring $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
-        $ watch_arg $ metrics_arg $ trace_out_arg);
+        $ watch_arg $ chaos_arg $ metrics_arg $ trace_out_arg);
     cmd "census" "Flajolet-Martin size estimation (§1)."
       Term.(
         const census $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
-        $ metrics_arg $ trace_out_arg);
+        $ chaos_arg $ metrics_arg $ trace_out_arg);
     cmd "bfs" "Breadth-first search / broadcast (§4.3)."
       Term.(
         const bfs $ graph_arg $ seed_arg $ rounds_arg $ domains_arg $ target_arg
-        $ metrics_arg $ trace_out_arg);
+        $ chaos_arg $ metrics_arg $ trace_out_arg);
     cmd "election" "Randomized leader election (§4.7)."
       Term.(
         const election $ graph_arg $ seed_arg $ rounds_arg $ watch_arg
@@ -425,13 +630,20 @@ let commands =
     cmd "shortest-paths" "Decentralized distances to sinks (§2.2)."
       Term.(
         const shortest_paths $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
-        $ sinks_arg $ metrics_arg $ trace_out_arg);
+        $ sinks_arg $ chaos_arg $ metrics_arg $ trace_out_arg);
     cmd "random-walk" "FSSGA random walk (§4.4)."
       Term.(const random_walk $ graph_arg $ seed_arg $ moves_arg);
     cmd "firing-squad" "Firing squad on a path (§5.2 extension)."
       Term.(const firing_squad $ graph_arg $ seed_arg $ rounds_arg);
     cmd "sensitivity" "Empirical k-sensitivity survey (§2)."
       Term.(const sensitivity $ graph_arg $ seed_arg);
+    cmd "chaos"
+      "Fault-injection survey: MTTR per algorithm under composable chaos \
+       processes (state corruption §5.2, crash-restart), or a --smoke \
+       determinism check."
+      Term.(
+        const chaos_cmd $ graph_arg $ seed_arg $ chaos_arg $ trials_arg
+        $ rounds_arg $ smoke_arg);
     cmd "stats"
       "Summarise a JSONL event trace (p50/p95/max per series), or diff two \
        traces with --diff."

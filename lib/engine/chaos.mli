@@ -1,0 +1,76 @@
+(** Composable stochastic fault processes — the chaos engine.
+
+    Where {!Fault} is a pre-computed schedule of concrete actions, a
+    chaos value describes {e processes} that decide each round, as a pure
+    function of [(seed, process index, round)] and the graph's current
+    liveness, whether and whom to hit.  All randomness comes from
+    {!Symnet_prng.Prng.split_key} chains off a generator freshly built
+    from [seed] — no advancing shared stream — so a chaos run is:
+
+    - {b reproducible}: the same seed fires the same faults;
+    - {b domain-count independent}: faults are derived and applied
+      sequentially at round boundaries, so runs are bit-identical at
+      every [--domains] count;
+    - {b rollback-stable}: after a checkpoint restore puts the graph
+      back, replaying the same rounds re-derives the same faults —
+      which is what makes retry-from-checkpoint recovery deterministic.
+
+    Fault kinds cover the paper's spectrum: benign decreasing deletions
+    (§2), transient state corruption (§5.2, the self-stabilization
+    adversary), and crash–restart, an engine-level extension where a node
+    returns in its start state after a downtime window. *)
+
+type kind =
+  | Kill_node
+  | Kill_edge  (** a live edge incident to the targeted node *)
+  | Corrupt  (** overwrite the target's state (§5.2) *)
+  | Crash of { downtime : int }
+      (** kill now, revive in the start state [downtime + 1] rounds
+          later (the crash round counts as down) *)
+
+type target =
+  | Uniform  (** uniform over live nodes *)
+  | High_degree  (** the max-live-degree node (lowest id on ties) *)
+  | Critical of (round:int -> int list)
+      (** externally supplied victims — e.g. the χ-critical nodes of a
+          {!Symnet_sensitivity.Sensitivity} instance; dead entries are
+          filtered, an empty residue falls back to [Uniform] *)
+
+type process =
+  | Bernoulli of { p : float; kind : kind; target : target }
+      (** each round, one hit with probability [p] *)
+  | Burst of { at : int; width : int; count : int; kind : kind; target : target }
+      (** [count] hits per round for rounds [at .. at + width - 1] *)
+  | Periodic of { every : int; phase : int; kind : kind; target : target }
+      (** one hit whenever [(round - phase) mod every = 0] *)
+
+type t
+
+val create : seed:int -> process list -> t
+val seed : t -> int
+val processes : t -> process list
+
+val actions_due : t -> round:int -> Symnet_graph.Graph.t -> Fault.action list
+(** The faults every process fires this round, in process order.  Pure in
+    the sense above: consults only the seed, the round number and the
+    graph's current liveness. *)
+
+val horizon : t -> int option
+(** The last round at which any process can still fire, or [None] when
+    some process is unbounded ([Bernoulli], [Periodic]).  The runner
+    refuses to declare quiescence while faults may still arrive. *)
+
+val exhausted : t -> round:int -> bool
+(** [true] iff the horizon exists and [round] has reached it. *)
+
+val of_spec : seed:int -> string -> (t, string) result
+(** Parse the CLI grammar [PROC(;PROC)*] where [PROC =
+    name(:key=value)*]:
+
+    - names: [bernoulli] (key [p], default 0.05), [burst] (keys [at],
+      [width], [count]), [periodic] (keys [every], [phase]);
+    - common keys: [kind] one of [kill_node], [kill_edge], [corrupt]
+      (default), [crash] (with [downtime], default 2); [target] one of
+      [uniform] (default), [degree].
+
+    Example: ["burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash:downtime=2:target=degree"]. *)

@@ -2,22 +2,42 @@ module Graph = Symnet_graph.Graph
 module Analysis = Symnet_graph.Analysis
 module Prng = Symnet_prng.Prng
 
-type action = Kill_node of int | Kill_edge of int * int
+type action =
+  | Kill_node of int
+  | Kill_edge of int * int
+  | Corrupt_state of int
+  | Crash_restart of { node : int; downtime : int }
+
 type event = { at_round : int; action : action }
 type schedule = event list
 
-let apply_one g = function
-  | Kill_node v -> if Graph.is_live_node g v then Graph.remove_node g v
-  | Kill_edge (u, v) -> Graph.remove_edge_between g u v
+(* Returns whether the action had any effect, so the runner can surface
+   misconfigured schedules (dead targets, missing edges) instead of
+   swallowing them.  State-level actions are delegated to [apply_state]
+   because only the network knows how to rewrite a node's state; the
+   graph half of [Crash_restart] is the crash — the revival is the
+   runner's job (it knows the round clock). *)
+let apply_one ~apply_state g = function
+  | Kill_node v | Crash_restart { node = v; _ } ->
+      let was_live = Graph.is_live_node g v in
+      if was_live then Graph.remove_node g v;
+      was_live
+  | Kill_edge (u, v) -> (
+      match Graph.edge_between g u v with
+      | Some e ->
+          Graph.remove_edge g e.Graph.id;
+          true
+      | None -> false)
+  | Corrupt_state v -> apply_state v
 
-let apply_due ?on_apply schedule ~round g =
+let apply_due ?on_apply ?(apply_state = fun _ -> false) schedule ~round g =
   let due, pending =
     List.partition (fun e -> e.at_round <= round) schedule
   in
   List.iter
     (fun e ->
-      apply_one g e.action;
-      match on_apply with Some f -> f e.action | None -> ())
+      let effective = apply_one ~apply_state g e.action in
+      match on_apply with Some f -> f e.action ~effective | None -> ())
     due;
   pending
 

@@ -1,25 +1,46 @@
-(** Decreasing benign faults (paper §1–2): nodes and edges may be deleted
-    during a run, never added.  A schedule maps round numbers to deletion
+(** Fault actions and schedules.
+
+    The paper's base model is {e decreasing benign} faults (§1–2): nodes
+    and edges deleted during a run, never added.  [Kill_node] and
+    [Kill_edge] are exactly that.  Two further actions extend the model
+    towards the paper's self-stabilization discussion (§5.2):
+    [Corrupt_state] replaces one node's state with an adversarial value
+    (a transient fault), and [Crash_restart] crashes a node and revives
+    it in its start state after a downtime window — the classic
+    crash–recover process model.  A schedule maps round numbers to
     actions; the runner applies the actions due at the start of each
     round, before any activation. *)
 
 type action =
   | Kill_node of int
   | Kill_edge of int * int  (** by endpoints; ignored if already gone *)
+  | Corrupt_state of int
+      (** overwrite the node's state with an adversarial value (§5.2);
+          how the value is chosen belongs to the applier *)
+  | Crash_restart of { node : int; downtime : int }
+      (** kill the node now; revive it in its start state [downtime]
+          rounds later ([downtime = 0] revives before the next round) *)
 
 type event = { at_round : int; action : action }
 
 type schedule = event list
 
 val apply_due :
-  ?on_apply:(action -> unit) ->
+  ?on_apply:(action -> effective:bool -> unit) ->
+  ?apply_state:(int -> bool) ->
   schedule ->
   round:int ->
   Symnet_graph.Graph.t ->
   schedule
 (** Apply every event with [at_round <= round]; returns the events still
-    pending.  [on_apply] observes each action right after it lands (the
-    runner uses it to emit fault telemetry). *)
+    pending.  [on_apply] observes each action right after it lands, with
+    [effective = false] when it was a no-op (dead node, missing edge) —
+    the runner counts these as [faults_noop] and warns.  [apply_state]
+    performs [Corrupt_state] on the caller's state store and reports
+    whether it landed; it defaults to doing nothing and reporting
+    [false], so graph-only callers silently skip state faults.  The
+    revival half of [Crash_restart] is {e not} performed here — only the
+    crash is; the runner owns the round clock and the start states. *)
 
 val random_edge_faults :
   Symnet_prng.Prng.t ->

@@ -8,7 +8,9 @@ type 'q t = {
   graph : Graph.t;
   states : 'q array;
   automaton : 'q Fssga.t;
-  rng : Prng.t;
+  mutable rng : Prng.t;
+      (* mutable for [restore] (rewind to the checkpointed stream) and
+         [reseed] (recovery-policy escape from a pathological walk) *)
   (* Per-slot view cursors and their preallocated [fill] closures.  Slot 0
      is the sequential cursor ([view_of], [activate]); a parallel round
      over a pool of [k] domains uses slots [0 .. k-1], one per domain, so
@@ -25,6 +27,10 @@ type 'q t = {
   mutable node_rngs : Prng.t array;
   mutable next : 'q array; (* sync-step commit buffer; [||] until used *)
   mutable activations : int;
+  mutable transitions : int;
+      (* activations that changed state; the progress signal the runner's
+         watchdog reads.  Parallel quiet commits count per shard into
+         [shard_transitions] and merge at the barrier. *)
   mutable recorder : Recorder.t;
   (* Change-driven (dirty-set) scheduling.  [dirty] is empty until a
      dirty round is first requested; from then on it tracks, across every
@@ -39,11 +45,12 @@ type 'q t = {
       (* last Graph.version accounted for in [dirty]; a mismatch at the
          start of a dirty round means the graph was mutated directly
          (outside the fault pipeline) and the whole set is stale *)
-  (* Parallel-round merge buffers, one cell per pool slot: activation
-     counts and change flags written by each shard, summed/OR-ed on the
-     calling domain at the barrier. *)
+  (* Parallel-round merge buffers, one cell per pool slot: activation and
+     transition counts written by each shard, summed on the calling
+     domain at the barrier (the round's change flag is "any shard
+     committed a transition"). *)
   mutable shard_counts : int array;
-  mutable shard_changed : bool array;
+  mutable shard_transitions : int array;
 }
 
 let push_into scratch states = fun w -> View.push scratch states.(w)
@@ -64,12 +71,13 @@ let init ~rng graph (automaton : 'q Fssga.t) =
       node_rngs = [||];
       next = [||];
       activations = 0;
+      transitions = 0;
       recorder = Recorder.null;
       dirty = [||];
       dirty_scratch = [||];
       graph_version = Graph.version graph;
       shard_counts = [| 0 |];
-      shard_changed = [| false |];
+      shard_transitions = [| 0 |];
     }
   in
   t
@@ -104,7 +112,7 @@ let ensure_slots t k =
     t.scratches <- scratches;
     t.pushes <- pushes;
     t.shard_counts <- Array.make k 0;
-    t.shard_changed <- Array.make k false
+    t.shard_transitions <- Array.make k 0
   end
 
 let node_rngs t =
@@ -167,6 +175,7 @@ let activate t v =
     let changed = q' != t.states.(v) && q' <> t.states.(v) in
     if changed then begin
       t.states.(v) <- q';
+      t.transitions <- t.transitions + 1;
       mark_dirty_around t v
     end;
     if Recorder.enabled t.recorder then
@@ -184,6 +193,7 @@ let commit t v q' =
   let changed = q' != t.states.(v) && q' <> t.states.(v) in
   if changed then begin
     t.states.(v) <- q';
+    t.transitions <- t.transitions + 1;
     mark_dirty_around t v
   end;
   if Recorder.enabled t.recorder then
@@ -335,15 +345,16 @@ let sync_step_par ~pool t =
     end
     else begin
       Domain_pool.run pool ~n (fun slot lo hi ->
-          let any = ref false in
+          let ch = ref 0 in
           for v = lo to hi - 1 do
             if Graph.is_live_node g v then
-              if commit_quiet t v t.next.(v) then any := true
+              if commit_quiet t v t.next.(v) then incr ch
           done;
-          t.shard_changed.(slot) <- !any);
+          t.shard_transitions.(slot) <- !ch);
       let any = ref false in
       for slot = 0 to Domain_pool.size pool - 1 do
-        if t.shard_changed.(slot) then any := true
+        t.transitions <- t.transitions + t.shard_transitions.(slot);
+        if t.shard_transitions.(slot) > 0 then any := true
       done;
       !any
     end
@@ -407,15 +418,16 @@ let sync_step_dirty_par ~pool t =
     end
     else begin
       Domain_pool.run pool ~n (fun slot lo _hi ->
-          let any = ref false in
+          let ch = ref 0 in
           for i = lo to lo + t.shard_counts.(slot) - 1 do
             let v = frontier.(i) in
-            if commit_quiet t v t.next.(v) then any := true
+            if commit_quiet t v t.next.(v) then incr ch
           done;
-          t.shard_changed.(slot) <- !any);
+          t.shard_transitions.(slot) <- !ch);
       let any = ref false in
       for slot = 0 to slots - 1 do
-        if t.shard_changed.(slot) then any := true
+        t.transitions <- t.transitions + t.shard_transitions.(slot);
+        if t.shard_transitions.(slot) > 0 then any := true
       done;
       !any
     end
@@ -423,7 +435,62 @@ let sync_step_dirty_par ~pool t =
 
 let dirty_step_sound t = Fssga.is_deterministic t.automaton
 
+(* --- checkpoint / restore -------------------------------------------- *)
+
+type 'q checkpoint = {
+  cp_states : 'q array;
+  cp_graph : Graph.snapshot;
+  cp_rng : Prng.t;
+  cp_node_rngs : Prng.t array;
+  cp_activations : int;
+  cp_transitions : int;
+  cp_dirty : bool array; (* [||] when tracking hadn't started *)
+  cp_graph_version : int;
+}
+
+let checkpoint t =
+  {
+    cp_states = Array.copy t.states;
+    cp_graph = Graph.snapshot t.graph;
+    cp_rng = Prng.copy t.rng;
+    cp_node_rngs = Array.map Prng.copy t.node_rngs;
+    cp_activations = t.activations;
+    cp_transitions = t.transitions;
+    cp_dirty = Array.copy t.dirty;
+    cp_graph_version = t.graph_version;
+  }
+
+let restore t cp =
+  if Array.length cp.cp_states <> Array.length t.states then
+    invalid_arg "Network.restore: checkpoint from a different network";
+  (* Blit, never replace: the per-slot push closures capture [t.states],
+     so the array's identity must survive a restore. *)
+  Array.blit cp.cp_states 0 t.states 0 (Array.length t.states);
+  Graph.restore t.graph cp.cp_graph;
+  (* Fresh copies each time, so restoring twice replays the identical
+     random walk both times. *)
+  t.rng <- Prng.copy cp.cp_rng;
+  t.node_rngs <- Array.map Prng.copy cp.cp_node_rngs;
+  t.activations <- cp.cp_activations;
+  t.transitions <- cp.cp_transitions;
+  (if Array.length cp.cp_dirty > 0 then
+     if Array.length t.dirty > 0 then
+       Array.blit cp.cp_dirty 0 t.dirty 0 (Array.length t.dirty)
+     else t.dirty <- Array.copy cp.cp_dirty
+   else if Array.length t.dirty > 0 then
+     (* Tracking started after the checkpoint; a fresh run from that
+        point would start it all-dirty too. *)
+     Array.fill t.dirty 0 (Array.length t.dirty) true);
+  t.graph_version <- cp.cp_graph_version
+
+let reseed t rng =
+  t.rng <- rng;
+  (* Drop the per-node streams so the next probabilistic synchronous
+     round re-forks them from the new base. *)
+  t.node_rngs <- [||]
+
 let activations t = t.activations
+let transitions t = t.transitions
 let live_nodes t = Graph.nodes t.graph
 
 let count_if t pred =

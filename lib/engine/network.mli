@@ -145,10 +145,43 @@ val ack_graph_mutations : 'q t -> unit
     blanket invalidation of {!reconcile_graph}.  Only the fault pipeline
     should call this, after marking and applying its deletions. *)
 
+(** {1 Checkpoint / restore}
+
+    The rollback half of the runner's recovery policy.  A checkpoint is a
+    deep copy of everything a replay can observe: states, graph liveness
+    (via {!Symnet_graph.Graph.snapshot}), the shared rng, the per-node
+    streams, the activation/transition counters and the dirty set.
+    Restoring and re-running therefore reproduces the original
+    continuation bit for bit — including probabilistic draws — unless the
+    caller changes an input (new faults, {!reseed}). *)
+
+type 'q checkpoint
+
+val checkpoint : 'q t -> 'q checkpoint
+
+val restore : 'q t -> 'q checkpoint -> unit
+(** Rewind the network to the checkpoint.  Restores into the existing
+    state array (hot-path closures keep their captures) and takes fresh
+    rng copies, so one checkpoint can be restored any number of times,
+    each replaying the identical walk.
+    @raise Invalid_argument if the checkpoint is from another network. *)
+
+val reseed : 'q t -> Prng.t -> unit
+(** Replace the shared rng and drop the per-node streams (they re-fork
+    from the new base at the next probabilistic synchronous round).  A
+    recovery policy uses this to escape a pathological random walk —
+    after a plain {!restore}, a probabilistic automaton would replay the
+    exact draws that led to the failure. *)
+
 (** {1 Aggregate queries} *)
 
 val activations : 'q t -> int
 (** Total activations performed so far (n per synchronous step). *)
+
+val transitions : 'q t -> int
+(** Total activations that changed a node's state — the per-round delta
+    of this counter is the progress signal the runner's watchdog
+    monitors. *)
 
 val live_nodes : 'q t -> int list
 

@@ -1,92 +1,264 @@
 module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Fssga = Symnet_core.Fssga
 module Obs = Symnet_obs
 
 type outcome = {
   rounds : int;
   activations : int;
+  transitions : int;
   quiesced : bool;
   stopped : bool;
+  gave_up : bool;
+  faults_applied : int;
+  faults_noop : int;
+  recoveries : int;
   metrics : Obs.Metrics.snapshot option;
 }
+
+type policy =
+  | Retry of { attempts : int; reseed : bool }
+  | Degrade
+  | Give_up
+
+type recovery = { policy : policy; patience : int; checkpoint_every : int }
+
+let recovery ?(patience = 50) ?(checkpoint_every = 25) policy =
+  if patience < 1 then invalid_arg "Runner.recovery: patience < 1";
+  if checkpoint_every < 1 then invalid_arg "Runner.recovery: checkpoint_every < 1";
+  { policy; patience; checkpoint_every }
 
 let fault_event : Fault.action -> Obs.Events.fault_action = function
   | Fault.Kill_node v -> Obs.Events.Kill_node v
   | Fault.Kill_edge (u, v) -> Obs.Events.Kill_edge (u, v)
+  | Fault.Corrupt_state v -> Obs.Events.Corrupt_state v
+  | Fault.Crash_restart { node; downtime } ->
+      Obs.Events.Crash_restart { node; downtime }
 
-let run_with ?pool ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop
-    ?on_round net =
+let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
+    ~max_rounds ~recorder ?stop ?on_round net =
   let g = Network.graph net in
+  let automaton = Network.automaton net in
   Network.set_recorder net recorder;
   Obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
     ~edges:(Graph.edge_count g) ~scheduler:(Scheduler.name scheduler);
+  (* All fault-side randomness (victim picks inside [chaos], corruption
+     values below) is keyed splitting off generators built from one seed,
+     never the network's advancing stream: faults land identically at
+     every domain count and replay identically after a rollback. *)
+  let chaos_seed = match chaos with Some c -> Chaos.seed c | None -> 0x5eed in
+  let corrupt_base = Prng.create ~seed:(chaos_seed lxor 0x7a05) in
+  let corrupt_fn =
+    match corrupt with
+    | Some f -> f
+    | None -> fun _rng _net v -> automaton.Fssga.init g v
+  in
+  (* Run state a rollback must rewind: the network itself is covered by
+     Network.checkpoint; the schedule tail and pending revivals are ours. *)
   let pending = ref faults in
+  let restarts = ref ([] : (int * int) list) (* (due round, node) *) in
+  let dirty_now = ref dirty in
+  let faults_applied = ref 0 in
+  let faults_noop = ref 0 in
+  let recoveries = ref 0 in
+  let apply_state round v =
+    if Graph.is_live_node g v then begin
+      let rng =
+        Prng.split_key (Prng.split_key corrupt_base ~key:round) ~key:v
+      in
+      Network.set_state net v (corrupt_fn rng net v);
+      true
+    end
+    else false
+  in
+  (* Revive nodes whose downtime has elapsed: back in the start state,
+     with their surviving incident edges (see Graph.revive_node).  Runs
+     before fault application, so a node crashed again the same round
+     stays down. *)
+  let apply_restarts round =
+    let due, still = List.partition (fun (r, _) -> r <= round) !restarts in
+    restarts := still;
+    List.iter
+      (fun (_, v) ->
+        Graph.revive_node g v;
+        Network.set_state net v (automaton.Fssga.init g v);
+        Obs.Recorder.fault recorder ~action:(Obs.Events.Restart_node v))
+      due
+  in
   (* Deletions change the views of the surviving neighbourhood: mark it
-     dirty while it is still enumerable, i.e. before the fault lands. *)
+     dirty while it is still enumerable, i.e. before the fault lands.
+     Corruptions need nothing here — Network.set_state marks for them. *)
   let mark_due_faults_dirty round =
-    if Network.dirty_tracking net then begin
-      (* Mutations made behind the engine's back (e.g. from an [on_round]
-         callback) first invalidate the whole set, so the ack below cannot
-         swallow them. *)
-      Network.reconcile_graph net;
+    if Network.dirty_tracking net then
       List.iter
         (fun e ->
           if e.Fault.at_round <= round then
             match e.Fault.action with
-            | Fault.Kill_node v -> Network.mark_dirty_around net v
+            | Fault.Kill_node v | Fault.Crash_restart { node = v; _ } ->
+                Network.mark_dirty_around net v
             | Fault.Kill_edge (u, v) ->
                 Network.mark_dirty net u;
-                Network.mark_dirty net v)
+                Network.mark_dirty net v
+            | Fault.Corrupt_state _ -> ())
         !pending
-    end
   in
-  let finish ~round ~quiesced ~stopped =
+  let chaos_pending_possible round =
+    match chaos with None -> false | Some c -> not (Chaos.exhausted c ~round)
+  in
+  (* Recovery machinery.  The checkpoint tuple carries everything the
+     rollback needs: the network snapshot plus the runner-level schedule
+     state at the end of the checkpointed round. *)
+  let cp = ref None in
+  let attempts_used = ref 0 in
+  let degraded = ref false in
+  let best_delta = ref max_int in
+  let stall = ref 0 in
+  let trans_before = ref (Network.transitions net) in
+  let take_checkpoint round =
+    cp := Some (round, Network.checkpoint net, !pending, !restarts);
+    Obs.Recorder.checkpoint recorder ~round
+  in
+  (match recovery with Some _ -> take_checkpoint 0 | None -> ());
+  let finish ~round ~quiesced ~stopped ~gave_up =
     let reason =
-      if stopped then "stopped" else if quiesced then "quiesced" else "budget"
+      if gave_up then "gave_up"
+      else if stopped then "stopped"
+      else if quiesced then "quiesced"
+      else "budget"
     in
     Obs.Recorder.run_end recorder ~round ~reason;
     {
       rounds = round;
       activations = Network.activations net;
+      transitions = Network.transitions net;
       quiesced;
       stopped;
+      gave_up;
+      faults_applied = !faults_applied;
+      faults_noop = !faults_noop;
+      recoveries = !recoveries;
       metrics = Obs.Recorder.snapshot recorder;
     }
   in
   let rec go round =
-    if round > max_rounds then finish ~round:max_rounds ~quiesced:false ~stopped:false
+    if round > max_rounds then
+      finish ~round:max_rounds ~quiesced:false ~stopped:false ~gave_up:false
     else begin
       Obs.Recorder.round_start recorder ~round;
+      (* Mutations made behind the engine's back (e.g. from an [on_round]
+         callback) first invalidate the whole dirty set, so the ack below
+         cannot swallow them. *)
+      if Network.dirty_tracking net then Network.reconcile_graph net;
+      apply_restarts round;
+      (match chaos with
+      | Some c ->
+          let events =
+            List.map
+              (fun action -> { Fault.at_round = round; action })
+              (Chaos.actions_due c ~round g)
+          in
+          pending := !pending @ events
+      | None -> ());
       mark_due_faults_dirty round;
       pending :=
-        Fault.apply_due !pending ~round g
-          ~on_apply:(fun a ->
-            Obs.Recorder.fault recorder ~action:(fault_event a));
+        Fault.apply_due !pending ~round g ~apply_state:(apply_state round)
+          ~on_apply:(fun a ~effective ->
+            if effective then incr faults_applied else incr faults_noop;
+            Obs.Recorder.fault recorder ~effective ~action:(fault_event a);
+            match a with
+            | Fault.Crash_restart { node; downtime } when effective ->
+                restarts := (round + downtime + 1, node) :: !restarts
+            | _ -> ());
       if Network.dirty_tracking net then Network.ack_graph_mutations net;
-      let changed = Scheduler.round ?pool ~dirty scheduler net ~round in
+      let changed = Scheduler.round ?pool ~dirty:!dirty_now scheduler net ~round in
       Obs.Recorder.round_end recorder ~round ~changed;
       (match on_round with Some f -> f ~round net | None -> ());
       let stop_now = match stop with Some f -> f ~round net | None -> false in
-      if stop_now then finish ~round ~quiesced:false ~stopped:true
-      else if (not changed) && !pending = [] then
-        finish ~round ~quiesced:true ~stopped:false
-      else go (round + 1)
+      if stop_now then finish ~round ~quiesced:false ~stopped:true ~gave_up:false
+      else if
+        (not changed)
+        && !pending = []
+        && !restarts = []
+        && not (chaos_pending_possible round)
+      then finish ~round ~quiesced:true ~stopped:false ~gave_up:false
+      else
+        match recovery with
+        | None -> go (round + 1)
+        | Some r -> watch r round
     end
+  (* The progress watchdog: livelock/divergence shows up as a per-round
+     transition count that stops decreasing while staying positive (a
+     converging run trends towards 0).  [patience] rounds without a new
+     minimum trip the recovery policy. *)
+  and watch r round =
+    let trans_now = Network.transitions net in
+    let delta = trans_now - !trans_before in
+    trans_before := trans_now;
+    if delta < !best_delta then begin
+      best_delta := delta;
+      stall := 0;
+      (* Checkpoint only on progress, so we never save (and retry from) a
+         state the watchdog already distrusts. *)
+      if round mod r.checkpoint_every = 0 then take_checkpoint round
+    end
+    else incr stall;
+    if delta > 0 && !stall >= r.patience then recover r round
+    else go (round + 1)
+  and recover r round =
+    let give_up () =
+      incr recoveries;
+      Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
+        ~action:"give_up";
+      finish ~round ~quiesced:false ~stopped:false ~gave_up:true
+    in
+    match r.policy with
+    | Give_up -> give_up ()
+    | Degrade ->
+        if !degraded then give_up ()
+        else begin
+          degraded := true;
+          dirty_now := false;
+          incr recoveries;
+          best_delta := max_int;
+          stall := 0;
+          Obs.Recorder.recovery recorder ~round ~attempt:0 ~action:"degrade";
+          go (round + 1)
+        end
+    | Retry { attempts; reseed } -> (
+        match !cp with
+        | Some (cp_round, snap, cp_pending, cp_restarts)
+          when !attempts_used < attempts ->
+            incr attempts_used;
+            incr recoveries;
+            Network.restore net snap;
+            pending := cp_pending;
+            restarts := cp_restarts;
+            if reseed then
+              Network.reseed net
+                (Prng.create ~seed:(chaos_seed + (104729 * !attempts_used)));
+            trans_before := Network.transitions net;
+            best_delta := max_int;
+            stall := 0;
+            Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
+              ~action:(if reseed then "reseed" else "rollback");
+            go (cp_round + 1)
+        | _ -> give_up ())
   in
   go 1
 
 let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
-    ?(max_rounds = 100_000) ?(recorder = Obs.Recorder.null) ?pool ?(domains = 1)
-    ?stop ?on_round net =
+    ?chaos ?corrupt ?recovery ?(max_rounds = 100_000)
+    ?(recorder = Obs.Recorder.null) ?pool ?(domains = 1) ?stop ?on_round net =
   match pool with
   | Some _ ->
-      run_with ?pool ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop
-        ?on_round net
+      run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
+        ~max_rounds ~recorder ?stop ?on_round net
   | None ->
       let domains = if domains = 0 then Domain_pool.recommended () else domains in
       if domains <= 1 then
-        run_with ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop ?on_round
-          net
+        run_with ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery ~max_rounds
+          ~recorder ?stop ?on_round net
       else
         Domain_pool.with_pool ~domains (fun pool ->
-            run_with ~pool ~scheduler ~dirty ~faults ~max_rounds ~recorder ?stop
-              ?on_round net)
+            run_with ~pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
+              ~max_rounds ~recorder ?stop ?on_round net)

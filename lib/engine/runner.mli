@@ -1,23 +1,65 @@
 (** Running a network to quiescence, to a stopping condition, or for a
-    bounded number of rounds, with optional fault injection and
+    bounded number of rounds — with fault injection (scheduled and
+    stochastic), crash–restart revival, checkpoint/rollback recovery and
     telemetry. *)
 
 type outcome = {
-  rounds : int;  (** rounds actually executed *)
+  rounds : int;  (** the round the run ended on (replays revisit rounds) *)
   activations : int;  (** total node activations *)
+  transitions : int;  (** activations that changed a state *)
   quiesced : bool;
       (** the run ended because a round produced no state change (only
           meaningful for deterministic automata) *)
   stopped : bool;  (** the run ended because [stop] returned true *)
+  gave_up : bool;
+      (** the watchdog tripped and the recovery policy was exhausted *)
+  faults_applied : int;
+      (** effective fault applications, replays after rollback included *)
+  faults_noop : int;
+      (** scheduled faults that were no-ops (dead node, missing edge) —
+          a non-zero value flags a misconfigured schedule *)
+  recoveries : int;  (** recovery-policy steps taken (give-ups included) *)
   metrics : Symnet_obs.Metrics.snapshot option;
       (** snapshot of the run's metrics when a recorder was supplied;
           [None] otherwise *)
 }
 
+(** {1 Recovery}
+
+    A progress watchdog monitors the per-round transition count.  A
+    healthy run trends towards 0 (quiescence); a livelocked or diverging
+    one keeps transitioning without setting new minima.  After
+    [patience] rounds without a new minimum (while still changing), the
+    policy fires. *)
+
+type policy =
+  | Retry of { attempts : int; reseed : bool }
+      (** roll back to the last checkpoint, at most [attempts] times;
+          with [reseed], replace the network's rng first — without it a
+          deterministic replay would reproduce the failure verbatim *)
+  | Degrade  (** switch change-driven stepping off and continue *)
+  | Give_up  (** end the run immediately with [gave_up = true] *)
+
+type recovery = private {
+  policy : policy;
+  patience : int;
+  checkpoint_every : int;
+}
+
+val recovery : ?patience:int -> ?checkpoint_every:int -> policy -> recovery
+(** [patience] (default 50) is the watchdog window; [checkpoint_every]
+    (default 25) the snapshot cadence — checkpoints are only taken on
+    rounds that made progress, so a rollback never lands on a state the
+    watchdog already distrusted.  A checkpoint of the initial state is
+    always taken.  @raise Invalid_argument on non-positive values. *)
+
 val run :
   ?scheduler:Scheduler.t ->
   ?dirty:bool ->
   ?faults:Fault.schedule ->
+  ?chaos:Chaos.t ->
+  ?corrupt:(Symnet_prng.Prng.t -> 'q Network.t -> int -> 'q) ->
+  ?recovery:recovery ->
   ?max_rounds:int ->
   ?recorder:Symnet_obs.Recorder.t ->
   ?pool:Domain_pool.t ->
@@ -26,26 +68,49 @@ val run :
   ?on_round:(round:int -> 'q Network.t -> unit) ->
   'q Network.t ->
   outcome
-(** Executes rounds [1, 2, ...].  Per round: apply due faults, run the
+(** Executes rounds [1, 2, ...].  Per round: revive nodes whose crash
+    downtime elapsed, derive the [chaos] actions due this round, apply
+    all due faults (marking the dirty set precisely first), run the
     scheduler, call [on_round], then test [stop].  Defaults: synchronous
-    scheduler, no faults, [max_rounds = 100_000], no stop condition.
+    scheduler, no faults, no chaos, no recovery, [max_rounds = 100_000],
+    no stop condition.
+
+    [faults] and [chaos] compose: the schedule contributes fixed events,
+    the chaos processes contribute stochastic ones each round.
+    [Fault.Corrupt_state] actions rewrite the victim's state with
+    [corrupt] (default: the automaton's initial state), fed a private
+    rng keyed by (round, node) off the chaos seed — deterministic at
+    every domain count and stable across rollbacks.
+    [Fault.Crash_restart] kills the node now and revives it — start
+    state, surviving incident edges — after its downtime.
+
+    Quiescence only ends the run when nothing can wake the network up
+    again: no pending schedule events, no pending revivals, and the
+    chaos horizon (if any) passed.
+
+    [recovery] arms the watchdog; see {!policy}.  After a rollback the
+    round counter rewinds to the checkpoint round, so the trace shows
+    revisited rounds, and replayed fault applications re-count.
+
     [dirty] (default [true]) is forwarded to {!Scheduler.round}: it
     permits change-driven stepping where sound (deterministic automata
     under [Synchronous]/[Rotor]) and is otherwise ignored; the runner
-    keeps the dirty set consistent across fault applications.
-    Quiescence only terminates the run when no faults remain pending (a
-    pending deletion can wake a stable network up again).
+    keeps the dirty set consistent across fault applications, revivals
+    and rollbacks.
 
     [domains] (default 1) runs {!Scheduler.Synchronous} rounds sharded
     over that many domains — the run is bit-identical at every count
-    (see {!Network.sync_step_par}); [0] means
+    even under faults and chaos, because all fault derivation and
+    application happens sequentially at round boundaries (see
+    {!Network.sync_step_par} and {!Chaos}); [0] means
     {!Domain_pool.recommended}.  A fresh pool is created for the run and
     shut down afterwards; callers executing many runs should instead
     pass a long-lived [pool] (which takes precedence over [domains]).
     Asynchronous schedulers ignore both.
 
-    [recorder] (default {!Symnet_obs.Recorder.null}, which short-circuits
-    every hook) is attached to the network for the duration of the run
-    and fed the full event stream: run/round boundaries, per-activation
-    records, applied faults, and the final outcome.  The resulting
-    metrics snapshot is embedded in the returned outcome. *)
+    [recorder] (default {!Symnet_obs.Recorder.null}, which
+    short-circuits every hook) is attached to the network for the
+    duration of the run and fed the full event stream: run/round
+    boundaries, per-activation records, faults (effective and no-op),
+    restarts, checkpoints, recovery steps, and the final outcome.  The
+    resulting metrics snapshot is embedded in the returned outcome. *)

@@ -17,8 +17,8 @@ let render_grid net ~rows ~cols ~to_char =
   String.concat "\n" (List.init rows line)
 
 let watch ?(max_rounds = 1000) ?(every = 1) ?(scheduler = Scheduler.Synchronous)
-    ?(recorder = Symnet_obs.Recorder.null) ?stop ~to_char ~out net =
-  Runner.run ~scheduler ~max_rounds ~recorder ?stop
+    ?(recorder = Symnet_obs.Recorder.null) ?chaos ?stop ~to_char ~out net =
+  Runner.run ~scheduler ~max_rounds ~recorder ?chaos ?stop
     ~on_round:(fun ~round net ->
       if round mod every = 0 then begin
         let line = render_line net ~to_char in

@@ -205,7 +205,11 @@ let remove_node g v =
   check_node g v;
   if g.node_alive.(v) then begin
     (* Incident live edges die with the node: update the survivors'
-       cached degrees and the live-edge count before flipping liveness. *)
+       cached degrees and the live-edge count before flipping liveness.
+       Note the edge liveness *bits* are untouched — an edge is live iff
+       its own bit is set and both endpoints are alive — which is what
+       lets [revive_node] bring a crashed node's edges back without a
+       record of why each one went down. *)
     let dying = ref 0 in
     iter_live_incident g v (fun _ w ->
         incr dying;
@@ -216,6 +220,61 @@ let remove_node g v =
     g.live_nodes <- g.live_nodes - 1;
     g.version <- g.version + 1
   end
+
+let revive_node g v =
+  check_node g v;
+  if not g.node_alive.(v) then begin
+    g.node_alive.(v) <- true;
+    (* Resurrect exactly the incident edges whose own bit survived and
+       whose other endpoint is alive; explicitly killed edges stay dead,
+       and edges towards still-down neighbours come back when (if) those
+       neighbours revive — their rows share the same rule. *)
+    let back = ref 0 in
+    for i = g.off.(v) to g.off.(v + 1) - 1 do
+      if g.edge_alive.(g.eid.(i)) && g.node_alive.(g.tgt.(i)) && g.tgt.(i) <> v
+      then begin
+        incr back;
+        g.deg.(g.tgt.(i)) <- g.deg.(g.tgt.(i)) + 1
+      end
+    done;
+    g.deg.(v) <- !back;
+    g.live_edges <- g.live_edges + !back;
+    g.live_nodes <- g.live_nodes + 1;
+    g.version <- g.version + 1
+  end
+
+(* --- liveness snapshots ----------------------------------------------- *)
+
+type snapshot = {
+  s_node_alive : bool array;
+  s_edge_alive : bool array;
+  s_deg : int array;
+  s_live_nodes : int;
+  s_live_edges : int;
+  s_version : int;
+}
+
+let snapshot g =
+  {
+    s_node_alive = Array.copy g.node_alive;
+    s_edge_alive = Array.copy g.edge_alive;
+    s_deg = Array.copy g.deg;
+    s_live_nodes = g.live_nodes;
+    s_live_edges = g.live_edges;
+    s_version = g.version;
+  }
+
+let restore g s =
+  if
+    Array.length s.s_node_alive <> g.n
+    || Array.length s.s_edge_alive <> Array.length g.edge_alive
+  then invalid_arg "Graph.restore: snapshot from a different graph";
+  Array.blit s.s_node_alive 0 g.node_alive 0 g.n;
+  Array.blit s.s_edge_alive 0 g.edge_alive 0 (Array.length g.edge_alive);
+  Array.blit s.s_deg 0 g.deg 0 g.n;
+  g.live_nodes <- s.s_live_nodes;
+  g.live_edges <- s.s_live_edges;
+  g.version <- s.s_version
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>graph n=%d m=%d@," (node_count g) (edge_count g);

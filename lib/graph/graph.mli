@@ -102,6 +102,30 @@ val remove_edge_between : t -> int -> int -> unit
 val remove_node : t -> int -> unit
 (** Kill a node; its incident edges die with it (idempotent). *)
 
+val revive_node : t -> int -> unit
+(** Bring a dead node back (idempotent on live nodes).  Incident edges
+    whose own liveness bit was never cleared — i.e. that died only
+    because an endpoint crashed, not via {!remove_edge} — come back with
+    it, provided the other endpoint is alive.  This is the crash–restart
+    mechanism of the chaos engine: an engine-level extension beyond the
+    paper's decreasing-fault model (§2), in the spirit of its
+    self-stabilization discussion (§5.2).  Bumps {!version}. *)
+
+(** {1 Checkpointing} *)
+
+type snapshot
+(** Liveness checkpoint: node/edge liveness bits, cached degrees, live
+    counts and the mutation version.  The immutable CSR arrays are
+    shared, so a snapshot is O(n + m) small and cheap. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Rewind the graph to a snapshot taken from the same graph — including
+    the {!version} counter, which moves {e backwards}; clients caching
+    on version (the engine) must re-sync explicitly after a restore.
+    @raise Invalid_argument if the snapshot's dimensions don't match. *)
+
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit

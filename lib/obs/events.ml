@@ -1,4 +1,9 @@
-type fault_action = Kill_node of int | Kill_edge of int * int
+type fault_action =
+  | Kill_node of int
+  | Kill_edge of int * int
+  | Corrupt_state of int
+  | Crash_restart of { node : int; downtime : int }
+  | Restart_node of int
 
 type t =
   | Run_start of { nodes : int; edges : int; scheduler : string }
@@ -7,12 +12,28 @@ type t =
   | Activation of { round : int; node : int; view_size : int; changed : bool }
   | Transition of { round : int; node : int }
   | Fault of { round : int; action : fault_action }
+  | Fault_noop of { round : int; action : fault_action }
+  | Checkpoint of { round : int }
+  | Recovery of { round : int; attempt : int; action : string }
   | Frame of { round : int; line : string }
   | Run_end of { round : int; activations : int; reason : string }
 
 type event = t
 
 open Jsonx
+
+let action_fields = function
+  | Kill_node v -> [ ("action", String "kill_node"); ("node", Int v) ]
+  | Kill_edge (u, v) ->
+      [ ("action", String "kill_edge"); ("u", Int u); ("v", Int v) ]
+  | Corrupt_state v -> [ ("action", String "corrupt_state"); ("node", Int v) ]
+  | Crash_restart { node; downtime } ->
+      [
+        ("action", String "crash_restart");
+        ("node", Int node);
+        ("downtime", Int downtime);
+      ]
+  | Restart_node v -> [ ("action", String "restart_node"); ("node", Int v) ]
 
 let to_json = function
   | Run_start { nodes; edges; scheduler } ->
@@ -43,22 +64,22 @@ let to_json = function
         ]
   | Transition { round; node } ->
       Obj [ ("ev", String "transition"); ("round", Int round); ("node", Int node) ]
-  | Fault { round; action = Kill_node v } ->
+  | Fault { round; action } ->
+      Obj (("ev", String "fault") :: ("round", Int round) :: action_fields action)
+  | Fault_noop { round; action } ->
+      Obj
+        (("ev", String "fault_noop")
+        :: ("round", Int round)
+        :: action_fields action)
+  | Checkpoint { round } ->
+      Obj [ ("ev", String "checkpoint"); ("round", Int round) ]
+  | Recovery { round; attempt; action } ->
       Obj
         [
-          ("ev", String "fault");
+          ("ev", String "recovery");
           ("round", Int round);
-          ("action", String "kill_node");
-          ("node", Int v);
-        ]
-  | Fault { round; action = Kill_edge (u, v) } ->
-      Obj
-        [
-          ("ev", String "fault");
-          ("round", Int round);
-          ("action", String "kill_edge");
-          ("u", Int u);
-          ("v", Int v);
+          ("attempt", Int attempt);
+          ("action", String action);
         ]
   | Frame { round; line } ->
       Obj [ ("ev", String "frame"); ("round", Int round); ("line", String line) ]
@@ -77,6 +98,28 @@ let field name conv j =
   | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
 
 let ( let* ) = Result.bind
+
+let action_of_json j =
+  let* action = field "action" to_str j in
+  match action with
+  | "kill_node" ->
+      let* node = field "node" to_int j in
+      Ok (Kill_node node)
+  | "kill_edge" ->
+      let* u = field "u" to_int j in
+      let* v = field "v" to_int j in
+      Ok (Kill_edge (u, v))
+  | "corrupt_state" ->
+      let* node = field "node" to_int j in
+      Ok (Corrupt_state node)
+  | "crash_restart" ->
+      let* node = field "node" to_int j in
+      let* downtime = field "downtime" to_int j in
+      Ok (Crash_restart { node; downtime })
+  | "restart_node" ->
+      let* node = field "node" to_int j in
+      Ok (Restart_node node)
+  | a -> Error (Printf.sprintf "unknown fault action %S" a)
 
 let of_json j =
   let* ev = field "ev" to_str j in
@@ -104,18 +147,22 @@ let of_json j =
       let* round = field "round" to_int j in
       let* node = field "node" to_int j in
       Ok (Transition { round; node })
-  | "fault" -> (
+  | "fault" ->
       let* round = field "round" to_int j in
+      let* action = action_of_json j in
+      Ok (Fault { round; action })
+  | "fault_noop" ->
+      let* round = field "round" to_int j in
+      let* action = action_of_json j in
+      Ok (Fault_noop { round; action })
+  | "checkpoint" ->
+      let* round = field "round" to_int j in
+      Ok (Checkpoint { round })
+  | "recovery" ->
+      let* round = field "round" to_int j in
+      let* attempt = field "attempt" to_int j in
       let* action = field "action" to_str j in
-      match action with
-      | "kill_node" ->
-          let* node = field "node" to_int j in
-          Ok (Fault { round; action = Kill_node node })
-      | "kill_edge" ->
-          let* u = field "u" to_int j in
-          let* v = field "v" to_int j in
-          Ok (Fault { round; action = Kill_edge (u, v) })
-      | a -> Error (Printf.sprintf "unknown fault action %S" a))
+      Ok (Recovery { round; attempt; action })
   | "frame" ->
       let* round = field "round" to_int j in
       let* line = field "line" to_str j in

@@ -6,7 +6,14 @@
     sink makes emission free, so instrumented code paths can emit
     unconditionally. *)
 
-type fault_action = Kill_node of int | Kill_edge of int * int
+type fault_action =
+  | Kill_node of int
+  | Kill_edge of int * int
+  | Corrupt_state of int  (** state overwritten with an adversarial value *)
+  | Crash_restart of { node : int; downtime : int }
+      (** node crashed; due to restart after [downtime] rounds *)
+  | Restart_node of int
+      (** the revival half of a crash–restart (emitted when it happens) *)
 
 type t =
   | Run_start of { nodes : int; edges : int; scheduler : string }
@@ -17,11 +24,19 @@ type t =
   | Transition of { round : int; node : int }
       (** A state change observed at [node] (subset of activations). *)
   | Fault of { round : int; action : fault_action }
+  | Fault_noop of { round : int; action : fault_action }
+      (** A scheduled fault that had no effect (dead target, missing
+          edge) — the warning record for misconfigured schedules. *)
+  | Checkpoint of { round : int }
+      (** The runner snapshotted the network for rollback. *)
+  | Recovery of { round : int; attempt : int; action : string }
+      (** A recovery-policy step: [action] is ["rollback"], ["reseed"],
+          ["degrade"] or ["give_up"]. *)
   | Frame of { round : int; line : string }
       (** A rendered visualisation frame teed from {!Symnet_engine.Trace}. *)
   | Run_end of { round : int; activations : int; reason : string }
-      (** [reason] is ["quiesced"], ["stopped"] or ["budget"];
-          [activations] is the whole-run total. *)
+      (** [reason] is ["quiesced"], ["stopped"], ["budget"] or
+          ["gave_up"]; [activations] is the whole-run total. *)
 
 val to_json : t -> Jsonx.t
 (** Tagged object, e.g. [{"ev":"round_end","round":3,"activations":12,

@@ -7,6 +7,9 @@ type enabled = {
   c_activations : Metrics.counter;
   c_transitions : Metrics.counter;
   c_faults : Metrics.counter;
+  c_faults_noop : Metrics.counter;
+  c_checkpoints : Metrics.counter;
+  c_recoveries : Metrics.counter;
   c_frames : Metrics.counter;
   h_activations_per_round : Metrics.histogram;
   h_view_size : Metrics.histogram;
@@ -31,6 +34,9 @@ let create ?(sink = Events.null) ?(activation_events = true) () =
       c_activations = Metrics.counter reg "activations";
       c_transitions = Metrics.counter reg "state_transitions";
       c_faults = Metrics.counter reg "faults";
+      c_faults_noop = Metrics.counter reg "faults_noop";
+      c_checkpoints = Metrics.counter reg "checkpoints";
+      c_recoveries = Metrics.counter reg "recoveries";
       c_frames = Metrics.counter reg "frames";
       h_activations_per_round = Metrics.histogram reg "activations_per_round";
       h_view_size =
@@ -84,12 +90,32 @@ let activation t ~node ~view_size ~changed =
         if changed then Events.emit e.out (Events.Transition { round = e.round; node })
       end
 
-let fault t ~action =
+let fault ?(effective = true) t ~action =
   match t with
   | Disabled -> ()
   | Enabled e ->
-      Metrics.incr e.c_faults;
-      Events.emit e.out (Events.Fault { round = e.round; action })
+      if effective then begin
+        Metrics.incr e.c_faults;
+        Events.emit e.out (Events.Fault { round = e.round; action })
+      end
+      else begin
+        Metrics.incr e.c_faults_noop;
+        Events.emit e.out (Events.Fault_noop { round = e.round; action })
+      end
+
+let checkpoint t ~round =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      Metrics.incr e.c_checkpoints;
+      Events.emit e.out (Events.Checkpoint { round })
+
+let recovery t ~round ~attempt ~action =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      Metrics.incr e.c_recoveries;
+      Events.emit e.out (Events.Recovery { round; attempt; action })
 
 let frame t ~line =
   match t with

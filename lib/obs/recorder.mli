@@ -13,7 +13,7 @@
 
     Metrics maintained on an enabled recorder:
     - counters [rounds], [activations], [state_transitions], [faults],
-      [frames];
+      [faults_noop], [checkpoints], [recoveries], [frames];
     - histograms [activations_per_round], [view_size];
     - gauge [rounds_to_quiescence] (set by {!run_end} when the reason is
       ["quiesced"]). *)
@@ -52,6 +52,13 @@ val round_end : t -> round:int -> changed:bool -> unit
     {!round_start}. *)
 
 val activation : t -> node:int -> view_size:int -> changed:bool -> unit
-val fault : t -> action:Events.fault_action -> unit
+
+val fault : ?effective:bool -> t -> action:Events.fault_action -> unit
+(** With [~effective:false] (default [true]) the fault was a no-op —
+    recorded under the [faults_noop] counter and emitted as a
+    {!Events.Fault_noop} warning record instead of a fault. *)
+
+val checkpoint : t -> round:int -> unit
+val recovery : t -> round:int -> attempt:int -> action:string -> unit
 val frame : t -> line:string -> unit
 val run_end : t -> round:int -> reason:string -> unit

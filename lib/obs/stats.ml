@@ -35,16 +35,38 @@ let summarise events =
     push "transitions_per_round" (float_of_int !transitions_in_round);
     transitions_in_round := 0
   in
+  (* Recovery time: rounds from the first fault of a disturbance until
+     the next round in which nothing changed (the network settled).
+     [recovery_rounds] is therefore the MTTR series (mean = total/count)
+     and [faults_unrecovered] counts disturbances still unsettled at run
+     end — together they give the recovery rate. *)
+  let pending_fault = ref None in
   List.iter
     (fun (ev : Events.t) ->
       match ev with
-      | Events.Round_end { activations; _ } ->
+      | Events.Round_end { round; activations; changed } ->
           push "activations_per_round" (float_of_int activations);
-          flush_transitions ()
+          flush_transitions ();
+          (match !pending_fault with
+          | Some r0 when not changed ->
+              push "recovery_rounds" (float_of_int (round - r0));
+              pending_fault := None
+          | _ -> ())
       | Events.Activation { view_size; _ } -> push "view_size" (float_of_int view_size)
       | Events.Transition _ -> incr transitions_in_round
-      | Events.Fault _ -> push "faults" 1.
-      | Events.Run_end { round; _ } -> push "rounds" (float_of_int round)
+      | Events.Fault { round; _ } ->
+          push "faults" 1.;
+          if !pending_fault = None then pending_fault := Some round
+      | Events.Fault_noop _ -> push "faults_noop" 1.
+      | Events.Checkpoint _ -> push "checkpoints" 1.
+      | Events.Recovery _ -> push "recoveries" 1.
+      | Events.Run_end { round; _ } -> (
+          push "rounds" (float_of_int round);
+          match !pending_fault with
+          | Some _ ->
+              push "faults_unrecovered" 1.;
+              pending_fault := None
+          | None -> ())
       | Events.Run_start _ | Events.Round_start _ | Events.Frame _ -> ())
     events;
   Hashtbl.fold

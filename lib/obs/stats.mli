@@ -24,7 +24,16 @@ val summarise : Events.t list -> summary list
     - [activations_per_round] and [transitions_per_round] from
       [Round_end]/[Transition] records;
     - [view_size] from [Activation] records;
-    - [faults] (1 per fault event);
+    - [faults] (1 per fault event), [faults_noop], [checkpoints],
+      [recoveries] (1 per corresponding event);
+    - [recovery_rounds]: one observation per {e disturbance} — rounds
+      from the first fault of a burst until the next round in which
+      nothing changed, so [total/count] is the mean rounds-to-recovery
+      (MTTR) as read from the trace;
+    - [faults_unrecovered]: disturbances never followed by a settled
+      round before [Run_end] (note a run stopped early by a predicate
+      counts as unrecovered even if its output is legitimate — the
+      trace alone cannot judge legitimacy);
     - [rounds] (one observation per [Run_end], the final round). *)
 
 val read_lines : in_channel -> (Events.t list, string) result

@@ -32,5 +32,38 @@ val probe :
   max_rounds:int ->
   'q verdict
 (** Each trial: build the graph, initialize every node with [corrupt]
-    (an arbitrary adversarial state), run synchronously until
-    [legitimate] holds (recovery) or the round budget is spent. *)
+    (an arbitrary adversarial state), run through
+    {!Symnet_engine.Runner} until [legitimate] holds (recovery), the
+    network quiesces illegitimate (it provably never will recover), or
+    the round budget is spent. *)
+
+val critical_target : (unit -> int list) -> Symnet_engine.Chaos.target
+(** Aim a chaos process at the χ-critical nodes of a running algorithm
+    (paper §2): wrap any thunk producing the current critical set — e.g.
+    the [critical] field of a {!Sensitivity.runner} — as a
+    {!Symnet_engine.Chaos.target}. *)
+
+val mttr :
+  rng:Symnet_prng.Prng.t ->
+  automaton:'q Symnet_core.Fssga.t ->
+  graph:(unit -> Symnet_graph.Graph.t) ->
+  chaos:Symnet_engine.Chaos.process list ->
+  ?corrupt:(Symnet_prng.Prng.t -> 'q Symnet_engine.Network.t -> int -> 'q) ->
+  legitimate:('q Symnet_engine.Network.t -> bool) ->
+  ?settle_rounds:int ->
+  trials:int ->
+  max_rounds:int ->
+  unit ->
+  'q verdict
+(** Mean rounds-to-recovery under injected faults.  Each trial: run the
+    automaton from its own initial states until [legitimate] (at most
+    [settle_rounds], default 500), then run it again under the given
+    chaos processes — seeded per trial from [rng], so trials differ but
+    the whole experiment replays from one seed — and measure the rounds
+    from the chaos horizon to regained legitimacy.
+    [mean_recovery_rounds] is the MTTR over recovered trials;
+    unrecovered trials are those that quiesced illegitimate or exhausted
+    [max_rounds].  [corrupt] supplies the adversarial state for
+    [Corrupt] processes (default: reset to the initial state).
+    @raise Invalid_argument if the chaos is unbounded (no horizon) —
+    MTTR needs a last-fault round to measure from. *)

@@ -30,4 +30,5 @@ let () =
       ("sm-bounded", Test_sm_bounded.suite);
       ("spec-trace", Test_spec_trace.suite);
       ("obs", Test_obs.suite);
+      ("chaos", Test_chaos.suite);
     ]

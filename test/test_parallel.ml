@@ -12,6 +12,7 @@ module Network = Symnet_engine.Network
 module Runner = Symnet_engine.Runner
 module Domain_pool = Symnet_engine.Domain_pool
 module Fault = Symnet_engine.Fault
+module Chaos = Symnet_engine.Chaos
 module Obs = Symnet_obs
 module A = Symnet_algorithms
 
@@ -102,6 +103,47 @@ let prop_runner_faults_probabilistic =
     QCheck.(triple (int_range 3 50) (int_range 0 50) (int_range 1 1000))
     (runner_case census_automaton)
 
+(* Chaos processes — corruption, crash-restart, stochastic edge kills —
+   must keep the run bit-identical at every domain count: the outcome
+   and the full event trace, byte for byte. *)
+let prop_runner_chaos_bit_identical =
+  QCheck.Test.make ~name:"runner parallel = sequential (chaos, trace bytes)"
+    ~count:15
+    QCheck.(triple (int_range 3 40) (int_range 0 40) (int_range 1 1000))
+    (fun (n, extra, seed) ->
+      let g = graph_of (n, extra) in
+      let run domains =
+        let g = Graph.copy g in
+        let chaos =
+          Chaos.create ~seed
+            [
+              Chaos.Burst
+                { at = 2; width = 2; count = 1; kind = Chaos.Corrupt;
+                  target = Chaos.Uniform };
+              Chaos.Burst
+                { at = 3; width = 1; count = 1;
+                  kind = Chaos.Crash { downtime = 2 };
+                  target = Chaos.High_degree };
+              Chaos.Bernoulli
+                { p = 0.1; kind = Chaos.Kill_edge; target = Chaos.Uniform };
+            ]
+        in
+        let buf = Buffer.create 1024 in
+        let recorder = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
+        let net = Network.init ~rng:(Prng.create ~seed) g (sp_automaton n) in
+        let o = Runner.run ~chaos ~max_rounds:30 ~recorder ~domains net in
+        Obs.Recorder.close recorder;
+        ( o.Runner.rounds,
+          o.Runner.activations,
+          o.Runner.transitions,
+          o.Runner.faults_applied,
+          o.Runner.faults_noop,
+          Network.states net,
+          Buffer.contents buf )
+      in
+      let seq = run 1 in
+      List.for_all (fun domains -> run domains = seq) domain_counts)
+
 (* With a recorder attached the commit phase serialises, so the whole
    metrics snapshot — counters, activation histograms, everything — must
    be identical too. *)
@@ -145,6 +187,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_probabilistic_naive;
     QCheck_alcotest.to_alcotest prop_runner_faults_deterministic;
     QCheck_alcotest.to_alcotest prop_runner_faults_probabilistic;
+    QCheck_alcotest.to_alcotest prop_runner_chaos_bit_identical;
     Alcotest.test_case "recorder metrics identical" `Quick
       test_recorder_metrics_identical;
     Alcotest.test_case "pool reuse across networks" `Quick test_pool_reuse;
