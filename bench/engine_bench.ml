@@ -126,6 +126,31 @@ let assert_zero_alloc_view ~n =
       delta;
   (acts, delta, pass)
 
+(* The same bar for the full synchronous-round path — read phase, commit
+   phase, and (since the profiling layer landed) the disabled span/clock
+   branches inside [Network.sync_step].  With no recorder attached the
+   whole round must stay at zero words per activation. *)
+let assert_zero_alloc_sync ~n =
+  let g = Gen.random_connected (rng 46) ~n ~extra_edges:n in
+  let net = Network.init ~rng:(rng 7) g flood_automaton in
+  for _ = 1 to 2 do
+    ignore (Network.sync_step net)
+  done;
+  let a0 = Network.activations net in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 3 do
+    ignore (Network.sync_step net)
+  done;
+  let w1 = Gc.minor_words () in
+  let acts = Network.activations net - a0 in
+  let delta = w1 -. w0 in
+  let pass = delta < 64.0 in
+  if not pass then
+    Printf.printf
+      "  FAIL zero-alloc sync_step: %d activations allocated %.0f minor words\n"
+      acts delta;
+  (acts, delta, pass)
+
 (* --- parallel synchronous rounds ------------------------------------- *)
 
 type par_sample = {
@@ -259,7 +284,21 @@ let par_fields p =
     ("identical_to_sequential", Jsonx.Bool p.p_identical);
   ]
 
-let run ?(out = "BENCH_engine.json") ?(smoke = false) ?domains () =
+type results = {
+  r_smoke : bool;
+  r_samples : sample list;
+  r_za : int * float * bool;  (* zero-alloc view: acts, words, pass *)
+  r_za_sync : int * float * bool;  (* zero-alloc sync_step *)
+  r_dirty : dirty_sample list;
+  r_par : par_sample list;
+}
+
+let ok r =
+  let _, _, za = r.r_za in
+  let _, _, za_sync = r.r_za_sync in
+  za && za_sync && List.for_all (fun p -> p.p_identical) r.r_par
+
+let collect ?(smoke = false) ?domains () =
   let n = if smoke then 400 else 10_000 in
   let side = if smoke then 20 else 100 in
   let rounds = if smoke then 5 else 25 in
@@ -297,6 +336,11 @@ let run ?(out = "BENCH_engine.json") ?(smoke = false) ?domains () =
   Printf.printf "  zero-alloc view:       %d activations, %.0f minor words: %s\n"
     za_acts za_words
     (if za_pass then "ok" else "FAIL");
+  let zs_acts, zs_words, zs_pass = assert_zero_alloc_sync ~n in
+  Printf.printf
+    "  zero-alloc sync_step:  %d activations, %.0f minor words: %s\n" zs_acts
+    zs_words
+    (if zs_pass then "ok" else "FAIL");
   let dirty_samples =
     [ measure_dirty ~workload:"e03_shortest_paths" (fun () -> sp_net ~side) ]
   in
@@ -334,30 +378,42 @@ let run ?(out = "BENCH_engine.json") ?(smoke = false) ?domains () =
       Bench_util.metric_row ~experiment:"engine"
         (("kind", Jsonx.String "parallel") :: par_fields p))
     par_samples;
-  let par_ok = List.for_all (fun p -> p.p_identical) par_samples in
-  let doc =
+  {
+    r_smoke = smoke;
+    r_samples = samples;
+    r_za = (za_acts, za_words, za_pass);
+    r_za_sync = (zs_acts, zs_words, zs_pass);
+    r_dirty = dirty_samples;
+    r_par = par_samples;
+  }
+
+let doc_of r =
+  let za_json (acts, words, pass) =
     Jsonx.Obj
       [
-        ("suite", Jsonx.String "engine");
-        ("smoke", Jsonx.Bool smoke);
-        ("samples", Jsonx.List (List.map sample_json samples));
-        ("baseline", baseline_json);
-        ( "zero_alloc_view",
-          Jsonx.Obj
-            [
-              ("activations", Jsonx.Int za_acts);
-              ("minor_words_delta", Jsonx.Float za_words);
-              ("pass", Jsonx.Bool za_pass);
-            ] );
-        ("dirty", Jsonx.List (List.map dirty_json dirty_samples));
-        ( "parallel",
-          Jsonx.List
-            (List.map (fun p -> Jsonx.Obj (par_fields p)) par_samples) );
+        ("activations", Jsonx.Int acts);
+        ("minor_words_delta", Jsonx.Float words);
+        ("pass", Jsonx.Bool pass);
       ]
   in
+  Jsonx.Obj
+    [
+      ("suite", Jsonx.String "engine");
+      ("smoke", Jsonx.Bool r.r_smoke);
+      ("samples", Jsonx.List (List.map sample_json r.r_samples));
+      ("baseline", baseline_json);
+      ("zero_alloc_view", za_json r.r_za);
+      ("zero_alloc_sync", za_json r.r_za_sync);
+      ("dirty", Jsonx.List (List.map dirty_json r.r_dirty));
+      ( "parallel",
+        Jsonx.List (List.map (fun p -> Jsonx.Obj (par_fields p)) r.r_par) );
+    ]
+
+let run ?(out = "BENCH_engine.json") ?(smoke = false) ?domains () =
+  let r = collect ~smoke ?domains () in
   let oc = open_out out in
-  output_string oc (Jsonx.to_string doc);
+  output_string oc (Jsonx.to_string (doc_of r));
   output_char oc '\n';
   close_out oc;
   Printf.printf "  wrote %s\n" out;
-  if not (za_pass && par_ok) then exit 1
+  if not (ok r) then exit 1

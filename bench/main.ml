@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- engine --smoke   # tiny CI variant
      dune exec bench/main.exe -- engine --domains 4   # pin parallel rows to {1,4}
      dune exec bench/main.exe -- e16 --smoke     # tiny chaos-MTTR variant
+     dune exec bench/main.exe -- regress --smoke # perf gate vs BENCH_engine.json
+     dune exec bench/main.exe -- regress --smoke --inject 2  # gate self-test
 *)
 
 let experiments =
@@ -58,6 +60,37 @@ let () =
       | Some (smoke, domains) -> Engine_bench.run ~smoke ?domains ()
       | None ->
           prerr_endline "usage: main.exe engine [--smoke] [--domains N]";
+          exit 2)
+  | _ :: "regress" :: rest -> (
+      (* regress [--baseline FILE] [--tolerance PCT] [--smoke]
+         [--domains N] [--inject FACTOR] in any order *)
+      let rec parse baseline tol smoke domains inject = function
+        | [] -> Some (baseline, tol, smoke, domains, inject)
+        | "--baseline" :: f :: rest -> parse f tol smoke domains inject rest
+        | "--tolerance" :: v :: rest -> (
+            match float_of_string_opt v with
+            | Some t when t >= 0. -> parse baseline t smoke domains inject rest
+            | _ -> None)
+        | "--smoke" :: rest -> parse baseline tol true domains inject rest
+        | "--domains" :: n :: rest -> (
+            match int_of_string_opt n with
+            | Some d when d >= 1 -> parse baseline tol smoke (Some d) inject rest
+            | _ -> None)
+        | "--inject" :: v :: rest -> (
+            match float_of_string_opt v with
+            | Some f when f > 0. ->
+                parse baseline tol smoke domains (Some f) rest
+            | _ -> None)
+        | _ -> None
+      in
+      match parse "BENCH_engine.json" 50. false None None rest with
+      | Some (baseline_file, tolerance_pct, smoke, domains, inject) ->
+          Regress_gate.run ~baseline_file ~tolerance_pct ~smoke ?domains
+            ~inject ()
+      | None ->
+          prerr_endline
+            "usage: main.exe regress [--baseline FILE] [--tolerance PCT] \
+             [--smoke] [--domains N] [--inject FACTOR]";
           exit 2)
   | [ _; "e16"; "--smoke" ] -> E16_chaos.run ~smoke:true ()
   | [ _; name ] -> (

@@ -1,0 +1,61 @@
+(* The CI perf-regression gate: re-measure the engine suite and compare
+   it against the committed BENCH_engine.json via Obs.Regress; exit 1 on
+   any regression (or failed zero-alloc / parallel-identity invariant),
+   so a PR that slows the hot path down fails its pipeline.
+
+   [--inject FACTOR] is the gate's self-test: instead of the baseline
+   file it compares the fresh measurements scaled by FACTOR against the
+   unscaled fresh measurements — machine-independent, so CI can assert
+   both "the committed baseline passes" and "a 2x slowdown fails". *)
+
+module Jsonx = Symnet_obs.Jsonx
+module Regress = Symnet_obs.Regress
+
+let read_doc path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+  | contents -> (
+      match Jsonx.of_string contents with
+      | Ok doc -> doc
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2)
+
+let run ~baseline_file ~tolerance_pct ~smoke ?domains ~inject () =
+  Printf.printf "regress: measuring fresh engine suite (%s)\n"
+    (if smoke then "smoke" else "full");
+  let results = Engine_bench.collect ~smoke ?domains () in
+  let fresh = Engine_bench.doc_of results in
+  let baseline, fresh =
+    match inject with
+    | Some factor ->
+        Printf.printf
+          "regress: self-test — comparing a %gx injected slowdown against \
+           the fresh run\n"
+          factor;
+        (fresh, Regress.inject_slowdown ~factor fresh)
+    | None ->
+        Printf.printf "regress: baseline %s, tolerance %g%%\n" baseline_file
+          tolerance_pct;
+        (read_doc baseline_file, fresh)
+  in
+  match Regress.compare_docs ~tolerance_pct ~baseline ~fresh () with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok checks ->
+      print_string (Regress.to_table checks);
+      let failing = Regress.failing checks in
+      let invariants_ok = Engine_bench.ok results in
+      if not invariants_ok then
+        print_endline "regress: FAIL (zero-alloc or parallel-identity broke)";
+      if failing <> [] then begin
+        Printf.printf "regress: FAIL (%d regressed metric%s)\n"
+          (List.length failing)
+          (if List.length failing = 1 then "" else "s");
+        exit 1
+      end
+      else if not invariants_ok then exit 1
+      else print_endline "regress: PASS"

@@ -74,13 +74,19 @@ let chaos_arg =
            $(b,bernoulli) (key p), $(b,burst) (keys at, width, count), \
            $(b,periodic) (keys every, phase).  Common keys: kind \
            (kill_node|kill_edge|corrupt|crash), downtime, target \
-           (uniform|degree).  Example: \
+           (uniform|degree|critical — critical aims at the algorithm's \
+           sensitivity set, e.g. the sinks of shortest-paths).  Example: \
            'burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash'.")
 
-let chaos_of seed = function
+(* [critical] is the algorithm's χ set (its sensitive nodes) for
+   [target=critical] specs: the sinks for shortest-paths, the originator
+   for bfs, and the empty set for the 0-sensitive algorithms (census,
+   two-colouring) — where Chaos falls back to uniform, which is exactly
+   the paper's claim that no node is more critical than another. *)
+let chaos_of ?critical seed = function
   | None -> None
   | Some spec -> (
-      match Chaos.of_spec ~seed spec with
+      match Chaos.of_spec ~seed ?critical spec with
       | Ok c -> Some c
       | Error m ->
           prerr_endline m;
@@ -160,7 +166,7 @@ let unless_metrics metrics f = if metrics = None then f ()
 let two_colouring graph seed max_rounds domains watch chaos_spec metrics
     trace_out =
   let g = make_graph seed graph in
-  let chaos = chaos_of seed chaos_spec in
+  let chaos = chaos_of ~critical:(fun ~round:_ -> []) seed chaos_spec in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Two_colouring.automaton ~seed:0) in
   let to_char = function
     | A.Two_colouring.Blank -> '_'
@@ -185,7 +191,7 @@ let two_colouring graph seed max_rounds domains watch chaos_spec metrics
 
 let census graph seed max_rounds domains chaos_spec metrics trace_out =
   let g = make_graph seed graph in
-  let chaos = chaos_of seed chaos_spec in
+  let chaos = chaos_of ~critical:(fun ~round:_ -> []) seed chaos_spec in
   let n = Graph.node_count g in
   let k = A.Census.recommended_k n in
   let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
@@ -204,7 +210,7 @@ let census graph seed max_rounds domains chaos_spec metrics trace_out =
 
 let bfs graph seed max_rounds domains target chaos_spec metrics trace_out =
   let g = make_graph seed graph in
-  let chaos = chaos_of seed chaos_spec in
+  let chaos = chaos_of ~critical:(fun ~round:_ -> [ 0 ]) seed chaos_spec in
   let targets = match target with Some t -> [ t ] | None -> [] in
   let net =
     Network.init ~rng:(Prng.create ~seed) g (A.Bfs.automaton ~originator:0 ~targets)
@@ -282,12 +288,14 @@ let bridges graph seed confidence =
 let shortest_paths graph seed max_rounds domains sinks chaos_spec metrics
     trace_out =
   let g = make_graph seed graph in
-  let chaos = chaos_of seed chaos_spec in
   let sinks =
     match sinks with
     | "" -> [ 0 ]
     | s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
   in
+  (* The χ set of shortest-paths is its sink set (Sensitivity §2.2):
+     deleting a sink is the one fault the labels cannot repair around. *)
+  let chaos = chaos_of ~critical:(fun ~round:_ -> sinks) seed chaos_spec in
   let cap = Graph.node_count g in
   let net =
     Network.init ~rng:(Prng.create ~seed) g (A.Shortest_paths.automaton ~sinks ~cap)
@@ -503,14 +511,81 @@ let chaos_cmd graph seed spec trials max_rounds smoke =
     chaos_mttr graph seed spec trials max_rounds
   end
 
-let stats file file_b diff format =
+(* --- symnet profile: phase spans + per-round timeline ---------------- *)
+
+let write_file path contents =
+  match open_out path with
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc contents)
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+
+let profile algo graph seed max_rounds domains chaos_spec out timeline_out
+    span_capacity =
+  let g = make_graph seed graph in
+  let n = Graph.node_count g in
+  let spans =
+    try Obs.Span.create ~capacity:span_capacity ()
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let timeline = Obs.Timeline.create () in
+  let recorder = Obs.Recorder.create ~spans ~timeline () in
+  let run ?critical automaton =
+    let chaos = chaos_of ?critical seed chaos_spec in
+    let net = Network.init ~rng:(Prng.create ~seed) g automaton in
+    Runner.run ~max_rounds ~recorder ~domains ?chaos net
+  in
+  let o =
+    match algo with
+    | `Census ->
+        run
+          ~critical:(fun ~round:_ -> [])
+          (A.Census.automaton ~k:(A.Census.recommended_k n))
+    | `Shortest_paths ->
+        run
+          ~critical:(fun ~round:_ -> [ 0 ])
+          (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:n)
+    | `Two_colouring ->
+        run ~critical:(fun ~round:_ -> []) (A.Two_colouring.automaton ~seed:0)
+    | `Bfs ->
+        run
+          ~critical:(fun ~round:_ -> [ 0 ])
+          (A.Bfs.automaton ~originator:0 ~targets:[])
+  in
+  Obs.Recorder.close recorder;
+  write_file out (Obs.Jsonx.to_string (Obs.Span.chrome_json spans));
+  (match timeline_out with
+  | Some path -> write_file path (Obs.Timeline.to_jsonl timeline)
+  | None -> ());
+  report_outcome o;
+  Printf.printf "spans: %d recorded, %d dropped   trace: %s%s\n"
+    (Obs.Span.recorded spans) (Obs.Span.dropped spans) out
+    (match timeline_out with
+    | Some p -> Printf.sprintf "   timeline: %s" p
+    | None -> "");
+  print_string
+    (Obs.Stats.to_table
+       (Obs.Stats.of_series (Obs.Timeline.series (Obs.Timeline.rows timeline))))
+
+let stats file file_b diff timeline format =
   let summarise_file file =
     let summarise ic =
-      match Obs.Stats.read_lines ic with
-      | Error msg ->
-          Printf.eprintf "%s: %s\n" file msg;
-          exit 2
-      | Ok events -> Obs.Stats.summarise events
+      if timeline then
+        match Obs.Timeline.read_lines ic with
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            exit 2
+        | Ok rows -> Obs.Stats.of_series (Obs.Timeline.series rows)
+      else
+        match Obs.Stats.read_lines ic with
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            exit 2
+        | Ok events -> Obs.Stats.summarise events
     in
     if file = "-" then summarise stdin
     else
@@ -603,6 +678,60 @@ let stats_format_arg =
     & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
     & info [ "format" ] ~docv:"FMT" ~doc:"Output format (table or json).")
 
+let stats_timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:
+          "Treat the input as a per-round timeline (JSONL rows from symnet \
+           profile --timeline-out) instead of an event trace; summarises \
+           round_ns, activations, transitions, frontier, faults and \
+           recoveries.  Composes with --diff.")
+
+let profile_algo_arg =
+  let algos =
+    [
+      ("census", `Census);
+      ("shortest-paths", `Shortest_paths);
+      ("two-colouring", `Two_colouring);
+      ("bfs", `Bfs);
+    ]
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum algos)) None
+    & info [] ~docv:"ALGO"
+        ~doc:
+          "Algorithm to profile: $(b,census), $(b,shortest-paths), \
+           $(b,two-colouring) or $(b,bfs).")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt string "trace.json"
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the Chrome trace-event JSON here (open in \
+           chrome://tracing or https://ui.perfetto.dev).")
+
+let profile_timeline_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write the per-round timeline as JSONL (summarise later \
+           with symnet stats --timeline).")
+
+let span_capacity_arg =
+  Arg.(
+    value
+    & opt int 65536
+    & info [ "span-capacity" ] ~docv:"N"
+        ~doc:
+          "Span ring-buffer capacity; when a run records more, the oldest \
+           spans are dropped (keep-last).")
+
 let commands =
   [
     cmd "two-colouring" "Decide bipartiteness (§4.1)."
@@ -644,12 +773,20 @@ let commands =
       Term.(
         const chaos_cmd $ graph_arg $ seed_arg $ chaos_arg $ trials_arg
         $ rounds_arg $ smoke_arg);
+    cmd "profile"
+      "Profile a run: phase spans (read/merge/commit/fault/checkpoint/\
+       recovery, per shard) to Chrome trace-event JSON, plus an optional \
+       per-round timeline."
+      Term.(
+        const profile $ profile_algo_arg $ graph_arg $ seed_arg $ rounds_arg
+        $ domains_arg $ chaos_arg $ profile_out_arg $ profile_timeline_out_arg
+        $ span_capacity_arg);
     cmd "stats"
-      "Summarise a JSONL event trace (p50/p95/max per series), or diff two \
-       traces with --diff."
+      "Summarise a JSONL event trace (p50/p95/max per series), a profile \
+       timeline with --timeline, or diff two traces with --diff."
       Term.(
         const stats $ trace_in_arg $ trace_in_b_arg $ stats_diff_arg
-        $ stats_format_arg);
+        $ stats_timeline_arg $ stats_format_arg);
   ]
 
 let () =

@@ -128,7 +128,9 @@ let exhausted t ~round =
 (* PROC(;PROC)* with PROC = name(:key=value)*, e.g.
      burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash:downtime=2
    Names: bernoulli, burst, periodic.  Common keys: kind (kill_node,
-   kill_edge, corrupt, crash), downtime, target (uniform, degree). *)
+   kill_edge, corrupt, crash), downtime, target (uniform, degree,
+   critical — the latter only when the caller supplies a χ-set
+   provider). *)
 
 let ( let* ) = Result.bind
 
@@ -150,7 +152,7 @@ let parse_float k v =
   | Some f -> Ok f
   | None -> Error (Printf.sprintf "chaos spec: %s wants a number, got %S" k v)
 
-let parse_proc s =
+let parse_proc ?critical s =
   match String.split_on_char ':' s with
   | [] | [ "" ] -> Error "chaos spec: empty process"
   | name :: kvs ->
@@ -182,6 +184,13 @@ let parse_proc s =
         match Option.value ~default:"uniform" (find "target") with
         | "uniform" -> Ok Uniform
         | "degree" -> Ok High_degree
+        | "critical" -> (
+            match critical with
+            | Some f -> Ok (Critical f)
+            | None ->
+                Error
+                  "chaos spec: target=critical needs an algorithm-supplied \
+                   critical set (this command provides none)")
         | t -> Error (Printf.sprintf "chaos spec: unknown target %S" t)
       in
       let known =
@@ -207,7 +216,7 @@ let parse_proc s =
           Ok (Periodic { every; phase; kind; target })
       | n -> Error (Printf.sprintf "chaos spec: unknown process %S" n)
 
-let of_spec ~seed spec =
+let of_spec ~seed ?critical spec =
   let parts =
     String.split_on_char ';' spec |> List.map String.trim
     |> List.filter (fun s -> s <> "")
@@ -218,7 +227,7 @@ let of_spec ~seed spec =
       List.fold_left
         (fun acc s ->
           let* acc = acc in
-          let* p = parse_proc s in
+          let* p = parse_proc ?critical s in
           Ok (p :: acc))
         (Ok []) parts
     in

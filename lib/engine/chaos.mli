@@ -63,7 +63,8 @@ val horizon : t -> int option
 val exhausted : t -> round:int -> bool
 (** [true] iff the horizon exists and [round] has reached it. *)
 
-val of_spec : seed:int -> string -> (t, string) result
+val of_spec :
+  seed:int -> ?critical:(round:int -> int list) -> string -> (t, string) result
 (** Parse the CLI grammar [PROC(;PROC)*] where [PROC =
     name(:key=value)*]:
 
@@ -71,6 +72,12 @@ val of_spec : seed:int -> string -> (t, string) result
       [width], [count]), [periodic] (keys [every], [phase]);
     - common keys: [kind] one of [kill_node], [kill_edge], [corrupt]
       (default), [crash] (with [downtime], default 2); [target] one of
-      [uniform] (default), [degree].
+      [uniform] (default), [degree], [critical].
+
+    [target=critical] resolves to {!Critical}[ f] where [f] is the
+    [?critical] provider — typically a live algorithm's χ set (its
+    {!Symnet_sensitivity.Sensitivity.runner}[.critical]).  Parsing a
+    spec that asks for [critical] without a provider is an [Error]: the
+    caller owns the algorithm, the spec language cannot invent one.
 
     Example: ["burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash:downtime=2:target=degree"]. *)

@@ -3,6 +3,7 @@ module Prng = Symnet_prng.Prng
 module View = Symnet_core.View
 module Fssga = Symnet_core.Fssga
 module Recorder = Symnet_obs.Recorder
+module Span = Symnet_obs.Span
 
 type 'q t = {
   graph : Graph.t;
@@ -217,17 +218,23 @@ let sync_step t =
   ignore (ensure_next t);
   let det = Fssga.is_deterministic t.automaton in
   if not det then ignore (node_rngs t);
+  let sp = Recorder.spans t.recorder in
+  let rd = Recorder.round t.recorder in
   (* Read phase against the frozen snapshot, then commit. *)
+  let t0 = Span.now sp in
   for v = 0 to n - 1 do
     if Graph.is_live_node g v then begin
       t.activations <- t.activations + 1;
       read_node t ~slot:0 ~det v
     end
   done;
+  Span.record sp Span.Read ~shard:0 ~round:rd ~t0;
+  let t0 = Span.now sp in
   let any = ref false in
   for v = 0 to n - 1 do
     if Graph.is_live_node g v then if commit t v t.next.(v) then any := true
   done;
+  Span.record sp Span.Commit ~shard:0 ~round:rd ~t0;
   !any
 
 (* One synchronous round stepping only dirty nodes.  Sound for
@@ -247,8 +254,11 @@ let sync_step_dirty t =
   if Array.length t.dirty_scratch < n then t.dirty_scratch <- Array.make n 0;
   let frontier = t.dirty_scratch in
   let k = ref 0 in
+  let sp = Recorder.spans t.recorder in
+  let rd = Recorder.round t.recorder in
   (* Read phase over the dirty frontier, ascending for determinism of the
      telemetry stream. *)
+  let t0 = Span.now sp in
   for v = 0 to n - 1 do
     if t.dirty.(v) && Graph.is_live_node g v then begin
       frontier.(!k) <- v;
@@ -257,9 +267,12 @@ let sync_step_dirty t =
       read_node t ~slot:0 ~det v
     end
   done;
+  Span.record sp Span.Read ~shard:0 ~round:rd ~t0;
+  Recorder.frontier t.recorder ~size:!k;
   (* The frontier is consumed: clear before committing so that the
      commits re-mark exactly the closed neighbourhoods of changed
      nodes. *)
+  let t0 = Span.now sp in
   for i = 0 to !k - 1 do
     t.dirty.(frontier.(i)) <- false
   done;
@@ -268,6 +281,7 @@ let sync_step_dirty t =
     let v = frontier.(i) in
     if commit t v t.next.(v) then any := true
   done;
+  Span.record sp Span.Commit ~shard:0 ~round:rd ~t0;
   !any
 
 let rotor_step t =
@@ -322,7 +336,10 @@ let sync_step_par ~pool t =
     ensure_slots t (Domain_pool.size pool);
     let det = Fssga.is_deterministic t.automaton in
     if not det then ignore (node_rngs t);
+    let sp = Recorder.spans t.recorder in
+    let rd = Recorder.round t.recorder in
     Domain_pool.run pool ~n (fun slot lo hi ->
+        let t0 = Span.now sp in
         let c = ref 0 in
         for v = lo to hi - 1 do
           if Graph.is_live_node g v then begin
@@ -330,17 +347,24 @@ let sync_step_par ~pool t =
             read_node t ~slot ~det v
           end
         done;
-        t.shard_counts.(slot) <- !c);
+        t.shard_counts.(slot) <- !c;
+        Span.record sp Span.Read ~shard:slot ~round:rd ~t0);
+    let t0 = Span.now sp in
     for slot = 0 to Domain_pool.size pool - 1 do
       t.activations <- t.activations + t.shard_counts.(slot)
     done;
+    Span.record sp Span.Merge ~shard:0 ~round:rd ~t0;
     if Recorder.enabled t.recorder then begin
       (* Exact telemetry: sequential ascending commit, indistinguishable
-         from [sync_step]'s commit phase. *)
+         from [sync_step]'s commit phase.  (A span-enabled recorder is
+         an enabled recorder, so the quiet parallel commit below never
+         runs under profiling — commit spans are sequential.) *)
+      let t0 = Span.now sp in
       let any = ref false in
       for v = 0 to n - 1 do
         if Graph.is_live_node g v then if commit t v t.next.(v) then any := true
       done;
+      Span.record sp Span.Commit ~shard:0 ~round:rd ~t0;
       !any
     end
     else begin
@@ -379,7 +403,10 @@ let sync_step_dirty_par ~pool t =
     if not det then ignore (node_rngs t);
     if Array.length t.dirty_scratch < n then t.dirty_scratch <- Array.make n 0;
     let frontier = t.dirty_scratch in
+    let sp = Recorder.spans t.recorder in
+    let rd = Recorder.round t.recorder in
     Domain_pool.run pool ~n (fun slot lo hi ->
+        let t0 = Span.now sp in
         let k = ref lo in
         for v = lo to hi - 1 do
           if t.dirty.(v) && Graph.is_live_node g v then begin
@@ -388,11 +415,16 @@ let sync_step_dirty_par ~pool t =
             read_node t ~slot ~det v
           end
         done;
-        t.shard_counts.(slot) <- !k - lo);
+        t.shard_counts.(slot) <- !k - lo;
+        Span.record sp Span.Read ~shard:slot ~round:rd ~t0);
+    let t0 = Span.now sp in
     let slots = Domain_pool.size pool in
+    let stepped = ref 0 in
     for slot = 0 to slots - 1 do
-      t.activations <- t.activations + t.shard_counts.(slot)
+      t.activations <- t.activations + t.shard_counts.(slot);
+      stepped := !stepped + t.shard_counts.(slot)
     done;
+    Recorder.frontier t.recorder ~size:!stepped;
     (* Clear the consumed frontier before any commit runs (cheap: one
        store per stepped node), so commits re-mark exactly the closed
        neighbourhoods of changed nodes, shards included. *)
@@ -402,10 +434,12 @@ let sync_step_dirty_par ~pool t =
         t.dirty.(frontier.(i)) <- false
       done
     done;
+    Span.record sp Span.Merge ~shard:0 ~round:rd ~t0;
     if Recorder.enabled t.recorder then begin
       (* Segments ascend within a slot and slots ascend by base, so this
          visits the frontier in ascending node order — the sequential
          dirty commit order, telemetry included. *)
+      let t0 = Span.now sp in
       let any = ref false in
       for slot = 0 to slots - 1 do
         let lo, _ = Domain_pool.bounds pool ~n slot in
@@ -414,6 +448,7 @@ let sync_step_dirty_par ~pool t =
           if commit t v t.next.(v) then any := true
         done
       done;
+      Span.record sp Span.Commit ~shard:0 ~round:rd ~t0;
       !any
     end
     else begin

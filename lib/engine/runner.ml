@@ -40,6 +40,11 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
   let g = Network.graph net in
   let automaton = Network.automaton net in
   Network.set_recorder net recorder;
+  (* Profiling spans for the runner's own phases (fault application,
+     checkpoints, recoveries); [Obs.Span.null] unless the recorder was
+     created with a live collector, in which case every bracket below is
+     two clock reads and five int stores. *)
+  let sp = Obs.Recorder.spans recorder in
   Obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
     ~edges:(Graph.edge_count g) ~scheduler:(Scheduler.name scheduler);
   (* All fault-side randomness (victim picks inside [chaos], corruption
@@ -115,7 +120,9 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
   let stall = ref 0 in
   let trans_before = ref (Network.transitions net) in
   let take_checkpoint round =
+    let t0 = Obs.Span.now sp in
     cp := Some (round, Network.checkpoint net, !pending, !restarts);
+    Obs.Span.record sp Obs.Span.Checkpoint ~shard:0 ~round ~t0;
     Obs.Recorder.checkpoint recorder ~round
   in
   (match recovery with Some _ -> take_checkpoint 0 | None -> ());
@@ -149,6 +156,16 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
          callback) first invalidate the whole dirty set, so the ack below
          cannot swallow them. *)
       if Network.dirty_tracking net then Network.reconcile_graph net;
+      (* Time the fault pipeline only when it has candidate work, so
+         fault-free profiled rounds don't drown the trace in empty
+         fault_apply slivers. *)
+      let fault_work =
+        Obs.Span.enabled sp
+        && ((match !pending with [] -> false | _ -> true)
+           || (match !restarts with [] -> false | _ -> true)
+           || Option.is_some chaos)
+      in
+      let fault_t0 = if fault_work then Obs.Span.now sp else 0 in
       apply_restarts round;
       (match chaos with
       | Some c ->
@@ -170,6 +187,8 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
                 restarts := (round + downtime + 1, node) :: !restarts
             | _ -> ());
       if Network.dirty_tracking net then Network.ack_graph_mutations net;
+      if fault_work then
+        Obs.Span.record sp Obs.Span.Fault_apply ~shard:0 ~round ~t0:fault_t0;
       let changed = Scheduler.round ?pool ~dirty:!dirty_now scheduler net ~round in
       Obs.Recorder.round_end recorder ~round ~changed;
       (match on_round with Some f -> f ~round net | None -> ());
@@ -205,8 +224,13 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
     if delta > 0 && !stall >= r.patience then recover r round
     else go (round + 1)
   and recover r round =
+    let t0 = Obs.Span.now sp in
+    let recovery_span () =
+      Obs.Span.record sp Obs.Span.Recovery ~shard:0 ~round ~t0
+    in
     let give_up () =
       incr recoveries;
+      recovery_span ();
       Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
         ~action:"give_up";
       finish ~round ~quiesced:false ~stopped:false ~gave_up:true
@@ -221,6 +245,7 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
           incr recoveries;
           best_delta := max_int;
           stall := 0;
+          recovery_span ();
           Obs.Recorder.recovery recorder ~round ~attempt:0 ~action:"degrade";
           go (round + 1)
         end
@@ -239,6 +264,7 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
             trans_before := Network.transitions net;
             best_delta := max_int;
             stall := 0;
+            recovery_span ();
             Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
               ~action:(if reseed then "reseed" else "rollback");
             go (cp_round + 1)

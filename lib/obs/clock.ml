@@ -1,0 +1,9 @@
+(* The stub lives in bechamel's monotonic_clock stub library (linked via
+   this library's dune dependencies); redeclaring the external here with
+   [@unboxed]/[@@noalloc] lets non-flambda builds consume the reading
+   without boxing the intermediate int64. *)
+external clock_monotonic_ns : unit -> (int64[@unboxed])
+  = "clock_linux_get_time_bytecode" "clock_linux_get_time_native"
+[@@noalloc]
+
+let now_ns () = Int64.to_int (clock_monotonic_ns ())

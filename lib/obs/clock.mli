@@ -1,0 +1,14 @@
+(** Monotonic wall-clock reads for the profiling layer.
+
+    One function: the current CLOCK_MONOTONIC reading in integer
+    nanoseconds.  The underlying C stub (shared with bechamel's
+    measurement loop) is [@@noalloc] and returns an unboxed int64, so a
+    read is a plain C call — no heap traffic — which is what lets
+    {!Span} and {!Metrics.timer} sit on the engine's hot path.
+
+    63-bit int nanoseconds overflow after ~146 years of uptime; spans
+    only ever subtract two readings, so the absolute epoch (boot time on
+    Linux) is irrelevant. *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds. *)

@@ -78,6 +78,19 @@ let bucket_index bounds v =
   let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
   go 0
 
+(* Exponential nanosecond bounds, 1µs .. ~2s, for timing histograms;
+   round wall-times for the workloads we profile land mid-range. *)
+let ns_bounds =
+  [|
+    1_000; 4_000; 16_000; 65_000; 260_000; 1_000_000; 4_000_000; 16_000_000;
+    65_000_000; 260_000_000; 1_000_000_000; 2_000_000_000;
+  |]
+
+type timer = int
+
+let timer_start () : timer = Clock.now_ns ()
+let timer_elapsed_ns (t : timer) = Clock.now_ns () - t
+
 let observe h v =
   let i = bucket_index h.bounds v in
   h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
@@ -85,6 +98,8 @@ let observe h v =
   if h.h_count = 0 || v > h.h_max then h.h_max <- v;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum + v
+
+let observe_since h (t : timer) = observe h (timer_elapsed_ns t)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)

@@ -35,6 +35,22 @@ val add : counter -> int -> unit
 val set : gauge -> float -> unit
 val observe : histogram -> int -> unit
 
+(** {1 Timing} *)
+
+type timer
+(** An opaque monotonic-clock reading (one immediate int; taking one
+    allocates nothing). *)
+
+val timer_start : unit -> timer
+val timer_elapsed_ns : timer -> int
+
+val observe_since : histogram -> timer -> unit
+(** [observe] the nanoseconds elapsed since [timer_start]. *)
+
+val ns_bounds : int array
+(** Exponential nanosecond bucket bounds (1µs .. 2s) suited to timing
+    histograms such as [round_ns]. *)
+
 (** {1 Snapshots} *)
 
 type hist_snapshot = {

@@ -14,17 +14,46 @@ type enabled = {
   h_activations_per_round : Metrics.histogram;
   h_view_size : Metrics.histogram;
   g_quiescence : Metrics.gauge;
+  (* profiling layer — inert unless [timing] *)
+  spans : Span.t;
+  timeline : Timeline.t;
+  timing : bool;
+  h_round_ns : Metrics.histogram;
+      (* registered in [reg] only when [timing]: a timing histogram in
+         the default metrics document would break the cross-domain
+         byte-identity the CI smoke checks rely on *)
   mutable round : int;
+  mutable round_t0 : int;
   mutable activations_total : int;
   mutable activations_at_round_start : int;
+  mutable transitions_total : int;
+  mutable transitions_at_round_start : int;
+  mutable faults_total : int;
+  mutable faults_at_round_start : int;
+  mutable recoveries_total : int;
+  mutable recoveries_at_round_start : int;
+  mutable frontier_latch : int;  (* -1 = no frontier latched this round *)
 }
 
 type t = Disabled | Enabled of enabled
 
 let null = Disabled
 
-let create ?(sink = Events.null) ?(activation_events = true) () =
+let create ?(sink = Events.null) ?(activation_events = true)
+    ?(spans = Span.null) ?(timeline = Timeline.null) ?timing () =
+  let timing =
+    match timing with
+    | Some b -> b
+    | None -> Span.enabled spans || Timeline.enabled timeline
+  in
   let reg = Metrics.create () in
+  let h_round_ns =
+    (* when not timing, park the instrument in a throwaway registry so
+       the hot path needs no option check and the real document stays
+       timing-free *)
+    let target = if timing then reg else Metrics.create () in
+    Metrics.histogram target ~bounds:Metrics.ns_bounds "round_ns"
+  in
   Enabled
     {
       reg;
@@ -43,9 +72,21 @@ let create ?(sink = Events.null) ?(activation_events = true) () =
         Metrics.histogram reg "view_size"
           ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |];
       g_quiescence = Metrics.gauge reg "rounds_to_quiescence";
+      spans;
+      timeline;
+      timing;
+      h_round_ns;
       round = 0;
+      round_t0 = 0;
       activations_total = 0;
       activations_at_round_start = 0;
+      transitions_total = 0;
+      transitions_at_round_start = 0;
+      faults_total = 0;
+      faults_at_round_start = 0;
+      recoveries_total = 0;
+      recoveries_at_round_start = 0;
+      frontier_latch = -1;
     }
 
 let enabled = function Disabled -> false | Enabled _ -> true
@@ -53,6 +94,12 @@ let metrics = function Disabled -> None | Enabled e -> Some e.reg
 let snapshot = function Disabled -> None | Enabled e -> Some (Metrics.snapshot e.reg)
 let sink = function Disabled -> Events.null | Enabled e -> e.out
 let close = function Disabled -> () | Enabled e -> Events.close e.out
+let spans = function Disabled -> Span.null | Enabled e -> e.spans
+let timeline = function Disabled -> Timeline.null | Enabled e -> e.timeline
+let round = function Disabled -> 0 | Enabled e -> e.round
+
+let frontier t ~size =
+  match t with Disabled -> () | Enabled e -> e.frontier_latch <- size
 
 let run_start t ~nodes ~edges ~scheduler =
   match t with
@@ -65,6 +112,11 @@ let round_start t ~round =
   | Enabled e ->
       e.round <- round;
       e.activations_at_round_start <- e.activations_total;
+      e.transitions_at_round_start <- e.transitions_total;
+      e.faults_at_round_start <- e.faults_total;
+      e.recoveries_at_round_start <- e.recoveries_total;
+      e.frontier_latch <- -1;
+      if e.timing then e.round_t0 <- Clock.now_ns ();
       Events.emit e.out (Events.Round_start { round })
 
 let round_end t ~round ~changed =
@@ -74,6 +126,17 @@ let round_end t ~round ~changed =
       let activations = e.activations_total - e.activations_at_round_start in
       Metrics.incr e.c_rounds;
       Metrics.observe e.h_activations_per_round activations;
+      if e.timing then begin
+        let wall_ns = Clock.now_ns () - e.round_t0 in
+        Metrics.observe e.h_round_ns wall_ns;
+        Span.record e.spans Span.Round ~shard:0 ~round ~t0:e.round_t0;
+        Timeline.record e.timeline ~round ~wall_ns ~activations
+          ~transitions:(e.transitions_total - e.transitions_at_round_start)
+          ~frontier:
+            (if e.frontier_latch >= 0 then e.frontier_latch else activations)
+          ~faults:(e.faults_total - e.faults_at_round_start)
+          ~recoveries:(e.recoveries_total - e.recoveries_at_round_start)
+      end;
       Events.emit e.out (Events.Round_end { round; activations; changed })
 
 let activation t ~node ~view_size ~changed =
@@ -83,7 +146,10 @@ let activation t ~node ~view_size ~changed =
       e.activations_total <- e.activations_total + 1;
       Metrics.incr e.c_activations;
       Metrics.observe e.h_view_size view_size;
-      if changed then Metrics.incr e.c_transitions;
+      if changed then begin
+        Metrics.incr e.c_transitions;
+        e.transitions_total <- e.transitions_total + 1
+      end;
       if e.activation_events && not (Events.is_null e.out) then begin
         Events.emit e.out
           (Events.Activation { round = e.round; node; view_size; changed });
@@ -96,6 +162,7 @@ let fault ?(effective = true) t ~action =
   | Enabled e ->
       if effective then begin
         Metrics.incr e.c_faults;
+        e.faults_total <- e.faults_total + 1;
         Events.emit e.out (Events.Fault { round = e.round; action })
       end
       else begin
@@ -115,6 +182,7 @@ let recovery t ~round ~attempt ~action =
   | Disabled -> ()
   | Enabled e ->
       Metrics.incr e.c_recoveries;
+      e.recoveries_total <- e.recoveries_total + 1;
       Events.emit e.out (Events.Recovery { round; attempt; action })
 
 let frame t ~line =

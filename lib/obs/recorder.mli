@@ -14,21 +14,43 @@
     Metrics maintained on an enabled recorder:
     - counters [rounds], [activations], [state_transitions], [faults],
       [faults_noop], [checkpoints], [recoveries], [frames];
-    - histograms [activations_per_round], [view_size];
+    - histograms [activations_per_round], [view_size], and — only when
+      timing is on — [round_ns] (bounds {!Metrics.ns_bounds});
     - gauge [rounds_to_quiescence] (set by {!run_end} when the reason is
-      ["quiesced"]). *)
+      ["quiesced"]).
+
+    Profiling is layered on top and opt-in: pass a live {!Span}
+    collector and/or {!Timeline} to [create] and the recorder times each
+    round on the monotonic clock, records a [Round] span, appends a
+    timeline row, and registers the [round_ns] histogram.  Timing data
+    never enters the {!Events} stream, so enabling it cannot perturb
+    trace-byte determinism across domain counts. *)
 
 type t
 
 val null : t
 (** The disabled recorder; all hooks are no-ops. *)
 
-val create : ?sink:Events.sink -> ?activation_events:bool -> unit -> t
+val create :
+  ?sink:Events.sink ->
+  ?activation_events:bool ->
+  ?spans:Span.t ->
+  ?timeline:Timeline.t ->
+  ?timing:bool ->
+  unit ->
+  t
 (** An enabled recorder.  [sink] (default {!Events.null}) receives the
     event stream; [activation_events] (default [true]) controls whether
     per-activation/per-transition events are emitted to the sink —
     metrics record them regardless.  Disable it for long runs where only
-    round-level records are wanted in the trace. *)
+    round-level records are wanted in the trace.
+
+    [spans] (default {!Span.null}) collects phase spans — the recorder
+    contributes [Round] spans and the engine/runner contribute
+    read/merge/commit/fault/checkpoint/recovery spans via {!spans}.
+    [timeline] (default {!Timeline.null}) receives one row per round.
+    [timing] (default: on iff [spans] or [timeline] is enabled) gates
+    the per-round clock reads and the [round_ns] histogram. *)
 
 val enabled : t -> bool
 val metrics : t -> Metrics.t option
@@ -43,6 +65,17 @@ val sink : t -> Events.sink
 val close : t -> unit
 (** Close the underlying sink; idempotent. *)
 
+val spans : t -> Span.t
+(** The attached span collector ({!Span.null} on {!null} or when none
+    was attached) — the engine brackets phase work against it. *)
+
+val timeline : t -> Timeline.t
+(** The attached timeline ({!Timeline.null} when absent). *)
+
+val round : t -> int
+(** The round latched by the last {!round_start} ([0] on {!null});
+    lets the engine stamp spans without threading the round number. *)
+
 (** {1 Engine hooks} *)
 
 val run_start : t -> nodes:int -> edges:int -> scheduler:string -> unit
@@ -52,6 +85,11 @@ val round_end : t -> round:int -> changed:bool -> unit
     {!round_start}. *)
 
 val activation : t -> node:int -> view_size:int -> changed:bool -> unit
+
+val frontier : t -> size:int -> unit
+(** Latch the dirty-frontier size (nodes stepped) for the current round;
+    the timeline row falls back to the activation count when no frontier
+    was latched (naive scheduling). *)
 
 val fault : ?effective:bool -> t -> action:Events.fault_action -> unit
 (** With [~effective:false] (default [true]) the fault was a no-op —

@@ -1,0 +1,187 @@
+type verdict = Pass | Regressed | Missing_fresh | New_only
+
+type check = {
+  workload : string;
+  metric : string;
+  base : float;
+  fresh : float;
+  change_pct : float;
+  verdict : verdict;
+}
+
+let verdict_name = function
+  | Pass -> "pass"
+  | Regressed -> "REGRESSED"
+  | Missing_fresh -> "MISSING"
+  | New_only -> "new"
+
+(* --- document extraction ---------------------------------------------- *)
+
+let str_field name j = Option.bind (Jsonx.member name j) Jsonx.to_str
+let num_field name j = Option.bind (Jsonx.member name j) Jsonx.to_float
+let int_field name j = Option.bind (Jsonx.member name j) Jsonx.to_int
+
+let list_field name j =
+  match Jsonx.member name j with Some (Jsonx.List l) -> Some l | _ -> None
+
+(* (key, metric, value) rows from one document.  Sample keys are the
+   workload name; parallel keys pair the workload with the domain count
+   so rounds/sec at different counts never cross-compare. *)
+let extract doc =
+  let ( let* ) = Result.bind in
+  let* () =
+    match str_field "suite" doc with
+    | Some "engine" -> Ok ()
+    | Some s -> Error (Printf.sprintf "not an engine bench document (suite=%S)" s)
+    | None -> Error "not an engine bench document (no \"suite\" field)"
+  in
+  let* samples =
+    match list_field "samples" doc with
+    | Some l -> Ok l
+    | None -> Error "bench document has no \"samples\" list"
+  in
+  let* sample_rows =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        match (str_field "workload" s, num_field "ns_per_activation" s,
+               num_field "words_per_activation" s) with
+        | Some w, Some ns, Some words ->
+            Ok ((w, "ns_per_activation", ns) :: (w, "words_per_activation", words)
+                :: acc)
+        | _ -> Error "malformed sample row (need workload/ns/words)")
+      (Ok []) samples
+  in
+  let par_rows =
+    match list_field "parallel" doc with
+    | None -> []
+    | Some l ->
+        List.filter_map
+          (fun p ->
+            match (str_field "workload" p, int_field "domains" p,
+                   num_field "rounds_per_sec" p) with
+            | Some w, Some d, Some rps ->
+                Some (w, Printf.sprintf "rounds_per_sec@d%d" d, rps)
+            | _ -> None)
+          l
+  in
+  Ok (List.rev sample_rows @ par_rows)
+
+(* --- comparison ------------------------------------------------------- *)
+
+(* positive change_pct = worse.  [higher_better] flips the sign so one
+   rule serves both ns (lower better) and rounds/sec (higher better). *)
+let change_pct ~higher_better ~base ~fresh =
+  if base > 0. then
+    let pct = 100. *. (fresh -. base) /. base in
+    if higher_better then -.pct else pct
+  else if fresh <= base then 0.
+  else if higher_better then 0. (* grew from zero: an improvement *)
+  else infinity
+
+let compare_docs ?(tolerance_pct = 50.) ?(words_slack = 8.) ~baseline ~fresh ()
+    =
+  let ( let* ) = Result.bind in
+  let* () =
+    match (Jsonx.member "smoke" baseline, Jsonx.member "smoke" fresh) with
+    | Some a, Some b when a <> b ->
+        Error "baseline and fresh runs disagree on the smoke flag"
+    | _ -> Ok ()
+  in
+  let* base_rows = extract baseline in
+  let* fresh_rows = extract fresh in
+  let find rows w m =
+    List.find_map (fun (w', m', v) -> if w' = w && m' = m then Some v else None)
+      rows
+  in
+  let checked =
+    List.map
+      (fun (w, m, base) ->
+        match find fresh_rows w m with
+        | None ->
+            { workload = w; metric = m; base; fresh = nan; change_pct = nan;
+              verdict = Missing_fresh }
+        | Some fresh ->
+            let higher_better = m <> "ns_per_activation"
+                                && m <> "words_per_activation" in
+            let pct = change_pct ~higher_better ~base ~fresh in
+            let over_tolerance =
+              if m = "words_per_activation" then
+                (* absolute slack on top of the relative bound *)
+                fresh > (base *. (1. +. (tolerance_pct /. 100.))) +. words_slack
+              else pct > tolerance_pct
+            in
+            { workload = w; metric = m; base; fresh; change_pct = pct;
+              verdict = (if over_tolerance then Regressed else Pass) })
+      base_rows
+  in
+  let fresh_only =
+    List.filter_map
+      (fun (w, m, v) ->
+        if find base_rows w m = None then
+          Some { workload = w; metric = m; base = nan; fresh = v;
+                 change_pct = nan; verdict = New_only }
+        else None)
+      fresh_rows
+  in
+  Ok (checked @ fresh_only)
+
+let failing checks =
+  List.filter
+    (fun c -> match c.verdict with
+      | Regressed | Missing_fresh -> true
+      | Pass | New_only -> false)
+    checks
+
+let to_table checks =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-22s %-22s %12s %12s %9s  %s\n" "workload" "metric"
+       "baseline" "fresh" "change" "verdict");
+  let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+  let pct v =
+    if Float.is_nan v then "-"
+    else if v = infinity then "+inf"
+    else Printf.sprintf "%+.1f%%" v
+  in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-22s %-22s %12s %12s %9s  %s\n" c.workload c.metric
+           (cell c.base) (cell c.fresh) (pct c.change_pct)
+           (verdict_name c.verdict)))
+    checks;
+  Buffer.contents buf
+
+let inject_slowdown ~factor doc =
+  let scale_field name k fields =
+    List.map
+      (fun (n, v) ->
+        if n <> name then (n, v)
+        else
+          match Jsonx.to_float v with
+          | Some f -> (n, Jsonx.Float (f *. k))
+          | None -> (n, v))
+      fields
+  in
+  let map_rows name k = function
+    | Jsonx.List rows ->
+        Jsonx.List
+          (List.map
+             (function
+               | Jsonx.Obj fields -> Jsonx.Obj (scale_field name k fields)
+               | j -> j)
+             rows)
+    | j -> j
+  in
+  match doc with
+  | Jsonx.Obj fields ->
+      Jsonx.Obj
+        (List.map
+           (fun (n, v) ->
+             match n with
+             | "samples" -> (n, map_rows "ns_per_activation" factor v)
+             | "parallel" -> (n, map_rows "rounds_per_sec" (1. /. factor) v)
+             | _ -> (n, v))
+           fields)
+  | j -> j

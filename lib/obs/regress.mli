@@ -1,0 +1,68 @@
+(** Perf-regression comparator over two BENCH_engine.json documents.
+
+    [bench regress] measures a fresh engine-suite document and calls
+    {!compare_docs} against the committed baseline; any {!failing} check
+    makes the gate exit nonzero.  The comparator is pure (two parsed
+    {!Jsonx} documents in, verdicts out) so edge cases — missing
+    workloads, zero baselines, exact-boundary tolerances — are unit
+    tested without running benchmarks.
+
+    Metrics compared, per workload:
+    - [ns_per_activation] (lower is better) — regressed when the
+      increase exceeds [tolerance_pct] strictly (an exact-boundary
+      change passes);
+    - [words_per_activation] (lower is better) — regressed when the
+      fresh value exceeds baseline × (1 + tolerance) {e plus} an
+      absolute [words_slack], so zero-allocation baselines don't fail
+      on a word of noise while real allocation regressions still trip;
+    - [rounds_per_sec] per domain count (higher is better) — regressed
+      when the decrease exceeds [tolerance_pct] strictly.
+
+    A workload present in the baseline but missing from the fresh run is
+    a failure ({!Missing_fresh}: a silently dropped benchmark must not
+    pass the gate); a fresh-only workload is informational
+    ({!New_only}). *)
+
+type verdict =
+  | Pass
+  | Regressed
+  | Missing_fresh  (** in baseline, absent from the fresh run *)
+  | New_only  (** in the fresh run only; passes *)
+
+type check = {
+  workload : string;  (** e.g. ["e01_census"], or ["zero_alloc"] *)
+  metric : string;  (** e.g. ["ns_per_activation"], ["rounds_per_sec@d4"] *)
+  base : float;  (** [nan] when absent *)
+  fresh : float;  (** [nan] when absent *)
+  change_pct : float;
+      (** signed change in the harmful direction: positive = worse.
+          [infinity] for a zero baseline that grew; [nan] when a side is
+          absent *)
+  verdict : verdict;
+}
+
+val compare_docs :
+  ?tolerance_pct:float ->
+  ?words_slack:float ->
+  baseline:Jsonx.t ->
+  fresh:Jsonx.t ->
+  unit ->
+  (check list, string) result
+(** Compare two engine-bench documents.  [tolerance_pct] defaults to 50
+    (a strict-greater-than bound: change == tolerance passes);
+    [words_slack] defaults to 8 words.  [Error] on structurally
+    unusable input: wrong [suite], differing [smoke] flags, or missing
+    [samples]. *)
+
+val failing : check list -> check list
+(** The checks that should fail the gate ({!Regressed} and
+    {!Missing_fresh}). *)
+
+val to_table : check list -> string
+(** Fixed-width report, one check per row, verdict last. *)
+
+val inject_slowdown : factor:float -> Jsonx.t -> Jsonx.t
+(** Self-test aid for the CI gate: scale every [ns_per_activation] up
+    and every [rounds_per_sec] down by [factor], leaving the rest of the
+    document intact — comparing an injected document against its
+    original must fail the gate. *)

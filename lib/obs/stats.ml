@@ -21,6 +21,20 @@ type summary = {
   max : float;
 }
 
+let summary_of name a =
+  {
+    name;
+    count = Array.length a;
+    total = Array.fold_left ( +. ) 0. a;
+    p50 = percentile 0.5 a;
+    p95 = percentile 0.95 a;
+    max = Array.fold_left max neg_infinity a;
+  }
+
+let of_series named =
+  List.map (fun (name, a) -> summary_of name a) named
+  |> List.sort (fun a b -> compare a.name b.name)
+
 let summarise events =
   (* name -> reversed observation list *)
   let series : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
@@ -70,17 +84,7 @@ let summarise events =
       | Events.Run_start _ | Events.Round_start _ | Events.Frame _ -> ())
     events;
   Hashtbl.fold
-    (fun name obs acc ->
-      let a = Array.of_list !obs in
-      {
-        name;
-        count = Array.length a;
-        total = Array.fold_left ( +. ) 0. a;
-        p50 = percentile 0.5 a;
-        p95 = percentile 0.95 a;
-        max = Array.fold_left max neg_infinity a;
-      }
-      :: acc)
+    (fun name obs acc -> summary_of name (Array.of_list !obs) :: acc)
     series []
   |> List.sort (fun a b -> compare a.name b.name)
 

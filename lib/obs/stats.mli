@@ -19,6 +19,10 @@ type summary = {
   max : float;
 }
 
+val of_series : (string * float array) list -> summary list
+(** Summarise pre-extracted named series (e.g. {!Timeline.series}
+    columns), sorted by name. *)
+
 val summarise : Events.t list -> summary list
 (** Series derived from a trace, sorted by name:
     - [activations_per_round] and [transitions_per_round] from

@@ -1,0 +1,151 @@
+type row = {
+  round : int;
+  wall_ns : int;
+  activations : int;
+  transitions : int;
+  frontier : int;
+  faults : int;
+  recoveries : int;
+}
+
+(* Growable columnar storage: one int-array store per column per round,
+   reallocation only on doubling, so recording is effectively
+   allocation-free at steady state. *)
+type cols = {
+  mutable len : int;
+  mutable round : int array;
+  mutable wall_ns : int array;
+  mutable activations : int array;
+  mutable transitions : int array;
+  mutable frontier : int array;
+  mutable faults : int array;
+  mutable recoveries : int array;
+}
+
+type t = Disabled | Enabled of cols
+
+let null = Disabled
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Timeline.create: capacity must be >= 1";
+  Enabled
+    {
+      len = 0;
+      round = Array.make capacity 0;
+      wall_ns = Array.make capacity 0;
+      activations = Array.make capacity 0;
+      transitions = Array.make capacity 0;
+      frontier = Array.make capacity 0;
+      faults = Array.make capacity 0;
+      recoveries = Array.make capacity 0;
+    }
+
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let grow c =
+  let extend a = Array.append a (Array.make (Array.length a) 0) in
+  c.round <- extend c.round;
+  c.wall_ns <- extend c.wall_ns;
+  c.activations <- extend c.activations;
+  c.transitions <- extend c.transitions;
+  c.frontier <- extend c.frontier;
+  c.faults <- extend c.faults;
+  c.recoveries <- extend c.recoveries
+
+let record t ~round ~wall_ns ~activations ~transitions ~frontier ~faults
+    ~recoveries =
+  match t with
+  | Disabled -> ()
+  | Enabled c ->
+      if c.len = Array.length c.round then grow c;
+      let i = c.len in
+      c.round.(i) <- round;
+      c.wall_ns.(i) <- wall_ns;
+      c.activations.(i) <- activations;
+      c.transitions.(i) <- transitions;
+      c.frontier.(i) <- frontier;
+      c.faults.(i) <- faults;
+      c.recoveries.(i) <- recoveries;
+      c.len <- i + 1
+
+let length = function Disabled -> 0 | Enabled c -> c.len
+
+let rows = function
+  | Disabled -> []
+  | Enabled c ->
+      List.init c.len (fun i : row ->
+          {
+            round = c.round.(i);
+            wall_ns = c.wall_ns.(i);
+            activations = c.activations.(i);
+            transitions = c.transitions.(i);
+            frontier = c.frontier.(i);
+            faults = c.faults.(i);
+            recoveries = c.recoveries.(i);
+          })
+
+let row_to_json (r : row) =
+  Jsonx.Obj
+    [
+      ("round", Jsonx.Int r.round);
+      ("wall_ns", Jsonx.Int r.wall_ns);
+      ("activations", Jsonx.Int r.activations);
+      ("transitions", Jsonx.Int r.transitions);
+      ("frontier", Jsonx.Int r.frontier);
+      ("faults", Jsonx.Int r.faults);
+      ("recoveries", Jsonx.Int r.recoveries);
+    ]
+
+let row_of_json j =
+  let field name =
+    match Option.bind (Jsonx.member name j) Jsonx.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "timeline row: missing int field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* round = field "round" in
+  let* wall_ns = field "wall_ns" in
+  let* activations = field "activations" in
+  let* transitions = field "transitions" in
+  let* frontier = field "frontier" in
+  let* faults = field "faults" in
+  let* recoveries = field "recoveries" in
+  (Ok { round; wall_ns; activations; transitions; frontier; faults; recoveries }
+    : (row, string) result)
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (Jsonx.to_string (row_to_json r));
+      Buffer.add_char b '\n')
+    (rows t);
+  Buffer.contents b
+
+let read_lines ic =
+  let rec loop acc lineno =
+    match In_channel.input_line ic with
+    | None -> Ok (List.rev acc)
+    | Some line when String.trim line = "" -> loop acc (lineno + 1)
+    | Some line -> (
+        match Jsonx.of_string line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok j -> (
+            match row_of_json j with
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+            | Ok r -> loop (r :: acc) (lineno + 1)))
+  in
+  loop [] 1
+
+let series (rows : row list) =
+  let col name f =
+    (name, Array.of_list (List.map (fun r -> float_of_int (f r)) rows))
+  in
+  [
+    col "round_ns" (fun r -> r.wall_ns);
+    col "activations" (fun r -> r.activations);
+    col "transitions" (fun r -> r.transitions);
+    col "frontier" (fun r -> r.frontier);
+    col "faults" (fun r -> r.faults);
+    col "recoveries" (fun r -> r.recoveries);
+  ]

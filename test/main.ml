@@ -31,4 +31,5 @@ let () =
       ("spec-trace", Test_spec_trace.suite);
       ("obs", Test_obs.suite);
       ("chaos", Test_chaos.suite);
+      ("profiling", Test_profiling.suite);
     ]
