@@ -1,0 +1,137 @@
+(* E17 — divide-and-conquer SM backends (Pritchard, arXiv:0708.0580).
+   One SM observation can be evaluated three ways: a direct sequential
+   scan (O(n) per evaluation), a segment tree of transition summaries
+   (O(n) build, parallelizable, then O(log n) point updates), or
+   incrementally against a cached tree.  This experiment measures
+   ns/eval as n grows for all three, the engine-level census round cost
+   per backend (cross-checked bit-identical), and the hub-update
+   workload behind the digest cache's >= 50x acceptance criterion. *)
+
+open Bench_util
+module Sm = Symnet_core.Sm
+module Sm_monoid = Symnet_core.Sm_monoid
+module Sm_segtree = Symnet_core.Sm_segtree
+module Sm_digest = Symnet_core.Sm_digest
+module Prng = Symnet_prng.Prng
+module Jsonx = Symnet_obs.Jsonx
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module A = Symnet_algorithms
+
+(* Threshold counter "at least three 1s": a typical thresh-only SM
+   observation (the paper found no practical use for mod atoms). *)
+let seq_prog : Sm.sequential =
+  {
+    sq_q_size = 2;
+    sq_w_size = 4;
+    sq_w0 = 0;
+    sq_p = [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |]; [| 3; 3 |] |];
+    sq_beta = [| 0; 0; 0; 1 |];
+    sq_r_size = 2;
+  }
+
+let time_ns f iters =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let run ?(smoke = false) () =
+  section "E17 divide-and-conquer SM backends (arXiv:0708.0580)"
+    "ns per whole-input evaluation: direct sequential scan vs segment\n\
+     tree build vs one incremental update + re-query; then the census\n\
+     hub workload behind the engine's incremental digest cache";
+  let m = Sm_monoid.of_sequential seq_prog in
+  let sizes = if smoke then [ 256; 1024 ] else [ 1_000; 10_000; 100_000 ] in
+  row "  %-10s %14s %15s %16s\n" "n" "seq ns/eval" "tree ns/build"
+    "incr ns/update";
+  List.iter
+    (fun n ->
+      let r = rng (n + 7) in
+      let arr = Array.init n (fun _ -> Prng.int r 2) in
+      let lst = Array.to_list arr in
+      let iters = max 3 (2_000_000 / n) in
+      let seq_ns =
+        time_ns (fun () -> ignore (Sm.run_sequential seq_prog lst)) iters
+      in
+      let tree_ns = time_ns (fun () -> ignore (Sm_segtree.eval m arr)) iters in
+      let tr = Sm_segtree.build m arr in
+      let i = ref 0 in
+      let incr_ns =
+        time_ns
+          (fun () ->
+            incr i;
+            let j = !i mod n in
+            Sm_segtree.set tr j (1 - Sm_segtree.get tr j);
+            ignore (Sm_segtree.result tr))
+          (iters * 64)
+      in
+      row "  %-10d %14.1f %15.1f %16.1f\n" n seq_ns tree_ns incr_ns;
+      metric_row ~experiment:"e17"
+        [
+          ("n", Jsonx.Int n);
+          ("seq_ns_per_eval", Jsonx.Float seq_ns);
+          ("tree_ns_per_build", Jsonx.Float tree_ns);
+          ("incr_ns_per_update", Jsonx.Float incr_ns);
+        ])
+    sizes;
+  (* Engine level: whole census rounds per backend on one graph, states
+     cross-checked — the backends must be a pure performance switch. *)
+  let n = if smoke then 400 else 10_000 in
+  let rounds = if smoke then 5 else 20 in
+  let k = A.Census.recommended_k n in
+  let drive backend =
+    let g = Gen.random_connected (rng 42) ~n ~extra_edges:n in
+    let net =
+      Network.init ~rng:(rng 1) g (Sm_digest.to_fssga (A.Census.digest ~k))
+    in
+    let dg = Network.digest_of net (A.Census.digest ~k) in
+    let step () =
+      match backend with
+      | `Seq -> Network.sync_step net
+      | `Tree -> Network.digest_step ~mode:`Tree dg
+      | `Incr -> Network.digest_step ~mode:`Incr dg
+    in
+    (* warm-up round: builds the trees and grows the engine buffers *)
+    ignore (step ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      ignore (step ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt *. 1e9 /. float_of_int (rounds * n), Network.states net)
+  in
+  let seq_ns, seq_states = drive `Seq in
+  let tree_ns, tree_states = drive `Tree in
+  let incr_ns, incr_states = drive `Incr in
+  let identical = seq_states = tree_states && seq_states = incr_states in
+  row "  census n=%d:  %.1f ns/act seq   %.1f tree   %.1f incr   (%s)\n" n
+    seq_ns tree_ns incr_ns
+    (if identical then "bit-identical" else "DIVERGENT");
+  metric_row ~experiment:"e17"
+    [
+      ("workload", Jsonx.String "census_rounds");
+      ("n", Jsonx.Int n);
+      ("seq_ns_per_activation", Jsonx.Float seq_ns);
+      ("tree_ns_per_activation", Jsonx.Float tree_ns);
+      ("incr_ns_per_activation", Jsonx.Float incr_ns);
+      ("identical", Jsonx.Bool identical);
+    ];
+  (* The hub workload (shared with the engine bench / regress gate):
+     re-evaluating a high-degree node's digest after one neighbour
+     change. *)
+  let dg = Engine_bench.measure_digest ~smoke () in
+  row "  hub deg=%d:  rescan %.0f ns   incr update %.0f ns   %.0fx %s\n"
+    dg.Engine_bench.hub_degree dg.Engine_bench.seq_rescan_ns
+    dg.Engine_bench.incr_update_ns dg.Engine_bench.dg_speedup
+    (if dg.Engine_bench.dg_pass then "(>= 50x: ok)" else "(FAIL: < 50x)");
+  metric_row ~experiment:"e17"
+    [
+      ("workload", Jsonx.String "census_hub");
+      ("degree", Jsonx.Int dg.Engine_bench.hub_degree);
+      ("seq_rescan_ns", Jsonx.Float dg.Engine_bench.seq_rescan_ns);
+      ("incr_update_ns", Jsonx.Float dg.Engine_bench.incr_update_ns);
+      ("speedup", Jsonx.Float dg.Engine_bench.dg_speedup);
+    ];
+  if not (identical && dg.Engine_bench.dg_pass) then exit 1

@@ -238,6 +238,72 @@ let measure_dirty ~workload mk =
     rounds_equal = naive_rounds = dirty_rounds;
   }
 
+(* --- divide-and-conquer digest: the hub workload ---------------------- *)
+
+type digest_sample = {
+  hub_degree : int;
+  seq_rescan_ns : float; (* O(deg) monoid rescan of the hub's view *)
+  incr_update_ns : float; (* one O(log deg) leaf update + root re-read *)
+  dg_speedup : float;
+  dg_pass : bool; (* >= 50x — the digest-cache acceptance criterion *)
+}
+
+(* Re-evaluating a degree-[d] hub's digest after one neighbour change:
+   the seq backend re-absorbs all [d] encoded neighbour states, the
+   incremental backend updates one segment-tree leaf and re-reads the
+   root.  Both paths use the census OR monoid, so this isolates exactly
+   the cost the engine's digest cache removes. *)
+let measure_digest ?(smoke = false) () =
+  let module Sm_monoid = Symnet_core.Sm_monoid in
+  let module Sm_segtree = Symnet_core.Sm_segtree in
+  let deg = if smoke then 4_000 else 100_000 in
+  let m = (A.Census.digest ~k:30).Symnet_core.Sm_digest.monoid in
+  let r = rng 47 in
+  let leaves = Array.init deg (fun _ -> Prng.int r 0x3fff) in
+  let tr = Sm_segtree.build m leaves in
+  let sink = ref 0 in
+  let rescan_iters = if smoke then 100 else 50 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rescan_iters do
+    let acc = Sm_monoid.identity m in
+    for j = 0 to deg - 1 do
+      Sm_monoid.absorb m acc leaves.(j)
+    done;
+    sink := !sink lxor Sm_monoid.finish m acc
+  done;
+  let seq_ns =
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int rescan_iters
+  in
+  let upd_iters = if smoke then 50_000 else 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to upd_iters do
+    let j = i mod deg in
+    (* xor with a nonzero value: never a no-op [set] *)
+    Sm_segtree.set tr j (leaves.(j) lxor (1 lor (i land 0xff)));
+    sink := !sink lxor Sm_segtree.result tr
+  done;
+  let incr_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int upd_iters in
+  ignore !sink;
+  let speedup = seq_ns /. incr_ns in
+  {
+    hub_degree = deg;
+    seq_rescan_ns = seq_ns;
+    incr_update_ns = incr_ns;
+    dg_speedup = speedup;
+    dg_pass = speedup >= 50.;
+  }
+
+let digest_json d =
+  Jsonx.Obj
+    [
+      ("workload", Jsonx.String "census_hub");
+      ("degree", Jsonx.Int d.hub_degree);
+      ("seq_rescan_ns", Jsonx.Float d.seq_rescan_ns);
+      ("incr_update_ns", Jsonx.Float d.incr_update_ns);
+      ("speedup", Jsonx.Float d.dg_speedup);
+      ("pass", Jsonx.Bool d.dg_pass);
+    ]
+
 let sample_json s =
   Jsonx.Obj
     [
@@ -291,12 +357,15 @@ type results = {
   r_za_sync : int * float * bool;  (* zero-alloc sync_step *)
   r_dirty : dirty_sample list;
   r_par : par_sample list;
+  r_digest : digest_sample;
 }
 
 let ok r =
   let _, _, za = r.r_za in
   let _, _, za_sync = r.r_za_sync in
-  za && za_sync && List.for_all (fun p -> p.p_identical) r.r_par
+  za && za_sync
+  && List.for_all (fun p -> p.p_identical) r.r_par
+  && r.r_digest.dg_pass
 
 let collect ?(smoke = false) ?domains () =
   let n = if smoke then 400 else 10_000 in
@@ -378,6 +447,19 @@ let collect ?(smoke = false) ?domains () =
       Bench_util.metric_row ~experiment:"engine"
         (("kind", Jsonx.String "parallel") :: par_fields p))
     par_samples;
+  let dg = measure_digest ~smoke () in
+  Printf.printf
+    "  digest hub deg=%-7d rescan %8.0f ns  incr update %6.0f ns  (%.0fx): %s\n"
+    dg.hub_degree dg.seq_rescan_ns dg.incr_update_ns dg.dg_speedup
+    (if dg.dg_pass then "ok" else "FAIL (< 50x)");
+  Bench_util.metric_row ~experiment:"engine"
+    [
+      ("kind", Jsonx.String "digest");
+      ("degree", Jsonx.Int dg.hub_degree);
+      ("seq_rescan_ns", Jsonx.Float dg.seq_rescan_ns);
+      ("incr_update_ns", Jsonx.Float dg.incr_update_ns);
+      ("speedup", Jsonx.Float dg.dg_speedup);
+    ];
   {
     r_smoke = smoke;
     r_samples = samples;
@@ -385,6 +467,7 @@ let collect ?(smoke = false) ?domains () =
     r_za_sync = (zs_acts, zs_words, zs_pass);
     r_dirty = dirty_samples;
     r_par = par_samples;
+    r_digest = dg;
   }
 
 let doc_of r =
@@ -405,6 +488,7 @@ let doc_of r =
       ("zero_alloc_view", za_json r.r_za);
       ("zero_alloc_sync", za_json r.r_za_sync);
       ("dirty", Jsonx.List (List.map dirty_json r.r_dirty));
+      ("digest", digest_json r.r_digest);
       ( "parallel",
         Jsonx.List (List.map (fun p -> Jsonx.Obj (par_fields p)) r.r_par) );
     ]

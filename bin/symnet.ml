@@ -78,6 +78,21 @@ let chaos_arg =
            sensitivity set, e.g. the sinks of shortest-paths).  Example: \
            'burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash'.")
 
+let sm_backend_arg =
+  let backend =
+    Arg.enum [ ("seq", `Seq); ("tree", `Tree); ("incr", `Incr) ]
+  in
+  Arg.(
+    value
+    & opt backend `Seq
+    & info [ "sm-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "SM evaluation backend for digest-capable algorithms: $(b,seq) \
+           rescans every view each round, $(b,tree) keeps a per-node \
+           summary segment tree rebuilt each round, $(b,incr) updates the \
+           trees incrementally — O(log deg) per changed neighbour.  All \
+           three are bit-identical; this is a pure performance switch.")
+
 (* [critical] is the algorithm's χ set (its sensitive nodes) for
    [target=critical] specs: the sinks for shortest-paths, the originator
    for bfs, and the empty set for the 0-sensitive algorithms (census,
@@ -189,23 +204,90 @@ let two_colouring graph seed max_rounds domains watch chaos_spec metrics
         | `Undecided -> "verdict: undecided"));
   report_metrics metrics recorder
 
-let census graph seed max_rounds domains chaos_spec metrics trace_out =
+(* Drive the digest cache with a plain synchronous loop (the runner's
+   fault pipeline does not apply; chaos is rejected by the callers).
+   [?pool] shards tree builds, bit-identical at every domain count.
+   Rounds are numbered from 1 and run_start/run_end bracket the loop so
+   the event trace is byte-identical to a fault-free Runner.run of the
+   equivalent classic automaton.  Returns (rounds, quiesced). *)
+let drive_digest ~recorder ~max_rounds ~domains ~mode dg =
+  let g = Network.graph (Network.digest_network dg) in
+  Obs.Recorder.run_start recorder ~nodes:(Graph.node_count g)
+    ~edges:(Graph.edge_count g) ~scheduler:"synchronous";
+  let run pool =
+    let round = ref 0 in
+    let changed = ref true in
+    while !changed && !round < max_rounds do
+      incr round;
+      Obs.Recorder.round_start recorder ~round:!round;
+      changed := Network.digest_step ?pool ~mode dg;
+      Obs.Recorder.round_end recorder ~round:!round ~changed:!changed
+    done;
+    (!round, not !changed)
+  in
+  let rounds, quiesced =
+    if domains = 1 then run None
+    else
+      let domains =
+        if domains = 0 then Symnet_engine.Domain_pool.recommended ()
+        else domains
+      in
+      Symnet_engine.Domain_pool.with_pool ~domains (fun pool ->
+          run (Some pool))
+  in
+  Obs.Recorder.run_end recorder ~round:rounds
+    ~reason:(if quiesced then "quiesced" else "budget");
+  (rounds, quiesced)
+
+let reject_chaos_with_digest chaos_spec =
+  if chaos_spec <> None then begin
+    prerr_endline "--chaos is not supported with --sm-backend tree|incr";
+    exit 2
+  end
+
+let census graph seed max_rounds domains chaos_spec metrics trace_out backend =
   let g = make_graph seed graph in
-  let chaos = chaos_of ~critical:(fun ~round:_ -> []) seed chaos_spec in
   let n = Graph.node_count g in
   let k = A.Census.recommended_k n in
-  let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
-  unless_metrics metrics (fun () ->
-      report_outcome o;
-      match
-        List.filter_map (fun (_, s) -> A.Census.estimate s) (Network.states net)
-      with
-      | e :: _ ->
-          Printf.printf "estimate: %.0f   truth: %d   ratio: %.2f\n" e n
-            (e /. float_of_int n)
-      | [] -> print_endline "no estimate");
+  (match backend with
+  | `Seq ->
+      let chaos = chaos_of ~critical:(fun ~round:_ -> []) seed chaos_spec in
+      let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
+      let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
+      unless_metrics metrics (fun () ->
+          report_outcome o;
+          match
+            List.filter_map (fun (_, s) -> A.Census.estimate s) (Network.states net)
+          with
+          | e :: _ ->
+              Printf.printf "estimate: %.0f   truth: %d   ratio: %.2f\n" e n
+                (e /. float_of_int n)
+          | [] -> print_endline "no estimate")
+  | (`Tree | `Incr) as mode ->
+      (* Chaos needs the runner's fault pipeline; fault correctness of
+         the digest cache is covered by the test suite. *)
+      reject_chaos_with_digest chaos_spec;
+      let net =
+        Network.init ~rng:(Prng.create ~seed) g
+          (Symnet_core.Sm_digest.to_fssga (A.Census.digest ~k))
+      in
+      Network.set_recorder net recorder;
+      let dg = Network.digest_of net (A.Census.digest ~k) in
+      let rounds, quiesced =
+        drive_digest ~recorder ~max_rounds ~domains ~mode dg
+      in
+      unless_metrics metrics (fun () ->
+          Printf.printf "rounds: %d   activations: %d   %s\n" rounds
+            (Network.activations net)
+            (if quiesced then "quiesced" else "budget exhausted");
+          match
+            List.filter_map (fun (_, s) -> A.Census.estimate s) (Network.states net)
+          with
+          | e :: _ ->
+              Printf.printf "estimate: %.0f   truth: %d   ratio: %.2f\n" e n
+                (e /. float_of_int n)
+          | [] -> print_endline "no estimate"));
   report_metrics metrics recorder
 
 let bfs graph seed max_rounds domains target chaos_spec metrics trace_out =
@@ -523,7 +605,7 @@ let write_file path contents =
       exit 2
 
 let profile algo graph seed max_rounds domains chaos_spec out timeline_out
-    span_capacity =
+    span_capacity backend =
   let g = make_graph seed graph in
   let n = Graph.node_count g in
   let spans =
@@ -539,29 +621,53 @@ let profile algo graph seed max_rounds domains chaos_spec out timeline_out
     let net = Network.init ~rng:(Prng.create ~seed) g automaton in
     Runner.run ~max_rounds ~recorder ~domains ?chaos net
   in
+  let run_digest mode digest =
+    reject_chaos_with_digest chaos_spec;
+    let net =
+      Network.init ~rng:(Prng.create ~seed) g
+        (Symnet_core.Sm_digest.to_fssga digest)
+    in
+    Network.set_recorder net recorder;
+    let dg = Network.digest_of net digest in
+    let rounds, quiesced = drive_digest ~recorder ~max_rounds ~domains ~mode dg in
+    (rounds, Network.activations net, quiesced)
+  in
   let o =
-    match algo with
-    | `Census ->
-        run
-          ~critical:(fun ~round:_ -> [])
-          (A.Census.automaton ~k:(A.Census.recommended_k n))
-    | `Shortest_paths ->
-        run
-          ~critical:(fun ~round:_ -> [ 0 ])
-          (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:n)
-    | `Two_colouring ->
-        run ~critical:(fun ~round:_ -> []) (A.Two_colouring.automaton ~seed:0)
-    | `Bfs ->
-        run
-          ~critical:(fun ~round:_ -> [ 0 ])
-          (A.Bfs.automaton ~originator:0 ~targets:[])
+    match (algo, backend) with
+    | `Census, ((`Tree | `Incr) as mode) ->
+        `Digest (run_digest mode (A.Census.digest ~k:(A.Census.recommended_k n)))
+    | _, (`Tree | `Incr) ->
+        prerr_endline "--sm-backend tree|incr is only supported for census";
+        exit 2
+    | `Census, `Seq ->
+        `Outcome
+          (run
+             ~critical:(fun ~round:_ -> [])
+             (A.Census.automaton ~k:(A.Census.recommended_k n)))
+    | `Shortest_paths, `Seq ->
+        `Outcome
+          (run
+             ~critical:(fun ~round:_ -> [ 0 ])
+             (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:n))
+    | `Two_colouring, `Seq ->
+        `Outcome
+          (run ~critical:(fun ~round:_ -> []) (A.Two_colouring.automaton ~seed:0))
+    | `Bfs, `Seq ->
+        `Outcome
+          (run
+             ~critical:(fun ~round:_ -> [ 0 ])
+             (A.Bfs.automaton ~originator:0 ~targets:[]))
   in
   Obs.Recorder.close recorder;
   write_file out (Obs.Jsonx.to_string (Obs.Span.chrome_json spans));
   (match timeline_out with
   | Some path -> write_file path (Obs.Timeline.to_jsonl timeline)
   | None -> ());
-  report_outcome o;
+  (match o with
+  | `Outcome o -> report_outcome o
+  | `Digest (rounds, activations, quiesced) ->
+      Printf.printf "rounds: %d   activations: %d   %s\n" rounds activations
+        (if quiesced then "quiesced" else "budget exhausted"));
   Printf.printf "spans: %d recorded, %d dropped   trace: %s%s\n"
     (Obs.Span.recorded spans) (Obs.Span.dropped spans) out
     (match timeline_out with
@@ -741,7 +847,7 @@ let commands =
     cmd "census" "Flajolet-Martin size estimation (§1)."
       Term.(
         const census $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
-        $ chaos_arg $ metrics_arg $ trace_out_arg);
+        $ chaos_arg $ metrics_arg $ trace_out_arg $ sm_backend_arg);
     cmd "bfs" "Breadth-first search / broadcast (§4.3)."
       Term.(
         const bfs $ graph_arg $ seed_arg $ rounds_arg $ domains_arg $ target_arg
@@ -780,7 +886,7 @@ let commands =
       Term.(
         const profile $ profile_algo_arg $ graph_arg $ seed_arg $ rounds_arg
         $ domains_arg $ chaos_arg $ profile_out_arg $ profile_timeline_out_arg
-        $ span_capacity_arg);
+        $ span_capacity_arg $ sm_backend_arg);
     cmd "stats"
       "Summarise a JSONL event trace (p50/p95/max per series), a profile \
        timeline with --timeline, or diff two traces with --diff."

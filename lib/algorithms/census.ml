@@ -37,6 +37,38 @@ let automaton ~k =
   in
   { Fssga.name = "census"; init; step; deterministic = false }
 
+module Sm_monoid = Symnet_core.Sm_monoid
+module Sm_digest = Symnet_core.Sm_digest
+
+(* The OR-join factored through a summary monoid: one cell holding the
+   OR of the encoded neighbour masks.  [Fresh] encodes to 0 — it
+   contributes nothing, exactly like [mask_of] in [automaton] — so the
+   digest backends transition bit-for-bit like the classic automaton,
+   including the single geometric draw, which [decide] performs from
+   the same per-node stream. *)
+let digest ~k =
+  if k < 1 || k > 60 then invalid_arg "Census.digest: k in 1..60 required";
+  let monoid =
+    Sm_monoid.custom ~width:1
+      ~identity:(fun st off -> st.(off) <- 0)
+      ~summarize:(fun st off sym -> st.(off) <- sym)
+      ~combine:(fun a aoff b boff dst doff -> dst.(doff) <- a.(aoff) lor b.(boff))
+      ~absorb:(fun st off sym -> st.(off) <- st.(off) lor sym)
+      ~finish:(fun st off -> st.(off))
+      ()
+  in
+  let encode = function Fresh _ -> 0 | Bits (_, m) -> m in
+  let decide ~self ~rng summary =
+    match self with
+    | Fresh k -> (
+        match Prng.geometric_bit rng ~max:k with
+        | Some i -> Bits (k, 1 lsl (i - 1))
+        | None -> Bits (k, 0))
+    | Bits (k, mask) -> Bits (k, mask lor Sm_monoid.get summary 0)
+  in
+  Sm_digest.make ~name:"census" ~init:(fun _g _v -> Fresh k) ~monoid ~encode
+    ~decide ~deterministic:false
+
 let of_bits ~k mask =
   if k < 1 || k > 60 then invalid_arg "Census.of_bits: k in 1..60";
   Bits (k, mask land ((1 lsl k) - 1))

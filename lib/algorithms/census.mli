@@ -19,6 +19,15 @@ val automaton : k:int -> state Symnet_core.Fssga.t
     first activation of a node performs the probabilistic initialization
     (one geometric draw); subsequent activations perform the OR. *)
 
+val digest : k:int -> state Symnet_core.Sm_digest.t
+(** The census automaton factored through a summary monoid (the OR of
+    the neighbours' encoded masks), for the engine's divide-and-conquer
+    backends ({!Symnet_engine.Network.digest_of}).
+    [Sm_digest.to_fssga (digest ~k)] is bit-identical to
+    {!automaton}[ ~k] — same transitions, same single geometric draw per
+    node — so [--sm-backend seq|tree|incr] is a pure performance
+    switch. *)
+
 val recommended_k : int -> int
 (** [recommended_k n] = a comfortable vector width for networks of [n]
     nodes: [log2 n + 8] guard bits. *)

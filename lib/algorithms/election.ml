@@ -472,14 +472,14 @@ let automaton () : state Fssga.t =
   let init _g _v = fresh in
   (* One digest per automaton, reset and refilled on every activation.
      The engine is single-threaded per network and the view is consumed
-     before the activation returns, so the reuse is safe.  The scan
-     predicate is preallocated for the same reason [Network]'s view
-     filler is: no closure allocation on the hot path. *)
+     before the activation returns, so the reuse is safe.  The absorb
+     closure is preallocated for the same reason [Network]'s view
+     filler is: no closure allocation on the hot path.  [digest_add]
+     only ORs flags/masks and saturates small counters, so it is a
+     commutative-monoid action — exactly [View.fold_monoid]'s
+     contract. *)
   let d = digest_make () in
-  let scan s =
-    digest_add d s;
-    true
-  in
+  let absorb () s = digest_add d s in
   let step ~self ~rng view =
     if self < 0 then begin
       (* Fresh: take the initial coin flips *)
@@ -497,7 +497,7 @@ let automaton () : state Fssga.t =
     else begin
       let b = self in
       digest_prepare d b;
-      ignore (View.for_all view scan);
+      View.fold_monoid absorb () view;
       if d.fresh_seen then
         (* an asynchronously-scheduled neighbour has not taken its
            initialization step yet: it is logically at tick -1, so wait

@@ -85,16 +85,32 @@ let left_comb_tree k =
   let rec go acc i = if i >= k then acc else go (Node (acc, Leaf i)) (i + 1) in
   go (Leaf 0) 1
 
+(* Balanced trees are pure in [k] and immutable, so they are memoized:
+   [run_parallel]'s default path used to rebuild the O(k)-node tree on
+   every call.  The table is guarded for callers evaluating from
+   several domains at once. *)
+let balanced_memo : (int, tree) Hashtbl.t = Hashtbl.create 16
+let balanced_lock = Mutex.create ()
+
 let balanced_tree k =
   if k < 1 then invalid_arg "Sm.balanced_tree: k >= 1";
-  let rec build lo hi =
-    if lo = hi then Leaf lo
-    else begin
-      let mid = (lo + hi) / 2 in
-      Node (build lo mid, build (mid + 1) hi)
-    end
-  in
-  build 0 (k - 1)
+  Mutex.lock balanced_lock;
+  match Hashtbl.find_opt balanced_memo k with
+  | Some t ->
+      Mutex.unlock balanced_lock;
+      t
+  | None ->
+      let rec build lo hi =
+        if lo = hi then Leaf lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          Node (build lo mid, build (mid + 1) hi)
+        end
+      in
+      let t = build 0 (k - 1) in
+      Hashtbl.add balanced_memo k t;
+      Mutex.unlock balanced_lock;
+      t
 
 let random_tree rng k =
   if k < 1 then invalid_arg "Sm.random_tree: k >= 1";
@@ -109,21 +125,87 @@ let random_tree rng k =
   in
   build 0 (k - 1)
 
+(* Evaluate the balanced shape without materializing any tree: an
+   explicit stack of interval frames replays the midpoint recursion of
+   [balanced_tree] exactly — same splits, same association, so the
+   answer matches [run_parallel ~tree:(balanced_tree k)] even for
+   non-SM programs — at O(log k) scratch words per call and zero
+   per-node allocation. *)
+let eval_balanced p arr =
+  let k = Array.length arr in
+  let depth = ref 2 and cap = ref 1 in
+  while !cap < k do
+    cap := 2 * !cap;
+    incr depth
+  done;
+  let d = !depth in
+  let los = Array.make d 0 and his = Array.make d 0 in
+  let stages = Array.make d 0 and lefts = Array.make d 0 in
+  (* stages: 0 = fresh frame, 1 = evaluating left child (the next value
+     delivered is the left result), 2 = evaluating right child. *)
+  let sp = ref 1 in
+  his.(0) <- k - 1;
+  let ret = ref 0 in
+  let deliver r =
+    ret := r;
+    let continue = ref true in
+    while !continue && !sp > 0 do
+      let g = !sp - 1 in
+      if stages.(g) = 1 then begin
+        lefts.(g) <- !ret;
+        continue := false
+      end
+      else begin
+        ret := p.pa_p.(lefts.(g)).(!ret);
+        decr sp
+      end
+    done
+  in
+  while !sp > 0 do
+    let f = !sp - 1 in
+    let lo = los.(f) and hi = his.(f) in
+    if lo = hi then begin
+      decr sp;
+      deliver p.pa_alpha.(arr.(lo))
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      let clo, chi =
+        if stages.(f) = 0 then begin
+          stages.(f) <- 1;
+          (lo, mid)
+        end
+        else begin
+          stages.(f) <- 2;
+          (mid + 1, hi)
+        end
+      in
+      los.(!sp) <- clo;
+      his.(!sp) <- chi;
+      stages.(!sp) <- 0;
+      incr sp
+    end
+  done;
+  p.pa_beta.(!ret)
+
 let run_parallel ?tree p inputs =
   if inputs = [] then invalid_arg "Sm.run_parallel: empty input";
   let arr = Array.of_list inputs in
   let k = Array.length arr in
   Array.iter (fun q -> check_range "input" q p.pa_q_size) arr;
-  let t = match tree with Some t -> t | None -> balanced_tree k in
-  if tree_leaves t <> k then
-    invalid_arg "Sm.run_parallel: tree leaf count mismatch";
-  let rec eval = function
-    | Leaf i ->
-        if i < 0 || i >= k then invalid_arg "Sm.run_parallel: bad leaf label";
-        p.pa_alpha.(arr.(i))
-    | Node (l, r) -> p.pa_p.(eval l).(eval r)
-  in
-  p.pa_beta.(eval t)
+  match tree with
+  | None -> eval_balanced p arr
+  | Some t ->
+      if tree_leaves t <> k then
+        invalid_arg "Sm.run_parallel: tree leaf count mismatch";
+      let rec eval = function
+        | Leaf i ->
+            if i < 0 || i >= k then
+              invalid_arg "Sm.run_parallel: bad leaf label";
+            p.pa_alpha.(arr.(i))
+        | Node (l, r) -> p.pa_p.(eval l).(eval r)
+      in
+      p.pa_beta.(eval t)
 
 (* ------------------------------------------------------------------ *)
 (* Mod-thresh programs                                                 *)

@@ -50,7 +50,9 @@ val left_comb_tree : int -> tree
 (** The left-to-right sequential shape: [Node (Node (Leaf 0, Leaf 1), ...)]. *)
 
 val balanced_tree : int -> tree
-(** Balanced divide-and-conquer shape. *)
+(** Balanced divide-and-conquer shape (midpoint splits).  Memoized per
+    [k] — trees are immutable, so repeated callers share one
+    structure. *)
 
 val random_tree : Symnet_prng.Prng.t -> int -> tree
 (** Uniformly shaped random binary tree on [k] leaves labelled 0..k-1 in
@@ -61,8 +63,12 @@ val tree_leaves : tree -> int
 
 val run_parallel : ?tree:tree -> parallel -> int list -> int
 (** Evaluate the program on the inputs, combining along [tree] (balanced
-    by default).  @raise Invalid_argument on empty input, out-of-range
-    state, or a tree whose leaf count/labels mismatch the input. *)
+    by default).  The default path runs an iterative evaluator that
+    replays {!balanced_tree}'s exact midpoint association from an
+    explicit O(log k) stack — no tree is materialized and nothing is
+    allocated per input.  @raise Invalid_argument on empty input,
+    out-of-range state, or a tree whose leaf count/labels mismatch the
+    input. *)
 
 (** {1 Mod-thresh programs (Definition 3.6)} *)
 

@@ -17,6 +17,15 @@ exception Too_large of string
 val parallel_to_sequential : Sm.parallel -> Sm.sequential
 (** Lemma 3.5.  Exact; adds a single working state. *)
 
+val atom_bounds : Sm.mod_thresh -> int array * int array
+(** [atom_bounds mt = (moduli, threshes)]: per input state [i], [M_i]
+    (the lcm of the moduli of the mod atoms mentioning [i], [1] when
+    none) and [T_i] (the largest thresh bound mentioning [i], [0] when
+    none).  These are Lemma 3.8's counter bounds — keeping each
+    multiplicity mod [M_i] and saturated at [T_i] decides every atom
+    exactly.  Shared by {!mod_thresh_to_parallel} and
+    {!Sm_monoid.of_mod_thresh}. *)
+
 val mod_thresh_to_parallel :
   ?max_states:int -> Sm.mod_thresh -> Sm.parallel
 (** Lemma 3.8.  The working alphabet is the product over states [i] of

@@ -1,0 +1,44 @@
+(** Digest automata: FSSGAs whose transition factors through an
+    {!Sm_monoid} summary of the neighbour multiset.
+
+    An ordinary {!Fssga.t} step consumes the view directly and is
+    opaque to the engine, which must therefore rescan all [deg]
+    neighbour states on every activation.  A digest automaton exposes
+    the factorization instead: [encode] maps a neighbour state to an
+    input symbol, the monoid summarizes the encoded multiset, and
+    [decide] computes the node's next state from its own state plus the
+    root summary.  The engine's divide-and-conquer backend
+    ({!Symnet_engine.Network.digest_of}) caches the summary in a
+    per-node segment tree — O(log deg) per neighbour change — while
+    {!to_fssga} recovers the plain O(deg) automaton; both compute
+    bit-identical transitions, including the randomness stream, so
+    [--sm-backend seq|tree|incr] is a pure performance switch. *)
+
+type 'q t = {
+  name : string;
+  init : Symnet_graph.Graph.t -> int -> 'q;
+  monoid : Sm_monoid.t;
+  encode : 'q -> int;
+      (** must return a valid monoid input symbol (or [-1]) *)
+  decide : self:'q -> rng:Symnet_prng.Prng.t -> Sm_monoid.summary -> 'q;
+      (** next state from own state + whole-view summary; called with
+          the monoid identity when the node has no live neighbours.
+          Must draw from [rng] identically however the summary was
+          produced (it only ever sees the summary, so this holds by
+          construction). *)
+  deterministic : bool;  (** as {!Fssga.t}[.deterministic] *)
+}
+
+val make :
+  name:string ->
+  init:(Symnet_graph.Graph.t -> int -> 'q) ->
+  monoid:Sm_monoid.t ->
+  encode:('q -> int) ->
+  decide:(self:'q -> rng:Symnet_prng.Prng.t -> Sm_monoid.summary -> 'q) ->
+  deterministic:bool ->
+  'q t
+
+val to_fssga : 'q t -> 'q Fssga.t
+(** The sequential-backend reading: scan the view, absorb every encoded
+    neighbour into a fresh summary, decide.  Exactly the transitions of
+    the tree/incremental backends (empty view = identity summary). *)

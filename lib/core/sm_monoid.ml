@@ -1,0 +1,219 @@
+(* Monoid-of-summaries compilation of SM programs (arXiv:0708.0580).
+
+   A summary condenses a sub-multiset of inputs into a fixed-width
+   record that (a) combines associatively and commutatively with any
+   other summary and (b) suffices to finish the program's result when it
+   covers the whole input.  Sequential programs summarize to their
+   transition function W -> W (combine = composition — exact for any
+   program, SM or not, under the left-to-right reading order a segment
+   tree preserves).  Mod-thresh programs summarize to one packed counter
+   per input state: the multiplicity mod M_q (the lcm of that state's
+   mod-atom moduli) together with the multiplicity saturated at T_q (the
+   largest thresh-atom bound), which is exactly the information Lemma
+   3.8's finite counters retain — so combining is digit-wise and
+   [finish] replays the clause list on the decoded digits.
+
+   All three kinds expose offset-based, allocation-free operations over
+   flat int stores; {!Sm_segtree} and the engine's digest cache build on
+   those, while the boxed {!summary} API is the convenient front door. *)
+
+type kind =
+  | Seq of {
+      w_size : int;
+      cols : int array array;  (* cols.(q).(w) = sq_p.(w).(q) *)
+      w0 : int;
+      beta : int array;
+    }
+  | Mt of {
+      moduli : int array;  (* M_q = lcm of mod-atom moduli on q, >= 1 *)
+      threshes : int array;  (* T_q = max thresh-atom bound on q, >= 0 *)
+      clauses : (Sm.prop * int) list;
+      default : int;
+    }
+  | Custom of {
+      c_identity : int array -> int -> unit;
+      c_summarize : int array -> int -> int -> unit;
+      c_combine :
+        int array -> int -> int array -> int -> int array -> int -> unit;
+      c_absorb : int array -> int -> int -> unit;
+      c_finish : int array -> int -> int;
+    }
+
+type t = { q_size : int; r_size : int; width : int; kind : kind }
+type summary = int array
+
+let width m = m.width
+let q_size m = m.q_size
+let r_size m = m.r_size
+let get (s : summary) i = s.(i)
+
+let check_sym q_size sym =
+  if sym >= q_size then
+    invalid_arg
+      (Printf.sprintf "Sm_monoid: input out of range: %d (bound %d)" sym q_size)
+
+let of_sequential (s : Sm.sequential) =
+  Sm.check_sequential s;
+  let cols =
+    Array.init s.Sm.sq_q_size (fun q ->
+        Array.init s.Sm.sq_w_size (fun w -> s.Sm.sq_p.(w).(q)))
+  in
+  {
+    q_size = s.Sm.sq_q_size;
+    r_size = s.Sm.sq_r_size;
+    width = s.Sm.sq_w_size;
+    kind = Seq { w_size = s.Sm.sq_w_size; cols; w0 = s.Sm.sq_w0; beta = s.Sm.sq_beta };
+  }
+
+let of_mod_thresh (mt : Sm.mod_thresh) =
+  Sm.check_mod_thresh mt;
+  let moduli, threshes = Sm_compile.atom_bounds mt in
+  {
+    q_size = mt.Sm.mt_q_size;
+    r_size = mt.Sm.mt_r_size;
+    width = mt.Sm.mt_q_size;
+    kind =
+      Mt { moduli; threshes; clauses = mt.Sm.mt_clauses; default = mt.Sm.mt_default };
+  }
+
+let custom ?(q_size = 0) ?(r_size = 0) ~width ~identity ~summarize ~combine
+    ~absorb ~finish () =
+  if width < 1 then invalid_arg "Sm_monoid.custom: width >= 1";
+  {
+    q_size;
+    r_size;
+    width;
+    kind =
+      Custom
+        {
+          c_identity = identity;
+          c_summarize = summarize;
+          c_combine = combine;
+          c_absorb = absorb;
+          c_finish = finish;
+        };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Offset-based operations (engine side)                               *)
+(* ------------------------------------------------------------------ *)
+
+let identity_into m st off =
+  match m.kind with
+  | Seq { w_size; _ } ->
+      for w = 0 to w_size - 1 do
+        st.(off + w) <- w
+      done
+  | Mt _ -> Array.fill st off m.width 0
+  | Custom c -> c.c_identity st off
+
+(* Mt cell encoding: a * (T_q + 1) + b with a = count mod M_q and
+   b = min count T_q.  Decoding needs only T_q. *)
+
+let summarize_into m st off sym =
+  if sym < 0 then identity_into m st off
+  else
+    match m.kind with
+    | Seq { cols; _ } ->
+        check_sym m.q_size sym;
+        Array.blit cols.(sym) 0 st off m.width
+    | Mt { moduli; threshes; _ } ->
+        check_sym m.q_size sym;
+        Array.fill st off m.width 0;
+        st.(off + sym) <- ((1 mod moduli.(sym)) * (threshes.(sym) + 1))
+                          + min 1 threshes.(sym)
+    | Custom c -> c.c_summarize st off sym
+
+(* [dst] may alias the left argument (never the right): Seq reads each
+   left cell exactly once before overwriting it, Mt is pointwise, and
+   Custom implementations must honour the same contract. *)
+let combine_into m a aoff b boff dst doff =
+  match m.kind with
+  | Seq { w_size; _ } ->
+      for w = 0 to w_size - 1 do
+        dst.(doff + w) <- b.(boff + a.(aoff + w))
+      done
+  | Mt { moduli; threshes; _ } ->
+      for q = 0 to m.width - 1 do
+        let radix = threshes.(q) + 1 in
+        let c1 = a.(aoff + q) and c2 = b.(boff + q) in
+        let a' = (c1 / radix) + (c2 / radix) in
+        let b' = (c1 mod radix) + (c2 mod radix) in
+        dst.(doff + q) <-
+          ((a' mod moduli.(q)) * radix) + min b' threshes.(q)
+      done
+  | Custom c -> c.c_combine a aoff b boff dst doff
+
+(* summary <- summary (x) summarize sym, without a scratch summary. *)
+let absorb_into m st off sym =
+  if sym >= 0 then
+    match m.kind with
+    | Seq { w_size; cols; _ } ->
+        check_sym m.q_size sym;
+        let col = cols.(sym) in
+        for w = 0 to w_size - 1 do
+          st.(off + w) <- col.(st.(off + w))
+        done
+    | Mt { moduli; threshes; _ } ->
+        check_sym m.q_size sym;
+        let radix = threshes.(sym) + 1 in
+        let c = st.(off + sym) in
+        let a' = (c / radix) + 1 in
+        let b' = (c mod radix) + 1 in
+        st.(off + sym) <-
+          ((a' mod moduli.(sym)) * radix) + min b' threshes.(sym)
+    | Custom c -> c.c_absorb st off sym
+
+let rec eval_prop_digits p threshes st off =
+  match p with
+  | Sm.True -> true
+  | Sm.False -> false
+  | Sm.Mod (q, r, md) ->
+      (* md divides M_q by construction, so the residue is exact. *)
+      (st.(off + q) / (threshes.(q) + 1)) mod md = r
+  | Sm.Thresh (q, t) ->
+      (* t <= T_q by construction, so saturation never hides the bound. *)
+      st.(off + q) mod (threshes.(q) + 1) < t
+  | Sm.Not p -> not (eval_prop_digits p threshes st off)
+  | Sm.And (p1, p2) ->
+      eval_prop_digits p1 threshes st off
+      && eval_prop_digits p2 threshes st off
+  | Sm.Or (p1, p2) ->
+      eval_prop_digits p1 threshes st off
+      || eval_prop_digits p2 threshes st off
+
+let finish_at m st off =
+  match m.kind with
+  | Seq { w0; beta; _ } -> beta.(st.(off + w0))
+  | Mt { threshes; clauses; default; _ } ->
+      let rec go = function
+        | [] -> default
+        | (p, r) :: rest ->
+            if eval_prop_digits p threshes st off then r else go rest
+      in
+      go clauses
+  | Custom c -> c.c_finish st off
+
+let blit_to_summary m st off (dst : summary) = Array.blit st off dst 0 m.width
+
+(* ------------------------------------------------------------------ *)
+(* Boxed summaries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let identity m =
+  let s = Array.make m.width 0 in
+  identity_into m s 0;
+  s
+
+let summarize m sym =
+  let s = Array.make m.width 0 in
+  summarize_into m s 0 sym;
+  s
+
+let combine m a b =
+  let s = Array.make m.width 0 in
+  combine_into m a 0 b 0 s 0;
+  s
+
+let absorb m s sym = absorb_into m s 0 sym
+let finish m s = finish_at m s 0

@@ -103,6 +103,13 @@ let join_with j v =
     Some !acc
   end
 
+let fold_monoid f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.buf.(i)
+  done;
+  !acc
+
 let map_join f j v =
   if v.len = 0 then None
   else begin

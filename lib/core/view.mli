@@ -90,6 +90,18 @@ val join_with : ('q -> 'q -> 'q) -> 'q t -> 'q option
     operation the result would leak ordering and multiplicity information
     the model forbids. *)
 
+val fold_monoid : ('acc -> 'q -> 'acc) -> 'acc -> 'q t -> 'acc
+(** [fold_monoid f acc v] folds [f] over the neighbour multiset in an
+    unspecified order.  CALLER OBLIGATION: [f] must be the absorb
+    action of a {e commutative-monoid summary} of the multiset — i.e.
+    the result must be independent of traversal order, as for the
+    summaries of {!Sm_monoid} (arXiv:0708.0580) — so the fold factors
+    through the multiplicity vector and stays a legal SM observation.
+    Unlike {!join_with}, the operation need not be idempotent:
+    multiplicities may (and do) count, e.g. saturating or modular
+    counters per Lemma 3.8.  This is the primitive behind
+    {!Sm_digest.to_fssga} and the election digest scan. *)
+
 val map_join : ('q -> 'p) -> ('p -> 'p -> 'p) -> 'q t -> 'p option
 (** [map_join f j v] is observationally [join_with j (map f v)] without
     allocating the intermediate view — the allocation-free form of the

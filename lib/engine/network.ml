@@ -535,3 +535,166 @@ let count_if t pred =
 
 let find_nodes t pred = List.filter (fun v -> pred t.states.(v)) (live_nodes t)
 let states t = List.map (fun v -> (v, t.states.(v))) (live_nodes t)
+
+(* --- divide-and-conquer digest backends ------------------------------- *)
+
+module Sm_monoid = Symnet_core.Sm_monoid
+module Sm_segtree = Symnet_core.Sm_segtree
+module Sm_digest = Symnet_core.Sm_digest
+module Clock = Symnet_obs.Clock
+
+type 'q digest = {
+  d_net : 'q t;
+  d_prog : 'q Sm_digest.t;
+  d_identity : Sm_monoid.summary;
+      (* the summary a node with no live neighbours decides against *)
+  (* Private CSR copy of the live adjacency as of the last rebuild.
+     [d_pos.(s)], for edge slot [s] of node [v] targeting [w], is the
+     leaf position of [v] in [w]'s tree — the O(1) reverse hop that
+     turns one changed node into an O(log deg) update of each
+     neighbour's tree instead of an O(deg) rescan. *)
+  mutable d_off : int array;
+  mutable d_tgt : int array;
+  mutable d_pos : int array;
+  mutable d_trees : Sm_segtree.t option array; (* [None] for degree 0 *)
+  mutable d_enc : int array; (* last encode pushed into the trees *)
+  mutable d_version : int; (* [Graph.version] at the last rebuild *)
+}
+
+let digest_of t prog =
+  {
+    d_net = t;
+    d_prog = prog;
+    d_identity = Sm_monoid.identity prog.Sm_digest.monoid;
+    d_off = [||];
+    d_tgt = [||];
+    d_pos = [||];
+    d_trees = [||];
+    d_enc = [||];
+    d_version = min_int;
+  }
+
+let digest_network d = d.d_net
+let digest_invalidate d = d.d_version <- min_int
+
+(* Adapt a domain pool to [Sm_segtree]'s parallel-loop shape.  Only the
+   big trees go wide (the segment tree runs its own cutoff below which
+   it stays sequential), and the split is bit-identical at every pool
+   size by the segment tree's contract. *)
+let par_of_pool = function
+  | None -> None
+  | Some pool ->
+      Some (fun ~n f -> Domain_pool.run pool ~n (fun _slot lo hi -> f lo hi))
+
+(* Full rebuild: snapshot the live adjacency into a private CSR, compute
+   every leaf position's reverse hop, and build one summary tree per
+   live node with neighbours.  O(sum deg) plus the tree builds. *)
+let digest_rebuild ?pool d =
+  let t = d.d_net in
+  let g = t.graph in
+  let n = Array.length t.states in
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + Graph.degree g v
+  done;
+  let m = off.(n) in
+  let tgt = Array.make (max m 1) (-1) in
+  let pos = Array.make (max m 1) 0 in
+  (* First pass records each [v]'s position in its own list per
+     neighbour; the second pass reads the reverse entry.  (Simple
+     graphs: one slot per ordered pair.) *)
+  let tbl = Hashtbl.create (2 * m + 1) in
+  for v = 0 to n - 1 do
+    if off.(v + 1) > off.(v) then begin
+      let j = ref 0 in
+      Graph.iter_neighbours g v (fun w ->
+          tgt.(off.(v) + !j) <- w;
+          Hashtbl.replace tbl (v, w) !j;
+          incr j)
+    end
+  done;
+  for v = 0 to n - 1 do
+    for s = off.(v) to off.(v + 1) - 1 do
+      pos.(s) <- Hashtbl.find tbl (tgt.(s), v)
+    done
+  done;
+  let enc = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if Graph.is_live_node g v then enc.(v) <- d.d_prog.Sm_digest.encode t.states.(v)
+  done;
+  let par = par_of_pool pool in
+  let monoid = d.d_prog.Sm_digest.monoid in
+  let trees = Array.make n None in
+  for v = 0 to n - 1 do
+    let deg = off.(v + 1) - off.(v) in
+    if deg > 0 then begin
+      let leaves = Array.init deg (fun j -> enc.(tgt.(off.(v) + j))) in
+      trees.(v) <- Some (Sm_segtree.build ?par monoid leaves)
+    end
+  done;
+  d.d_off <- off;
+  d.d_tgt <- tgt;
+  d.d_pos <- pos;
+  d.d_trees <- trees;
+  d.d_enc <- enc;
+  d.d_version <- Graph.version g
+
+let digest_step ?pool ?(mode = `Incr) d =
+  let t = d.d_net in
+  let g = t.graph in
+  let n = Array.length t.states in
+  ignore (ensure_next t);
+  let det = d.d_prog.Sm_digest.deterministic in
+  let rngs = if det then [||] else node_rngs t in
+  let sp = Recorder.spans t.recorder in
+  let rd = Recorder.round t.recorder in
+  let rec_on = Recorder.enabled t.recorder in
+  let c0 = if rec_on then Clock.now_ns () else 0 in
+  (* Update phase: bring every tree in line with the current states.
+     Structure drift (deletions, revivals, restore) is caught by the
+     graph version; state drift (set_state, corruption faults, restore)
+     by the encode sweep — the cache self-synchronizes against every
+     mutation path with no hooks.  A hub of degree [d] whose one
+     changed neighbour flipped pays O(log d) here, not O(d). *)
+  let t0 = Span.now sp in
+  (if d.d_version <> Graph.version g || mode = `Tree then digest_rebuild ?pool d
+   else
+     for v = 0 to n - 1 do
+       if Graph.is_live_node g v then begin
+         let e = d.d_prog.Sm_digest.encode t.states.(v) in
+         if e <> d.d_enc.(v) then begin
+           d.d_enc.(v) <- e;
+           for s = d.d_off.(v) to d.d_off.(v + 1) - 1 do
+             match d.d_trees.(d.d_tgt.(s)) with
+             | Some tr -> Sm_segtree.set tr d.d_pos.(s) e
+             | None -> ()
+           done
+         end
+       end
+     done);
+  Span.record sp Span.Digest_update ~shard:0 ~round:rd ~t0;
+  (* Query phase: one root read + decide per live node, mirroring
+     [read_node]'s rng selection so transitions and draws are
+     bit-identical to the [to_fssga] automaton under [sync_step]. *)
+  let t0 = Span.now sp in
+  for v = 0 to n - 1 do
+    if Graph.is_live_node g v then begin
+      t.activations <- t.activations + 1;
+      let rng = if det then t.rng else rngs.(v) in
+      let summary =
+        match d.d_trees.(v) with
+        | Some tr -> Sm_segtree.root_summary tr
+        | None -> d.d_identity
+      in
+      t.next.(v) <- d.d_prog.Sm_digest.decide ~self:t.states.(v) ~rng summary
+    end
+  done;
+  Span.record sp Span.Digest_query ~shard:0 ~round:rd ~t0;
+  if rec_on then Recorder.digest_ns t.recorder ~ns:(Clock.now_ns () - c0);
+  let t0 = Span.now sp in
+  let any = ref false in
+  for v = 0 to n - 1 do
+    if Graph.is_live_node g v then if commit t v t.next.(v) then any := true
+  done;
+  Span.record sp Span.Commit ~shard:0 ~round:rd ~t0;
+  !any

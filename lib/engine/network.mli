@@ -193,3 +193,50 @@ val find_nodes : 'q t -> ('q -> bool) -> int list
 
 val states : 'q t -> (int * 'q) list
 (** Live [(node, state)] pairs, ascending by node. *)
+
+(** {1 Divide-and-conquer digest backends}
+
+    Synchronous stepping for automata whose transition factors through
+    an {!Symnet_core.Sm_monoid} summary of the neighbour multiset
+    ({!Symnet_core.Sm_digest}).  Instead of rescanning every view each
+    round, the network keeps one persistent segment tree of encoded
+    neighbour states per node: when a node's state changes, each
+    neighbour's tree absorbs the new leaf in O(log deg), so a hub of
+    degree [d] pays O(log d) per changed neighbour instead of O(d).
+
+    Both backends are bit-identical — states, change flags, activation
+    and transition counts, and probabilistic draws — to running
+    {!sync_step} over [Sm_digest.to_fssga prog], at every pool size:
+    [`Incr] and [`Tree] differ only in cost.  The cache needs no hooks:
+    structural drift (faults, {!restore}) is caught by
+    {!Symnet_graph.Graph.version}, state drift ({!set_state},
+    corruption, {!restore}) by an encode sweep at the start of each
+    step. *)
+
+type 'q digest
+(** A network paired with per-node summary trees for one digest
+    automaton. *)
+
+val digest_of : 'q t -> 'q Symnet_core.Sm_digest.t -> 'q digest
+(** Attach a digest automaton to a network.  Cheap; trees are built
+    lazily at the first {!digest_step}.  The network's own automaton is
+    untouched — conventionally it is [Sm_digest.to_fssga prog] so that
+    plain {!sync_step} rounds on the same network agree. *)
+
+val digest_network : 'q digest -> 'q t
+(** The underlying network. *)
+
+val digest_step :
+  ?pool:Domain_pool.t -> ?mode:[ `Incr | `Tree ] -> 'q digest -> bool
+(** One synchronous round through the summary trees.  [`Incr] (default)
+    updates only the leaves whose encode changed; [`Tree] rebuilds
+    every tree from scratch each round (the cross-checking baseline).
+    [?pool] parallelizes tree {e builds} (rebuilds and the first round)
+    with bit-identical results at every domain count; update and query
+    phases are sequential.  Brackets its phases with
+    [Span.Digest_update] / [Span.Digest_query] and accrues
+    {!Symnet_obs.Recorder.digest_ns}.  Returns [true] if any state
+    changed. *)
+
+val digest_invalidate : 'q digest -> unit
+(** Force a full rebuild at the next {!digest_step} (tests). *)

@@ -33,6 +33,8 @@ type enabled = {
   mutable recoveries_total : int;
   mutable recoveries_at_round_start : int;
   mutable frontier_latch : int;  (* -1 = no frontier latched this round *)
+  mutable digest_ns_total : int;
+  mutable digest_ns_at_round_start : int;
 }
 
 type t = Disabled | Enabled of enabled
@@ -87,6 +89,8 @@ let create ?(sink = Events.null) ?(activation_events = true)
       recoveries_total = 0;
       recoveries_at_round_start = 0;
       frontier_latch = -1;
+      digest_ns_total = 0;
+      digest_ns_at_round_start = 0;
     }
 
 let enabled = function Disabled -> false | Enabled _ -> true
@@ -100,6 +104,11 @@ let round = function Disabled -> 0 | Enabled e -> e.round
 
 let frontier t ~size =
   match t with Disabled -> () | Enabled e -> e.frontier_latch <- size
+
+let digest_ns t ~ns =
+  match t with
+  | Disabled -> ()
+  | Enabled e -> e.digest_ns_total <- e.digest_ns_total + ns
 
 let run_start t ~nodes ~edges ~scheduler =
   match t with
@@ -116,6 +125,7 @@ let round_start t ~round =
       e.faults_at_round_start <- e.faults_total;
       e.recoveries_at_round_start <- e.recoveries_total;
       e.frontier_latch <- -1;
+      e.digest_ns_at_round_start <- e.digest_ns_total;
       if e.timing then e.round_t0 <- Clock.now_ns ();
       Events.emit e.out (Events.Round_start { round })
 
@@ -136,6 +146,7 @@ let round_end t ~round ~changed =
             (if e.frontier_latch >= 0 then e.frontier_latch else activations)
           ~faults:(e.faults_total - e.faults_at_round_start)
           ~recoveries:(e.recoveries_total - e.recoveries_at_round_start)
+          ~digest_ns:(e.digest_ns_total - e.digest_ns_at_round_start)
       end;
       Events.emit e.out (Events.Round_end { round; activations; changed })
 

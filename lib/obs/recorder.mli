@@ -91,6 +91,12 @@ val frontier : t -> size:int -> unit
     the timeline row falls back to the activation count when no frontier
     was latched (naive scheduling). *)
 
+val digest_ns : t -> ns:int -> unit
+(** Accrue time spent in the view-digest cache (update + query phases);
+    the timeline row records the delta accrued during its round.  The
+    engine calls this alongside the [Digest_update]/[Digest_query] span
+    records. *)
+
 val fault : ?effective:bool -> t -> action:Events.fault_action -> unit
 (** With [~effective:false] (default [true]) the fault was a no-op —
     recorded under the [faults_noop] counter and emitted as a

@@ -65,7 +65,21 @@ let extract doc =
             | _ -> None)
           l
   in
-  Ok (List.rev sample_rows @ par_rows)
+  (* The incremental-digest hub block (absent from pre-digest baselines:
+     its rows then surface as "new", which passes). *)
+  let digest_rows =
+    match Jsonx.member "digest" doc with
+    | None -> []
+    | Some d -> (
+        match (num_field "incr_update_ns" d, num_field "speedup" d) with
+        | Some ns, Some sp ->
+            [
+              ("digest_hub", "incr_update_ns", ns);
+              ("digest_hub", "speedup", sp);
+            ]
+        | _ -> [])
+  in
+  Ok (List.rev sample_rows @ par_rows @ digest_rows)
 
 (* --- comparison ------------------------------------------------------- *)
 
@@ -103,7 +117,8 @@ let compare_docs ?(tolerance_pct = 50.) ?(words_slack = 8.) ~baseline ~fresh ()
               verdict = Missing_fresh }
         | Some fresh ->
             let higher_better = m <> "ns_per_activation"
-                                && m <> "words_per_activation" in
+                                && m <> "words_per_activation"
+                                && m <> "incr_update_ns" in
             let pct = change_pct ~higher_better ~base ~fresh in
             let over_tolerance =
               if m = "words_per_activation" then
@@ -182,6 +197,14 @@ let inject_slowdown ~factor doc =
              match n with
              | "samples" -> (n, map_rows "ns_per_activation" factor v)
              | "parallel" -> (n, map_rows "rounds_per_sec" (1. /. factor) v)
+             | "digest" -> (
+                 match v with
+                 | Jsonx.Obj f ->
+                     ( n,
+                       Jsonx.Obj
+                         (scale_field "incr_update_ns" factor
+                            (scale_field "speedup" (1. /. factor) f)) )
+                 | j -> (n, j))
              | _ -> (n, v))
            fields)
   | j -> j

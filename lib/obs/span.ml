@@ -1,4 +1,13 @@
-type phase = Round | Read | Merge | Commit | Fault_apply | Checkpoint | Recovery
+type phase =
+  | Round
+  | Read
+  | Merge
+  | Commit
+  | Fault_apply
+  | Checkpoint
+  | Recovery
+  | Digest_update
+  | Digest_query
 
 let phase_name = function
   | Round -> "round"
@@ -8,6 +17,8 @@ let phase_name = function
   | Fault_apply -> "fault_apply"
   | Checkpoint -> "checkpoint"
   | Recovery -> "recovery"
+  | Digest_update -> "digest_update"
+  | Digest_query -> "digest_query"
 
 let phase_tag = function
   | Round -> 0
@@ -17,6 +28,8 @@ let phase_tag = function
   | Fault_apply -> 4
   | Checkpoint -> 5
   | Recovery -> 6
+  | Digest_update -> 7
+  | Digest_query -> 8
 
 let phase_of_tag = function
   | 0 -> Round
@@ -25,6 +38,8 @@ let phase_of_tag = function
   | 3 -> Commit
   | 4 -> Fault_apply
   | 5 -> Checkpoint
+  | 7 -> Digest_update
+  | 8 -> Digest_query
   | _ -> Recovery
 
 (* Parallel int arrays rather than an array of records: record stores

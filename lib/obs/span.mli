@@ -26,6 +26,12 @@ type phase =
   | Fault_apply  (** applying due faults / chaos actions / restarts *)
   | Checkpoint  (** copying network state into a checkpoint *)
   | Recovery  (** a recovery action (restore / reseed / degrade) *)
+  | Digest_update
+      (** refreshing the incremental view-digest cache (segment-tree
+          updates for changed neighbour states) before a digest round *)
+  | Digest_query
+      (** the digest round's read phase: per-node root-summary queries
+          replacing the O(deg) view rescan *)
 
 val phase_name : phase -> string
 (** Stable lower-snake name, used as the Chrome-trace event name. *)

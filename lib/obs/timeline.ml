@@ -6,6 +6,7 @@ type row = {
   frontier : int;
   faults : int;
   recoveries : int;
+  digest_ns : int;
 }
 
 (* Growable columnar storage: one int-array store per column per round,
@@ -20,6 +21,7 @@ type cols = {
   mutable frontier : int array;
   mutable faults : int array;
   mutable recoveries : int array;
+  mutable digest_ns : int array;
 }
 
 type t = Disabled | Enabled of cols
@@ -38,6 +40,7 @@ let create ?(capacity = 1024) () =
       frontier = Array.make capacity 0;
       faults = Array.make capacity 0;
       recoveries = Array.make capacity 0;
+      digest_ns = Array.make capacity 0;
     }
 
 let enabled = function Disabled -> false | Enabled _ -> true
@@ -50,10 +53,11 @@ let grow c =
   c.transitions <- extend c.transitions;
   c.frontier <- extend c.frontier;
   c.faults <- extend c.faults;
-  c.recoveries <- extend c.recoveries
+  c.recoveries <- extend c.recoveries;
+  c.digest_ns <- extend c.digest_ns
 
 let record t ~round ~wall_ns ~activations ~transitions ~frontier ~faults
-    ~recoveries =
+    ~recoveries ~digest_ns =
   match t with
   | Disabled -> ()
   | Enabled c ->
@@ -66,6 +70,7 @@ let record t ~round ~wall_ns ~activations ~transitions ~frontier ~faults
       c.frontier.(i) <- frontier;
       c.faults.(i) <- faults;
       c.recoveries.(i) <- recoveries;
+      c.digest_ns.(i) <- digest_ns;
       c.len <- i + 1
 
 let length = function Disabled -> 0 | Enabled c -> c.len
@@ -82,6 +87,7 @@ let rows = function
             frontier = c.frontier.(i);
             faults = c.faults.(i);
             recoveries = c.recoveries.(i);
+            digest_ns = c.digest_ns.(i);
           })
 
 let row_to_json (r : row) =
@@ -94,6 +100,7 @@ let row_to_json (r : row) =
       ("frontier", Jsonx.Int r.frontier);
       ("faults", Jsonx.Int r.faults);
       ("recoveries", Jsonx.Int r.recoveries);
+      ("digest_ns", Jsonx.Int r.digest_ns);
     ]
 
 let row_of_json j =
@@ -110,7 +117,21 @@ let row_of_json j =
   let* frontier = field "frontier" in
   let* faults = field "faults" in
   let* recoveries = field "recoveries" in
-  (Ok { round; wall_ns; activations; transitions; frontier; faults; recoveries }
+  (* absent in traces recorded before the digest backend existed *)
+  let digest_ns =
+    Option.value ~default:0 (Option.bind (Jsonx.member "digest_ns" j) Jsonx.to_int)
+  in
+  (Ok
+     {
+       round;
+       wall_ns;
+       activations;
+       transitions;
+       frontier;
+       faults;
+       recoveries;
+       digest_ns;
+     }
     : (row, string) result)
 
 let to_jsonl t =
@@ -148,4 +169,5 @@ let series (rows : row list) =
     col "frontier" (fun r -> r.frontier);
     col "faults" (fun r -> r.faults);
     col "recoveries" (fun r -> r.recoveries);
+    col "digest_ns" (fun r -> r.digest_ns);
   ]

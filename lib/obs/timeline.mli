@@ -23,6 +23,11 @@ type row = {
           on naive (non-dirty) rounds where no frontier is latched *)
   faults : int;  (** effective faults applied during the round *)
   recoveries : int;  (** recovery actions taken during the round *)
+  digest_ns : int;
+      (** ns spent refreshing/querying the incremental view-digest cache
+          this round ({!Span.phase}[ Digest_update]/[Digest_query]); [0]
+          on non-digest rounds and in timelines recorded before the
+          digest backend existed *)
 }
 
 val null : t
@@ -43,6 +48,7 @@ val record :
   frontier:int ->
   faults:int ->
   recoveries:int ->
+  digest_ns:int ->
   unit
 
 val length : t -> int
@@ -63,5 +69,5 @@ val read_lines : in_channel -> (row list, string) result
 
 val series : row list -> (string * float array) list
 (** Columns as named float series ([round_ns], [activations],
-    [transitions], [frontier], [faults], [recoveries]) for
+    [transitions], [frontier], [faults], [recoveries], [digest_ns]) for
     {!Stats.of_series}. *)

@@ -32,4 +32,5 @@ let () =
       ("obs", Test_obs.suite);
       ("chaos", Test_chaos.suite);
       ("profiling", Test_profiling.suite);
+      ("sm-monoid", Test_sm_monoid.suite);
     ]

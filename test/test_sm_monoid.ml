@@ -1,0 +1,275 @@
+(* Differential tests for the divide-and-conquer SM backend
+   (arXiv:0708.0580): the summary monoid and segment tree must agree
+   with the direct interpreters on random programs, point updates must
+   agree with fresh rebuilds, parallel builds must be bit-identical at
+   every domain count, and the engine's three census backends
+   (seq / tree / incr) must produce identical runs — including under
+   faults and checkpoint/restore. *)
+
+module Sm = Symnet_core.Sm
+module Sm_compile = Symnet_core.Sm_compile
+module Sm_monoid = Symnet_core.Sm_monoid
+module Sm_segtree = Symnet_core.Sm_segtree
+module Sm_digest = Symnet_core.Sm_digest
+module Prng = Symnet_prng.Prng
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Network = Symnet_engine.Network
+module Domain_pool = Symnet_engine.Domain_pool
+module A = Symnet_algorithms
+
+(* --- random programs -------------------------------------------------- *)
+
+(* Any random sequential program works: the transition-map monoid is
+   exact for the left-to-right order whether or not the program is SM. *)
+let random_sequential rng : Sm.sequential =
+  let q = 1 + Prng.int rng 4 in
+  let w = 1 + Prng.int rng 5 in
+  let r = 1 + Prng.int rng 3 in
+  {
+    sq_q_size = q;
+    sq_w_size = w;
+    sq_w0 = Prng.int rng w;
+    sq_p = Array.init w (fun _ -> Array.init q (fun _ -> Prng.int rng w));
+    sq_beta = Array.init w (fun _ -> Prng.int rng r);
+    sq_r_size = r;
+  }
+
+let random_mt rng : Sm.mod_thresh =
+  let q = 1 + Prng.int rng 3 in
+  Sm_compile.random_mod_thresh rng ~q_size:q ~r_size:(2 + Prng.int rng 3)
+    ~clauses:(1 + Prng.int rng 4) ~max_mod:4 ~max_thresh:4 ~depth:2
+
+let random_inputs rng ~q_size ~len = List.init len (fun _ -> Prng.int rng q_size)
+
+(* --- segtree vs direct interpreters ----------------------------------- *)
+
+let prop_segtree_matches_sequential =
+  QCheck.Test.make ~name:"segtree eval = run_sequential on random programs"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let p = random_sequential rng in
+      let m = Sm_monoid.of_sequential p in
+      let len = 1 + Prng.int rng 40 in
+      let inputs = random_inputs rng ~q_size:p.Sm.sq_q_size ~len in
+      Sm_segtree.eval m (Array.of_list inputs) = Sm.run_sequential p inputs)
+
+let prop_segtree_matches_mod_thresh =
+  QCheck.Test.make ~name:"segtree eval = run_mod_thresh on random programs"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let p = random_mt rng in
+      let m = Sm_monoid.of_mod_thresh p in
+      let len = 1 + Prng.int rng 40 in
+      let inputs = random_inputs rng ~q_size:p.Sm.mt_q_size ~len in
+      Sm_segtree.eval m (Array.of_list inputs) = Sm.run_mod_thresh p inputs)
+
+(* --- point updates vs fresh rebuilds ---------------------------------- *)
+
+let prop_updates_match_rebuild =
+  QCheck.Test.make
+    ~name:"random update sequences = fresh rebuild (seq and mod-thresh)"
+    ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let check m q_size direct =
+        let len = 1 + Prng.int rng 30 in
+        let arr = Array.init len (fun _ -> Prng.int rng q_size) in
+        let t = Sm_segtree.build m (Array.copy arr) in
+        let ok = ref true in
+        for _ = 1 to 25 do
+          let j = Prng.int rng len in
+          let sym = Prng.int rng q_size in
+          arr.(j) <- sym;
+          Sm_segtree.set t j sym;
+          if Sm_segtree.result t <> direct (Array.to_list arr) then ok := false
+        done;
+        !ok && Sm_segtree.result t = Sm_segtree.eval m arr
+      in
+      let p = random_sequential rng in
+      let mt = random_mt rng in
+      check (Sm_monoid.of_sequential p) p.Sm.sq_q_size (Sm.run_sequential p)
+      && check (Sm_monoid.of_mod_thresh mt) mt.Sm.mt_q_size
+           (Sm.run_mod_thresh mt))
+
+(* Symbol -1 marks an absent input: its leaf is the identity, so the
+   result equals evaluating the array with that element removed. *)
+let prop_absent_symbol_is_identity =
+  QCheck.Test.make ~name:"-1 leaves = removing the element" ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let p = random_sequential rng in
+      let m = Sm_monoid.of_sequential p in
+      let len = 2 + Prng.int rng 20 in
+      let arr = Array.init len (fun _ -> Prng.int rng p.Sm.sq_q_size) in
+      let j = Prng.int rng len in
+      let t = Sm_segtree.build m (Array.copy arr) in
+      Sm_segtree.set t j (-1);
+      let rest =
+        List.filteri (fun i _ -> i <> j) (Array.to_list arr)
+      in
+      Sm_segtree.result t = Sm.run_sequential p rest)
+
+(* --- parallel builds -------------------------------------------------- *)
+
+let test_parallel_build_bit_identical () =
+  let rng = Prng.create ~seed:42 in
+  let p = random_sequential rng in
+  let m = Sm_monoid.of_sequential p in
+  (* Large enough that the tree's parallel cutoff is crossed. *)
+  let n = 5000 in
+  let arr = Array.init n (fun _ -> Prng.int rng p.Sm.sq_q_size) in
+  let expected = Sm_segtree.eval m arr in
+  List.iter
+    (fun domains ->
+      let pool = Domain_pool.create domains in
+      let par ~n f = Domain_pool.run pool ~n (fun _slot lo hi -> f lo hi) in
+      let t = Sm_segtree.build ~par m arr in
+      Alcotest.(check int)
+        (Printf.sprintf "parallel build, %d domains" domains)
+        expected (Sm_segtree.result t);
+      Domain_pool.shutdown pool)
+    [ 1; 2; 4 ]
+
+(* --- engine backends: seq vs tree vs incr ----------------------------- *)
+
+type obs = { flags : bool list; states : (int * int option) list; acts : int }
+
+let census_states net =
+  List.map (fun (v, s) -> (v, A.Census.bits s)) (Network.states net)
+
+(* Drive [rounds] synchronous census rounds through one backend, with an
+   optional fault (kill a node before round [fault_at]) injected
+   identically across backends. *)
+let drive ~backend ~graph ~seed ~rounds ?fault_at () =
+  let g = graph () in
+  let k = 10 in
+  let rng = Prng.create ~seed in
+  let net = Network.init ~rng g (Sm_digest.to_fssga (A.Census.digest ~k)) in
+  let dg = Network.digest_of net (A.Census.digest ~k) in
+  let step r =
+    (match fault_at with
+    | Some at when r = at -> Graph.remove_node g (Graph.original_size g / 2)
+    | _ -> ());
+    match backend with
+    | `Seq -> Network.sync_step net
+    | `Tree -> Network.digest_step ~mode:`Tree dg
+    | `Incr -> Network.digest_step ~mode:`Incr dg
+  in
+  let flags = List.init rounds step in
+  { flags; states = census_states net; acts = Network.activations net }
+
+let check_backends_agree name ~graph ~seed ~rounds ?fault_at () =
+  let seq = drive ~backend:`Seq ~graph ~seed ~rounds ?fault_at () in
+  let tree = drive ~backend:`Tree ~graph ~seed ~rounds ?fault_at () in
+  let incr = drive ~backend:`Incr ~graph ~seed ~rounds ?fault_at () in
+  List.iter
+    (fun (bname, b) ->
+      Alcotest.(check (list bool))
+        (name ^ ": " ^ bname ^ " change flags")
+        seq.flags b.flags;
+      Alcotest.(check int) (name ^ ": " ^ bname ^ " activations") seq.acts b.acts;
+      Alcotest.(check (list (pair int (option int))))
+        (name ^ ": " ^ bname ^ " states")
+        seq.states b.states)
+    [ ("tree", tree); ("incr", incr) ]
+
+let test_backends_bit_identical () =
+  check_backends_agree "random"
+    ~graph:(fun () ->
+      Gen.random_connected (Prng.create ~seed:7) ~n:60 ~extra_edges:40)
+    ~seed:3 ~rounds:12 ();
+  check_backends_agree "star" ~graph:(fun () -> Gen.star 40) ~seed:5 ~rounds:8 ();
+  (* Isolated-ish nodes: a path has degree-1 ends; also run a 2-node
+     graph where one kill leaves an isolated node. *)
+  check_backends_agree "path" ~graph:(fun () -> Gen.path 17) ~seed:9 ~rounds:10 ()
+
+let test_backends_bit_identical_under_faults () =
+  check_backends_agree "faulted random"
+    ~graph:(fun () ->
+      Gen.random_connected (Prng.create ~seed:21) ~n:50 ~extra_edges:30)
+    ~seed:13 ~rounds:12 ~fault_at:4 ();
+  check_backends_agree "faulted star (hub survives)"
+    ~graph:(fun () -> Gen.star 30)
+    ~seed:17 ~rounds:10 ~fault_at:3 ()
+
+(* Checkpoint/restore through the digest cache: restoring rewinds
+   states, graph and rngs; the cache must resynchronize (encode sweep +
+   version check) so the replay is bit-identical. *)
+let test_backends_checkpoint_restore () =
+  let k = 10 in
+  let mk seed =
+    let g = Gen.random_connected (Prng.create ~seed:33) ~n:40 ~extra_edges:25 in
+    let net = Network.init ~rng:(Prng.create ~seed) g (Sm_digest.to_fssga (A.Census.digest ~k)) in
+    (net, Network.digest_of net (A.Census.digest ~k), g)
+  in
+  let net, dg, g = mk 11 in
+  for _ = 1 to 3 do ignore (Network.digest_step dg) done;
+  let cp = Network.checkpoint net in
+  Graph.remove_node g 7;
+  let run3 () = List.init 3 (fun _ -> Network.digest_step dg) in
+  let flags_a = run3 () in
+  let states_a = census_states net in
+  Network.restore net cp;
+  Graph.remove_node g 7;
+  let flags_b = run3 () in
+  let states_b = census_states net in
+  Alcotest.(check (list bool)) "replayed change flags" flags_a flags_b;
+  Alcotest.(check (list (pair int (option int)))) "replayed states" states_a
+    states_b;
+  (* And the replay matches the seq backend given the same history. *)
+  let net2, _, g2 = mk 11 in
+  for _ = 1 to 3 do ignore (Network.sync_step net2) done;
+  Graph.remove_node g2 7;
+  let flags_c = List.init 3 (fun _ -> Network.sync_step net2) in
+  let states_c = census_states net2 in
+  Alcotest.(check (list bool)) "seq flags" flags_c flags_a;
+  Alcotest.(check (list (pair int (option int)))) "seq states" states_c states_a
+
+(* Parallel tree builds inside the engine: same run at every pool size. *)
+let test_digest_step_pool_bit_identical () =
+  let k = 12 in
+  let run domains =
+    let g = Gen.star 3000 in
+    let net =
+      Network.init ~rng:(Prng.create ~seed:23) g
+        (Sm_digest.to_fssga (A.Census.digest ~k))
+    in
+    let dg = Network.digest_of net (A.Census.digest ~k) in
+    let pool = Domain_pool.create domains in
+    let flags = List.init 5 (fun _ -> Network.digest_step ~pool dg) in
+    Domain_pool.shutdown pool;
+    (flags, census_states net)
+  in
+  let base = run 1 in
+  List.iter
+    (fun d ->
+      let got = run d in
+      Alcotest.(check bool)
+        (Printf.sprintf "pool size %d identical" d)
+        true (base = got))
+    [ 2; 4 ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_segtree_matches_sequential;
+    QCheck_alcotest.to_alcotest prop_segtree_matches_mod_thresh;
+    QCheck_alcotest.to_alcotest prop_updates_match_rebuild;
+    QCheck_alcotest.to_alcotest prop_absent_symbol_is_identity;
+    Alcotest.test_case "parallel segtree build bit-identical" `Quick
+      test_parallel_build_bit_identical;
+    Alcotest.test_case "census backends bit-identical" `Quick
+      test_backends_bit_identical;
+    Alcotest.test_case "census backends bit-identical under faults" `Quick
+      test_backends_bit_identical_under_faults;
+    Alcotest.test_case "digest cache survives checkpoint/restore" `Quick
+      test_backends_checkpoint_restore;
+    Alcotest.test_case "digest_step bit-identical at every pool size" `Quick
+      test_digest_step_pool_bit_identical;
+  ]
