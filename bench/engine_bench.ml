@@ -206,6 +206,74 @@ let measure_parallel ~workload ~rounds ~domain_counts mk =
       else sample d (drive d))
     domain_counts
 
+(* --- sharded runtime -------------------------------------------------- *)
+
+module Sharded = Symnet_engine.Sharded_network
+
+type sharded_sample = {
+  sh_workload : string;
+  sh_n : int;
+  sh_shards : int;
+  sh_domains : int;
+  sh_rounds : int;
+  sh_seconds : float;
+  sh_rounds_per_sec : float;
+  sh_speedup_vs_flat : float;
+  sh_exchange_share : float;
+  sh_identical : bool; (* states + flags + activations match the flat run *)
+}
+
+(* Drive [rounds] sharded synchronous rounds at each (shards, domains)
+   config against a flat sequential baseline of the same workload: the
+   claim is bit-identity at every combination, and the exchange phase's
+   share of the round is the partition's communication overhead. *)
+let measure_sharded ~workload ~rounds ~configs mk =
+  let drive_flat () =
+    let net = mk () in
+    ignore (Network.sync_step net);
+    let changed = Array.make rounds false in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to rounds - 1 do
+      changed.(i) <- Network.sync_step net
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    ( dt,
+      changed,
+      Network.states net,
+      Network.activations net,
+      Graph.node_count (Network.graph net) )
+  in
+  let flat_dt, flat_changed, flat_states, flat_acts, n = drive_flat () in
+  List.map
+    (fun (shards, domains) ->
+      Domain_pool.with_pool ~domains (fun pool ->
+          let net = mk () in
+          let sh = Sharded.create ~shards net in
+          (* warm-up round, mirroring the flat baseline *)
+          ignore (Sharded.step ~pool sh);
+          let changed = Array.make rounds false in
+          let t0 = Unix.gettimeofday () in
+          for i = 0 to rounds - 1 do
+            changed.(i) <- Sharded.step ~pool sh
+          done;
+          let dt = Unix.gettimeofday () -. t0 in
+          {
+            sh_workload = workload;
+            sh_n = n;
+            sh_shards = shards;
+            sh_domains = domains;
+            sh_rounds = rounds;
+            sh_seconds = dt;
+            sh_rounds_per_sec = float_of_int rounds /. dt;
+            sh_speedup_vs_flat = flat_dt /. dt;
+            sh_exchange_share = Sharded.exchange_share sh;
+            sh_identical =
+              changed = flat_changed
+              && Network.states net = flat_states
+              && Network.activations net = flat_acts;
+          }))
+    configs
+
 (* --- change-driven scheduling ---------------------------------------- *)
 
 type dirty_sample = {
@@ -338,6 +406,20 @@ let dirty_json d =
       ("rounds_equal", Jsonx.Bool d.rounds_equal);
     ]
 
+let sharded_fields s =
+  [
+    ("workload", Jsonx.String s.sh_workload);
+    ("n", Jsonx.Int s.sh_n);
+    ("shards", Jsonx.Int s.sh_shards);
+    ("domains", Jsonx.Int s.sh_domains);
+    ("rounds", Jsonx.Int s.sh_rounds);
+    ("seconds", Jsonx.Float s.sh_seconds);
+    ("rounds_per_sec", Jsonx.Float s.sh_rounds_per_sec);
+    ("speedup_vs_flat", Jsonx.Float s.sh_speedup_vs_flat);
+    ("exchange_share", Jsonx.Float s.sh_exchange_share);
+    ("identical_to_flat", Jsonx.Bool s.sh_identical);
+  ]
+
 let par_fields p =
   [
     ("workload", Jsonx.String p.p_workload);
@@ -357,14 +439,27 @@ type results = {
   r_za_sync : int * float * bool;  (* zero-alloc sync_step *)
   r_dirty : dirty_sample list;
   r_par : par_sample list;
+  r_sharded : sharded_sample list;
   r_digest : digest_sample;
 }
+
+(* The packed-int BFS rewrite bound: the automaton steps allocation-free,
+   so everything charged per activation is engine overhead — the same
+   budget the other immediate-state workloads live under. *)
+let bfs_words_bound = 8.0
+
+let bfs_words_pass r =
+  match List.find_opt (fun s -> s.workload = "e06_bfs") r.r_samples with
+  | Some s -> s.words_per_activation <= bfs_words_bound
+  | None -> false
 
 let ok r =
   let _, _, za = r.r_za in
   let _, _, za_sync = r.r_za_sync in
   za && za_sync
   && List.for_all (fun p -> p.p_identical) r.r_par
+  && List.for_all (fun s -> s.sh_identical) r.r_sharded
+  && bfs_words_pass r
   && r.r_digest.dg_pass
 
 let collect ?(smoke = false) ?domains () =
@@ -447,6 +542,31 @@ let collect ?(smoke = false) ?domains () =
       Bench_util.metric_row ~experiment:"engine"
         (("kind", Jsonx.String "parallel") :: par_fields p))
     par_samples;
+  (* Sharded runtime vs the flat sequential engine on the same two
+     workloads; the identical flag is the hard requirement, the exchange
+     share the overhead being tracked. *)
+  let sharded_domains = match domains with Some d when d > 1 -> d | _ -> 2 in
+  let sharded_configs =
+    [ (1, 1); (4, 1); (4, sharded_domains) ]
+  in
+  let sharded_samples =
+    measure_sharded ~workload:"e03_shortest_paths" ~rounds:par_rounds
+      ~configs:sharded_configs (fun () -> sp_net ~side:par_side)
+    @ measure_sharded ~workload:"e01_census" ~rounds:par_rounds
+        ~configs:sharded_configs (fun () -> census_net ~n:par_n)
+  in
+  List.iter
+    (fun s ->
+      Printf.printf
+        "  sharded %-14s n=%-6d shards=%d domains=%d  %8.1f rounds/s  %.2fx  \
+         exch %4.1f%%  %s\n"
+        s.sh_workload s.sh_n s.sh_shards s.sh_domains s.sh_rounds_per_sec
+        s.sh_speedup_vs_flat
+        (100. *. s.sh_exchange_share)
+        (if s.sh_identical then "identical" else "DIVERGENT");
+      Bench_util.metric_row ~experiment:"engine"
+        (("kind", Jsonx.String "sharded") :: sharded_fields s))
+    sharded_samples;
   let dg = measure_digest ~smoke () in
   Printf.printf
     "  digest hub deg=%-7d rescan %8.0f ns  incr update %6.0f ns  (%.0fx): %s\n"
@@ -460,15 +580,21 @@ let collect ?(smoke = false) ?domains () =
       ("incr_update_ns", Jsonx.Float dg.incr_update_ns);
       ("speedup", Jsonx.Float dg.dg_speedup);
     ];
-  {
-    r_smoke = smoke;
-    r_samples = samples;
-    r_za = (za_acts, za_words, za_pass);
-    r_za_sync = (zs_acts, zs_words, zs_pass);
-    r_dirty = dirty_samples;
-    r_par = par_samples;
-    r_digest = dg;
-  }
+  let r =
+    {
+      r_smoke = smoke;
+      r_samples = samples;
+      r_za = (za_acts, za_words, za_pass);
+      r_za_sync = (zs_acts, zs_words, zs_pass);
+      r_dirty = dirty_samples;
+      r_par = par_samples;
+      r_sharded = sharded_samples;
+      r_digest = dg;
+    }
+  in
+  if not (bfs_words_pass r) then
+    Printf.printf "  FAIL e06_bfs words/activation above %.1f\n" bfs_words_bound;
+  r
 
 let doc_of r =
   let za_json (acts, words, pass) =
@@ -491,6 +617,9 @@ let doc_of r =
       ("digest", digest_json r.r_digest);
       ( "parallel",
         Jsonx.List (List.map (fun p -> Jsonx.Obj (par_fields p)) r.r_par) );
+      ( "sharded",
+        Jsonx.List
+          (List.map (fun s -> Jsonx.Obj (sharded_fields s)) r.r_sharded) );
     ]
 
 let run ?(out = "BENCH_engine.json") ?(smoke = false) ?domains () =

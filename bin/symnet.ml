@@ -63,6 +63,27 @@ let domains_arg =
           "Shard synchronous rounds over $(docv) domains (0 = one per \
            recommended core).  The run is bit-identical at every count.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition the graph into $(docv) contiguous shards communicating \
+           through explicit message queues (the sharded runtime), with rounds \
+           parallelised over --domains.  Bit-identical to the flat engine at \
+           every (shards, domains) combination; 1 = flat engine.")
+
+(* 1 means the flat engine — only an explicit K > 1 engages the sharded
+   runtime (K = 1 sharded is valid but only interesting to tests). *)
+let shards_opt k =
+  if k < 1 then begin
+    prerr_endline "--shards must be >= 1";
+    exit 2
+  end
+  else if k = 1 then None
+  else Some k
+
 let chaos_arg =
   Arg.(
     value
@@ -178,7 +199,7 @@ let unless_metrics metrics f = if metrics = None then f ()
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let two_colouring graph seed max_rounds domains watch chaos_spec metrics
+let two_colouring graph seed max_rounds domains shards watch chaos_spec metrics
     trace_out =
   let g = make_graph seed graph in
   let chaos = chaos_of ~critical:(fun ~round:_ -> []) seed chaos_spec in
@@ -193,7 +214,9 @@ let two_colouring graph seed max_rounds domains watch chaos_spec metrics
   let o =
     if watch then
       Trace.watch ~max_rounds ~recorder ?chaos ~to_char ~out:print_endline net
-    else Runner.run ~max_rounds ~recorder ~domains ?chaos net
+    else
+      Runner.run ~max_rounds ~recorder ~domains
+        ?shards:(shards_opt shards) ?chaos net
   in
   unless_metrics metrics (fun () ->
       report_outcome o;
@@ -245,7 +268,8 @@ let reject_chaos_with_digest chaos_spec =
     exit 2
   end
 
-let census graph seed max_rounds domains chaos_spec metrics trace_out backend =
+let census graph seed max_rounds domains shards chaos_spec metrics trace_out
+    backend =
   let g = make_graph seed graph in
   let n = Graph.node_count g in
   let k = A.Census.recommended_k n in
@@ -254,7 +278,10 @@ let census graph seed max_rounds domains chaos_spec metrics trace_out backend =
   | `Seq ->
       let chaos = chaos_of ~critical:(fun ~round:_ -> []) seed chaos_spec in
       let net = Network.init ~rng:(Prng.create ~seed) g (A.Census.automaton ~k) in
-      let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
+      let o =
+        Runner.run ~max_rounds ~recorder ~domains
+          ?shards:(shards_opt shards) ?chaos net
+      in
       unless_metrics metrics (fun () ->
           report_outcome o;
           match
@@ -268,6 +295,10 @@ let census graph seed max_rounds domains chaos_spec metrics trace_out backend =
       (* Chaos needs the runner's fault pipeline; fault correctness of
          the digest cache is covered by the test suite. *)
       reject_chaos_with_digest chaos_spec;
+      if shards > 1 then begin
+        prerr_endline "--shards is not supported with --sm-backend tree|incr";
+        exit 2
+      end;
       let net =
         Network.init ~rng:(Prng.create ~seed) g
           (Symnet_core.Sm_digest.to_fssga (A.Census.digest ~k))
@@ -290,7 +321,8 @@ let census graph seed max_rounds domains chaos_spec metrics trace_out backend =
           | [] -> print_endline "no estimate"));
   report_metrics metrics recorder
 
-let bfs graph seed max_rounds domains target chaos_spec metrics trace_out =
+let bfs graph seed max_rounds domains shards target chaos_spec metrics trace_out
+    =
   let g = make_graph seed graph in
   let chaos = chaos_of ~critical:(fun ~round:_ -> [ 0 ]) seed chaos_spec in
   let targets = match target with Some t -> [ t ] | None -> [] in
@@ -298,7 +330,10 @@ let bfs graph seed max_rounds domains target chaos_spec metrics trace_out =
     Network.init ~rng:(Prng.create ~seed) g (A.Bfs.automaton ~originator:0 ~targets)
   in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
+  let o =
+    Runner.run ~max_rounds ~recorder ~domains ?shards:(shards_opt shards)
+      ?chaos net
+  in
   unless_metrics metrics (fun () ->
       report_outcome o;
       Printf.printf "originator status: %s\nlabels consistent: %b\n"
@@ -367,7 +402,7 @@ let bridges graph seed confidence =
     (String.concat "; " (List.map string_of_int truth))
     (List.sort compare suspected = truth)
 
-let shortest_paths graph seed max_rounds domains sinks chaos_spec metrics
+let shortest_paths graph seed max_rounds domains shards sinks chaos_spec metrics
     trace_out =
   let g = make_graph seed graph in
   let sinks =
@@ -383,7 +418,10 @@ let shortest_paths graph seed max_rounds domains sinks chaos_spec metrics
     Network.init ~rng:(Prng.create ~seed) g (A.Shortest_paths.automaton ~sinks ~cap)
   in
   let recorder = recorder_of metrics trace_out in
-  let o = Runner.run ~max_rounds ~recorder ~domains ?chaos net in
+  let o =
+    Runner.run ~max_rounds ~recorder ~domains ?shards:(shards_opt shards)
+      ?chaos net
+  in
   unless_metrics metrics (fun () ->
       report_outcome o;
       let dist = Analysis.distances g ~sources:sinks in
@@ -604,8 +642,8 @@ let write_file path contents =
       prerr_endline msg;
       exit 2
 
-let profile algo graph seed max_rounds domains chaos_spec out timeline_out
-    span_capacity backend =
+let profile algo graph seed max_rounds domains shards chaos_spec out
+    timeline_out span_capacity backend =
   let g = make_graph seed graph in
   let n = Graph.node_count g in
   let spans =
@@ -619,10 +657,15 @@ let profile algo graph seed max_rounds domains chaos_spec out timeline_out
   let run ?critical automaton =
     let chaos = chaos_of ?critical seed chaos_spec in
     let net = Network.init ~rng:(Prng.create ~seed) g automaton in
-    Runner.run ~max_rounds ~recorder ~domains ?chaos net
+    Runner.run ~max_rounds ~recorder ~domains ?shards:(shards_opt shards)
+      ?chaos net
   in
   let run_digest mode digest =
     reject_chaos_with_digest chaos_spec;
+    if shards > 1 then begin
+      prerr_endline "--shards is not supported with --sm-backend tree|incr";
+      exit 2
+    end;
     let net =
       Network.init ~rng:(Prng.create ~seed) g
         (Symnet_core.Sm_digest.to_fssga digest)
@@ -843,15 +886,15 @@ let commands =
     cmd "two-colouring" "Decide bipartiteness (§4.1)."
       Term.(
         const two_colouring $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
-        $ watch_arg $ chaos_arg $ metrics_arg $ trace_out_arg);
+        $ shards_arg $ watch_arg $ chaos_arg $ metrics_arg $ trace_out_arg);
     cmd "census" "Flajolet-Martin size estimation (§1)."
       Term.(
         const census $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
-        $ chaos_arg $ metrics_arg $ trace_out_arg $ sm_backend_arg);
+        $ shards_arg $ chaos_arg $ metrics_arg $ trace_out_arg $ sm_backend_arg);
     cmd "bfs" "Breadth-first search / broadcast (§4.3)."
       Term.(
-        const bfs $ graph_arg $ seed_arg $ rounds_arg $ domains_arg $ target_arg
-        $ chaos_arg $ metrics_arg $ trace_out_arg);
+        const bfs $ graph_arg $ seed_arg $ rounds_arg $ domains_arg $ shards_arg
+        $ target_arg $ chaos_arg $ metrics_arg $ trace_out_arg);
     cmd "election" "Randomized leader election (§4.7)."
       Term.(
         const election $ graph_arg $ seed_arg $ rounds_arg $ watch_arg
@@ -865,7 +908,7 @@ let commands =
     cmd "shortest-paths" "Decentralized distances to sinks (§2.2)."
       Term.(
         const shortest_paths $ graph_arg $ seed_arg $ rounds_arg $ domains_arg
-        $ sinks_arg $ chaos_arg $ metrics_arg $ trace_out_arg);
+        $ shards_arg $ sinks_arg $ chaos_arg $ metrics_arg $ trace_out_arg);
     cmd "random-walk" "FSSGA random walk (§4.4)."
       Term.(const random_walk $ graph_arg $ seed_arg $ moves_arg);
     cmd "firing-squad" "Firing squad on a path (§5.2 extension)."
@@ -885,8 +928,8 @@ let commands =
        per-round timeline."
       Term.(
         const profile $ profile_algo_arg $ graph_arg $ seed_arg $ rounds_arg
-        $ domains_arg $ chaos_arg $ profile_out_arg $ profile_timeline_out_arg
-        $ span_capacity_arg $ sm_backend_arg);
+        $ domains_arg $ shards_arg $ chaos_arg $ profile_out_arg
+        $ profile_timeline_out_arg $ span_capacity_arg $ sm_backend_arg);
     cmd "stats"
       "Summarise a JSONL event trace (p50/p95/max per series), a profile \
        timeline with --timeline, or diff two traces with --diff."

@@ -5,75 +5,90 @@ module Analysis = Symnet_graph.Analysis
 
 type status = Waiting | Found | Failed
 
-type state = {
-  originator : bool;
-  target : bool;
-  label : int option;
-  status : status;
-}
+(* The state fits in an immediate: bit 0 originator, bit 1 target,
+   bits 2-3 the label (3 = unlabelled, the paper's star), bits 4-5 the
+   status (0 waiting, 1 found, 2 failed).  The step function then runs
+   allocation-free: neighbour scanning is one OR-monoid fold with a
+   static combining function instead of a cascade of closures over an
+   option-carrying record — this automaton is the engine's smallest, so
+   per-step boxing dominated its cost (BENCH e06 words/activation). *)
+type state = int
+
+let lbl_none = 3
+let label_of s = (s lsr 2) land 3
+let status_bits s = (s lsr 4) land 3
+let is_originator s = s land 1 = 1
+let is_target s = s land 2 = 2
+
+let make ~originator ~target ~label ~status =
+  (if originator then 1 else 0)
+  lor (if target then 2 else 0)
+  lor (label lsl 2) lor (status lsl 4)
+
+let with_label s ~label ~status =
+  s land 0b11 lor (label lsl 2) lor (status lsl 4)
+
+(* One pass over the view computes every predicate the step needs, as
+   bits of an int: bit x (x in 0..2) = some neighbour is labelled x;
+   bit 3+x = some neighbour labelled x has found; bit 6 = some
+   neighbour is unlabelled; bit 7+x = some neighbour labelled x has not
+   failed.  Top-level and closed, so folding it allocates nothing. *)
+let absorb acc s =
+  let lab = label_of s in
+  if lab = lbl_none then acc lor (1 lsl 6)
+  else
+    let st = status_bits s in
+    acc lor (1 lsl lab)
+    lor (if st = 1 then 1 lsl (3 + lab) else 0)
+    lor if st <> 2 then 1 lsl (7 + lab) else 0
 
 let automaton ~originator ~targets =
   let init _g v =
-    {
-      originator = v = originator;
-      target = List.mem v targets;
-      label = None;
-      status = Waiting;
-    }
+    make ~originator:(v = originator) ~target:(List.mem v targets)
+      ~label:lbl_none ~status:0
   in
+  let found_or_waiting s = if is_target s then 1 else 0 in
   let step ~self view =
-    let labelled x s = s.label = Some x in
-    let succ_of x s = labelled ((x + 1) mod 3) s in
-    let pred_of x s = labelled ((x + 2) mod 3) s in
-    match self.label with
-    | None ->
-        if self.originator then
-          {
-            self with
-            label = Some 0;
-            status = (if self.target then Found else Waiting);
-          }
-        else begin
-          (* adopt (x+1) mod 3 from any labelled neighbour *)
-          let rec adopt x =
-            if x > 2 then self
-            else if View.exists view (labelled x) then
-              {
-                self with
-                label = Some ((x + 1) mod 3);
-                status = (if self.target then Found else Waiting);
-              }
-            else adopt (x + 1)
-          in
-          adopt 0
-        end
-    | Some x -> (
-        match self.status with
-        | Found | Failed -> self
-        | Waiting ->
-            if View.exists view (fun s -> pred_of x s && s.status = Found)
-            then self (* avoid reporting non-shortest paths *)
-            else if
-              View.exists view (fun s -> succ_of x s && s.status = Found)
-            then { self with status = Found }
-            else if
-              (* Guard added to the paper's pseudocode: an unlabelled
-                 neighbour may still become a successor, so only fail when
-                 none remain. *)
-              (not (View.exists view (fun s -> s.label = None)))
-              && View.for_all view (fun s ->
-                     (not (succ_of x s)) || s.status = Failed)
-            then { self with status = Failed }
-            else self)
+    let x = label_of self in
+    if x = lbl_none then
+      if is_originator self then
+        with_label self ~label:0 ~status:(found_or_waiting self)
+      else begin
+        (* adopt (x+1) mod 3 from any labelled neighbour, lowest first *)
+        let m = View.fold_monoid absorb 0 view in
+        let rec adopt x =
+          if x > 2 then self
+          else if m land (1 lsl x) <> 0 then
+            with_label self ~label:((x + 1) mod 3)
+              ~status:(found_or_waiting self)
+          else adopt (x + 1)
+        in
+        adopt 0
+      end
+    else if status_bits self <> 0 then self (* Found | Failed: absorbing *)
+    else
+      let m = View.fold_monoid absorb 0 view in
+      let succ = (x + 1) mod 3 and pred = (x + 2) mod 3 in
+      if m land (1 lsl (3 + pred)) <> 0 then
+        self (* avoid reporting non-shortest paths *)
+      else if m land (1 lsl (3 + succ)) <> 0 then
+        with_label self ~label:x ~status:1
+      else if
+        (* Guard added to the paper's pseudocode: an unlabelled
+           neighbour may still become a successor, so only fail when
+           none remain and every successor has failed. *)
+        m land (1 lsl 6) = 0 && m land (1 lsl (7 + succ)) = 0
+      then with_label self ~label:x ~status:2
+      else self
   in
   Fssga.deterministic ~name:"bfs" ~init ~step
 
-let label s = s.label
-let status s = s.status
+let label s = if label_of s = lbl_none then None else Some (label_of s)
+let status s = match status_bits s with 0 -> Waiting | 1 -> Found | _ -> Failed
 
 let originator_status net =
-  match Network.find_nodes net (fun s -> s.originator) with
-  | [ v ] -> (Network.state net v).status
+  match Network.find_nodes net is_originator with
+  | [ v ] -> status (Network.state net v)
   | [] -> invalid_arg "Bfs.originator_status: originator died"
   | _ -> invalid_arg "Bfs.originator_status: several originators"
 
@@ -82,7 +97,7 @@ let labels_consistent net ~originator =
   let dist = Analysis.distances g ~sources:[ originator ] in
   List.for_all
     (fun (v, s) ->
-      match s.label with
+      match label s with
       | None -> dist.(v) = max_int
       | Some x -> dist.(v) < max_int && dist.(v) mod 3 = x)
     (Network.states net)

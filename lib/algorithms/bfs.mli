@@ -17,12 +17,13 @@
 
 type status = Waiting | Found | Failed
 
-type state = {
-  originator : bool;
-  target : bool;
-  label : int option;  (** distance mod 3, [None] = the paper's star *)
-  status : status;
-}
+type state = private int
+(** Packed immediate: originator and target flags, the label (distance
+    mod 3, or the paper's star) and the status.  Kept abstract — read it
+    through {!label} and {!status}.  The packing makes the step function
+    allocation-free: the neighbour scan is a single OR-monoid fold of
+    closed-over-nothing bit tests instead of closure cascades over an
+    option-carrying record. *)
 
 val automaton : originator:int -> targets:int list -> state Symnet_core.Fssga.t
 

@@ -52,6 +52,14 @@ type 'q t = {
      committed a transition"). *)
   mutable shard_counts : int array;
   mutable shard_transitions : int array;
+  mutable par_cutoff : int;
+      (* below this many nodes the parallel entry points run the
+         sequential path: pool hand-off costs more than the round on
+         tiny graphs, and the two paths are bit-identical by contract *)
+  mutable epoch : int;
+      (* bumped on every state write (commits, [set_state], [activate],
+         [restore]); the sharded runtime latches it after each round and
+         resyncs its local copies when an external write moved it *)
 }
 
 let push_into scratch states = fun w -> View.push scratch states.(w)
@@ -79,6 +87,8 @@ let init ~rng graph (automaton : 'q Fssga.t) =
       graph_version = Graph.version graph;
       shard_counts = [| 0 |];
       shard_transitions = [| 0 |];
+      par_cutoff = 10_000;
+      epoch = 0;
     }
   in
   t
@@ -162,6 +172,7 @@ let reconcile_graph t =
 
 let set_state t v q =
   t.states.(v) <- q;
+  t.epoch <- t.epoch + 1;
   mark_dirty_around t v
 
 (* --- activation ------------------------------------------------------ *)
@@ -177,6 +188,7 @@ let activate t v =
     if changed then begin
       t.states.(v) <- q';
       t.transitions <- t.transitions + 1;
+      t.epoch <- t.epoch + 1;
       mark_dirty_around t v
     end;
     if Recorder.enabled t.recorder then
@@ -195,6 +207,7 @@ let commit t v q' =
   if changed then begin
     t.states.(v) <- q';
     t.transitions <- t.transitions + 1;
+    t.epoch <- t.epoch + 1;
     mark_dirty_around t v
   end;
   if Recorder.enabled t.recorder then
@@ -318,6 +331,10 @@ let commit_quiet t v q' =
   let changed = q' != t.states.(v) && q' <> t.states.(v) in
   if changed then begin
     t.states.(v) <- q';
+    (* Racy but monotonic (ints are immediates, every writer adds):
+       after the barrier the value differs from any pre-round latch,
+       which is all the epoch is for. *)
+    t.epoch <- t.epoch + 1;
     mark_dirty_around t v
   end;
   changed
@@ -328,7 +345,8 @@ let commit_quiet t v q' =
    the happens-before edges either side of each phase. *)
 
 let sync_step_par ~pool t =
-  if Domain_pool.size pool <= 1 then sync_step t
+  if Domain_pool.size pool <= 1 || Graph.original_size t.graph < t.par_cutoff
+  then sync_step t
   else begin
     let g = t.graph in
     let n = Graph.original_size g in
@@ -391,7 +409,8 @@ let sync_step_par ~pool t =
    commit barriers — exactly the sequential ordering — so commit-phase
    re-marks of a node in another shard's chunk are never lost. *)
 let sync_step_dirty_par ~pool t =
-  if Domain_pool.size pool <= 1 then sync_step_dirty t
+  if Domain_pool.size pool <= 1 || Graph.original_size t.graph < t.par_cutoff
+  then sync_step_dirty t
   else begin
     ensure_tracking t;
     reconcile_graph t;
@@ -516,7 +535,8 @@ let restore t cp =
      (* Tracking started after the checkpoint; a fresh run from that
         point would start it all-dirty too. *)
      Array.fill t.dirty 0 (Array.length t.dirty) true);
-  t.graph_version <- cp.cp_graph_version
+  t.graph_version <- cp.cp_graph_version;
+  t.epoch <- t.epoch + 1
 
 let reseed t rng =
   t.rng <- rng;
@@ -527,6 +547,26 @@ let reseed t rng =
 let activations t = t.activations
 let transitions t = t.transitions
 let live_nodes t = Graph.nodes t.graph
+
+(* --- tuning ----------------------------------------------------------- *)
+
+let par_cutoff t = t.par_cutoff
+
+let set_par_cutoff t c =
+  if c < 0 then invalid_arg "Network.set_par_cutoff: negative cutoff";
+  t.par_cutoff <- c
+
+(* --- engine internals (sharded runtime) -------------------------------- *)
+
+let state_epoch t = t.epoch
+let raw_states t = t.states
+let raw_dirty t = t.dirty
+let raw_node_rngs t = node_rngs t
+let ensure_dirty_tracking t = ensure_tracking t
+let commit_node t v q' = commit t v q'
+let commit_node_quiet t v q' = commit_quiet t v q'
+let add_activations t k = t.activations <- t.activations + k
+let add_transitions t k = t.transitions <- t.transitions + k
 
 let count_if t pred =
   let acc = ref 0 in

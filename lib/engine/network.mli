@@ -79,14 +79,27 @@ val sync_step_par : pool:Domain_pool.t -> 'q t -> bool
     are per-node disjoint, so the hot path takes no locks; when a
     recorder is attached the commit phase runs sequentially so the
     telemetry stream is also bit-identical to the sequential engine.
-    With a pool of size 1 this {e is} {!sync_step}. *)
+    With a pool of size 1, or on graphs below {!par_cutoff} nodes (where
+    pool hand-off costs more than the round), this {e is}
+    {!sync_step}. *)
 
 val sync_step_dirty_par : pool:Domain_pool.t -> 'q t -> bool
 (** {!sync_step_dirty} sharded the same way: each shard walks only the
     dirty nodes of its chunk.  Same soundness condition as the
     sequential dirty step (deterministic automata only — consult
     {!dirty_step_sound}); bit-identical to {!sync_step_dirty} at every
-    pool size. *)
+    pool size.  Subject to the same {!par_cutoff} as
+    {!sync_step_par}. *)
+
+val par_cutoff : 'q t -> int
+(** Node count below which the parallel entry points take the sequential
+    path (default 10_000).  Purely a scheduling decision — both paths
+    are bit-identical — so it only affects wall-clock time. *)
+
+val set_par_cutoff : 'q t -> int -> unit
+(** Override the cutoff; [0] forces the parallel path at any size
+    (micro-benchmarks and tests that must exercise it on tiny graphs).
+    @raise Invalid_argument on a negative cutoff. *)
 
 (** {1 Change-driven (dirty-set) stepping}
 
@@ -240,3 +253,52 @@ val digest_step :
 
 val digest_invalidate : 'q digest -> unit
 (** Force a full rebuild at the next {!digest_step} (tests). *)
+
+(** {1 Sharded-runtime internals}
+
+    Raw access for {!Sharded_network}, which owns per-shard copies of
+    the state partition and must observe and reuse the flat engine's
+    counters, dirty set and per-node rng streams so that sharded rounds
+    stay bit-identical to flat ones.  Not for algorithm code: the arrays
+    returned are the live internals, not copies. *)
+
+val state_epoch : 'q t -> int
+(** A counter bumped on every state write ({!set_state}, {!activate},
+    commits, {!restore}).  The sharded runtime latches it after each
+    round; a mismatch at the next round means an external write
+    happened and its local copies must resynchronise from
+    {!raw_states}. *)
+
+val raw_states : 'q t -> 'q array
+(** The live state array, indexed by node id (dead nodes retain their
+    last state).  Treat as read-only outside commit helpers. *)
+
+val raw_dirty : 'q t -> bool array
+(** The live dirty-flag array; [[||]] until tracking starts (call
+    {!ensure_dirty_tracking} first when a dirty round is wanted). *)
+
+val raw_node_rngs : 'q t -> Prng.t array
+(** The per-node streams, forking them from the shared rng on first use
+    — the same fork point {!sync_step} uses, so sharded probabilistic
+    rounds draw the identical sequences. *)
+
+val ensure_dirty_tracking : 'q t -> unit
+(** Start dirty tracking (everything dirty) if it hasn't started. *)
+
+val commit_node : 'q t -> int -> 'q -> bool
+(** Commit one node's next state with full bookkeeping: transition
+    counter, dirty re-marking, recorder activation hook, epoch.  This is
+    the flat engine's own sequential commit — the sharded runtime calls
+    it in ascending node order when a recorder is attached so telemetry
+    is byte-identical. *)
+
+val commit_node_quiet : 'q t -> int -> 'q -> bool
+(** Commit one node without the recorder hook or the shared transition
+    counter (count per shard, then {!add_transitions}).  Safe to call
+    concurrently on distinct nodes; the dirty re-marks race benignly. *)
+
+val add_activations : 'q t -> int -> unit
+(** Add to the activation counter (merged per-shard read counts). *)
+
+val add_transitions : 'q t -> int -> unit
+(** Add to the transition counter (merged per-shard commit counts). *)

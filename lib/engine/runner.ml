@@ -28,6 +28,13 @@ let recovery ?(patience = 50) ?(checkpoint_every = 25) policy =
   if checkpoint_every < 1 then invalid_arg "Runner.recovery: checkpoint_every < 1";
   { policy; patience; checkpoint_every }
 
+(* A checkpoint snapshots whichever runtime is driving the rounds: the
+   sharded wrapper's checkpoint embeds the network's and additionally
+   saves the partition, so a rollback restores both coherently. *)
+type 'q snap =
+  | Snap_flat of 'q Network.checkpoint
+  | Snap_sharded of 'q Sharded_network.checkpoint
+
 let fault_event : Fault.action -> Obs.Events.fault_action = function
   | Fault.Kill_node v -> Obs.Events.Kill_node v
   | Fault.Kill_edge (u, v) -> Obs.Events.Kill_edge (u, v)
@@ -35,7 +42,7 @@ let fault_event : Fault.action -> Obs.Events.fault_action = function
   | Fault.Crash_restart { node; downtime } ->
       Obs.Events.Crash_restart { node; downtime }
 
-let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
+let run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
     ~max_rounds ~recorder ?stop ?on_round net =
   let g = Network.graph net in
   let automaton = Network.automaton net in
@@ -119,9 +126,21 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
   let best_delta = ref max_int in
   let stall = ref 0 in
   let trans_before = ref (Network.transitions net) in
+  let take_snap () =
+    match sharded with
+    | Some sh -> Snap_sharded (Sharded_network.checkpoint sh)
+    | None -> Snap_flat (Network.checkpoint net)
+  in
+  let restore_snap = function
+    | Snap_sharded c -> (
+        match sharded with
+        | Some sh -> Sharded_network.restore sh c
+        | None -> assert false)
+    | Snap_flat c -> Network.restore net c
+  in
   let take_checkpoint round =
     let t0 = Obs.Span.now sp in
-    cp := Some (round, Network.checkpoint net, !pending, !restarts);
+    cp := Some (round, take_snap (), !pending, !restarts);
     Obs.Span.record sp Obs.Span.Checkpoint ~shard:0 ~round ~t0;
     Obs.Recorder.checkpoint recorder ~round
   in
@@ -189,7 +208,9 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
       if Network.dirty_tracking net then Network.ack_graph_mutations net;
       if fault_work then
         Obs.Span.record sp Obs.Span.Fault_apply ~shard:0 ~round ~t0:fault_t0;
-      let changed = Scheduler.round ?pool ~dirty:!dirty_now scheduler net ~round in
+      let changed =
+        Scheduler.round ?pool ~dirty:!dirty_now ?sharded scheduler net ~round
+      in
       Obs.Recorder.round_end recorder ~round ~changed;
       (match on_round with Some f -> f ~round net | None -> ());
       let stop_now = match stop with Some f -> f ~round net | None -> false in
@@ -255,7 +276,7 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
           when !attempts_used < attempts ->
             incr attempts_used;
             incr recoveries;
-            Network.restore net snap;
+            restore_snap snap;
             pending := cp_pending;
             restarts := cp_restarts;
             if reseed then
@@ -274,17 +295,29 @@ let run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
 
 let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
     ?chaos ?corrupt ?recovery ?(max_rounds = 100_000)
-    ?(recorder = Obs.Recorder.null) ?pool ?(domains = 1) ?stop ?on_round net =
+    ?(recorder = Obs.Recorder.null) ?pool ?(domains = 1) ?shards
+    ?rebalance_every ?stop ?on_round net =
+  let sharded =
+    match shards with
+    | None -> None
+    | Some k ->
+        (match scheduler with
+        | Scheduler.Synchronous -> ()
+        | _ ->
+            invalid_arg
+              "Runner.run: shards requires the synchronous scheduler");
+        Some (Sharded_network.create ?rebalance_every ~shards:k net)
+  in
   match pool with
   | Some _ ->
-      run_with ?pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
-        ~max_rounds ~recorder ?stop ?on_round net
+      run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
+        ?recovery ~max_rounds ~recorder ?stop ?on_round net
   | None ->
       let domains = if domains = 0 then Domain_pool.recommended () else domains in
       if domains <= 1 then
-        run_with ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery ~max_rounds
-          ~recorder ?stop ?on_round net
+        run_with ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
+          ~max_rounds ~recorder ?stop ?on_round net
       else
         Domain_pool.with_pool ~domains (fun pool ->
-            run_with ~pool ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
-              ~max_rounds ~recorder ?stop ?on_round net)
+            run_with ~pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
+              ?recovery ~max_rounds ~recorder ?stop ?on_round net)

@@ -64,6 +64,8 @@ val run :
   ?recorder:Symnet_obs.Recorder.t ->
   ?pool:Domain_pool.t ->
   ?domains:int ->
+  ?shards:int ->
+  ?rebalance_every:int ->
   ?stop:(round:int -> 'q Network.t -> bool) ->
   ?on_round:(round:int -> 'q Network.t -> unit) ->
   'q Network.t ->
@@ -107,6 +109,17 @@ val run :
     shut down afterwards; callers executing many runs should instead
     pass a long-lived [pool] (which takes precedence over [domains]).
     Asynchronous schedulers ignore both.
+
+    [shards] (>= 1) routes the synchronous rounds through the
+    partitioned runtime ({!Sharded_network}): the graph is cut into that
+    many contiguous shards communicating through explicit message
+    queues, with the read/commit/exchange phases parallelised over
+    [pool]/[domains].  Results stay bit-identical to the flat engine at
+    every (shards, domains) combination — chaos, checkpointing and
+    recovery included (rollbacks restore the partition too).
+    [rebalance_every] forwards to {!Sharded_network.create}.
+    @raise Invalid_argument when [shards] is combined with an
+    asynchronous scheduler.
 
     [recorder] (default {!Symnet_obs.Recorder.null}, which
     short-circuits every hook) is attached to the network for the

@@ -17,7 +17,7 @@ let name = function
 let activate_all net order =
   List.fold_left (fun changed v -> Network.activate net v || changed) false order
 
-let round ?pool ?(dirty = true) t net ~round =
+let round ?pool ?(dirty = true) ?sharded t net ~round =
   (* Change-driven stepping engages automatically for the fixed-order
      disciplines running deterministic automata; it is provably
      outcome-preserving there and unsound elsewhere (probabilistic
@@ -26,11 +26,15 @@ let round ?pool ?(dirty = true) t net ~round =
   let dirty = dirty && Network.dirty_step_sound net in
   match t with
   | Synchronous -> (
-      match pool with
-      | Some pool when Domain_pool.size pool > 1 ->
-          if dirty then Network.sync_step_dirty_par ~pool net
-          else Network.sync_step_par ~pool net
-      | _ -> if dirty then Network.sync_step_dirty net else Network.sync_step net)
+      match sharded with
+      | Some sh -> Sharded_network.step ?pool ~dirty sh
+      | None -> (
+          match pool with
+          | Some pool when Domain_pool.size pool > 1 ->
+              if dirty then Network.sync_step_dirty_par ~pool net
+              else Network.sync_step_par ~pool net
+          | _ ->
+              if dirty then Network.sync_step_dirty net else Network.sync_step net))
   | Rotor -> if dirty then Network.rotor_step_dirty net else Network.rotor_step net
   | Random_permutation ->
       let nodes = Array.of_list (Network.live_nodes net) in

@@ -21,13 +21,24 @@ val name : t -> string
 (** Stable lowercase identifier ("synchronous", "rotor", ...) used in
     telemetry records. *)
 
-val round : ?pool:Domain_pool.t -> ?dirty:bool -> t -> 'q Network.t -> round:int -> bool
+val round :
+  ?pool:Domain_pool.t ->
+  ?dirty:bool ->
+  ?sharded:'q Sharded_network.t ->
+  t ->
+  'q Network.t ->
+  round:int ->
+  bool
 (** Run one round; [true] if any activation changed a state.
 
     [pool] shards {!Synchronous} rounds over a {!Domain_pool} — a
     bit-identical parallel execution of the same round (see
     {!Network.sync_step_par}).  The asynchronous disciplines are defined
     by their sequential activation order and ignore it.
+
+    [sharded] routes {!Synchronous} rounds through the partitioned
+    runtime ({!Sharded_network.step}, also bit-identical); it must wrap
+    the same network.  The asynchronous disciplines ignore it.
 
     [dirty] (default [true]) permits the change-driven fast path: for
     {!Synchronous} and {!Rotor} rounds of a {e deterministic} automaton,

@@ -1,0 +1,336 @@
+(* The sharded runtime: K partition shards over one flat network, with
+   cross-shard state propagation through explicit message queues.
+
+   Round protocol (one [step]):
+     1. resync  — if the flat engine's state epoch moved since our last
+                  commit (faults, [set_state], [restore]), refresh every
+                  shard's local copies and ghosts from the flat array;
+     2. rebalance — optionally recut the partition on frontier imbalance;
+     3. read    — each shard steps its live (dirty) nodes against its
+                  frozen local+ghost snapshot, in parallel over the pool;
+     4. commit  — changed states are written to the flat array (the
+                  authority) and to the shard's local copy, and enqueued
+                  towards every peer holding a ghost of the node;
+     5. exchange — each destination drains its inboxes in ascending
+                  (source shard, sequence) order into its ghosts.
+
+   Determinism: a node's view is a pure function of last round's
+   committed states — local copies for owned neighbours, ghosts (exactly
+   last round's exchanged values) for remote ones — so every (shards,
+   domains) combination computes the same round as the flat engine, bit
+   for bit: states, change flags, counters, probabilistic draws (same
+   per-node streams) and, with a recorder attached, the same telemetry
+   bytes (the commit phase then runs sequentially in ascending node
+   order, exactly like the flat parallel engine).  The partition is
+   invisible to results, which is what makes the rebalance hook safe. *)
+
+module Graph = Symnet_graph.Graph
+module Fssga = Symnet_core.Fssga
+module Recorder = Symnet_obs.Recorder
+module Span = Symnet_obs.Span
+module Clock = Symnet_obs.Clock
+
+type 'q t = {
+  net : 'q Network.t;
+  csr : Graph.csr;
+  k : int;
+  mutable shards : 'q Shard.t array;
+  mutable boundaries : int array;  (* k + 1 entries, 0 .. n *)
+  mutable seen_epoch : int;
+  rebalance_every : int;  (* 0 = never *)
+  imbalance : float;  (* rebalance when max/mean frontier exceeds this *)
+  mutable rounds : int;
+  mutable rebalances : int;
+  mutable migrated_boundaries : int;
+  (* cumulative phase time (always measured — a handful of clock reads
+     per round — so exchange share is reportable without a recorder) *)
+  mutable read_ns : int;
+  mutable commit_ns : int;
+  mutable exchange_ns : int;
+  mutable messages : int;
+  per_dst : int array;  (* per-destination drain counts, reused *)
+}
+
+let layout t boundaries =
+  t.boundaries <- boundaries;
+  t.shards <-
+    Shard.build ~csr:t.csr ~boundaries ~states:(Network.raw_states t.net)
+
+let equal_boundaries ~n ~k = Array.init (k + 1) (fun i -> i * n / k)
+
+let create ?(rebalance_every = 0) ?(imbalance = 2.0) ~shards:k net =
+  if k < 1 then invalid_arg "Sharded_network.create: shards >= 1 required";
+  if rebalance_every < 0 then
+    invalid_arg "Sharded_network.create: negative rebalance interval";
+  let n = Graph.original_size (Network.graph net) in
+  let t =
+    {
+      net;
+      csr = Graph.csr (Network.graph net);
+      k;
+      shards = [||];
+      boundaries = [||];
+      seen_epoch = Network.state_epoch net;
+      rebalance_every;
+      imbalance;
+      rounds = 0;
+      rebalances = 0;
+      migrated_boundaries = 0;
+      read_ns = 0;
+      commit_ns = 0;
+      exchange_ns = 0;
+      messages = 0;
+      per_dst = Array.make k 0;
+    }
+  in
+  layout t (equal_boundaries ~n ~k);
+  t
+
+let resync t =
+  let states = Network.raw_states t.net in
+  Array.iter (fun sh -> Shard.resync sh ~states) t.shards;
+  t.seen_epoch <- Network.state_epoch t.net
+
+(* --- rebalancing ------------------------------------------------------- *)
+
+(* Recut the partition so each shard carries an equal share of the
+   current load: a live dirty node (likely to step next round) weighs 4,
+   a live clean node 1, a dead node 0.  Boundaries are the weight
+   quantiles, so a hot region is split across more shards.  Rebuilding
+   from the flat array (authoritative between rounds) keeps results
+   untouched — only the work assignment moves. *)
+let rebalance t =
+  let n = Graph.original_size (Network.graph t.net) in
+  let dirty = Network.raw_dirty t.net in
+  let use_dirty = Array.length dirty > 0 in
+  let alive = t.csr.Graph.csr_node_alive in
+  let weight v =
+    if not alive.(v) then 0 else if use_dirty && dirty.(v) then 4 else 1
+  in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    total := !total + weight v
+  done;
+  if !total > 0 then begin
+    let nb = Array.make (t.k + 1) 0 in
+    nb.(t.k) <- n;
+    let v = ref 0 and acc = ref 0 in
+    for s = 1 to t.k - 1 do
+      let target = s * !total / t.k in
+      while !acc < target && !v < n do
+        acc := !acc + weight !v;
+        incr v
+      done;
+      nb.(s) <- !v
+    done;
+    let moved = ref 0 in
+    for s = 1 to t.k - 1 do
+      if nb.(s) <> t.boundaries.(s) then incr moved
+    done;
+    if !moved > 0 then begin
+      t.rebalances <- t.rebalances + 1;
+      t.migrated_boundaries <- t.migrated_boundaries + !moved;
+      layout t nb
+    end
+  end
+
+let maybe_rebalance t =
+  if
+    t.rebalance_every > 0 && t.rounds > 0
+    && t.rounds mod t.rebalance_every = 0
+  then begin
+    let max_f = ref 0 and sum = ref 0 in
+    Array.iter
+      (fun sh ->
+        let f = Shard.stepped sh in
+        if f > !max_f then max_f := f;
+        sum := !sum + f)
+      t.shards;
+    let mean = float_of_int !sum /. float_of_int t.k in
+    if mean > 0. && float_of_int !max_f > t.imbalance *. mean then rebalance t
+  end
+
+(* --- one synchronous round --------------------------------------------- *)
+
+let step ?pool ?(dirty = false) t =
+  let net = t.net in
+  if Network.state_epoch net <> t.seen_epoch then resync t;
+  maybe_rebalance t;
+  let aut = Network.automaton net in
+  let det = Fssga.is_deterministic aut in
+  let shared_rng = Network.rng net in
+  let rngs = if det then [||] else Network.raw_node_rngs net in
+  if dirty then begin
+    Network.ensure_dirty_tracking net;
+    Network.reconcile_graph net
+  end;
+  let dirtyb = if dirty then Network.raw_dirty net else [||] in
+  let recorder = Network.recorder net in
+  let sp = Recorder.spans recorder in
+  let rd = Recorder.round recorder in
+  let rec_on = Recorder.enabled recorder in
+  let k = t.k in
+  let shards = t.shards in
+  let par =
+    match pool with
+    | Some pool
+      when Domain_pool.size pool > 1
+           && Array.length (Network.raw_states net) >= Network.par_cutoff net
+      -> Some pool
+    | _ -> None
+  in
+  (* read: shard-local, frozen snapshot, parallel over the pool *)
+  let c0 = Clock.now_ns () in
+  let read_shard s =
+    let t0 = Span.now sp in
+    ignore
+      (Shard.read shards.(s) ~csr:t.csr ~aut ~det ~shared_rng ~rngs
+         ~dirty:dirtyb);
+    Span.record sp Span.Shard_read ~shard:s ~round:rd ~t0
+  in
+  (match par with
+  | Some pool ->
+      Domain_pool.run pool ~n:k (fun _slot lo hi ->
+          for s = lo to hi - 1 do
+            read_shard s
+          done)
+  | None ->
+      for s = 0 to k - 1 do
+        read_shard s
+      done);
+  let stepped = ref 0 in
+  Array.iter (fun sh -> stepped := !stepped + Shard.stepped sh) shards;
+  Network.add_activations net !stepped;
+  if dirty then begin
+    Recorder.frontier recorder ~size:!stepped;
+    (* consumed: clear before committing, so commit-phase re-marks of
+       changed neighbourhoods are never lost — the flat dirty order *)
+    Array.iter (fun sh -> Shard.clear_stepped sh dirtyb) shards
+  end;
+  let c1 = Clock.now_ns () in
+  t.read_ns <- t.read_ns + (c1 - c0);
+  (* commit: to the flat array (authority), local copies and outboxes *)
+  let any =
+    if rec_on then begin
+      (* sequential, shard- then node-ascending = flat ascending order:
+         the recorder's activation stream is byte-identical *)
+      let t0 = Span.now sp in
+      let any = ref false in
+      for s = 0 to k - 1 do
+        if Shard.commit_recorded shards.(s) ~net > 0 then any := true
+      done;
+      Span.record sp Span.Commit ~shard:0 ~round:rd ~t0;
+      !any
+    end
+    else begin
+      (match par with
+      | Some pool ->
+          Domain_pool.run pool ~n:k (fun _slot lo hi ->
+              for s = lo to hi - 1 do
+                ignore (Shard.commit_quiet shards.(s) ~net)
+              done)
+      | None ->
+          for s = 0 to k - 1 do
+            ignore (Shard.commit_quiet shards.(s) ~net)
+          done);
+      let ch = ref 0 in
+      Array.iter (fun sh -> ch := !ch + Shard.last_committed sh) shards;
+      Network.add_transitions net !ch;
+      !ch > 0
+    end
+  in
+  let c2 = Clock.now_ns () in
+  t.commit_ns <- t.commit_ns + (c2 - c1);
+  (* exchange: drain inboxes in (source shard, seq) order per
+     destination; destinations are independent, so this parallelizes *)
+  let drain_dst d =
+    let t0 = Span.now sp in
+    t.per_dst.(d) <- Shard.drain shards d;
+    Span.record sp Span.Shard_exchange ~shard:d ~round:rd ~t0
+  in
+  (match par with
+  | Some pool ->
+      Domain_pool.run pool ~n:k (fun _slot lo hi ->
+          for d = lo to hi - 1 do
+            drain_dst d
+          done)
+  | None ->
+      for d = 0 to k - 1 do
+        drain_dst d
+      done);
+  let msgs = Array.fold_left ( + ) 0 t.per_dst in
+  t.messages <- t.messages + msgs;
+  let c3 = Clock.now_ns () in
+  t.exchange_ns <- t.exchange_ns + (c3 - c2);
+  if rec_on then Recorder.exchange_ns recorder ~ns:(c3 - c2);
+  t.rounds <- t.rounds + 1;
+  t.seen_epoch <- Network.state_epoch net;
+  any
+
+(* --- checkpoint / restore ---------------------------------------------- *)
+
+type 'q checkpoint = {
+  sc_net : 'q Network.checkpoint;
+  sc_boundaries : int array;
+  sc_shards : 'q Shard.snap array;
+}
+
+let checkpoint t =
+  {
+    sc_net = Network.checkpoint t.net;
+    sc_boundaries = Array.copy t.boundaries;
+    sc_shards = Array.map Shard.snapshot t.shards;
+  }
+
+let restore t cp =
+  Network.restore t.net cp.sc_net;
+  if cp.sc_boundaries = t.boundaries then
+    Array.iteri (fun i sh -> Shard.restore_snap sh cp.sc_shards.(i)) t.shards
+  else
+    (* the partition moved since the checkpoint (rebalance): rebuild the
+       layout from the restored flat array, which the per-shard
+       snapshots are consistent with by construction *)
+    layout t (Array.copy cp.sc_boundaries);
+  t.seen_epoch <- Network.state_epoch t.net
+
+(* --- accessors --------------------------------------------------------- *)
+
+let network t = t.net
+let shard_count t = t.k
+let rounds t = t.rounds
+let rebalances t = t.rebalances
+let migrated_boundaries t = t.migrated_boundaries
+let messages t = t.messages
+let read_ns t = t.read_ns
+let commit_ns t = t.commit_ns
+let exchange_ns t = t.exchange_ns
+
+let exchange_share t =
+  let total = t.read_ns + t.commit_ns + t.exchange_ns in
+  if total = 0 then 0. else float_of_int t.exchange_ns /. float_of_int total
+
+let boundaries t = Array.copy t.boundaries
+
+type shard_stats = {
+  ss_id : int;
+  ss_lo : int;
+  ss_hi : int;
+  ss_ghosts : int;
+  ss_stepped : int;
+  ss_transitions : int;
+  ss_msgs_out : int;
+}
+
+let shard_stats t =
+  Array.map
+    (fun sh ->
+      {
+        ss_id = Shard.id sh;
+        ss_lo = Shard.lo sh;
+        ss_hi = Shard.hi sh;
+        ss_ghosts = Shard.ghost_count sh;
+        ss_stepped = Shard.stepped sh;
+        ss_transitions = Shard.last_committed sh;
+        ss_msgs_out = Shard.msgs_out sh;
+      })
+    t.shards

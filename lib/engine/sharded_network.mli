@@ -1,0 +1,100 @@
+(** Sharded synchronous runtime: the flat {!Network} engine's rounds,
+    executed as K partition shards communicating through explicit
+    double-buffered message queues (the paper's S16 bounded channels).
+
+    The graph's node range is cut into K contiguous shards, each owning
+    a local copy of its states, ghost buffers for remote neighbours and
+    per-peer outboxes (see {!Shard}).  A round is: parallel shard-local
+    read against the frozen local+ghost snapshot, commit to the flat
+    array (which stays the single source of truth for states, counters
+    and telemetry), then a deterministic exchange draining each
+    destination's inboxes in ascending (source shard, sequence) order.
+
+    Results are bit-identical to {!Network.sync_step} /
+    {!Network.sync_step_par} at {e every} (shards, domains) combination:
+    states, change flags, activation/transition counts, probabilistic
+    draws, and — when a recorder is attached — the recorded event bytes.
+    External writes to the flat engine (chaos faults, [set_state],
+    [restore]) are detected through {!Network.state_epoch} and absorbed
+    by a resync at the next [step], so the sharded runtime composes with
+    the chaos engine and checkpointing unchanged. *)
+
+type 'q t
+
+val create : ?rebalance_every:int -> ?imbalance:float -> shards:int -> 'q Network.t -> 'q t
+(** Wrap a network in a K-shard runtime ([shards >= 1]; boundaries start
+    equal-width).  [rebalance_every] (default 0 = never) checks frontier
+    balance every that many rounds and recuts the partition when the
+    largest shard frontier exceeds [imbalance] (default 2.0) times the
+    mean — a work-assignment change only, invisible to results. *)
+
+val step : ?pool:Domain_pool.t -> ?dirty:bool -> 'q t -> bool
+(** Run one synchronous round.  [dirty] (default false) steps only the
+    dirty frontier, exactly like {!Network.sync_step_dirty} — the caller
+    must uphold the same soundness condition
+    ({!Network.dirty_step_sound}).  With [pool], the read, quiet-commit
+    and exchange phases parallelise over shards (the commit phase stays
+    sequential when a recorder is attached, to preserve telemetry byte
+    order); the flat engine's {!Network.par_cutoff} gates the parallel
+    path identically.  Returns [true] if any state changed. *)
+
+val rebalance : 'q t -> unit
+(** Force a partition recut along current load quantiles (dead nodes
+    weigh 0, dirty nodes 4, other live nodes 1).  Normally invoked by
+    the [rebalance_every] policy; exposed for tests and tooling. *)
+
+(** {1 Checkpointing} *)
+
+type 'q checkpoint
+
+val checkpoint : 'q t -> 'q checkpoint
+(** Checkpoint the underlying network (states, counters, graph liveness)
+    plus the partition and per-shard buffers. *)
+
+val restore : 'q t -> 'q checkpoint -> unit
+(** Restore network and shards.  If the partition moved since the
+    checkpoint (a rebalance), the layout is rebuilt from the restored
+    flat state, so resumed runs stay bit-identical either way. *)
+
+(** {1 Telemetry} *)
+
+val network : 'q t -> 'q Network.t
+val shard_count : 'q t -> int
+
+val rounds : 'q t -> int
+(** Rounds executed through {!step}. *)
+
+val rebalances : 'q t -> int
+(** Partition recuts that actually moved a boundary. *)
+
+val migrated_boundaries : 'q t -> int
+(** Cumulative count of boundaries moved by recuts. *)
+
+val messages : 'q t -> int
+(** Cumulative cross-shard messages exchanged. *)
+
+val read_ns : 'q t -> int
+val commit_ns : 'q t -> int
+val exchange_ns : 'q t -> int
+(** Cumulative wall time of the three phases (always measured; the
+    recorder additionally gets per-round [exchange_ns] when attached). *)
+
+val exchange_share : 'q t -> float
+(** [exchange_ns / (read_ns + commit_ns + exchange_ns)], 0 before the
+    first round — the communication overhead of the partition. *)
+
+val boundaries : 'q t -> int array
+(** Current partition boundaries (K+1 entries, copy). *)
+
+type shard_stats = {
+  ss_id : int;
+  ss_lo : int;
+  ss_hi : int;  (** owned range [[ss_lo, ss_hi)] *)
+  ss_ghosts : int;  (** remote-neighbour slots *)
+  ss_stepped : int;  (** nodes stepped last round *)
+  ss_transitions : int;  (** state changes last round *)
+  ss_msgs_out : int;  (** cumulative messages sent *)
+}
+
+val shard_stats : 'q t -> shard_stats array
+(** Per-shard occupancy and traffic, for the shard controller and CLI. *)

@@ -203,3 +203,61 @@ let random_bipartite rng ~left ~right ~p =
     done
   done;
   Graph.create ~n ~edges:!edges
+
+(* --- streamed generators (sharded / out-of-core construction) --------- *)
+
+type stream = {
+  stream_n : int;
+  stream_degree : int -> int;
+  stream_iter : int -> (int -> unit) -> unit;
+}
+
+let graph_of_stream s =
+  Graph.of_adjacency ~n:s.stream_n ~degree:s.stream_degree ~iter:s.stream_iter
+
+let grid_stream ~rows ~cols =
+  if rows < 1 || cols < 1 then
+    invalid_arg "Gen.grid_stream: positive dims required";
+  let degree v =
+    let r = v / cols and c = v mod cols in
+    (if r > 0 then 1 else 0)
+    + (if r + 1 < rows then 1 else 0)
+    + (if c > 0 then 1 else 0)
+    + if c + 1 < cols then 1 else 0
+  in
+  let iter v f =
+    let r = v / cols and c = v mod cols in
+    if r > 0 then f (v - cols);
+    if c > 0 then f (v - 1);
+    if c + 1 < cols then f (v + 1);
+    if r + 1 < rows then f (v + cols)
+  in
+  { stream_n = rows * cols; stream_degree = degree; stream_iter = iter }
+
+let circulant_stream ~n ~offsets =
+  if n < 2 then invalid_arg "Gen.circulant_stream: n >= 2 required";
+  let offsets = List.sort_uniq compare offsets in
+  List.iter
+    (fun o ->
+      if o < 1 || 2 * o > n then
+        invalid_arg
+          (Printf.sprintf "Gen.circulant_stream: offset %d not in 1..n/2" o))
+    offsets;
+  let offs = Array.of_list offsets in
+  let k = Array.length offs in
+  (* an antipodal offset (2o = n) contributes one neighbour, not two *)
+  let degree _ =
+    let d = ref 0 in
+    for i = 0 to k - 1 do
+      d := !d + if 2 * offs.(i) = n then 1 else 2
+    done;
+    !d
+  in
+  let iter v f =
+    for i = 0 to k - 1 do
+      let o = offs.(i) in
+      f ((v + o) mod n);
+      if 2 * o <> n then f ((v - o + n) mod n)
+    done
+  in
+  { stream_n = n; stream_degree = degree; stream_iter = iter }

@@ -64,3 +64,33 @@ val random_bipartite :
   Symnet_prng.Prng.t -> left:int -> right:int -> p:float -> Graph.t
 (** Random bipartite graph; guaranteed bipartite by construction, made
     connected by a spanning zig-zag. *)
+
+(** {1 Streamed generators}
+
+    Families whose adjacency is computable per node in O(degree), so the
+    graph can be built through {!Graph.of_adjacency} — CSR rows filled
+    straight from the formula, shard by shard, with no intermediate edge
+    list.  This is the construction path for runs beyond what the
+    list-based generators can hold. *)
+
+type stream = {
+  stream_n : int;  (** node count *)
+  stream_degree : int -> int;  (** exact neighbour count of a node *)
+  stream_iter : int -> (int -> unit) -> unit;
+      (** enumerate a node's neighbours (deterministic order) *)
+}
+
+val graph_of_stream : stream -> Graph.t
+(** Materialise the stream via {!Graph.of_adjacency}. *)
+
+val grid_stream : rows:int -> cols:int -> stream
+(** The same family as {!grid}, as a stream: neighbour sets (and hence
+    engine behaviour) are identical, edge ids may differ. *)
+
+val circulant_stream : n:int -> offsets:int list -> stream
+(** Circulant graph C_n(offsets): node [v] adjacent to [v ± o mod n] for
+    each offset [o].  Offsets must lie in [1 .. n/2] (an antipodal
+    offset [2o = n] yields one neighbour); duplicates are collapsed.
+    Connected whenever [1] is among the offsets.  Degree is uniform, the
+    adjacency is O(1) per neighbour — the scalable workload for
+    multi-million-node sharded runs. *)

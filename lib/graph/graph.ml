@@ -276,6 +276,99 @@ let restore g s =
   g.live_edges <- s.s_live_edges;
   g.version <- s.s_version
 
+(* --- raw CSR access (engine internals) -------------------------------- *)
+
+type csr = {
+  csr_off : int array;
+  csr_tgt : int array;
+  csr_eid : int array;
+  csr_node_alive : bool array;
+  csr_edge_alive : bool array;
+}
+
+let csr g =
+  {
+    csr_off = g.off;
+    csr_tgt = g.tgt;
+    csr_eid = g.eid;
+    csr_node_alive = g.node_alive;
+    csr_edge_alive = g.edge_alive;
+  }
+
+(* --- streamed construction --------------------------------------------- *)
+
+(* Build the CSR directly from a degree oracle and a neighbour stream,
+   never materialising an edge list (the [create] path costs a hashtable
+   entry plus a list cell per edge on top of the CSR; this path costs
+   only the CSR itself plus one scratch int array).  Edge ids are
+   assigned in ascending order of their canonical (u < v) endpoint's
+   visit, which fills every row ascending by edge id: row [x] receives
+   its lower-neighbour slots while those neighbours are visited (in
+   ascending id order, since ids ascend with the visit) and then its own
+   upper-neighbour slots with consecutively assigned ids. *)
+let of_adjacency ~n ~degree ~iter =
+  if n < 0 then invalid_arg "Graph.of_adjacency: negative size";
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let d = degree v in
+    if d < 0 then invalid_arg "Graph.of_adjacency: negative degree";
+    off.(v + 1) <- off.(v) + d
+  done;
+  let m2 = off.(n) in
+  if m2 mod 2 <> 0 then
+    invalid_arg "Graph.of_adjacency: odd total degree (asymmetric stream)";
+  let m = m2 / 2 in
+  let tgt = Array.make m2 0 in
+  let eid = Array.make m2 0 in
+  let edges_arr = Array.make m { id = 0; u = 0; v = 0 } in
+  let pos = Array.sub off 0 (max n 1) in
+  (* last-seen stamps catch duplicate neighbours in one node's list *)
+  let seen = Array.make n (-1) in
+  let next_id = ref 0 in
+  for u = 0 to n - 1 do
+    iter u (fun v ->
+        if v < 0 || v >= n then
+          invalid_arg (Printf.sprintf "Graph.of_adjacency: bad neighbour %d" v);
+        if v = u then invalid_arg "Graph.of_adjacency: self-loop";
+        if seen.(v) = u then
+          invalid_arg
+            (Printf.sprintf "Graph.of_adjacency: duplicate edge (%d,%d)" u v);
+        seen.(v) <- u;
+        if v > u then begin
+          if !next_id >= m then
+            invalid_arg "Graph.of_adjacency: more neighbours than degree";
+          let id = !next_id in
+          incr next_id;
+          edges_arr.(id) <- { id; u; v };
+          tgt.(pos.(u)) <- v;
+          eid.(pos.(u)) <- id;
+          pos.(u) <- pos.(u) + 1;
+          tgt.(pos.(v)) <- u;
+          eid.(pos.(v)) <- id;
+          pos.(v) <- pos.(v) + 1
+        end)
+  done;
+  if !next_id <> m then
+    invalid_arg "Graph.of_adjacency: degree oracle disagrees with stream";
+  for v = 0 to n - 1 do
+    if pos.(v) <> off.(v + 1) then
+      invalid_arg
+        (Printf.sprintf "Graph.of_adjacency: asymmetric stream at node %d" v)
+  done;
+  {
+    n;
+    edges_arr;
+    node_alive = Array.make n true;
+    edge_alive = Array.make m true;
+    off;
+    tgt;
+    eid;
+    deg = Array.init n (fun v -> off.(v + 1) - off.(v));
+    live_nodes = n;
+    live_edges = m;
+    version = 0;
+  }
+
 let pp fmt g =
   Format.fprintf fmt "@[<v>graph n=%d m=%d@," (node_count g) (edge_count g);
   iter_edges g (fun e -> Format.fprintf fmt "  %d -- %d@," e.u e.v);

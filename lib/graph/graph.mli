@@ -34,6 +34,19 @@ val create : n:int -> edges:(int * int) list -> t
 val copy : t -> t
 (** Deep copy (liveness flags included). *)
 
+val of_adjacency : n:int -> degree:(int -> int) -> iter:(int -> (int -> unit) -> unit) -> t
+(** Streamed construction: build the CSR directly from a degree oracle
+    and a per-node neighbour stream ([iter v f] calls [f] once per
+    neighbour of [v]), without materialising an edge list — the path to
+    graphs too large for {!create}'s list + dedup-hashtable overhead.
+    The stream must describe a simple symmetric adjacency: [degree v]
+    must equal the number of neighbours [iter v] emits, and [w] must
+    appear in [v]'s stream iff [v] appears in [w]'s.  Violations
+    (asymmetry, duplicates, self-loops, bad ids) raise
+    [Invalid_argument].  The resulting graph is indistinguishable from a
+    {!create} over the same edge set: rows ascend by edge id, and edge
+    [id]s ascend with the first (lower-endpoint) visit order. *)
+
 (** {1 Queries} *)
 
 val original_size : t -> int
@@ -125,6 +138,28 @@ val restore : t -> snapshot -> unit
     the {!version} counter, which moves {e backwards}; clients caching
     on version (the engine) must re-sync explicitly after a restore.
     @raise Invalid_argument if the snapshot's dimensions don't match. *)
+
+(** {1 Raw CSR access}
+
+    For engine internals (the sharded runtime) that need to iterate
+    adjacency slots without closure dispatch.  The arrays are the live
+    internals — structurally immutable for the graph's lifetime, with
+    only the liveness bits mutating (and only between rounds, via the
+    fault primitives) — and must be treated as read-only. *)
+
+type csr = {
+  csr_off : int array;  (** n+1 row offsets *)
+  csr_tgt : int array;  (** neighbour node per slot *)
+  csr_eid : int array;  (** edge id per slot *)
+  csr_node_alive : bool array;
+  csr_edge_alive : bool array;
+}
+
+val csr : t -> csr
+(** The graph's CSR arrays, shared (not copied).  Slot [i] of node [v]
+    (for [i] in [csr_off.(v) .. csr_off.(v+1) - 1]) is live iff
+    [csr_edge_alive.(csr_eid.(i)) && csr_node_alive.(csr_tgt.(i))] —
+    the same filter {!iter_neighbours} applies. *)
 
 (** {1 Printing} *)
 

@@ -35,6 +35,8 @@ type enabled = {
   mutable frontier_latch : int;  (* -1 = no frontier latched this round *)
   mutable digest_ns_total : int;
   mutable digest_ns_at_round_start : int;
+  mutable exchange_ns_total : int;
+  mutable exchange_ns_at_round_start : int;
 }
 
 type t = Disabled | Enabled of enabled
@@ -91,6 +93,8 @@ let create ?(sink = Events.null) ?(activation_events = true)
       frontier_latch = -1;
       digest_ns_total = 0;
       digest_ns_at_round_start = 0;
+      exchange_ns_total = 0;
+      exchange_ns_at_round_start = 0;
     }
 
 let enabled = function Disabled -> false | Enabled _ -> true
@@ -110,6 +114,11 @@ let digest_ns t ~ns =
   | Disabled -> ()
   | Enabled e -> e.digest_ns_total <- e.digest_ns_total + ns
 
+let exchange_ns t ~ns =
+  match t with
+  | Disabled -> ()
+  | Enabled e -> e.exchange_ns_total <- e.exchange_ns_total + ns
+
 let run_start t ~nodes ~edges ~scheduler =
   match t with
   | Disabled -> ()
@@ -126,6 +135,7 @@ let round_start t ~round =
       e.recoveries_at_round_start <- e.recoveries_total;
       e.frontier_latch <- -1;
       e.digest_ns_at_round_start <- e.digest_ns_total;
+      e.exchange_ns_at_round_start <- e.exchange_ns_total;
       if e.timing then e.round_t0 <- Clock.now_ns ();
       Events.emit e.out (Events.Round_start { round })
 
@@ -147,6 +157,7 @@ let round_end t ~round ~changed =
           ~faults:(e.faults_total - e.faults_at_round_start)
           ~recoveries:(e.recoveries_total - e.recoveries_at_round_start)
           ~digest_ns:(e.digest_ns_total - e.digest_ns_at_round_start)
+          ~exchange_ns:(e.exchange_ns_total - e.exchange_ns_at_round_start)
       end;
       Events.emit e.out (Events.Round_end { round; activations; changed })
 

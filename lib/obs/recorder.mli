@@ -97,6 +97,11 @@ val digest_ns : t -> ns:int -> unit
     engine calls this alongside the [Digest_update]/[Digest_query] span
     records. *)
 
+val exchange_ns : t -> ns:int -> unit
+(** Accrue time spent draining cross-shard message queues; the timeline
+    row records the delta accrued during its round.  The sharded runtime
+    calls this alongside its [Shard_exchange] span records. *)
+
 val fault : ?effective:bool -> t -> action:Events.fault_action -> unit
 (** With [~effective:false] (default [true]) the fault was a no-op —
     recorded under the [faults_noop] counter and emitted as a

@@ -65,6 +65,25 @@ let extract doc =
             | _ -> None)
           l
   in
+  (* Sharded-runtime rows key on (shards, domains) for the same reason;
+     exchange_share is the communication overhead (lower is better). *)
+  let sharded_rows =
+    match list_field "sharded" doc with
+    | None -> []
+    | Some l ->
+        List.concat_map
+          (fun p ->
+            match (str_field "workload" p, int_field "shards" p,
+                   int_field "domains" p, num_field "rounds_per_sec" p,
+                   num_field "exchange_share" p) with
+            | Some w, Some s, Some d, Some rps, Some share ->
+                [
+                  (w, Printf.sprintf "rounds_per_sec@s%d_d%d" s d, rps);
+                  (w, Printf.sprintf "exchange_share@s%d_d%d" s d, share);
+                ]
+            | _ -> [])
+          l
+  in
   (* The incremental-digest hub block (absent from pre-digest baselines:
      its rows then surface as "new", which passes). *)
   let digest_rows =
@@ -79,7 +98,7 @@ let extract doc =
             ]
         | _ -> [])
   in
-  Ok (List.rev sample_rows @ par_rows @ digest_rows)
+  Ok (List.rev sample_rows @ par_rows @ sharded_rows @ digest_rows)
 
 (* --- comparison ------------------------------------------------------- *)
 
@@ -116,14 +135,22 @@ let compare_docs ?(tolerance_pct = 50.) ?(words_slack = 8.) ~baseline ~fresh ()
             { workload = w; metric = m; base; fresh = nan; change_pct = nan;
               verdict = Missing_fresh }
         | Some fresh ->
+            let exchange_share =
+              String.length m >= 14 && String.sub m 0 14 = "exchange_share"
+            in
             let higher_better = m <> "ns_per_activation"
                                 && m <> "words_per_activation"
-                                && m <> "incr_update_ns" in
+                                && m <> "incr_update_ns"
+                                && not exchange_share in
             let pct = change_pct ~higher_better ~base ~fresh in
             let over_tolerance =
               if m = "words_per_activation" then
                 (* absolute slack on top of the relative bound *)
                 fresh > (base *. (1. +. (tolerance_pct /. 100.))) +. words_slack
+              else if exchange_share then
+                (* a ratio in [0,1]: relative bounds explode near zero,
+                   so allow a fixed 0.25 of absolute drift on top *)
+                fresh > (base *. (1. +. (tolerance_pct /. 100.))) +. 0.25
               else pct > tolerance_pct
             in
             { workload = w; metric = m; base; fresh; change_pct = pct;
@@ -197,6 +224,7 @@ let inject_slowdown ~factor doc =
              match n with
              | "samples" -> (n, map_rows "ns_per_activation" factor v)
              | "parallel" -> (n, map_rows "rounds_per_sec" (1. /. factor) v)
+             | "sharded" -> (n, map_rows "rounds_per_sec" (1. /. factor) v)
              | "digest" -> (
                  match v with
                  | Jsonx.Obj f ->

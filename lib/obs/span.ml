@@ -8,6 +8,8 @@ type phase =
   | Recovery
   | Digest_update
   | Digest_query
+  | Shard_read
+  | Shard_exchange
 
 let phase_name = function
   | Round -> "round"
@@ -19,6 +21,8 @@ let phase_name = function
   | Recovery -> "recovery"
   | Digest_update -> "digest_update"
   | Digest_query -> "digest_query"
+  | Shard_read -> "shard_read"
+  | Shard_exchange -> "shard_exchange"
 
 let phase_tag = function
   | Round -> 0
@@ -30,6 +34,8 @@ let phase_tag = function
   | Recovery -> 6
   | Digest_update -> 7
   | Digest_query -> 8
+  | Shard_read -> 9
+  | Shard_exchange -> 10
 
 let phase_of_tag = function
   | 0 -> Round
@@ -40,6 +46,8 @@ let phase_of_tag = function
   | 5 -> Checkpoint
   | 7 -> Digest_update
   | 8 -> Digest_query
+  | 9 -> Shard_read
+  | 10 -> Shard_exchange
   | _ -> Recovery
 
 (* Parallel int arrays rather than an array of records: record stores

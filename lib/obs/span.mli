@@ -32,6 +32,12 @@ type phase =
   | Digest_query
       (** the digest round's read phase: per-node root-summary queries
           replacing the O(deg) view rescan *)
+  | Shard_read
+      (** one shard's local read/step phase in the sharded runtime
+          ([shard] = shard id, not domain slot) *)
+  | Shard_exchange
+      (** draining one shard's cross-shard inboxes into its ghost
+          buffers during the exchange phase ([shard] = shard id) *)
 
 val phase_name : phase -> string
 (** Stable lower-snake name, used as the Chrome-trace event name. *)

@@ -7,6 +7,7 @@ type row = {
   faults : int;
   recoveries : int;
   digest_ns : int;
+  exchange_ns : int;
 }
 
 (* Growable columnar storage: one int-array store per column per round,
@@ -22,6 +23,7 @@ type cols = {
   mutable faults : int array;
   mutable recoveries : int array;
   mutable digest_ns : int array;
+  mutable exchange_ns : int array;
 }
 
 type t = Disabled | Enabled of cols
@@ -41,6 +43,7 @@ let create ?(capacity = 1024) () =
       faults = Array.make capacity 0;
       recoveries = Array.make capacity 0;
       digest_ns = Array.make capacity 0;
+      exchange_ns = Array.make capacity 0;
     }
 
 let enabled = function Disabled -> false | Enabled _ -> true
@@ -54,10 +57,11 @@ let grow c =
   c.frontier <- extend c.frontier;
   c.faults <- extend c.faults;
   c.recoveries <- extend c.recoveries;
-  c.digest_ns <- extend c.digest_ns
+  c.digest_ns <- extend c.digest_ns;
+  c.exchange_ns <- extend c.exchange_ns
 
 let record t ~round ~wall_ns ~activations ~transitions ~frontier ~faults
-    ~recoveries ~digest_ns =
+    ~recoveries ~digest_ns ~exchange_ns =
   match t with
   | Disabled -> ()
   | Enabled c ->
@@ -71,6 +75,7 @@ let record t ~round ~wall_ns ~activations ~transitions ~frontier ~faults
       c.faults.(i) <- faults;
       c.recoveries.(i) <- recoveries;
       c.digest_ns.(i) <- digest_ns;
+      c.exchange_ns.(i) <- exchange_ns;
       c.len <- i + 1
 
 let length = function Disabled -> 0 | Enabled c -> c.len
@@ -88,6 +93,7 @@ let rows = function
             faults = c.faults.(i);
             recoveries = c.recoveries.(i);
             digest_ns = c.digest_ns.(i);
+            exchange_ns = c.exchange_ns.(i);
           })
 
 let row_to_json (r : row) =
@@ -101,6 +107,7 @@ let row_to_json (r : row) =
       ("faults", Jsonx.Int r.faults);
       ("recoveries", Jsonx.Int r.recoveries);
       ("digest_ns", Jsonx.Int r.digest_ns);
+      ("exchange_ns", Jsonx.Int r.exchange_ns);
     ]
 
 let row_of_json j =
@@ -121,6 +128,11 @@ let row_of_json j =
   let digest_ns =
     Option.value ~default:0 (Option.bind (Jsonx.member "digest_ns" j) Jsonx.to_int)
   in
+  (* absent in traces recorded before the sharded runtime existed *)
+  let exchange_ns =
+    Option.value ~default:0
+      (Option.bind (Jsonx.member "exchange_ns" j) Jsonx.to_int)
+  in
   (Ok
      {
        round;
@@ -131,6 +143,7 @@ let row_of_json j =
        faults;
        recoveries;
        digest_ns;
+       exchange_ns;
      }
     : (row, string) result)
 
@@ -170,4 +183,5 @@ let series (rows : row list) =
     col "faults" (fun r -> r.faults);
     col "recoveries" (fun r -> r.recoveries);
     col "digest_ns" (fun r -> r.digest_ns);
+    col "exchange_ns" (fun r -> r.exchange_ns);
   ]

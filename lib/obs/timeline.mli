@@ -28,6 +28,10 @@ type row = {
           this round ({!Span.phase}[ Digest_update]/[Digest_query]); [0]
           on non-digest rounds and in timelines recorded before the
           digest backend existed *)
+  exchange_ns : int;
+      (** ns spent draining cross-shard message queues this round
+          ({!Span.phase}[ Shard_exchange]); [0] on flat-engine rounds
+          and in timelines recorded before the sharded runtime existed *)
 }
 
 val null : t
@@ -49,6 +53,7 @@ val record :
   faults:int ->
   recoveries:int ->
   digest_ns:int ->
+  exchange_ns:int ->
   unit
 
 val length : t -> int
@@ -69,5 +74,5 @@ val read_lines : in_channel -> (row list, string) result
 
 val series : row list -> (string * float array) list
 (** Columns as named float series ([round_ns], [activations],
-    [transitions], [frontier], [faults], [recoveries], [digest_ns]) for
-    {!Stats.of_series}. *)
+    [transitions], [frontier], [faults], [recoveries], [digest_ns],
+    [exchange_ns]) for {!Stats.of_series}. *)

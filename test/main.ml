@@ -8,6 +8,7 @@ let () =
       ("sm", Test_sm.suite);
       ("engine", Test_engine.suite);
       ("parallel", Test_parallel.suite);
+      ("sharded", Test_sharded.suite);
       ("census", Test_census.suite);
       ("shortest-paths", Test_shortest_paths.suite);
       ("two-colouring", Test_two_colouring.suite);

@@ -28,6 +28,9 @@ let census_automaton n = A.Census.automaton ~k:(A.Census.recommended_k n)
    the change flag of every round, the final states, and the activation
    count. *)
 let drive ?pool ~rounds ~dirty net =
+  (* tiny graphs: defeat the auto-sequential cutoff so the parallel code
+     path is actually exercised *)
+  Network.set_par_cutoff net 0;
   let step net =
     match (pool, dirty) with
     | None, false -> Network.sync_step net
@@ -85,6 +88,7 @@ let runner_case mk_aut (n, extra, seed) =
         ~keep_connected:false
     in
     let net = Network.init ~rng:(Prng.create ~seed) g (mk_aut n) in
+    Network.set_par_cutoff net 0;
     let o = Runner.run ~faults ~max_rounds:200 ~domains net in
     (o.Runner.rounds, o.Runner.activations, o.Runner.quiesced, Network.states net)
   in
@@ -131,6 +135,7 @@ let prop_runner_chaos_bit_identical =
         let buf = Buffer.create 1024 in
         let recorder = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
         let net = Network.init ~rng:(Prng.create ~seed) g (sp_automaton n) in
+        Network.set_par_cutoff net 0;
         let o = Runner.run ~chaos ~max_rounds:30 ~recorder ~domains net in
         Obs.Recorder.close recorder;
         ( o.Runner.rounds,
@@ -153,6 +158,7 @@ let test_recorder_metrics_identical () =
     let net =
       Network.init ~rng:(Prng.create ~seed:7) g (census_automaton 80)
     in
+    Network.set_par_cutoff net 0;
     let recorder = Obs.Recorder.create () in
     let o = Runner.run ~max_rounds:100 ~recorder ~domains net in
     Obs.Recorder.close recorder;

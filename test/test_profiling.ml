@@ -113,13 +113,14 @@ let mk_row i =
     faults = i mod 2;
     recoveries = i mod 3;
     digest_ns = 100 * i;
+    exchange_ns = 10 * i;
   }
 
 let test_timeline_disabled () =
   let t = Timeline.null in
   Alcotest.(check bool) "disabled" false (Timeline.enabled t);
   Timeline.record t ~round:1 ~wall_ns:5 ~activations:1 ~transitions:1
-    ~frontier:1 ~faults:0 ~recoveries:0 ~digest_ns:0;
+    ~frontier:1 ~faults:0 ~recoveries:0 ~digest_ns:0 ~exchange_ns:0;
   Alcotest.(check int) "record is a no-op" 0 (Timeline.length t);
   Alcotest.(check string) "empty jsonl" "" (Timeline.to_jsonl t)
 
@@ -133,7 +134,7 @@ let test_timeline_growth () =
       Timeline.record t ~round:r.round ~wall_ns:r.wall_ns
         ~activations:r.activations ~transitions:r.transitions
         ~frontier:r.frontier ~faults:r.faults ~recoveries:r.recoveries
-        ~digest_ns:r.digest_ns)
+        ~digest_ns:r.digest_ns ~exchange_ns:r.exchange_ns)
     rows;
   Alcotest.(check int) "all rows kept" 5 (Timeline.length t);
   Alcotest.(check bool) "rows in order" true (Timeline.rows t = rows)
@@ -146,7 +147,7 @@ let test_timeline_jsonl_roundtrip () =
       Timeline.record t ~round:r.round ~wall_ns:r.wall_ns
         ~activations:r.activations ~transitions:r.transitions
         ~frontier:r.frontier ~faults:r.faults ~recoveries:r.recoveries
-        ~digest_ns:r.digest_ns)
+        ~digest_ns:r.digest_ns ~exchange_ns:r.exchange_ns)
     rows;
   let path = Filename.temp_file "symnet_timeline" ".jsonl" in
   Out_channel.with_open_text path (fun oc ->
@@ -172,14 +173,14 @@ let test_timeline_series () =
   let rows = List.init 3 mk_row in
   let series = Timeline.series rows in
   let col name = List.assoc name series in
-  Alcotest.(check int) "seven series" 7 (List.length series);
+  Alcotest.(check int) "eight series" 8 (List.length series);
   Alcotest.(check bool) "round_ns column" true
     (col "round_ns" = [| 1000.; 2000.; 3000. |]);
   Alcotest.(check bool) "frontier column" true
     (col "frontier" = [| 0.; 3.; 6. |]);
   (* the Stats bridge summarises without blowing up *)
   let summaries = Obs.Stats.of_series series in
-  Alcotest.(check int) "one summary per series" 7 (List.length summaries)
+  Alcotest.(check int) "one summary per series" 8 (List.length summaries)
 
 (* --- regression comparator -------------------------------------------- *)
 
