@@ -1,0 +1,124 @@
+(* E19 — the serve path under load.  A resident >= 100k-node
+   shortest-paths network is kept in memory by a Runner session inside
+   the serve daemon; a hammer client fires a deterministic mix of point
+   reads, analytical queries, batches, and mutations at it over the
+   framed wire protocol, timing every round trip.  Daemon and client run
+   in one thread (the container has one core): the hammer's [pump] hook
+   ticks the daemon until each reply is readable, so queries genuinely
+   interleave with round stepping — the deployment model of
+   [symnet serve].  Every reply's (version, epoch) stamp is checked
+   monotone; a single stamp regression means a stale snapshot was served
+   and fails the experiment. *)
+
+open Bench_util
+module Graph = Symnet_graph.Graph
+module Gen = Symnet_graph.Gen
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Jsonx = Symnet_obs.Jsonx
+module A = Symnet_algorithms
+module Daemon = Symnet_serve.Daemon
+module Hammer = Symnet_serve.Hammer
+
+type sample = {
+  sv_n : int;
+  sv_rounds : int; (* rounds the daemon stepped while serving *)
+  sv_outcome : Hammer.outcome;
+}
+
+(* Build the resident network, stabilize it (tick until the session
+   quiesces), then hammer it.  Returns the sample; the socket and daemon
+   are torn down on the way out. *)
+let measure ~side ~requests ~mutate_every ~batch () =
+  let sock = Printf.sprintf "/tmp/symnet-e19-%d.sock" (Unix.getpid ()) in
+  let addr = Daemon.Unix_sock sock in
+  let g = Gen.grid ~rows:side ~cols:side in
+  let n = Graph.node_count g in
+  let net =
+    Network.init ~rng:(rng 7) g
+      (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:n)
+  in
+  (* Keep a handle on the live session so quiescence is observable
+     without a status query per tick. *)
+  let current = ref None in
+  let session () =
+    let s = Runner.start ~dirty:true net in
+    current := Some s;
+    s
+  in
+  let d =
+    Daemon.create ~state_json:(fun s -> Jsonx.Int (A.Shortest_paths.label s))
+      ~session addr
+  in
+  Fun.protect
+    ~finally:(fun () -> Daemon.close d)
+    (fun () ->
+      let quiesced () =
+        match !current with
+        | Some s -> Runner.session_result s <> None
+        | None -> false
+      in
+      (* Stabilize before measuring: latency percentiles then describe
+         the steady serving state, with mutations re-waking the network
+         mid-run.  The cap is generous (a grid shortest-paths wavefront
+         needs ~2*side rounds). *)
+      let max_warm = (20 * side) + 1000 in
+      let warm = ref 0 in
+      while (not (quiesced ())) && !warm < max_warm do
+        Daemon.tick d;
+        incr warm
+      done;
+      let pump fd =
+        let ready () =
+          match Unix.select [ fd ] [] [] 0. with
+          | [], _, _ -> false
+          | _ -> true
+        in
+        while not (ready ()) do
+          Daemon.tick d
+        done
+      in
+      let connect () = Daemon.connect addr in
+      let o =
+        Hammer.run ~requests ~mutate_every ~batch ~pump ~connect ~n ()
+      in
+      { sv_n = n; sv_rounds = Daemon.rounds_run d; sv_outcome = o })
+
+let emit ~experiment s =
+  let o = s.sv_outcome in
+  row
+    "  n=%-7d %5d requests (%d mutations, batch mixed): %8.0f q/s  p50 \
+     %7.1fus  p95 %8.1fus  max %9.1fus  errors %d  stale %d\n"
+    s.sv_n o.Hammer.requests o.Hammer.mutations o.Hammer.qps o.Hammer.p50_us
+    o.Hammer.p95_us o.Hammer.max_us o.Hammer.errors o.Hammer.stamp_regressions;
+  metric_row ~experiment
+    [
+      ("workload", jstr "serve_hammer");
+      ("n", jint s.sv_n);
+      ("requests", jint o.Hammer.requests);
+      ("mutations", jint o.Hammer.mutations);
+      ("rounds_run", jint s.sv_rounds);
+      ("qps", jfloat o.Hammer.qps);
+      ("p50_us", jfloat o.Hammer.p50_us);
+      ("p95_us", jfloat o.Hammer.p95_us);
+      ("max_us", jfloat o.Hammer.max_us);
+      ("errors", jint o.Hammer.errors);
+      ("stamp_regressions", jint o.Hammer.stamp_regressions);
+    ]
+
+let ok s =
+  s.sv_outcome.Hammer.errors = 0 && s.sv_outcome.Hammer.stamp_regressions = 0
+
+let run ?(smoke = false) () =
+  section "E19 serve path under load"
+    "a resident >= 100k-node network answering a hammer-load of queries\n\
+     while rounds keep running; per-request latency percentiles, and a\n\
+     snapshot-staleness check on every reply's (version, epoch) stamp";
+  let side = if smoke then 20 else 317 (* 100,489 nodes *) in
+  let requests = if smoke then 300 else 2000 in
+  let s = measure ~side ~requests ~mutate_every:20 ~batch:4 () in
+  emit ~experiment:"e19" s;
+  if not (ok s) then begin
+    row "  FAIL errors or stale snapshots served\n";
+    exit 1
+  end

@@ -441,6 +441,7 @@ type results = {
   r_par : par_sample list;
   r_sharded : sharded_sample list;
   r_digest : digest_sample;
+  r_serve : E19_serve.sample;
 }
 
 (* The packed-int BFS rewrite bound: the automaton steps allocation-free,
@@ -461,6 +462,7 @@ let ok r =
   && List.for_all (fun s -> s.sh_identical) r.r_sharded
   && bfs_words_pass r
   && r.r_digest.dg_pass
+  && E19_serve.ok r.r_serve
 
 let collect ?(smoke = false) ?domains () =
   let n = if smoke then 400 else 10_000 in
@@ -580,6 +582,37 @@ let collect ?(smoke = false) ?domains () =
       ("incr_update_ns", Jsonx.Float dg.incr_update_ns);
       ("speedup", Jsonx.Float dg.dg_speedup);
     ];
+  (* Serve path: daemon and hammer interleaved in one thread over a Unix
+     socket (the deployment model on a 1-core container).  The tracked
+     numbers are round-trip latency and throughput against a quiesced
+     network being re-woken by mutations; any stamp regression (a stale
+     snapshot served) fails the whole bench. *)
+  let sv =
+    E19_serve.measure
+      ~side:(if smoke then 20 else 100)
+      ~requests:(if smoke then 200 else 1000)
+      ~mutate_every:20 ~batch:4 ()
+  in
+  let so = sv.E19_serve.sv_outcome in
+  Printf.printf
+    "  serve n=%-7d %d requests  %8.0f q/s  p50 %6.1f us  p95 %7.1f us  \
+     errors %d  stale %d: %s\n"
+    sv.E19_serve.sv_n so.Symnet_serve.Hammer.requests
+    so.Symnet_serve.Hammer.qps so.Symnet_serve.Hammer.p50_us
+    so.Symnet_serve.Hammer.p95_us so.Symnet_serve.Hammer.errors
+    so.Symnet_serve.Hammer.stamp_regressions
+    (if E19_serve.ok sv then "ok" else "FAIL");
+  Bench_util.metric_row ~experiment:"engine"
+    [
+      ("kind", Jsonx.String "serve");
+      ("n", Jsonx.Int sv.E19_serve.sv_n);
+      ("requests", Jsonx.Int so.Symnet_serve.Hammer.requests);
+      ("qps", Jsonx.Float so.Symnet_serve.Hammer.qps);
+      ("p50_us", Jsonx.Float so.Symnet_serve.Hammer.p50_us);
+      ("p95_us", Jsonx.Float so.Symnet_serve.Hammer.p95_us);
+      ("errors", Jsonx.Int so.Symnet_serve.Hammer.errors);
+      ("stamp_regressions", Jsonx.Int so.Symnet_serve.Hammer.stamp_regressions);
+    ];
   let r =
     {
       r_smoke = smoke;
@@ -590,6 +623,7 @@ let collect ?(smoke = false) ?domains () =
       r_par = par_samples;
       r_sharded = sharded_samples;
       r_digest = dg;
+      r_serve = sv;
     }
   in
   if not (bfs_words_pass r) then
@@ -620,6 +654,21 @@ let doc_of r =
       ( "sharded",
         Jsonx.List
           (List.map (fun s -> Jsonx.Obj (sharded_fields s)) r.r_sharded) );
+      ( "serve",
+        let o = r.r_serve.E19_serve.sv_outcome in
+        Jsonx.Obj
+          [
+            ("n", Jsonx.Int r.r_serve.E19_serve.sv_n);
+            ("requests", Jsonx.Int o.Symnet_serve.Hammer.requests);
+            ("mutations", Jsonx.Int o.Symnet_serve.Hammer.mutations);
+            ("qps", Jsonx.Float o.Symnet_serve.Hammer.qps);
+            ("p50_us", Jsonx.Float o.Symnet_serve.Hammer.p50_us);
+            ("p95_us", Jsonx.Float o.Symnet_serve.Hammer.p95_us);
+            ("max_us", Jsonx.Float o.Symnet_serve.Hammer.max_us);
+            ("errors", Jsonx.Int o.Symnet_serve.Hammer.errors);
+            ( "stamp_regressions",
+              Jsonx.Int o.Symnet_serve.Hammer.stamp_regressions );
+          ] );
     ]
 
 let run ?(out = "BENCH_engine.json") ?(smoke = false) ?domains () =

@@ -36,6 +36,7 @@ let experiments =
     ("e16", fun () -> E16_chaos.run ());
     ("e17", fun () -> E17_sm_backends.run ());
     ("e18", fun () -> E18_sharded.run ());
+    ("e19", fun () -> E19_serve.run ());
   ]
 
 let run_tables () = List.iter (fun (_, f) -> f ()) experiments
@@ -97,13 +98,14 @@ let () =
   | [ _; "e16"; "--smoke" ] -> E16_chaos.run ~smoke:true ()
   | [ _; "e17"; "--smoke" ] -> E17_sm_backends.run ~smoke:true ()
   | [ _; "e18"; "--smoke" ] -> E18_sharded.run ~smoke:true ()
+  | [ _; "e19"; "--smoke" ] -> E19_serve.run ~smoke:true ()
   | [ _; name ] -> (
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
       | None ->
           Printf.eprintf
-            "unknown experiment %s (e01..e18, tables, kernels, engine)\n" name;
+            "unknown experiment %s (e01..e19, tables, kernels, engine)\n" name;
           exit 2)
   | _ ->
-      prerr_endline "usage: main.exe [e01..e18|tables|kernels|engine|all]";
+      prerr_endline "usage: main.exe [e01..e19|tables|kernels|engine|all]";
       exit 2

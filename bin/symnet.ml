@@ -770,6 +770,96 @@ let stats file file_b diff timeline format =
   end
 
 (* ------------------------------------------------------------------ *)
+(* serve / hammer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Symnet_serve
+
+let addr_of_string s =
+  match Serve.Daemon.address_of_string s with
+  | Ok a -> a
+  | Error m ->
+      prerr_endline m;
+      exit 2
+
+let serve graph seed max_rounds addr_s rounds_per_tick chaos_spec profile_out
+    span_capacity =
+  let g = make_graph seed graph in
+  let addr = addr_of_string addr_s in
+  let cap = Graph.node_count g in
+  let chaos = chaos_of ~critical:(fun ~round:_ -> [ 0 ]) seed chaos_spec in
+  let net =
+    Network.init ~rng:(Prng.create ~seed) g
+      (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap)
+  in
+  let spans =
+    match profile_out with
+    | Some _ -> Obs.Span.create ~capacity:span_capacity ()
+    | None -> Obs.Span.null
+  in
+  let recorder =
+    match profile_out with
+    | Some _ -> Obs.Recorder.create ~spans ()
+    | None -> Obs.Recorder.null
+  in
+  let session () = Runner.start ~max_rounds ~recorder ?chaos net in
+  let d =
+    Serve.Daemon.create ~recorder ~rounds_per_tick
+      ~state_json:(fun s -> Obs.Jsonx.Int (A.Shortest_paths.label s))
+      ~session addr
+  in
+  Printf.printf "serving %s (%d nodes, %d edges) on %s\n%!" graph
+    (Graph.node_count g) (Graph.edge_count g) addr_s;
+  Serve.Daemon.serve_forever d;
+  Printf.printf "served %d requests over %d rounds\n%!"
+    (Serve.Daemon.requests_served d)
+    (Serve.Daemon.rounds_run d);
+  match profile_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Jsonx.to_string (Obs.Span.chrome_json spans));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "chrome trace: %s\n" path
+
+let hammer addr_s seed requests mutate_every batch smoke do_shutdown =
+  let addr = addr_of_string addr_s in
+  let connect () = Serve.Daemon.connect addr in
+  let requests = if smoke then min requests 200 else requests in
+  let n =
+    match Serve.Hammer.probe_n ~connect () with
+    | Some n -> n
+    | None ->
+        prerr_endline "hammer: could not probe the daemon (is it running?)";
+        exit 1
+  in
+  let o = Serve.Hammer.run ~seed ~requests ~mutate_every ~batch ~connect ~n () in
+  Printf.printf
+    "requests: %d (%d mutations, %d errors)   elapsed: %.2fs   qps: %.0f\n\
+     latency us: p50 %.1f   p95 %.1f   max %.1f\n\
+     stamp regressions: %d\n"
+    o.Serve.Hammer.requests o.Serve.Hammer.mutations o.Serve.Hammer.errors
+    o.Serve.Hammer.elapsed_s o.Serve.Hammer.qps o.Serve.Hammer.p50_us
+    o.Serve.Hammer.p95_us o.Serve.Hammer.max_us
+    o.Serve.Hammer.stamp_regressions;
+  (* Same grep-able row format as the bench harness, so serve latency
+     lands in the BENCH/METRIC pipeline. *)
+  (match Serve.Hammer.to_json o with
+  | Obs.Jsonx.Obj fields ->
+      print_string "METRIC ";
+      print_endline
+        (Obs.Jsonx.to_string
+           (Obs.Jsonx.Obj
+              (("experiment", Obs.Jsonx.String "serve_hammer")
+              :: ("n", Obs.Jsonx.Int n)
+              :: fields)))
+  | _ -> ());
+  if do_shutdown then Serve.Hammer.shutdown ~connect ();
+  if o.Serve.Hammer.errors > 0 || o.Serve.Hammer.stamp_regressions > 0 then
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Command wiring                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -881,6 +971,61 @@ let span_capacity_arg =
           "Span ring-buffer capacity; when a run records more, the oldest \
            spans are dropped (keep-last).")
 
+let addr_arg =
+  Arg.(
+    value
+    & opt string "unix:/tmp/symnet.sock"
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:
+          "Socket to serve on / connect to: $(b,unix:PATH) or \
+           $(b,tcp:HOST:PORT) (HOST a literal IP; empty means 127.0.0.1).")
+
+let rounds_per_tick_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "rounds-per-tick" ] ~docv:"N"
+        ~doc:"Rounds stepped between polls of the socket (default 1).")
+
+let hammer_requests_arg =
+  Arg.(
+    value
+    & opt int 2000
+    & info [ "requests" ] ~docv:"N" ~doc:"Requests to fire.")
+
+let hammer_mutate_arg =
+  Arg.(
+    value
+    & opt int 20
+    & info [ "mutate-every" ] ~docv:"K"
+        ~doc:"Every $(docv)-th request is a mutation (0 disables).")
+
+let hammer_batch_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "batch" ] ~docv:"B"
+        ~doc:"Occasional batched request size (1 disables batching).")
+
+let serve_profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Collect phase spans (rounds plus serve_snapshot/serve_request) \
+           and write a Chrome trace-event JSON here on shutdown.")
+
+let hammer_smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ] ~doc:"Cap the load at 200 requests (CI smoke mode).")
+
+let hammer_shutdown_arg =
+  Arg.(
+    value & flag
+    & info [ "shutdown" ] ~doc:"Ask the daemon to shut down afterwards.")
+
 let commands =
   [
     cmd "two-colouring" "Decide bipartiteness (§4.1)."
@@ -936,6 +1081,24 @@ let commands =
       Term.(
         const stats $ trace_in_arg $ trace_in_b_arg $ stats_diff_arg
         $ stats_timeline_arg $ stats_format_arg);
+    cmd "serve"
+      "Resident daemon: keep a stabilizing shortest-paths network in memory, \
+       stepping rounds while answering batched queries (states, distances, \
+       census, components, bridges, telemetry) and mutations over a \
+       length-prefixed socket protocol."
+      Term.(
+        const serve $ graph_arg $ seed_arg $ rounds_arg $ addr_arg
+        $ rounds_per_tick_arg $ chaos_arg $ serve_profile_out_arg
+        $ span_capacity_arg);
+    cmd "hammer"
+      "Stress client for symnet serve: a deterministic mixed \
+       query/mutation load over one connection, reporting latency \
+       percentiles as a METRIC row and failing on any error or snapshot \
+       staleness."
+      Term.(
+        const hammer $ addr_arg $ seed_arg $ hammer_requests_arg
+        $ hammer_mutate_arg $ hammer_batch_arg $ hammer_smoke_arg
+        $ hammer_shutdown_arg);
   ]
 
 let () =

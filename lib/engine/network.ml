@@ -499,7 +499,12 @@ type 'q checkpoint = {
   cp_activations : int;
   cp_transitions : int;
   cp_dirty : bool array; (* [||] when tracking hadn't started *)
-  cp_graph_version : int;
+  cp_graph_synced : bool;
+      (* whether [graph_version] had acknowledged every graph mutation at
+         checkpoint time.  The version itself is useless to store:
+         [Graph.restore] bumps the counter (strict monotonicity), so the
+         checkpointed value can never recur — what must survive a
+         rollback is only the synced/pending distinction. *)
 }
 
 let checkpoint t =
@@ -511,7 +516,7 @@ let checkpoint t =
     cp_activations = t.activations;
     cp_transitions = t.transitions;
     cp_dirty = Array.copy t.dirty;
-    cp_graph_version = t.graph_version;
+    cp_graph_synced = t.graph_version = Graph.version t.graph;
   }
 
 let restore t cp =
@@ -535,7 +540,13 @@ let restore t cp =
      (* Tracking started after the checkpoint; a fresh run from that
         point would start it all-dirty too. *)
      Array.fill t.dirty 0 (Array.length t.dirty) true);
-  t.graph_version <- cp.cp_graph_version;
+  (* [Graph.restore] just bumped the graph's version.  Re-ack against the
+     fresh counter iff the checkpoint had no pending (unacknowledged)
+     mutation; otherwise leave a deliberate mismatch so the dirty-set
+     reconciler still fires after the rollback, exactly as it would have
+     at checkpoint time. *)
+  (let v = Graph.version t.graph in
+   t.graph_version <- (if cp.cp_graph_synced then v else v - 1));
   t.epoch <- t.epoch + 1
 
 let reseed t rng =

@@ -42,8 +42,24 @@ let fault_event : Fault.action -> Obs.Events.fault_action = function
   | Fault.Crash_restart { node; downtime } ->
       Obs.Events.Crash_restart { node; downtime }
 
-let run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
-    ~max_rounds ~recorder ?stop ?on_round net =
+(* A resumable run: all the mutable run state lives in closures created
+   by [start_with]; [step] advances by exactly one scheduler round (plus
+   any watchdog/recovery action that round triggers) and [run] is a loop
+   over [step] — the recursive go/watch/recover structure this replaces
+   had only tail transitions, so chunking it per-round is operation-for-
+   operation identical (same recorder events, same rng draws, same
+   checkpoints) and the classic [run] stays bit-identical.  The step
+   granularity is what lets a daemon (lib/serve) interleave query
+   service with round execution on one core. *)
+type 'q session = {
+  sn_net : 'q Network.t;
+  sn_step : unit -> outcome option;
+  sn_round : unit -> int;
+  sn_result : unit -> outcome option;
+}
+
+let start_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
+    ?recovery ~max_rounds ~recorder ?stop ?on_round net =
   let g = Network.graph net in
   let automaton = Network.automaton net in
   Network.set_recorder net recorder;
@@ -145,6 +161,8 @@ let run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
     Obs.Recorder.checkpoint recorder ~round
   in
   (match recovery with Some _ -> take_checkpoint 0 | None -> ());
+  let result = ref None in
+  let next_round = ref 1 in
   let finish ~round ~quiesced ~stopped ~gave_up =
     let reason =
       if gave_up then "gave_up"
@@ -153,23 +171,88 @@ let run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
       else "budget"
     in
     Obs.Recorder.run_end recorder ~round ~reason;
-    {
-      rounds = round;
-      activations = Network.activations net;
-      transitions = Network.transitions net;
-      quiesced;
-      stopped;
-      gave_up;
-      faults_applied = !faults_applied;
-      faults_noop = !faults_noop;
-      recoveries = !recoveries;
-      metrics = Obs.Recorder.snapshot recorder;
-    }
+    result :=
+      Some
+        {
+          rounds = round;
+          activations = Network.activations net;
+          transitions = Network.transitions net;
+          quiesced;
+          stopped;
+          gave_up;
+          faults_applied = !faults_applied;
+          faults_noop = !faults_noop;
+          recoveries = !recoveries;
+          metrics = Obs.Recorder.snapshot recorder;
+        }
   in
-  let rec go round =
-    if round > max_rounds then
-      finish ~round:max_rounds ~quiesced:false ~stopped:false ~gave_up:false
-    else begin
+  (* The progress watchdog: livelock/divergence shows up as a per-round
+     transition count that stops decreasing while staying positive (a
+     converging run trends towards 0).  [patience] rounds without a new
+     minimum trip the recovery policy. *)
+  let watchdog_tripped r round =
+    let trans_now = Network.transitions net in
+    let delta = trans_now - !trans_before in
+    trans_before := trans_now;
+    if delta < !best_delta then begin
+      best_delta := delta;
+      stall := 0;
+      (* Checkpoint only on progress, so we never save (and retry from) a
+         state the watchdog already distrusts. *)
+      if round mod r.checkpoint_every = 0 then take_checkpoint round
+    end
+    else incr stall;
+    delta > 0 && !stall >= r.patience
+  in
+  let recover r round =
+    let t0 = Obs.Span.now sp in
+    let recovery_span () =
+      Obs.Span.record sp Obs.Span.Recovery ~shard:0 ~round ~t0
+    in
+    let give_up () =
+      incr recoveries;
+      recovery_span ();
+      Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
+        ~action:"give_up";
+      finish ~round ~quiesced:false ~stopped:false ~gave_up:true
+    in
+    match r.policy with
+    | Give_up -> give_up ()
+    | Degrade ->
+        if !degraded then give_up ()
+        else begin
+          degraded := true;
+          dirty_now := false;
+          incr recoveries;
+          best_delta := max_int;
+          stall := 0;
+          recovery_span ();
+          Obs.Recorder.recovery recorder ~round ~attempt:0 ~action:"degrade";
+          next_round := round + 1
+        end
+    | Retry { attempts; reseed } -> (
+        match !cp with
+        | Some (cp_round, snap, cp_pending, cp_restarts)
+          when !attempts_used < attempts ->
+            incr attempts_used;
+            incr recoveries;
+            restore_snap snap;
+            pending := cp_pending;
+            restarts := cp_restarts;
+            if reseed then
+              Network.reseed net
+                (Prng.create ~seed:(chaos_seed + (104729 * !attempts_used)));
+            trans_before := Network.transitions net;
+            best_delta := max_int;
+            stall := 0;
+            recovery_span ();
+            Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
+              ~action:(if reseed then "reseed" else "rollback");
+            next_round := cp_round + 1
+        | _ -> give_up ())
+  in
+  let exec_round round =
+    begin
       Obs.Recorder.round_start recorder ~round;
       (* Mutations made behind the engine's back (e.g. from an [on_round]
          callback) first invalidate the whole dirty set, so the ack below
@@ -214,7 +297,8 @@ let run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
       Obs.Recorder.round_end recorder ~round ~changed;
       (match on_round with Some f -> f ~round net | None -> ());
       let stop_now = match stop with Some f -> f ~round net | None -> false in
-      if stop_now then finish ~round ~quiesced:false ~stopped:true ~gave_up:false
+      if stop_now then
+        finish ~round ~quiesced:false ~stopped:true ~gave_up:false
       else if
         (not changed)
         && !pending = []
@@ -223,101 +307,70 @@ let run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
       then finish ~round ~quiesced:true ~stopped:false ~gave_up:false
       else
         match recovery with
-        | None -> go (round + 1)
-        | Some r -> watch r round
+        | None -> next_round := round + 1
+        | Some r ->
+            if watchdog_tripped r round then recover r round
+            else next_round := round + 1
     end
-  (* The progress watchdog: livelock/divergence shows up as a per-round
-     transition count that stops decreasing while staying positive (a
-     converging run trends towards 0).  [patience] rounds without a new
-     minimum trip the recovery policy. *)
-  and watch r round =
-    let trans_now = Network.transitions net in
-    let delta = trans_now - !trans_before in
-    trans_before := trans_now;
-    if delta < !best_delta then begin
-      best_delta := delta;
-      stall := 0;
-      (* Checkpoint only on progress, so we never save (and retry from) a
-         state the watchdog already distrusts. *)
-      if round mod r.checkpoint_every = 0 then take_checkpoint round
-    end
-    else incr stall;
-    if delta > 0 && !stall >= r.patience then recover r round
-    else go (round + 1)
-  and recover r round =
-    let t0 = Obs.Span.now sp in
-    let recovery_span () =
-      Obs.Span.record sp Obs.Span.Recovery ~shard:0 ~round ~t0
-    in
-    let give_up () =
-      incr recoveries;
-      recovery_span ();
-      Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
-        ~action:"give_up";
-      finish ~round ~quiesced:false ~stopped:false ~gave_up:true
-    in
-    match r.policy with
-    | Give_up -> give_up ()
-    | Degrade ->
-        if !degraded then give_up ()
-        else begin
-          degraded := true;
-          dirty_now := false;
-          incr recoveries;
-          best_delta := max_int;
-          stall := 0;
-          recovery_span ();
-          Obs.Recorder.recovery recorder ~round ~attempt:0 ~action:"degrade";
-          go (round + 1)
-        end
-    | Retry { attempts; reseed } -> (
-        match !cp with
-        | Some (cp_round, snap, cp_pending, cp_restarts)
-          when !attempts_used < attempts ->
-            incr attempts_used;
-            incr recoveries;
-            restore_snap snap;
-            pending := cp_pending;
-            restarts := cp_restarts;
-            if reseed then
-              Network.reseed net
-                (Prng.create ~seed:(chaos_seed + (104729 * !attempts_used)));
-            trans_before := Network.transitions net;
-            best_delta := max_int;
-            stall := 0;
-            recovery_span ();
-            Obs.Recorder.recovery recorder ~round ~attempt:!attempts_used
-              ~action:(if reseed then "reseed" else "rollback");
-            go (cp_round + 1)
-        | _ -> give_up ())
   in
-  go 1
+  let step () =
+    (match !result with
+    | Some _ -> ()
+    | None ->
+        let round = !next_round in
+        if round > max_rounds then
+          finish ~round:max_rounds ~quiesced:false ~stopped:false
+            ~gave_up:false
+        else exec_round round);
+    !result
+  in
+  {
+    sn_net = net;
+    sn_step = step;
+    sn_round = (fun () -> !next_round);
+    sn_result = (fun () -> !result);
+  }
+
+let step s = s.sn_step ()
+let session_net s = s.sn_net
+let session_round s = s.sn_round ()
+let session_result s = s.sn_result ()
+
+let finish s =
+  let rec go () = match s.sn_step () with Some o -> o | None -> go () in
+  go ()
+
+let make_sharded ?rebalance_every ~scheduler ~shards net =
+  match shards with
+  | None -> None
+  | Some k ->
+      (match scheduler with
+      | Scheduler.Synchronous -> ()
+      | _ ->
+          invalid_arg "Runner.run: shards requires the synchronous scheduler");
+      Some (Sharded_network.create ?rebalance_every ~shards:k net)
+
+let start ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
+    ?chaos ?corrupt ?recovery ?(max_rounds = 100_000)
+    ?(recorder = Obs.Recorder.null) ?pool ?shards ?rebalance_every ?stop
+    ?on_round net =
+  let sharded = make_sharded ?rebalance_every ~scheduler ~shards net in
+  start_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
+    ~max_rounds ~recorder ?stop ?on_round net
 
 let run ?(scheduler = Scheduler.Synchronous) ?(dirty = true) ?(faults = [])
     ?chaos ?corrupt ?recovery ?(max_rounds = 100_000)
     ?(recorder = Obs.Recorder.null) ?pool ?(domains = 1) ?shards
     ?rebalance_every ?stop ?on_round net =
-  let sharded =
-    match shards with
-    | None -> None
-    | Some k ->
-        (match scheduler with
-        | Scheduler.Synchronous -> ()
-        | _ ->
-            invalid_arg
-              "Runner.run: shards requires the synchronous scheduler");
-        Some (Sharded_network.create ?rebalance_every ~shards:k net)
+  let sharded = make_sharded ?rebalance_every ~scheduler ~shards net in
+  let run_with ?pool () =
+    finish
+      (start_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
+         ?recovery ~max_rounds ~recorder ?stop ?on_round net)
   in
   match pool with
-  | Some _ ->
-      run_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
-        ?recovery ~max_rounds ~recorder ?stop ?on_round net
+  | Some _ -> run_with ?pool ()
   | None ->
       let domains = if domains = 0 then Domain_pool.recommended () else domains in
-      if domains <= 1 then
-        run_with ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt ?recovery
-          ~max_rounds ~recorder ?stop ?on_round net
-      else
-        Domain_pool.with_pool ~domains (fun pool ->
-            run_with ~pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
-              ?recovery ~max_rounds ~recorder ?stop ?on_round net)
+      if domains <= 1 then run_with ()
+      else Domain_pool.with_pool ~domains (fun pool -> run_with ~pool ())

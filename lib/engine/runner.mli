@@ -53,6 +53,60 @@ val recovery : ?patience:int -> ?checkpoint_every:int -> policy -> recovery
     watchdog already distrusted.  A checkpoint of the initial state is
     always taken.  @raise Invalid_argument on non-positive values. *)
 
+(** {1 Resumable sessions}
+
+    The engine of {!run}, exposed one round at a time.  A session owns
+    the full run state — fault schedule tail, pending crash-restarts,
+    watchdog counters, recovery checkpoints — so that a caller (the
+    {!Symnet_serve} daemon) can interleave round execution with other
+    work on one core.  Each {!step} performs exactly what one iteration
+    of {!run}'s loop would: revive/fault/schedule/hook for one round,
+    plus any watchdog or recovery action that round triggers.  Driving a
+    session to completion with {!finish} is bit-identical to {!run} —
+    same recorder event stream, same rng draws, same outcome. *)
+
+type 'q session
+
+val start :
+  ?scheduler:Scheduler.t ->
+  ?dirty:bool ->
+  ?faults:Fault.schedule ->
+  ?chaos:Chaos.t ->
+  ?corrupt:(Symnet_prng.Prng.t -> 'q Network.t -> int -> 'q) ->
+  ?recovery:recovery ->
+  ?max_rounds:int ->
+  ?recorder:Symnet_obs.Recorder.t ->
+  ?pool:Domain_pool.t ->
+  ?shards:int ->
+  ?rebalance_every:int ->
+  ?stop:(round:int -> 'q Network.t -> bool) ->
+  ?on_round:(round:int -> 'q Network.t -> unit) ->
+  'q Network.t ->
+  'q session
+(** Arm a run without executing any rounds (the [run_start] recorder
+    event and the initial recovery checkpoint are emitted here).
+    Parameters mean exactly what they do on {!run}; the only omission is
+    [domains] — a session cannot scope a pool to its own lifetime, so
+    multi-domain stepping needs a caller-managed [pool]
+    ({!Domain_pool.with_pool}) that outlives the session. *)
+
+val step : 'q session -> outcome option
+(** Execute one round; [Some outcome] once the run has ended (budget,
+    quiescence, stop predicate, or the recovery policy giving up), after
+    which further calls return the same outcome without executing
+    anything. *)
+
+val finish : 'q session -> outcome
+(** Drive the session to completion ({!step} until it yields). *)
+
+val session_net : 'q session -> 'q Network.t
+val session_round : 'q session -> int
+(** The round the next {!step} will execute (1-based; after a rollback
+    it rewinds to just past the restored checkpoint). *)
+
+val session_result : 'q session -> outcome option
+(** [Some] iff the run has ended; never re-executes anything. *)
+
 val run :
   ?scheduler:Scheduler.t ->
   ?dirty:bool ->

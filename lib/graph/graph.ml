@@ -189,14 +189,20 @@ let live_edge_endpoints_live g id =
 let remove_edge g id =
   if id < 0 || id >= Array.length g.edges_arr then
     invalid_arg (Printf.sprintf "Graph.remove_edge: bad id %d" id);
-  if live_edge_endpoints_live g id then begin
-    let e = g.edges_arr.(id) in
-    g.live_edges <- g.live_edges - 1;
-    g.deg.(e.u) <- g.deg.(e.u) - 1;
-    g.deg.(e.v) <- g.deg.(e.v) - 1;
+  (* The version must move whenever the liveness *bit* flips, not only
+     when the edge was observably live: an edge killed while an endpoint
+     is down changes what a later [revive_node] brings back, and
+     version-keyed caches must see that. *)
+  if g.edge_alive.(id) then begin
+    if live_edge_endpoints_live g id then begin
+      let e = g.edges_arr.(id) in
+      g.live_edges <- g.live_edges - 1;
+      g.deg.(e.u) <- g.deg.(e.u) - 1;
+      g.deg.(e.v) <- g.deg.(e.v) - 1
+    end;
+    g.edge_alive.(id) <- false;
     g.version <- g.version + 1
-  end;
-  g.edge_alive.(id) <- false
+  end
 
 let remove_edge_between g a b =
   match edge_between g a b with None -> () | Some e -> remove_edge g e.id
@@ -251,7 +257,6 @@ type snapshot = {
   s_deg : int array;
   s_live_nodes : int;
   s_live_edges : int;
-  s_version : int;
 }
 
 let snapshot g =
@@ -261,7 +266,6 @@ let snapshot g =
     s_deg = Array.copy g.deg;
     s_live_nodes = g.live_nodes;
     s_live_edges = g.live_edges;
-    s_version = g.version;
   }
 
 let restore g s =
@@ -274,7 +278,15 @@ let restore g s =
   Array.blit s.s_deg 0 g.deg 0 g.n;
   g.live_nodes <- s.s_live_nodes;
   g.live_edges <- s.s_live_edges;
-  g.version <- s.s_version
+  (* BUMP, never assign the snapshotted counter back.  Restoring the old
+     value made the counter collide: a rollback-then-diverge run could
+     re-reach a previously seen version with *different* liveness, and
+     every version-keyed consumer (the dirty-set reconciler, the
+     incremental digest cache, the serve query cache) would silently
+     trust stale data.  A restore is a mutation like any other — the
+     counter stays strictly monotonic and every liveness configuration
+     ever observable gets a globally fresh version. *)
+  g.version <- g.version + 1
 
 (* --- raw CSR access (engine internals) -------------------------------- *)
 

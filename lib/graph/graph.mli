@@ -77,10 +77,15 @@ val max_degree : t -> int
 (** Largest live degree; one pass over the cached degree array. *)
 
 val version : t -> int
-(** Mutation counter: incremented by every effective deletion (an edge or
-    node that was actually live).  Lets clients that cache graph-derived
-    state — e.g. the engine's change-driven scheduler — detect mutations
-    performed behind their back and invalidate. *)
+(** Mutation counter, {e strictly monotonic}: incremented by every
+    mutation that flips a liveness bit ({!remove_node}, {!remove_edge},
+    {!revive_node}) and by every {!restore} — it never moves backwards
+    and never reuses a value, so two observations of an equal version
+    are guaranteed to have seen identical liveness.  This is the
+    collision-freedom contract that version-keyed caches (the engine's
+    dirty-set reconciler, the incremental digest cache, the serve query
+    cache) rely on; equal version + equal {!Symnet_engine} state epoch
+    means a cached answer is still exact. *)
 
 val nodes : t -> int list
 (** Live nodes, ascending. *)
@@ -107,7 +112,10 @@ val incident : t -> int -> edge list
 (** {1 Faults} *)
 
 val remove_edge : t -> int -> unit
-(** Kill an edge by id (idempotent). *)
+(** Kill an edge by id (idempotent).  Bumps {!version} iff the edge's
+    liveness bit actually flips — including when an endpoint is
+    currently dead, because clearing the bit changes what a later
+    {!revive_node} brings back. *)
 
 val remove_edge_between : t -> int -> int -> unit
 (** Kill the live edge between two nodes if it exists. *)
@@ -127,16 +135,19 @@ val revive_node : t -> int -> unit
 (** {1 Checkpointing} *)
 
 type snapshot
-(** Liveness checkpoint: node/edge liveness bits, cached degrees, live
-    counts and the mutation version.  The immutable CSR arrays are
-    shared, so a snapshot is O(n + m) small and cheap. *)
+(** Liveness checkpoint: node/edge liveness bits, cached degrees and
+    live counts.  The immutable CSR arrays are shared, so a snapshot is
+    O(n + m) small and cheap. *)
 
 val snapshot : t -> snapshot
 
 val restore : t -> snapshot -> unit
-(** Rewind the graph to a snapshot taken from the same graph — including
-    the {!version} counter, which moves {e backwards}; clients caching
-    on version (the engine) must re-sync explicitly after a restore.
+(** Rewind the graph's liveness to a snapshot taken from the same graph.
+    {!version} is {e bumped}, never rewound: a rollback-then-diverge run
+    must not re-reach a previously seen version with different liveness,
+    or version-keyed caches would serve stale data (the rewind-collision
+    bug).  Clients keying on the version therefore see every restore as
+    a fresh mutation and re-sync.
     @raise Invalid_argument if the snapshot's dimensions don't match. *)
 
 (** {1 Raw CSR access}

@@ -98,7 +98,19 @@ let extract doc =
             ]
         | _ -> [])
   in
-  Ok (List.rev sample_rows @ par_rows @ sharded_rows @ digest_rows)
+  (* The serve block (absent from pre-serve baselines: rows surface as
+     "new", which passes).  qps is throughput (higher better), p50_us
+     the median round-trip latency (lower better). *)
+  let serve_rows =
+    match Jsonx.member "serve" doc with
+    | None -> []
+    | Some s -> (
+        match (num_field "qps" s, num_field "p50_us" s) with
+        | Some qps, Some p50 ->
+            [ ("serve_hammer", "qps", qps); ("serve_hammer", "p50_us", p50) ]
+        | _ -> [])
+  in
+  Ok (List.rev sample_rows @ par_rows @ sharded_rows @ digest_rows @ serve_rows)
 
 (* --- comparison ------------------------------------------------------- *)
 
@@ -141,6 +153,7 @@ let compare_docs ?(tolerance_pct = 50.) ?(words_slack = 8.) ~baseline ~fresh ()
             let higher_better = m <> "ns_per_activation"
                                 && m <> "words_per_activation"
                                 && m <> "incr_update_ns"
+                                && m <> "p50_us"
                                 && not exchange_share in
             let pct = change_pct ~higher_better ~base ~fresh in
             let over_tolerance =
@@ -232,6 +245,14 @@ let inject_slowdown ~factor doc =
                        Jsonx.Obj
                          (scale_field "incr_update_ns" factor
                             (scale_field "speedup" (1. /. factor) f)) )
+                 | j -> (n, j))
+             | "serve" -> (
+                 match v with
+                 | Jsonx.Obj f ->
+                     ( n,
+                       Jsonx.Obj
+                         (scale_field "p50_us" factor
+                            (scale_field "qps" (1. /. factor) f)) )
                  | j -> (n, j))
              | _ -> (n, v))
            fields)

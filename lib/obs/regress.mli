@@ -62,7 +62,9 @@ val to_table : check list -> string
 (** Fixed-width report, one check per row, verdict last. *)
 
 val inject_slowdown : factor:float -> Jsonx.t -> Jsonx.t
-(** Self-test aid for the CI gate: scale every [ns_per_activation] up
-    and every [rounds_per_sec] down by [factor], leaving the rest of the
+(** Self-test aid for the CI gate: scale every latency-like metric
+    ([ns_per_activation], [incr_update_ns], the serve block's [p50_us])
+    up and every throughput-like one ([rounds_per_sec], [speedup], the
+    serve block's [qps]) down by [factor], leaving the rest of the
     document intact — comparing an injected document against its
     original must fail the gate. *)

@@ -10,6 +10,8 @@ type phase =
   | Digest_query
   | Shard_read
   | Shard_exchange
+  | Serve_snapshot
+  | Serve_request
 
 let phase_name = function
   | Round -> "round"
@@ -23,6 +25,8 @@ let phase_name = function
   | Digest_query -> "digest_query"
   | Shard_read -> "shard_read"
   | Shard_exchange -> "shard_exchange"
+  | Serve_snapshot -> "serve_snapshot"
+  | Serve_request -> "serve_request"
 
 let phase_tag = function
   | Round -> 0
@@ -36,6 +40,8 @@ let phase_tag = function
   | Digest_query -> 8
   | Shard_read -> 9
   | Shard_exchange -> 10
+  | Serve_snapshot -> 11
+  | Serve_request -> 12
 
 let phase_of_tag = function
   | 0 -> Round
@@ -48,6 +54,8 @@ let phase_of_tag = function
   | 8 -> Digest_query
   | 9 -> Shard_read
   | 10 -> Shard_exchange
+  | 11 -> Serve_snapshot
+  | 12 -> Serve_request
   | _ -> Recovery
 
 (* Parallel int arrays rather than an array of records: record stores

@@ -38,6 +38,12 @@ type phase =
   | Shard_exchange
       (** draining one shard's cross-shard inboxes into its ghost
           buffers during the exchange phase ([shard] = shard id) *)
+  | Serve_snapshot
+      (** the serve daemon taking a consistent read snapshot of the
+          resident network between rounds *)
+  | Serve_request
+      (** the serve daemon answering one client request (decode, query
+          evaluation against the snapshot, encode) *)
 
 val phase_name : phase -> string
 (** Stable lower-snake name, used as the Chrome-trace event name. *)

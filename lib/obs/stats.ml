@@ -3,7 +3,11 @@ let percentile p a =
   if n = 0 then nan
   else begin
     let a = Array.copy a in
-    Array.sort compare a;
+    (* Float.compare, not polymorphic compare: the latter is a total
+       order too, but going through the generic runtime path is slow and
+       easy to regress; Float.compare also pins the NaN convention (NaN
+       sorts first) explicitly. *)
+    Array.sort Float.compare a;
     let pos = p *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor pos) in
     let hi = int_of_float (Float.ceil pos) in
@@ -28,7 +32,13 @@ let summary_of name a =
     total = Array.fold_left ( +. ) 0. a;
     p50 = percentile 0.5 a;
     p95 = percentile 0.95 a;
-    max = Array.fold_left max neg_infinity a;
+    (* An empty series has no maximum: report NaN (like the percentiles)
+       rather than folding from neg_infinity, and use Float.max so a
+       stray NaN observation poisons the result visibly instead of
+       winning or losing the polymorphic comparison by accident. *)
+    max =
+      (if Array.length a = 0 then nan
+       else Array.fold_left Float.max a.(0) a);
   }
 
 let of_series named =

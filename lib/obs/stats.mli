@@ -8,7 +8,9 @@
 val percentile : float -> float array -> float
 (** [percentile p a] for [p] in [0, 1], with linear interpolation between
     the two neighbouring order statistics (the "type 7" estimator).
-    Sorts a copy of [a]; [nan] when [a] is empty. *)
+    Sorts a copy of [a] with [Float.compare], so [nan] observations sort
+    first (deterministically) rather than scrambling the order; [nan]
+    when [a] is empty. *)
 
 type summary = {
   name : string;
@@ -17,6 +19,8 @@ type summary = {
   p50 : float;
   p95 : float;
   max : float;
+      (** [nan] for an empty series (never [-inf]); [nan] if any
+          observation is [nan] ([Float.max] propagates it). *)
 }
 
 val of_series : (string * float array) list -> summary list

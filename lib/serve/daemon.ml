@@ -1,0 +1,347 @@
+module Graph = Symnet_graph.Graph
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Fssga = Symnet_core.Fssga
+module Obs = Symnet_obs
+module Jsonx = Symnet_obs.Jsonx
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      Ok (Unix_sock (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j -> (
+          let host = String.sub rest 0 j in
+          match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+          | Some port -> Ok (Tcp ((if host = "" then "127.0.0.1" else host), port))
+          | None -> Error (Printf.sprintf "bad port in %S" s))
+      | None -> Error (Printf.sprintf "tcp address %S needs host:port" s))
+  | _ -> Error (Printf.sprintf "address %S: expected unix:PATH or tcp:HOST:PORT" s)
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let connect addr =
+  let domain = match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of addr)
+   with e -> Unix.close fd; raise e);
+  (match addr with
+  | Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+  | Unix_sock _ -> ());
+  fd
+
+type 'q t = {
+  d_net : 'q Network.t;
+  d_state_json : 'q -> Jsonx.t;
+  d_recorder : Obs.Recorder.t;
+  d_mk_session : unit -> 'q Runner.session;
+  mutable d_session : 'q Runner.session;
+  mutable d_view : 'q View.t option;
+  mutable d_running : bool;
+  mutable d_clients : Unix.file_descr list;
+  d_listen : Unix.file_descr;
+  d_addr : address;
+  d_rounds_per_tick : int;
+  mutable d_rounds_run : int;
+      (* cumulative across session restarts; the [round] stamp queries see *)
+  mutable d_requests : int;
+}
+
+let create ?(recorder = Obs.Recorder.null) ?(rounds_per_tick = 1) ~state_json
+    ~session addr =
+  if rounds_per_tick < 1 then
+    invalid_arg "Daemon.create: rounds_per_tick must be >= 1";
+  (* A client dropping mid-response must surface as EPIPE, not kill the
+     daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (match addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  let domain =
+    match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let listen = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Tcp _ -> Unix.setsockopt listen Unix.SO_REUSEADDR true
+     | Unix_sock _ -> ());
+     Unix.bind listen (sockaddr_of addr);
+     Unix.listen listen 64
+   with e ->
+     Unix.close listen;
+     raise e);
+  let s = session () in
+  {
+    d_net = Runner.session_net s;
+    d_state_json = state_json;
+    d_recorder = recorder;
+    d_mk_session = session;
+    d_session = s;
+    d_view = None;
+    d_running = true;
+    d_clients = [];
+    d_listen = listen;
+    d_addr = addr;
+    d_rounds_per_tick = rounds_per_tick;
+    d_rounds_run = 0;
+    d_requests = 0;
+  }
+
+let requests_served d = d.d_requests
+let rounds_run d = d.d_rounds_run
+
+(* --- query evaluation -------------------------------------------------- *)
+
+let view d =
+  let fresh = match d.d_view with Some v -> View.fresh v d.d_net | None -> false in
+  if fresh then Option.get d.d_view
+  else begin
+    let sp = Obs.Recorder.spans d.d_recorder in
+    let t0 = Obs.Span.now sp in
+    let v = View.take ~round:d.d_rounds_run d.d_net in
+    Obs.Span.record sp Obs.Span.Serve_snapshot ~shard:0 ~round:d.d_rounds_run
+      ~t0;
+    d.d_view <- Some v;
+    v
+  end
+
+let ok_of_view v data =
+  Protocol.ok ~version:(View.version v) ~epoch:(View.epoch v)
+    ~round:(View.round v) data
+
+let component_members_cap = 1000
+
+let eval_query d q =
+  let v = view d in
+  let g = View.graph v in
+  let data =
+    match q with
+    | Protocol.Status ->
+        Jsonx.Obj
+          [
+            ("nodes", Jsonx.Int (Graph.original_size g));
+            ("rounds_run", Jsonx.Int d.d_rounds_run);
+            ( "quiesced",
+              Jsonx.Bool
+                (match Runner.session_result d.d_session with
+                | Some o -> o.Runner.quiesced
+                | None -> false) );
+            ("live_nodes", Jsonx.Int (Graph.node_count g));
+            ("live_edges", Jsonx.Int (Graph.edge_count g));
+          ]
+    | Protocol.Node_state vs ->
+        Jsonx.List
+          (List.map
+             (fun i ->
+               if i < 0 || i >= Graph.original_size g then
+                 Jsonx.Obj
+                   [ ("node", Jsonx.Int i); ("error", Jsonx.String "bad id") ]
+               else
+                 Jsonx.Obj
+                   [
+                     ("node", Jsonx.Int i);
+                     ("live", Jsonx.Bool (Graph.is_live_node g i));
+                     ("state", d.d_state_json (View.state v i));
+                   ])
+             vs)
+    | Protocol.Distances { sources; targets } ->
+        let dist = View.distances v ~sources in
+        Jsonx.List
+          (List.map
+             (fun t ->
+               let x =
+                 if t < 0 || t >= Array.length dist then Jsonx.Null
+                 else if dist.(t) = max_int then Jsonx.Null
+                 else Jsonx.Int dist.(t)
+               in
+               Jsonx.Obj [ ("node", Jsonx.Int t); ("distance", x) ])
+             targets)
+    | Protocol.Census ->
+        Jsonx.Obj
+          [
+            ("live_nodes", Jsonx.Int (Graph.node_count g));
+            ("live_edges", Jsonx.Int (Graph.edge_count g));
+            ("max_degree", Jsonx.Int (Graph.max_degree g));
+            ("components", Jsonx.Int (List.length (View.components v)));
+          ]
+    | Protocol.Components ->
+        let cs = View.components v in
+        Jsonx.Obj
+          [
+            ("count", Jsonx.Int (List.length cs));
+            ( "sizes",
+              Jsonx.List (List.map (fun c -> Jsonx.Int (List.length c)) cs) );
+          ]
+    | Protocol.Component_of n ->
+        if n < 0 || n >= Graph.original_size g || not (Graph.is_live_node g n)
+        then Jsonx.Obj [ ("node", Jsonx.Int n); ("live", Jsonx.Bool false) ]
+        else
+          let comp =
+            List.find (fun c -> List.mem n c) (View.components v)
+          in
+          let size = List.length comp in
+          let members =
+            if size <= component_members_cap then comp
+            else List.filteri (fun i _ -> i < component_members_cap) comp
+          in
+          Jsonx.Obj
+            [
+              ("node", Jsonx.Int n);
+              ("live", Jsonx.Bool true);
+              ("size", Jsonx.Int size);
+              ( "members",
+                Jsonx.List (List.map (fun i -> Jsonx.Int i) members) );
+              ("truncated", Jsonx.Bool (size > component_members_cap));
+            ]
+    | Protocol.Bridges ->
+        let bs = View.bridges v in
+        Jsonx.Obj
+          [
+            ("count", Jsonx.Int (List.length bs));
+            ("edges", Jsonx.List (List.map (fun i -> Jsonx.Int i) bs));
+          ]
+    | Protocol.Telemetry ->
+        Jsonx.Obj
+          [
+            ("activations", Jsonx.Int (Network.activations d.d_net));
+            ("transitions", Jsonx.Int (Network.transitions d.d_net));
+            ("state_epoch", Jsonx.Int (Network.state_epoch d.d_net));
+            ("graph_version", Jsonx.Int (Graph.version (Network.graph d.d_net)));
+            ("rounds_run", Jsonx.Int d.d_rounds_run);
+            ("requests_served", Jsonx.Int d.d_requests);
+          ]
+  in
+  ok_of_view v data
+
+let eval_mutation d m =
+  let g = Network.graph d.d_net in
+  let automaton = Network.automaton d.d_net in
+  let effective =
+    match m with
+    | Protocol.Kill_node n ->
+        n >= 0 && n < Graph.original_size g && Graph.is_live_node g n
+        && (Graph.remove_node g n; true)
+    | Protocol.Kill_edge (u, v) -> (
+        match Graph.edge_between g u v with
+        | Some e -> Graph.remove_edge g e.Graph.id; true
+        | None -> false)
+    | Protocol.Revive_node n ->
+        n >= 0 && n < Graph.original_size g && not (Graph.is_live_node g n)
+        && (Graph.revive_node g n;
+            Network.set_state d.d_net n (automaton.Fssga.init g n);
+            true)
+    | Protocol.Corrupt n ->
+        n >= 0 && n < Graph.original_size g && Graph.is_live_node g n
+        && (Network.set_state d.d_net n (automaton.Fssga.init g n); true)
+  in
+  (* A mutation can wake a quiesced network: the finished session already
+     emitted its outcome, so arm a fresh one over the same resident
+     network.  Its first round reconciles the dirty set against the new
+     graph version (blanket invalidation), exactly like any
+     behind-the-back mutation. *)
+  if effective && Runner.session_result d.d_session <> None then
+    d.d_session <- d.d_mk_session ();
+  let v = view d in
+  ok_of_view v (Jsonx.Obj [ ("effective", Jsonx.Bool effective) ])
+
+let rec eval d = function
+  | Protocol.Query q -> eval_query d q
+  | Protocol.Mutate m -> eval_mutation d m
+  | Protocol.Batch rs ->
+      (* One response frame; queries inside share the view unless a
+         mutation between them advances it. *)
+      let results = List.map (fun r -> eval d r) rs in
+      Jsonx.Obj [ ("ok", Jsonx.Bool true); ("results", Jsonx.List results) ]
+  | Protocol.Shutdown ->
+      d.d_running <- false;
+      Jsonx.Obj [ ("ok", Jsonx.Bool true); ("data", Jsonx.String "bye") ]
+
+let handle_frame d s =
+  let sp = Obs.Recorder.spans d.d_recorder in
+  let t0 = Obs.Span.now sp in
+  let resp =
+    match Protocol.decode s with
+    | Ok req -> eval d req
+    | Error msg -> Protocol.error msg
+  in
+  d.d_requests <- d.d_requests + 1;
+  Obs.Span.record sp Obs.Span.Serve_request ~shard:0 ~round:d.d_rounds_run ~t0;
+  Jsonx.to_string resp
+
+(* --- event loop -------------------------------------------------------- *)
+
+let drop_client d fd =
+  d.d_clients <- List.filter (fun c -> c <> fd) d.d_clients;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_client d fd =
+  match Wire.read_frame fd with
+  | None -> drop_client d fd
+  | Some s -> (
+      try Wire.write_frame fd (handle_frame d s)
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        drop_client d fd)
+  | exception Wire.Closed -> drop_client d fd
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop_client d fd
+
+let step_rounds d =
+  match Runner.session_result d.d_session with
+  | Some _ -> ()
+  | None ->
+      let rec go k =
+        if k > 0 then begin
+          match Runner.step d.d_session with
+          | None ->
+              d.d_rounds_run <- d.d_rounds_run + 1;
+              go (k - 1)
+          | Some _ -> d.d_rounds_run <- d.d_rounds_run + 1
+        end
+      in
+      go d.d_rounds_per_tick
+
+let active d = Runner.session_result d.d_session = None
+
+let tick ?(timeout = 0.05) d =
+  let timeout = if active d then 0. else timeout in
+  let readable, _, _ =
+    try Unix.select (d.d_listen :: d.d_clients) [] [] timeout
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  List.iter
+    (fun fd ->
+      if fd = d.d_listen then begin
+        match Unix.accept d.d_listen with
+        | client, _ -> d.d_clients <- client :: d.d_clients
+        | exception Unix.Unix_error _ -> ()
+      end
+      else if List.mem fd d.d_clients then serve_client d fd)
+    readable;
+  if d.d_running then step_rounds d
+
+let close d =
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    d.d_clients;
+  d.d_clients <- [];
+  (try Unix.close d.d_listen with Unix.Unix_error _ -> ());
+  match d.d_addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let running d = d.d_running
+
+let serve_forever d =
+  Fun.protect
+    ~finally:(fun () -> close d)
+    (fun () ->
+      while d.d_running do
+        tick d
+      done)

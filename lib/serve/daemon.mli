@@ -1,0 +1,61 @@
+(** The resident-network daemon.
+
+    Keeps a network in memory while a {!Symnet_engine.Runner} session
+    keeps stepping rounds, and answers {!Protocol} requests over
+    {!Wire}-framed connections on a Unix or TCP socket.  Single-threaded
+    by design (the target container has one core): one [select] loop
+    interleaves accepting clients, answering ready requests, and
+    stepping [rounds_per_tick] rounds — so every answer is computed
+    between rounds, against a {!View} snapshot whose (version, epoch)
+    stamp identifies a bit-exact network state.
+
+    Mutations are applied directly to the resident graph; the session's
+    next round reconciles its dirty set against the bumped graph
+    version.  A mutation arriving after the session finished (the
+    network quiesced) arms a fresh session over the same network, so the
+    daemon converges again and keeps serving. *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+val address_of_string : string -> (address, string) result
+(** [unix:PATH] or [tcp:HOST:PORT] (empty host means 127.0.0.1; the
+    host must be a literal IP). *)
+
+val connect : address -> Unix.file_descr
+(** Client-side dial (used by {!Hammer}, the CLI client and tests). *)
+
+type 'q t
+
+val create :
+  ?recorder:Symnet_obs.Recorder.t ->
+  ?rounds_per_tick:int ->
+  state_json:('q -> Symnet_obs.Jsonx.t) ->
+  session:(unit -> 'q Symnet_engine.Runner.session) ->
+  address ->
+  'q t
+(** Bind and listen (a stale Unix socket path is unlinked first), and
+    arm the first session.  [session] is called again whenever a
+    mutation wakes a finished run; it must return sessions over the same
+    resident network.  [state_json] renders a node's automaton state for
+    [node_state] queries.  [rounds_per_tick] (default 1) rounds are
+    stepped per loop iteration.  A [recorder] with live spans gets
+    [Serve_snapshot]/[Serve_request] phases (plus the session's own
+    round phases) for Chrome traces. *)
+
+val serve_forever : 'q t -> unit
+(** Loop until a [shutdown] request arrives, then close every
+    connection, the listener, and unlink the socket path. *)
+
+val tick : ?timeout:float -> 'q t -> unit
+(** One loop iteration (select + serve ready requests + step rounds);
+    [timeout] (default 0.05s) bounds the select wait when the session
+    has finished and there is nothing to step.  Exposed for callers
+    embedding the daemon in their own loop (tests, benches). *)
+
+val running : 'q t -> bool
+val close : 'q t -> unit
+
+val requests_served : 'q t -> int
+val rounds_run : 'q t -> int
+(** Cumulative rounds stepped, across session restarts — the [round]
+    stamp on responses. *)

@@ -1,0 +1,155 @@
+module Prng = Symnet_prng.Prng
+module Obs = Symnet_obs
+module Jsonx = Symnet_obs.Jsonx
+
+type outcome = {
+  requests : int;
+  errors : int;
+  mutations : int;
+  stamp_regressions : int;
+  elapsed_s : float;
+  qps : float;
+  p50_us : float;
+  p95_us : float;
+  max_us : float;
+}
+
+(* The per-request op mix, NacDB-stress-harness style: mostly cheap
+   point reads, a steady stream of heavier analytical queries, and (every
+   [mutate_every]-th request) a mutation so the resident network keeps
+   waking up and re-stabilizing under the read load. *)
+let pick_query rng ~n =
+  let pick_node () = Prng.int rng n in
+  let pick_nodes k = List.init k (fun _ -> pick_node ()) in
+  match Prng.int rng 100 with
+  | x when x < 10 -> Protocol.Status
+  | x when x < 35 -> Protocol.Node_state (pick_nodes 3)
+  | x when x < 60 ->
+      Protocol.Distances { sources = [ pick_node () ]; targets = pick_nodes 3 }
+  | x when x < 75 -> Protocol.Census
+  | x when x < 85 -> Protocol.Components
+  | x when x < 95 -> Protocol.Component_of (pick_node ())
+  | x when x < 98 -> Protocol.Bridges
+  | _ -> Protocol.Telemetry
+
+let pick_mutation rng ~n killed =
+  match (Prng.int rng 3, !killed) with
+  | 0, _ ->
+      let v = Prng.int rng n in
+      killed := v :: !killed;
+      Protocol.Kill_node v
+  | 1, v :: rest ->
+      killed := rest;
+      Protocol.Revive_node v
+  | _ -> Protocol.Corrupt (Prng.int rng n)
+
+let no_pump (_ : Unix.file_descr) = ()
+
+let run ?(seed = 0x4a11) ?(requests = 1000) ?(mutate_every = 20) ?(batch = 1)
+    ?(pump = no_pump) ~connect ~n () =
+  if requests < 1 then invalid_arg "Hammer.run: requests must be >= 1";
+  if batch < 1 then invalid_arg "Hammer.run: batch must be >= 1";
+  let rng = Prng.create ~seed in
+  let fd = connect () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let lat_us = Array.make requests 0. in
+      let errors = ref 0 in
+      let mutations = ref 0 in
+      let stamp_regressions = ref 0 in
+      let killed = ref [] in
+      let last_version = ref min_int in
+      let check_stamp j =
+        (* Graph.version is strictly monotonic, so the stamps on
+           successive answers must never move backwards — a regression
+           here means the daemon served a stale snapshot. *)
+        match
+          Option.bind (Jsonx.member "snapshot" j) (fun s ->
+              Option.bind (Jsonx.member "version" s) Jsonx.to_int)
+        with
+        | Some v ->
+            if v < !last_version then incr stamp_regressions;
+            last_version := max !last_version v
+        | None -> ()
+      in
+      let t_start = Obs.Clock.now_ns () in
+      for i = 0 to requests - 1 do
+        let req =
+          if mutate_every > 0 && i mod mutate_every = mutate_every - 1 then begin
+            incr mutations;
+            Protocol.Mutate (pick_mutation rng ~n killed)
+          end
+          else if batch > 1 && i mod 7 = 3 then
+            Protocol.Batch
+              (List.init batch (fun _ ->
+                   Protocol.Query (pick_query rng ~n)))
+          else Protocol.Query (pick_query rng ~n)
+        in
+        let t0 = Obs.Clock.now_ns () in
+        Wire.write_frame fd (Protocol.encode req);
+        pump fd;
+        (match Wire.read_frame fd with
+        | None -> incr errors
+        | Some s -> (
+            match Jsonx.of_string s with
+            | Error _ -> incr errors
+            | Ok j -> (
+                match Option.bind (Jsonx.member "ok" j) Jsonx.to_bool with
+                | Some true -> check_stamp j
+                | _ -> incr errors)));
+        lat_us.(i) <- float_of_int (Obs.Clock.now_ns () - t0) /. 1e3
+      done;
+      let elapsed_s =
+        float_of_int (Obs.Clock.now_ns () - t_start) /. 1e9
+      in
+      {
+        requests;
+        errors = !errors;
+        mutations = !mutations;
+        stamp_regressions = !stamp_regressions;
+        elapsed_s;
+        qps = (if elapsed_s > 0. then float_of_int requests /. elapsed_s else 0.);
+        p50_us = Obs.Stats.percentile 0.5 lat_us;
+        p95_us = Obs.Stats.percentile 0.95 lat_us;
+        max_us = Obs.Stats.percentile 1.0 lat_us;
+      })
+
+let probe_n ?(pump = no_pump) ~connect () =
+  let fd = connect () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Wire.write_frame fd (Protocol.encode (Protocol.Query Protocol.Status));
+      pump fd;
+      match Wire.read_frame fd with
+      | None -> None
+      | Some s -> (
+          match Jsonx.of_string s with
+          | Error _ -> None
+          | Ok j ->
+              Option.bind (Jsonx.member "data" j) (fun d ->
+                  Option.bind (Jsonx.member "nodes" d) Jsonx.to_int)))
+
+let shutdown ?(pump = no_pump) ~connect () =
+  let fd = connect () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Wire.write_frame fd (Protocol.encode Protocol.Shutdown);
+      pump fd;
+      ignore (Wire.read_frame fd))
+
+let to_json o =
+  Jsonx.Obj
+    [
+      ("requests", Jsonx.Int o.requests);
+      ("errors", Jsonx.Int o.errors);
+      ("mutations", Jsonx.Int o.mutations);
+      ("stamp_regressions", Jsonx.Int o.stamp_regressions);
+      ("elapsed_s", Jsonx.Float o.elapsed_s);
+      ("qps", Jsonx.Float o.qps);
+      ("p50_us", Jsonx.Float o.p50_us);
+      ("p95_us", Jsonx.Float o.p95_us);
+      ("max_us", Jsonx.Float o.max_us);
+    ]

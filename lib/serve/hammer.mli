@@ -1,0 +1,64 @@
+(** Stress client for the serve daemon.
+
+    Drives a deterministic (seeded) mix of point reads, analytical
+    queries, batches, and mutations over one connection, timing each
+    round trip.  The mutation stream keeps the resident network waking
+    up and re-stabilizing under read load — the serve-path analogue of a
+    NacDB-style stress harness.  Latency percentiles come out of
+    {!Symnet_obs.Stats.percentile}, ready for the BENCH/METRIC
+    pipeline. *)
+
+type outcome = {
+  requests : int;
+  errors : int;  (** non-[ok] or unparseable responses *)
+  mutations : int;
+  stamp_regressions : int;
+      (** responses whose snapshot version moved {e backwards} — any
+          non-zero value means a stale snapshot was served, which the
+          strictly monotonic {!Symnet_graph.Graph.version} is supposed
+          to make impossible *)
+  elapsed_s : float;
+  qps : float;
+  p50_us : float;
+  p95_us : float;
+  max_us : float;
+}
+
+val run :
+  ?seed:int ->
+  ?requests:int ->
+  ?mutate_every:int ->
+  ?batch:int ->
+  ?pump:(Unix.file_descr -> unit) ->
+  connect:(unit -> Unix.file_descr) ->
+  n:int ->
+  unit ->
+  outcome
+(** [run ~connect ~n ()] fires [requests] (default 1000) framed
+    requests; every [mutate_every]-th (default 20; [0] disables) is a
+    mutation, and with [batch > 1] an occasional request is a batch of
+    that many queries (timed as one round trip).  [n] is the node-id
+    range for victim/target picks; [seed] fixes the whole request
+    stream.  [pump] runs between sending a request and the blocking read
+    of its reply — a caller embedding the daemon in the {e same} thread
+    (the bench harness) passes a loop that {!Daemon.tick}s until the
+    reply is readable on the given client fd; against a separate daemon
+    process it stays the default no-op. *)
+
+val probe_n :
+  ?pump:(Unix.file_descr -> unit) ->
+  connect:(unit -> Unix.file_descr) ->
+  unit ->
+  int option
+(** Ask the daemon (via a [status] query on a fresh connection) how many
+    node ids the resident graph has — the [n] to pass to {!run}. *)
+
+val shutdown :
+  ?pump:(Unix.file_descr -> unit) ->
+  connect:(unit -> Unix.file_descr) ->
+  unit ->
+  unit
+(** Send a [shutdown] request on a fresh connection and wait for the
+    acknowledgement. *)
+
+val to_json : outcome -> Symnet_obs.Jsonx.t

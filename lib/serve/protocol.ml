@@ -1,0 +1,157 @@
+module Jsonx = Symnet_obs.Jsonx
+
+type query =
+  | Status
+  | Node_state of int list
+  | Distances of { sources : int list; targets : int list }
+  | Census
+  | Components
+  | Component_of of int
+  | Bridges
+  | Telemetry
+
+type mutation =
+  | Kill_node of int
+  | Kill_edge of int * int
+  | Revive_node of int
+  | Corrupt of int
+
+type request =
+  | Query of query
+  | Mutate of mutation
+  | Batch of request list
+  | Shutdown
+
+(* --- encoding --------------------------------------------------------- *)
+
+let ints l = Jsonx.List (List.map (fun i -> Jsonx.Int i) l)
+
+let rec to_json = function
+  | Query Status -> Jsonx.Obj [ ("op", Jsonx.String "status") ]
+  | Query (Node_state vs) ->
+      Jsonx.Obj [ ("op", Jsonx.String "node_state"); ("nodes", ints vs) ]
+  | Query (Distances { sources; targets }) ->
+      Jsonx.Obj
+        [
+          ("op", Jsonx.String "distances");
+          ("sources", ints sources);
+          ("targets", ints targets);
+        ]
+  | Query Census -> Jsonx.Obj [ ("op", Jsonx.String "census") ]
+  | Query Components -> Jsonx.Obj [ ("op", Jsonx.String "components") ]
+  | Query (Component_of v) ->
+      Jsonx.Obj [ ("op", Jsonx.String "component_of"); ("node", Jsonx.Int v) ]
+  | Query Bridges -> Jsonx.Obj [ ("op", Jsonx.String "bridges") ]
+  | Query Telemetry -> Jsonx.Obj [ ("op", Jsonx.String "telemetry") ]
+  | Mutate (Kill_node v) ->
+      Jsonx.Obj [ ("op", Jsonx.String "kill_node"); ("node", Jsonx.Int v) ]
+  | Mutate (Kill_edge (u, v)) ->
+      Jsonx.Obj
+        [
+          ("op", Jsonx.String "kill_edge");
+          ("u", Jsonx.Int u);
+          ("v", Jsonx.Int v);
+        ]
+  | Mutate (Revive_node v) ->
+      Jsonx.Obj [ ("op", Jsonx.String "revive_node"); ("node", Jsonx.Int v) ]
+  | Mutate (Corrupt v) ->
+      Jsonx.Obj [ ("op", Jsonx.String "corrupt"); ("node", Jsonx.Int v) ]
+  | Batch rs ->
+      Jsonx.Obj
+        [
+          ("op", Jsonx.String "batch");
+          ("requests", Jsonx.List (List.map to_json rs));
+        ]
+  | Shutdown -> Jsonx.Obj [ ("op", Jsonx.String "shutdown") ]
+
+let encode r = Jsonx.to_string (to_json r)
+
+(* --- decoding --------------------------------------------------------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv j =
+  match Option.bind (Jsonx.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let int_list_field name j =
+  let* l = field name (fun v -> match v with Jsonx.List l -> Some l | _ -> None) j in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: xs -> (
+        match Jsonx.to_int x with
+        | Some i -> go (i :: acc) xs
+        | None -> Error (Printf.sprintf "non-integer in field %S" name))
+  in
+  go [] l
+
+let rec of_json j =
+  let* op = field "op" Jsonx.to_str j in
+  match op with
+  | "status" -> Ok (Query Status)
+  | "node_state" ->
+      let* vs = int_list_field "nodes" j in
+      Ok (Query (Node_state vs))
+  | "distances" ->
+      let* sources = int_list_field "sources" j in
+      let* targets = int_list_field "targets" j in
+      Ok (Query (Distances { sources; targets }))
+  | "census" -> Ok (Query Census)
+  | "components" -> Ok (Query Components)
+  | "component_of" ->
+      let* v = field "node" Jsonx.to_int j in
+      Ok (Query (Component_of v))
+  | "bridges" -> Ok (Query Bridges)
+  | "telemetry" -> Ok (Query Telemetry)
+  | "kill_node" ->
+      let* v = field "node" Jsonx.to_int j in
+      Ok (Mutate (Kill_node v))
+  | "kill_edge" ->
+      let* u = field "u" Jsonx.to_int j in
+      let* v = field "v" Jsonx.to_int j in
+      Ok (Mutate (Kill_edge (u, v)))
+  | "revive_node" ->
+      let* v = field "node" Jsonx.to_int j in
+      Ok (Mutate (Revive_node v))
+  | "corrupt" ->
+      let* v = field "node" Jsonx.to_int j in
+      Ok (Mutate (Corrupt v))
+  | "batch" ->
+      let* l =
+        field "requests"
+          (fun v -> match v with Jsonx.List l -> Some l | _ -> None)
+          j
+      in
+      let rec go acc = function
+        | [] -> Ok (Batch (List.rev acc))
+        | x :: xs ->
+            let* r = of_json x in
+            go (r :: acc) xs
+      in
+      go [] l
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let decode s =
+  let* j = Jsonx.of_string s in
+  of_json j
+
+(* --- response helpers ------------------------------------------------- *)
+
+let ok ~version ~epoch ~round data =
+  Jsonx.Obj
+    [
+      ("ok", Jsonx.Bool true);
+      ( "snapshot",
+        Jsonx.Obj
+          [
+            ("version", Jsonx.Int version);
+            ("epoch", Jsonx.Int epoch);
+            ("round", Jsonx.Int round);
+          ] );
+      ("data", data);
+    ]
+
+let error msg =
+  Jsonx.Obj [ ("ok", Jsonx.Bool false); ("error", Jsonx.String msg) ]

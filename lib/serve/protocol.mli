@@ -1,0 +1,50 @@
+(** The serve request/response vocabulary and its JSON codec.
+
+    One {!Wire} frame carries one JSON document.  Requests are tagged
+    objects ([{"op": "distances", "sources": [0], "targets": [41]}]);
+    responses are [{"ok": true, "snapshot": {version, epoch, round},
+    "data": ...}] on success and [{"ok": false, "error": ...}] on
+    failure.  The [snapshot] stamp identifies the consistent read
+    snapshot the answer was computed against — two answers with equal
+    stamps saw bit-identical network state (the {!Symnet_graph.Graph}
+    version counter is strictly monotonic, so stamps never collide). *)
+
+type query =
+  | Status  (** round, live counts, quiescence *)
+  | Node_state of int list  (** automaton states of the given nodes *)
+  | Distances of { sources : int list; targets : int list }
+      (** BFS distance from the nearest source, per target *)
+  | Census  (** live node/edge counts, max degree, component count *)
+  | Components  (** component count and sizes *)
+  | Component_of of int  (** size + members (capped) of a node's component *)
+  | Bridges  (** bridge edge ids of the live graph *)
+  | Telemetry  (** counters: activations, transitions, epoch, version *)
+
+type mutation =
+  | Kill_node of int
+  | Kill_edge of int * int  (** by endpoints *)
+  | Revive_node of int
+  | Corrupt of int  (** reset a node's state to the automaton's init *)
+
+type request =
+  | Query of query
+  | Mutate of mutation
+  | Batch of request list
+      (** answered in order, one [results] array in one response frame —
+          all queries in a batch see the {e same} snapshot unless a
+          mutation inside the batch advances it *)
+  | Shutdown
+
+val encode : request -> string
+val decode : string -> (request, string) result
+
+val to_json : request -> Symnet_obs.Jsonx.t
+val of_json : Symnet_obs.Jsonx.t -> (request, string) result
+
+(** {1 Response envelopes} (used by the daemon, handy for tests) *)
+
+val ok :
+  version:int -> epoch:int -> round:int -> Symnet_obs.Jsonx.t ->
+  Symnet_obs.Jsonx.t
+
+val error : string -> Symnet_obs.Jsonx.t

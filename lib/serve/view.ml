@@ -1,0 +1,65 @@
+module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
+module Network = Symnet_engine.Network
+
+type 'q t = {
+  v_states : 'q array;
+  v_graph : Graph.t;
+  v_version : int;
+  v_epoch : int;
+  v_round : int;
+  (* Derived analyses are memoised per snapshot: they die with it, so a
+     stale answer would require a version/epoch collision — which the
+     strictly monotonic counters rule out. *)
+  mutable v_components : int list list option;
+  mutable v_bridges : int list option;
+  v_distances : (int list, int array) Hashtbl.t;
+}
+
+let take ~round net =
+  let g = Network.graph net in
+  {
+    v_states = Array.copy (Network.raw_states net);
+    v_graph = Graph.copy g;
+    v_version = Graph.version g;
+    v_epoch = Network.state_epoch net;
+    v_round = round;
+    v_components = None;
+    v_bridges = None;
+    v_distances = Hashtbl.create 4;
+  }
+
+let fresh v net =
+  v.v_version = Graph.version (Network.graph net)
+  && v.v_epoch = Network.state_epoch net
+
+let version v = v.v_version
+let epoch v = v.v_epoch
+let round v = v.v_round
+let graph v = v.v_graph
+let state v i = v.v_states.(i)
+
+let components v =
+  match v.v_components with
+  | Some c -> c
+  | None ->
+      let c = Analysis.components v.v_graph in
+      v.v_components <- Some c;
+      c
+
+let bridges v =
+  match v.v_bridges with
+  | Some b -> b
+  | None ->
+      let b = Analysis.bridges v.v_graph in
+      v.v_bridges <- Some b;
+      b
+
+let distances v ~sources =
+  let key = List.sort_uniq compare sources in
+  match Hashtbl.find_opt v.v_distances key with
+  | Some d -> d
+  | None ->
+      let d = Analysis.distances v.v_graph ~sources:key in
+      Hashtbl.add v.v_distances key d;
+      d

@@ -1,0 +1,37 @@
+(** Consistent read snapshots of a resident network.
+
+    A view is a checkpoint-style copy of everything a query can observe
+    — the raw state array and the graph's liveness — stamped with the
+    ({!Symnet_graph.Graph.version}, {!Symnet_engine.Network.state_epoch})
+    pair current at capture time.  Both counters are strictly monotonic,
+    so the stamp is collision-free: {!fresh} holds iff the network is
+    still bit-identical to the view, and the daemon reuses a view across
+    requests (and across whole batches) exactly as long as that holds.
+
+    Derived analyses (components, bridges, multi-source BFS distances)
+    are memoised inside the view, giving batched query traffic oracle
+    answers at amortised cost without any cross-snapshot invalidation
+    protocol. *)
+
+type 'q t
+
+val take : round:int -> 'q Symnet_engine.Network.t -> 'q t
+(** Copy the observable state (O(n) states + O(n + m) liveness; the
+    immutable CSR is shared).  Must be called between rounds — the
+    daemon's event loop guarantees that. *)
+
+val fresh : 'q t -> 'q Symnet_engine.Network.t -> bool
+(** Whether the view still matches the network's (version, epoch). *)
+
+val version : 'q t -> int
+val epoch : 'q t -> int
+val round : 'q t -> int
+(** The round count at capture (how many rounds had run). *)
+
+val graph : 'q t -> Symnet_graph.Graph.t
+val state : 'q t -> int -> 'q
+
+val components : 'q t -> int list list
+val bridges : 'q t -> int list
+val distances : 'q t -> sources:int list -> int array
+(** Memoised per sorted-deduplicated source set. *)

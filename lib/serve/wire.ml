@@ -1,0 +1,55 @@
+exception Closed
+
+(* Generous but bounded: a garbage length prefix (say a client speaking
+   HTTP at us) must fail fast instead of trying to allocate gigabytes. *)
+let max_frame = 16 * 1024 * 1024
+
+let rec restart f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let k = restart (fun () -> Unix.read fd buf off len) in
+      if k = 0 then raise Closed;
+      go (off + k) (len - k)
+    end
+  in
+  go off len
+
+let really_write fd buf =
+  let len = Bytes.length buf in
+  let rec go off len =
+    if len > 0 then begin
+      let k = restart (fun () -> Unix.write fd buf off len) in
+      go (off + k) (len - k)
+    end
+  in
+  go 0 len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  (* EOF exactly at a frame boundary is a clean close; EOF anywhere else
+     is a protocol violation. *)
+  let k = restart (fun () -> Unix.read fd hdr 0 4) in
+  if k = 0 then None
+  else begin
+    really_read fd hdr k (4 - k);
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then
+      failwith (Printf.sprintf "Wire.read_frame: bad length %d" len);
+    let payload = Bytes.create len in
+    really_read fd payload 0 len;
+    Some (Bytes.unsafe_to_string payload)
+  end
+
+let write_frame fd s =
+  let len = String.length s in
+  if len > max_frame then
+    failwith (Printf.sprintf "Wire.write_frame: frame too large (%d)" len);
+  (* One buffer, one write loop: the header must never interleave with
+     another frame's bytes if the fd is ever shared. *)
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string s 0 buf 4 len;
+  really_write fd buf

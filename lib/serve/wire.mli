@@ -1,0 +1,22 @@
+(** Length-prefixed framing over a file descriptor.
+
+    One frame = a 4-byte big-endian payload length followed by the
+    payload (UTF-8 JSON in this protocol, but the framing is oblivious).
+    Blocking, EINTR-restarting reads/writes; short reads and writes are
+    looped to completion, so a frame is delivered whole or not at all. *)
+
+exception Closed
+(** Raised when the peer closes the connection mid-frame. *)
+
+val max_frame : int
+(** Upper bound on payload length (16 MiB); both directions enforce it,
+    so a corrupt or hostile length prefix fails fast. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one frame; [None] on a clean close (EOF exactly at a frame
+    boundary).  @raise Closed on EOF mid-frame, [Failure] on an invalid
+    length prefix. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame (header and payload in a single buffer).
+    @raise Failure if the payload exceeds {!max_frame}. *)

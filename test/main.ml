@@ -31,6 +31,7 @@ let () =
       ("sm-bounded", Test_sm_bounded.suite);
       ("spec-trace", Test_spec_trace.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("chaos", Test_chaos.suite);
       ("profiling", Test_profiling.suite);
       ("sm-monoid", Test_sm_monoid.suite);

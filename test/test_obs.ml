@@ -297,6 +297,38 @@ let test_percentile_interpolates () =
   Alcotest.(check bool) "empty is nan" true
     (Float.is_nan (Obs.Stats.percentile 0.5 [||]))
 
+let test_percentile_total_order () =
+  (* Float.compare is a total order: NaN observations sort first,
+     deterministically, instead of scrambling the sort (polymorphic
+     compare on floats is also total, but the convention is pinned
+     here on purpose).  With NaN at index 0, every percentile over the
+     finite tail is still exact. *)
+  let a = [| 30.; nan; 10.; 20. |] in
+  Alcotest.(check bool) "p0 is the NaN" true
+    (Float.is_nan (Obs.Stats.percentile 0. a));
+  Alcotest.(check (float 1e-9)) "p100 unaffected" 30.
+    (Obs.Stats.percentile 1. a);
+  (* also pin that +/- 0 and denormals don't trip the sort *)
+  let b = [| 0.; -0.; 1. |] in
+  Alcotest.(check (float 1e-9)) "p0 with signed zeros" 0.
+    (Obs.Stats.percentile 0. b)
+
+let test_summary_empty_and_nan () =
+  let empty = Obs.Stats.of_series [ ("empty", [||]) ] in
+  (match empty with
+  | [ s ] ->
+      Alcotest.(check int) "count" 0 s.Obs.Stats.count;
+      Alcotest.(check bool) "max of empty is nan, not -inf" true
+        (Float.is_nan s.Obs.Stats.max);
+      Alcotest.(check bool) "p50 of empty is nan" true
+        (Float.is_nan s.Obs.Stats.p50)
+  | _ -> Alcotest.fail "expected one summary");
+  match Obs.Stats.of_series [ ("poisoned", [| 1.; nan; 3. |]) ] with
+  | [ s ] ->
+      Alcotest.(check bool) "NaN observation poisons max visibly" true
+        (Float.is_nan s.Obs.Stats.max)
+  | _ -> Alcotest.fail "expected one summary"
+
 let test_stats_summarise () =
   let events =
     Obs.Events.
@@ -334,5 +366,9 @@ let suite =
     Alcotest.test_case "watch tees frames" `Quick test_watch_tees_frames;
     Alcotest.test_case "percentile interpolates" `Quick
       test_percentile_interpolates;
+    Alcotest.test_case "percentile is a total order" `Quick
+      test_percentile_total_order;
+    Alcotest.test_case "summary of empty/NaN series" `Quick
+      test_summary_empty_and_nan;
     Alcotest.test_case "stats summarise" `Quick test_stats_summarise;
   ]

@@ -1,0 +1,521 @@
+(* The serve stack: wire framing, protocol codec round-trips, view
+   snapshot isolation, the daemon end-to-end (single-threaded, ticking
+   the event loop by hand), run ≡ start/step/finish equivalence of the
+   resumable runner sessions, and the Graph.version rewind-collision
+   regression — a version-keyed digest cache must never return a stale
+   entry across checkpoint → mutate → restore → mutate, which is
+   exactly what a rewinding restore used to break. *)
+
+module Gen = Symnet_graph.Gen
+module Graph = Symnet_graph.Graph
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Runner = Symnet_engine.Runner
+module Domain_pool = Symnet_engine.Domain_pool
+module Fssga = Symnet_core.Fssga
+module Jsonx = Symnet_obs.Jsonx
+module Wire = Symnet_serve.Wire
+module Protocol = Symnet_serve.Protocol
+module View = Symnet_serve.View
+module Daemon = Symnet_serve.Daemon
+module A = Symnet_algorithms
+
+let graph () = Gen.random_connected (Prng.create ~seed:11) ~n:20 ~extra_edges:12
+let sp n = A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:n
+
+(* --- wire framing ----------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payloads = [ ""; "x"; String.make 70_000 'q'; "{\"op\":\"status\"}" ] in
+  List.iter (fun p -> Wire.write_frame a p) payloads;
+  List.iter
+    (fun p ->
+      Alcotest.(check (option string)) "frame round-trips" (Some p)
+        (Wire.read_frame b))
+    payloads;
+  Unix.close a;
+  (* EOF exactly at a frame boundary is a clean close *)
+  Alcotest.(check (option string)) "clean EOF" None (Wire.read_frame b);
+  Unix.close b
+
+let test_wire_truncated () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* a length prefix promising 10 bytes, then a hangup after 3 *)
+  let buf = Bytes.create 7 in
+  Bytes.set_int32_be buf 0 10l;
+  Bytes.blit_string "abc" 0 buf 4 3;
+  let _ = Unix.write a buf 0 7 in
+  Unix.close a;
+  Alcotest.check_raises "mid-frame EOF raises" Wire.Closed (fun () ->
+      ignore (Wire.read_frame b));
+  Unix.close b
+
+(* --- protocol codec --------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Query Protocol.Status;
+      Protocol.Query (Protocol.Node_state [ 0; 3; 17 ]);
+      Protocol.Query
+        (Protocol.Distances { sources = [ 0; 2 ]; targets = [ 5; 1 ] });
+      Protocol.Query Protocol.Census;
+      Protocol.Query Protocol.Components;
+      Protocol.Query (Protocol.Component_of 9);
+      Protocol.Query Protocol.Bridges;
+      Protocol.Query Protocol.Telemetry;
+      Protocol.Mutate (Protocol.Kill_node 4);
+      Protocol.Mutate (Protocol.Kill_edge (2, 7));
+      Protocol.Mutate (Protocol.Revive_node 4);
+      Protocol.Mutate (Protocol.Corrupt 1);
+      Protocol.Batch
+        [
+          Protocol.Query Protocol.Status;
+          Protocol.Mutate (Protocol.Kill_node 0);
+          Protocol.Query Protocol.Census;
+        ];
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode (Protocol.encode r) with
+      | Ok r' ->
+          Alcotest.(check bool) "request round-trips" true (r = r')
+      | Error e -> Alcotest.failf "decode error: %s" e)
+    reqs
+
+let test_protocol_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Protocol.decode s with
+      | Ok _ -> Alcotest.failf "decoded garbage %S" s
+      | Error _ -> ())
+    [ "GET / HTTP/1.1"; "{}"; "{\"op\":\"no-such-op\"}"; "[1,2]"; "" ]
+
+(* --- view snapshots ---------------------------------------------------- *)
+
+let test_view_isolation () =
+  let g = graph () in
+  let net = Network.init ~rng:(Prng.create ~seed:3) g (sp 20) in
+  for _ = 1 to 3 do
+    ignore (Network.sync_step net)
+  done;
+  let v = View.take ~round:3 net in
+  Alcotest.(check bool) "fresh right after take" true (View.fresh v net);
+  let d_before = View.distances v ~sources:[ 0 ] in
+  (* mutate the resident network behind the view's back *)
+  Graph.remove_node g 5;
+  Alcotest.(check bool) "stale after a graph mutation" false
+    (View.fresh v net);
+  Alcotest.(check bool) "view's graph copy still shows the node live" true
+    (Graph.is_live_node (View.graph v) 5);
+  Alcotest.(check bool) "memoised distances unaffected by the mutation" true
+    (View.distances v ~sources:[ 0 ] == d_before);
+  let v' = View.take ~round:4 net in
+  Alcotest.(check bool) "new view sees the mutation" false
+    (Graph.is_live_node (View.graph v') 5);
+  Alcotest.(check bool) "stamps differ across the mutation" true
+    (View.version v' > View.version v)
+
+(* --- resumable sessions ------------------------------------------------ *)
+
+(* The probabilistic census draws from the network rng on every
+   activation, so state equality after the run certifies that the
+   session path performed the same operations in the same order. *)
+let census_net seed =
+  let g = Gen.random_connected (Prng.create ~seed:41) ~n:30 ~extra_edges:20 in
+  Network.init ~rng:(Prng.create ~seed) g
+    (A.Census.automaton ~k:(A.Census.recommended_k 30))
+
+let observe net =
+  (Network.states net, Network.activations net, Network.transitions net)
+
+let test_session_equals_run () =
+  let via_run = Network.init ~rng:(Prng.create ~seed:3) (graph ()) (sp 20) in
+  let o_run = Runner.run ~dirty:true ~max_rounds:50 via_run in
+  let via_session =
+    Network.init ~rng:(Prng.create ~seed:3) (graph ()) (sp 20)
+  in
+  let s = Runner.start ~dirty:true ~max_rounds:50 via_session in
+  (* interleave manual steps with finish: same loop, different driver *)
+  ignore (Runner.step s);
+  ignore (Runner.step s);
+  let o_sess = Runner.finish s in
+  Alcotest.(check bool) "outcomes identical" true (o_run = o_sess);
+  Alcotest.(check bool) "observables identical" true
+    (observe via_run = observe via_session);
+  Alcotest.(check bool) "session_result repeats the outcome" true
+    (Runner.session_result s = Some o_sess)
+
+let test_session_equals_run_probabilistic () =
+  let a = census_net 7 in
+  let o_run = Runner.run ~max_rounds:40 a in
+  let b = census_net 7 in
+  let s = Runner.start ~max_rounds:40 b in
+  let o_sess = Runner.finish s in
+  Alcotest.(check bool) "probabilistic outcomes identical" true
+    (o_run = o_sess);
+  Alcotest.(check bool) "probabilistic rng draws identical" true
+    (observe a = observe b)
+
+(* --- the rewind-collision regression ----------------------------------- *)
+
+(* A version-keyed digest cache over the graph observables — the pattern
+   the dirty-set reconciler, the engine's digest cache, and the serve
+   views all rely on.  The contract: equal version ⇒ bit-identical
+   graph, so a cache hit may skip recomputation. *)
+let liveness_digest g =
+  ( List.init (Graph.original_size g) (Graph.is_live_node g),
+    List.sort compare (List.map (fun e -> e.Graph.id) (Graph.edges g)) )
+
+let cached_digest cache g =
+  let v = Graph.version g in
+  match Hashtbl.find_opt cache v with
+  | Some d -> d
+  | None ->
+      let d = liveness_digest g in
+      Hashtbl.add cache v d;
+      d
+
+let pick_live_edge g k =
+  let es = Graph.edges g in
+  (List.nth es (k mod List.length es)).Graph.id
+
+(* checkpoint → remove A → digest → restore → remove B → the digest must
+   resync.  A restore that rewound the version counter made the post-B
+   version collide with the cached post-A version, so the cache returned
+   A's liveness for B's graph. *)
+let test_rewind_collision_graph () =
+  let g = graph () in
+  let cache = Hashtbl.create 8 in
+  ignore (cached_digest cache g);
+  let snap = Graph.snapshot g in
+  Graph.remove_edge g (pick_live_edge g 0);
+  ignore (cached_digest cache g);
+  Graph.restore g snap;
+  Graph.remove_edge g (pick_live_edge g 1);
+  Alcotest.(check bool) "digest resyncs after restore + second removal" true
+    (cached_digest cache g = liveness_digest g)
+
+let test_rewind_collision_network () =
+  let g = graph () in
+  let net = Network.init ~rng:(Prng.create ~seed:5) g (sp 20) in
+  for _ = 1 to 2 do
+    ignore (Network.sync_step net)
+  done;
+  let cache = Hashtbl.create 8 in
+  ignore (cached_digest cache g);
+  let cp = Network.checkpoint net in
+  Graph.remove_edge g (pick_live_edge g 0);
+  ignore (cached_digest cache g);
+  Network.restore net cp;
+  Graph.remove_edge g (pick_live_edge g 1);
+  Alcotest.(check bool)
+    "digest resyncs across Network.restore + second removal" true
+    (cached_digest cache g = liveness_digest g);
+  (* and the network keeps stepping correctly after the mutation *)
+  ignore (Network.sync_step net)
+
+(* The same collision through the engine's real incremental digest
+   cache (keyed on [Graph.version]): checkpoint → remove node A →
+   digest step (caches A's adjacency) → restore → remove node B.  With
+   a rewinding restore the post-B version equalled the cached post-A
+   version, so the cache trusted A's trees for B's graph; the sequence
+   must instead match a cache-free seq run of the identical history. *)
+let test_rewind_collision_digest () =
+  let module Sm_digest = Symnet_core.Sm_digest in
+  let k = 10 in
+  let dgst = A.Census.digest ~k in
+  let mk seed =
+    let g =
+      Gen.random_connected (Prng.create ~seed:33) ~n:40 ~extra_edges:25
+    in
+    let net =
+      Network.init ~rng:(Prng.create ~seed) g (Sm_digest.to_fssga dgst)
+    in
+    (net, g)
+  in
+  let drive net g step =
+    for _ = 1 to 3 do
+      ignore (step ())
+    done;
+    let cp = Network.checkpoint net in
+    Graph.remove_node g 7;
+    ignore (step ());
+    Network.restore net cp;
+    Graph.remove_node g 9;
+    let flags = List.init 3 (fun _ -> step ()) in
+    (flags, Network.states net)
+  in
+  let net_d, g_d = mk 11 in
+  let dg = Network.digest_of net_d dgst in
+  let via_digest = drive net_d g_d (fun () -> Network.digest_step dg) in
+  let net_s, g_s = mk 11 in
+  let via_seq = drive net_s g_s (fun () -> Network.sync_step net_s) in
+  Alcotest.(check bool) "digest cache resyncs after rollback divergence" true
+    (via_digest = via_seq)
+
+(* --- qcheck: version-keyed consumers never go stale -------------------- *)
+
+(* Random interleavings of rounds, mutations, checkpoints and restores,
+   driven through runner sessions at every (shards, domains) config the
+   engine supports.  After every operation the version-keyed cache is
+   probed: a hit whose digest differs from the live graph is a stale
+   read — the collision the strictly monotonic version makes
+   impossible. *)
+type op = Rounds of int | Kill_node of int | Kill_edge of int | Cp | Restore
+
+let op_of (k, arg) =
+  match k mod 5 with
+  | 0 -> Rounds ((arg mod 3) + 1)
+  | 1 -> Kill_node (arg mod 14)
+  | 2 -> Kill_edge arg
+  | 3 -> Cp
+  | _ -> Restore
+
+let prop_version_keyed_never_stale =
+  QCheck.Test.make ~name:"version-keyed consumers never stale" ~count:15
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 18)
+       (QCheck.pair (QCheck.int_range 0 4) (QCheck.int_range 0 1000)))
+  @@ fun raw_ops ->
+  let ops = List.map op_of raw_ops in
+  List.for_all
+    (fun (shards, domains) ->
+      Domain_pool.with_pool ~domains (fun pool ->
+          let g =
+            Gen.random_connected (Prng.create ~seed:21) ~n:14 ~extra_edges:10
+          in
+          let net = Network.init ~rng:(Prng.create ~seed:22) g (sp 14) in
+          let mk () =
+            Runner.start ~dirty:true ~max_rounds:200 ~pool ~shards net
+          in
+          let session = ref (mk ()) in
+          let cp = ref None in
+          let cache = Hashtbl.create 64 in
+          let consistent () = cached_digest cache g = liveness_digest g in
+          List.for_all
+            (fun o ->
+              (match o with
+              | Rounds k ->
+                  for _ = 1 to k do
+                    if Runner.session_result !session <> None then
+                      session := mk ();
+                    ignore (Runner.step !session)
+                  done
+              | Kill_node v ->
+                  if Graph.is_live_node g v then Graph.remove_node g v
+              | Kill_edge k -> (
+                  match Graph.edges g with
+                  | [] -> ()
+                  | es ->
+                      Graph.remove_edge g
+                        (List.nth es (k mod List.length es)).Graph.id)
+              | Cp -> cp := Some (Network.checkpoint net)
+              | Restore -> (
+                  match !cp with
+                  | Some c -> Network.restore net c
+                  | None -> ()));
+              consistent ())
+            ops))
+    [ (1, 1); (1, 2); (3, 1); (3, 2) ]
+
+(* --- daemon end-to-end ------------------------------------------------- *)
+
+(* Daemon and client share this one thread: the client writes a frame,
+   hand-ticks the daemon's event loop until the reply is readable, then
+   reads it — the same co-operative pattern the bench harness uses via
+   the hammer's [pump] hook. *)
+let sock_path =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    Printf.sprintf "/tmp/symnet-test-%d-%d.sock" (Unix.getpid ()) !k
+
+let pump d fd =
+  let ready () =
+    match Unix.select [ fd ] [] [] 0. with [], _, _ -> false | _ -> true
+  in
+  while not (ready ()) do
+    Daemon.tick ~timeout:0.01 d
+  done
+
+let rpc d fd req =
+  Wire.write_frame fd (Protocol.encode req);
+  pump d fd;
+  match Wire.read_frame fd with
+  | None -> Alcotest.fail "daemon closed the connection"
+  | Some s -> (
+      match Jsonx.of_string s with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "unparseable response: %s" e)
+
+let get path j =
+  List.fold_left (fun acc name -> Option.bind acc (Jsonx.member name))
+    (Some j) path
+
+let get_int path j = Option.bind (get path j) Jsonx.to_int
+
+let check_ok j =
+  Alcotest.(check (option bool)) "ok response" (Some true)
+    (Option.bind (Jsonx.member "ok" j) Jsonx.to_bool)
+
+let test_daemon_e2e () =
+  let g = Gen.grid ~rows:6 ~cols:6 in
+  let net =
+    Network.init ~rng:(Prng.create ~seed:9) g
+      (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:36)
+  in
+  let addr = Daemon.Unix_sock (sock_path ()) in
+  let d =
+    Daemon.create
+      ~state_json:(fun s -> Jsonx.Int (A.Shortest_paths.label s))
+      ~session:(fun () -> Runner.start ~dirty:true net)
+      addr
+  in
+  Fun.protect
+    ~finally:(fun () -> Daemon.close d)
+    (fun () ->
+      let fd = Daemon.connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let j = rpc d fd (Protocol.Query Protocol.Status) in
+          check_ok j;
+          Alcotest.(check (option int)) "node count" (Some 36)
+            (get_int [ "data"; "nodes" ] j);
+          let v0 = Option.get (get_int [ "snapshot"; "version" ] j) in
+          (* let the network stabilize, then distances are exact *)
+          for _ = 1 to 30 do
+            Daemon.tick d
+          done;
+          let j =
+            rpc d fd
+              (Protocol.Query
+                 (Protocol.Distances { sources = [ 0 ]; targets = [ 0; 7 ] }))
+          in
+          check_ok j;
+          (match get [ "data" ] j with
+          | Some (Jsonx.List [ a; b ]) ->
+              Alcotest.(check (option int)) "d(0,0)" (Some 0)
+                (get_int [ "distance" ] a);
+              Alcotest.(check (option int)) "d(0,7) on the grid" (Some 2)
+                (get_int [ "distance" ] b)
+          | _ -> Alcotest.fail "bad distances payload");
+          (* a mutation advances the snapshot stamp, never rewinds it *)
+          let j = rpc d fd (Protocol.Mutate (Protocol.Kill_node 7)) in
+          check_ok j;
+          Alcotest.(check (option bool)) "kill effective" (Some true)
+            (Option.bind (get [ "data"; "effective" ] j) Jsonx.to_bool);
+          let v1 = Option.get (get_int [ "snapshot"; "version" ] j) in
+          Alcotest.(check bool) "stamp advanced" true (v1 > v0);
+          let j = rpc d fd (Protocol.Query (Protocol.Node_state [ 7; 99 ])) in
+          check_ok j;
+          (match get [ "data" ] j with
+          | Some (Jsonx.List [ a; b ]) ->
+              Alcotest.(check (option bool)) "killed node reported dead"
+                (Some false)
+                (Option.bind (get [ "live" ] a) Jsonx.to_bool);
+              Alcotest.(check bool) "out-of-range id reports an error" true
+                (get [ "error" ] b <> None)
+          | _ -> Alcotest.fail "bad node_state payload");
+          (* a batch answers in one frame, all queries on one snapshot *)
+          let j =
+            rpc d fd
+              (Protocol.Batch
+                 [
+                   Protocol.Query Protocol.Status;
+                   Protocol.Query Protocol.Census;
+                   Protocol.Query Protocol.Telemetry;
+                 ])
+          in
+          check_ok j;
+          (match get [ "results" ] j with
+          | Some (Jsonx.List rs) ->
+              Alcotest.(check int) "three results" 3 (List.length rs);
+              let stamps =
+                List.filter_map (get_int [ "snapshot"; "version" ]) rs
+              in
+              Alcotest.(check bool) "batch shares one snapshot" true
+                (List.for_all (fun v -> v = List.hd stamps) stamps)
+          | _ -> Alcotest.fail "bad batch payload");
+          (* malformed frames answer with ok:false, not a dropped client *)
+          Wire.write_frame fd "not json";
+          pump d fd;
+          (match Wire.read_frame fd with
+          | Some s -> (
+              match Jsonx.of_string s with
+              | Ok j ->
+                  Alcotest.(check (option bool)) "error envelope" (Some false)
+                    (Option.bind (Jsonx.member "ok" j) Jsonx.to_bool)
+              | Error e -> Alcotest.failf "unparseable error reply: %s" e)
+          | None -> Alcotest.fail "daemon dropped the client on bad input");
+          let j = rpc d fd Protocol.Shutdown in
+          check_ok j;
+          Alcotest.(check bool) "daemon stopped" false (Daemon.running d)))
+
+let test_daemon_restarts_after_quiescence () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net =
+    Network.init ~rng:(Prng.create ~seed:2) g
+      (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:16)
+  in
+  let starts = ref 0 in
+  let addr = Daemon.Unix_sock (sock_path ()) in
+  let d =
+    Daemon.create
+      ~state_json:(fun s -> Jsonx.Int (A.Shortest_paths.label s))
+      ~session:(fun () ->
+        incr starts;
+        Runner.start ~dirty:true net)
+      addr
+  in
+  Fun.protect
+    ~finally:(fun () -> Daemon.close d)
+    (fun () ->
+      for _ = 1 to 60 do
+        Daemon.tick ~timeout:0. d
+      done;
+      Alcotest.(check int) "one session so far" 1 !starts;
+      let fd = Daemon.connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let j = rpc d fd (Protocol.Query Protocol.Status) in
+          Alcotest.(check (option bool)) "quiesced" (Some true)
+            (Option.bind (get [ "data"; "quiesced" ] j) Jsonx.to_bool);
+          (* an effective mutation re-arms a session over the same net *)
+          let j = rpc d fd (Protocol.Mutate (Protocol.Kill_node 5)) in
+          check_ok j;
+          Alcotest.(check int) "mutation re-armed a session" 2 !starts;
+          (* a no-op mutation must not *)
+          let j = rpc d fd (Protocol.Mutate (Protocol.Kill_node 5)) in
+          Alcotest.(check (option bool)) "second kill is a no-op" (Some false)
+            (Option.bind (get [ "data"; "effective" ] j) Jsonx.to_bool);
+          Alcotest.(check int) "no-op did not re-arm" 2 !starts))
+
+let suite =
+  [
+    Alcotest.test_case "wire round-trip + clean EOF" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire truncated frame raises" `Quick test_wire_truncated;
+    Alcotest.test_case "protocol codec round-trips" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "protocol rejects garbage" `Quick
+      test_protocol_rejects_garbage;
+    Alcotest.test_case "view snapshot isolation" `Quick test_view_isolation;
+    Alcotest.test_case "session ≡ run (deterministic)" `Quick
+      test_session_equals_run;
+    Alcotest.test_case "session ≡ run (probabilistic)" `Quick
+      test_session_equals_run_probabilistic;
+    Alcotest.test_case "rewind collision: Graph.restore" `Quick
+      test_rewind_collision_graph;
+    Alcotest.test_case "rewind collision: Network.restore" `Quick
+      test_rewind_collision_network;
+    Alcotest.test_case "rewind collision: incremental digest" `Quick
+      test_rewind_collision_digest;
+    QCheck_alcotest.to_alcotest prop_version_keyed_never_stale;
+    Alcotest.test_case "daemon end-to-end" `Quick test_daemon_e2e;
+    Alcotest.test_case "daemon restarts after quiescence" `Quick
+      test_daemon_restarts_after_quiescence;
+  ]
