@@ -274,6 +274,82 @@ let measure_sharded ~workload ~rounds ~configs mk =
           }))
     configs
 
+(* --- reliable exchange under link chaos ------------------------------- *)
+
+module Link = Symnet_engine.Link
+
+type exchange_sample = {
+  ex_workload : string;
+  ex_n : int;
+  ex_shards : int;
+  ex_drop_p : float;
+  ex_rounds : int;
+  ex_seconds : float;
+  ex_rounds_per_sec : float;
+  ex_delivered : int;
+  ex_dropped : int;
+  ex_retries : int;
+  ex_stalls : int;
+  ex_retries_per_round : float;
+  ex_identical : bool; (* final states match the fault-free flat run *)
+}
+
+(* Run the sharded workload to quiescence with the reliable-exchange
+   protocol over a lossy link layer and compare the fixed point against
+   the fault-free flat run: the identity flag is the correctness gate,
+   the retry volume and rounds/sec the protocol cost being tracked.
+   Both runs go to quiescence (not a fixed round count) because drops
+   stretch the round count by design. *)
+let measure_exchange ~workload ~shards ~drop_p mk =
+  let max_rounds = 100_000 in
+  let flat_states =
+    let net = mk () in
+    let cont = ref true and r = ref 0 in
+    while !cont && !r < max_rounds do
+      cont := Network.sync_step net;
+      incr r
+    done;
+    Network.states net
+  in
+  let net = mk () in
+  let sh = Sharded.create ~shards net in
+  Sharded.configure_link sh ~seed:0x9a7e
+    {
+      Link.faults =
+        [ { Link.kind = Link.Drop; p = drop_p; target = Link.All_channels } ];
+      reliable = true;
+      cap = 16;
+      backoff = 1;
+    };
+  let t0 = Unix.gettimeofday () in
+  let cont = ref true and rounds = ref 0 in
+  while !cont && !rounds < max_rounds do
+    cont := Sharded.step sh;
+    incr rounds
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let link =
+    match Sharded.link_runtime sh with
+    | Some l -> l
+    | None -> assert false (* configure_link with an active spec attached one *)
+  in
+  {
+    ex_workload = workload;
+    ex_n = Graph.node_count (Network.graph net);
+    ex_shards = shards;
+    ex_drop_p = drop_p;
+    ex_rounds = !rounds;
+    ex_seconds = dt;
+    ex_rounds_per_sec = float_of_int !rounds /. dt;
+    ex_delivered = Link.delivered link;
+    ex_dropped = Link.messages_dropped link;
+    ex_retries = Link.retries link;
+    ex_stalls = Link.stalls link;
+    ex_retries_per_round =
+      float_of_int (Link.retries link) /. float_of_int (max 1 !rounds);
+    ex_identical = (not !cont) && Network.states net = flat_states;
+  }
+
 (* --- change-driven scheduling ---------------------------------------- *)
 
 type dirty_sample = {
@@ -420,6 +496,23 @@ let sharded_fields s =
     ("identical_to_flat", Jsonx.Bool s.sh_identical);
   ]
 
+let exchange_fields x =
+  [
+    ("workload", Jsonx.String x.ex_workload);
+    ("n", Jsonx.Int x.ex_n);
+    ("shards", Jsonx.Int x.ex_shards);
+    ("drop_p", Jsonx.Float x.ex_drop_p);
+    ("rounds", Jsonx.Int x.ex_rounds);
+    ("seconds", Jsonx.Float x.ex_seconds);
+    ("rounds_per_sec", Jsonx.Float x.ex_rounds_per_sec);
+    ("delivered", Jsonx.Int x.ex_delivered);
+    ("dropped", Jsonx.Int x.ex_dropped);
+    ("retries", Jsonx.Int x.ex_retries);
+    ("stalls", Jsonx.Int x.ex_stalls);
+    ("retries_per_round", Jsonx.Float x.ex_retries_per_round);
+    ("identical_to_fault_free", Jsonx.Bool x.ex_identical);
+  ]
+
 let par_fields p =
   [
     ("workload", Jsonx.String p.p_workload);
@@ -440,6 +533,7 @@ type results = {
   r_dirty : dirty_sample list;
   r_par : par_sample list;
   r_sharded : sharded_sample list;
+  r_exchange : exchange_sample list;
   r_digest : digest_sample;
   r_serve : E19_serve.sample;
 }
@@ -460,6 +554,7 @@ let ok r =
   za && za_sync
   && List.for_all (fun p -> p.p_identical) r.r_par
   && List.for_all (fun s -> s.sh_identical) r.r_sharded
+  && List.for_all (fun x -> x.ex_identical) r.r_exchange
   && bfs_words_pass r
   && r.r_digest.dg_pass
   && E19_serve.ok r.r_serve
@@ -569,6 +664,33 @@ let collect ?(smoke = false) ?domains () =
       Bench_util.metric_row ~experiment:"engine"
         (("kind", Jsonx.String "sharded") :: sharded_fields s))
     sharded_samples;
+  (* Reliable exchange over a lossy link layer: a drop rate on every
+     cross-shard channel, sequence/ack/retransmit recovering it, and the
+     fixed point still bit-identical to the fault-free flat run.  Sized
+     below the sharded rows — the runs go to quiescence, and faults
+     stretch the round count by design. *)
+  let ex_side = if smoke then 10 else 40 in
+  let exchange_samples =
+    [
+      (* smoke traffic is tiny (tens of messages), so the drop rate is
+         raised there to make sure the retransmit path actually fires *)
+      measure_exchange ~workload:"e03_shortest_paths"
+        ~shards:(if smoke then 2 else 4)
+        ~drop_p:(if smoke then 0.25 else 0.05)
+        (fun () -> sp_net ~side:ex_side);
+    ]
+  in
+  List.iter
+    (fun x ->
+      Printf.printf
+        "  exchange %-13s n=%-6d shards=%d drop=%.2f  %6d rounds  %8.1f \
+         rounds/s  %d retries  %d stalls  %s\n"
+        x.ex_workload x.ex_n x.ex_shards x.ex_drop_p x.ex_rounds
+        x.ex_rounds_per_sec x.ex_retries x.ex_stalls
+        (if x.ex_identical then "identical" else "DIVERGENT");
+      Bench_util.metric_row ~experiment:"engine"
+        (("kind", Jsonx.String "exchange") :: exchange_fields x))
+    exchange_samples;
   let dg = measure_digest ~smoke () in
   Printf.printf
     "  digest hub deg=%-7d rescan %8.0f ns  incr update %6.0f ns  (%.0fx): %s\n"
@@ -622,6 +744,7 @@ let collect ?(smoke = false) ?domains () =
       r_dirty = dirty_samples;
       r_par = par_samples;
       r_sharded = sharded_samples;
+      r_exchange = exchange_samples;
       r_digest = dg;
       r_serve = sv;
     }
@@ -654,6 +777,9 @@ let doc_of r =
       ( "sharded",
         Jsonx.List
           (List.map (fun s -> Jsonx.Obj (sharded_fields s)) r.r_sharded) );
+      ( "exchange",
+        Jsonx.List
+          (List.map (fun x -> Jsonx.Obj (exchange_fields x)) r.r_exchange) );
       ( "serve",
         let o = r.r_serve.E19_serve.sv_outcome in
         Jsonx.Obj

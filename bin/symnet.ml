@@ -97,7 +97,15 @@ let chaos_arg =
            (kill_node|kill_edge|corrupt|crash), downtime, target \
            (uniform|degree|critical — critical aims at the algorithm's \
            sensitivity set, e.g. the sinks of shortest-paths).  Example: \
-           'burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash'.")
+           'burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash'.  \
+           A $(b,link=)<drop|dup|reorder|delay> process faults the sharded \
+           runtime's cross-shard channels instead of nodes (needs --shards \
+           >= 2): keys p, target (all|cut — cut hits only channels crossing \
+           bridge edges), window (reorder), rounds (delay), and the \
+           channel-wide flags reliable (seq/ack/retransmit exchange), cap \
+           (in-flight bound) and backoff.  ',' is accepted for ':' inside a \
+           link segment.  Example: \
+           'link=drop:p=0.05:reliable=true;link=reorder:window=4:p=0.1'.")
 
 let sm_backend_arg =
   let backend =
@@ -545,6 +553,69 @@ let chaos_smoke graph seed spec =
     exit 1
   end
 
+(* --- symnet chaos --link-smoke: the link layer's identity contract --- *)
+
+let default_link_spec = "link=drop:p=0.05:reliable=true"
+
+(* Two checks.  (1) Convergence: with the reliable exchange on, a lossy
+   link must not change the computed fixed point — final states at every
+   (shards, domains) pair equal the fault-free flat run's (§5.2: the
+   self-stabilising relaxation absorbs delayed/dropped messages).
+   Metrics documents are NOT compared across fault/no-fault runs —
+   retransmits change round counts by design; states are the contract.
+   (2) Determinism: at a fixed shard count the faulted run's full event
+   trace is byte-identical at every domain count. *)
+let link_smoke graph seed spec =
+  let spec = Option.value ~default:default_link_spec spec in
+  let fresh_net () =
+    let g = make_graph seed graph in
+    Network.init ~rng:(Prng.create ~seed) g
+      (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:(Graph.node_count g))
+  in
+  let chaos () =
+    match Chaos.of_spec ~seed spec with
+    | Ok c -> c
+    | Error m ->
+        prerr_endline m;
+        exit 2
+  in
+  Printf.printf "link smoke: %s\n" spec;
+  let flat_net = fresh_net () in
+  let (_ : Runner.outcome) = Runner.run ~max_rounds:100_000 flat_net in
+  let flat = Network.states flat_net in
+  let converged =
+    List.for_all
+      (fun (shards, domains) ->
+        let net = fresh_net () in
+        let o =
+          Runner.run ~chaos:(chaos ()) ~max_rounds:100_000 ~domains ~shards net
+        in
+        let same = Network.states net = flat in
+        Printf.printf "  shards=%d domains=%d rounds=%-6d %s\n" shards domains
+          o.Runner.rounds
+          (if same then "states = fault-free flat" else "STATE MISMATCH");
+        same)
+      [ (2, 1); (2, 2); (3, 1); (3, 2) ]
+  in
+  let trace domains =
+    let buf = Buffer.create 4096 in
+    let recorder = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
+    let o =
+      Runner.run ~chaos:(chaos ()) ~max_rounds:100_000 ~recorder ~domains
+        ~shards:3 (fresh_net ())
+    in
+    Obs.Recorder.close recorder;
+    (Buffer.contents buf, o.Runner.rounds, o.Runner.activations)
+  in
+  let deterministic = trace 1 = trace 2 in
+  Printf.printf "  shards=3 traces at domains 1/2: %s\n"
+    (if deterministic then "bit-identical" else "MISMATCH");
+  if converged && deterministic then print_endline "link smoke: PASS"
+  else begin
+    print_endline "link smoke: FAIL";
+    exit 1
+  end
+
 (* The paper's split, measured: shortest paths and semilattice gossip
    recover from transient corruption; the census OR and a corrupted
    2-colouring FAILED can never be cleared. *)
@@ -620,8 +691,9 @@ let chaos_mttr graph seed spec trials max_rounds =
        ~legitimate:(fun net -> A.Two_colouring.verdict net = `Bipartite))
     "stuck (FAILED floods, §4.1)"
 
-let chaos_cmd graph seed spec trials max_rounds smoke =
-  if smoke then chaos_smoke graph seed spec
+let chaos_cmd graph seed spec trials max_rounds smoke link_smoke_flag =
+  if link_smoke_flag then link_smoke graph seed spec
+  else if smoke then chaos_smoke graph seed spec
   else begin
     Printf.printf
       "chaos: %s\n(seed %d, %d trials; MTTR measured from the last possible \
@@ -783,7 +855,7 @@ let addr_of_string s =
       exit 2
 
 let serve graph seed max_rounds addr_s rounds_per_tick chaos_spec profile_out
-    span_capacity =
+    span_capacity read_deadline write_buf no_supervise =
   let g = make_graph seed graph in
   let addr = addr_of_string addr_s in
   let cap = Graph.node_count g in
@@ -804,16 +876,22 @@ let serve graph seed max_rounds addr_s rounds_per_tick chaos_spec profile_out
   in
   let session () = Runner.start ~max_rounds ~recorder ?chaos net in
   let d =
-    Serve.Daemon.create ~recorder ~rounds_per_tick
-      ~state_json:(fun s -> Obs.Jsonx.Int (A.Shortest_paths.label s))
-      ~session addr
+    try
+      Serve.Daemon.create ~recorder ~rounds_per_tick
+        ~read_deadline ~write_buf_limit:write_buf
+        ~state_json:(fun s -> Obs.Jsonx.Int (A.Shortest_paths.label s))
+        ~session addr
+    with Invalid_argument m ->
+      prerr_endline m;
+      exit 2
   in
   Printf.printf "serving %s (%d nodes, %d edges) on %s\n%!" graph
     (Graph.node_count g) (Graph.edge_count g) addr_s;
-  Serve.Daemon.serve_forever d;
-  Printf.printf "served %d requests over %d rounds\n%!"
+  Serve.Daemon.serve_forever ~supervise:(not no_supervise) d;
+  Printf.printf "served %d requests over %d rounds (%d supervisor restarts)\n%!"
     (Serve.Daemon.requests_served d)
-    (Serve.Daemon.rounds_run d);
+    (Serve.Daemon.rounds_run d)
+    (Serve.Daemon.restarts d);
   match profile_out with
   | None -> ()
   | Some path ->
@@ -823,18 +901,25 @@ let serve graph seed max_rounds addr_s rounds_per_tick chaos_spec profile_out
       close_out oc;
       Printf.printf "chrome trace: %s\n" path
 
-let hammer addr_s seed requests mutate_every batch smoke do_shutdown =
+let hammer addr_s seed requests mutate_every batch smoke do_shutdown
+    fault_phase =
   let addr = addr_of_string addr_s in
-  let connect () = Serve.Daemon.connect addr in
+  (* Retry refused connects with backoff: the daemon we are pointed at
+     is usually freshly spawned (CI starts both in the same script), and
+     losing the whole run to the bind/connect race made the smoke flaky. *)
+  let connect = Serve.Hammer.retrying (fun () -> Serve.Daemon.connect addr) in
   let requests = if smoke then min requests 200 else requests in
   let n =
     match Serve.Hammer.probe_n ~connect () with
     | Some n -> n
-    | None ->
+    | None | (exception Unix.Unix_error _) ->
         prerr_endline "hammer: could not probe the daemon (is it running?)";
         exit 1
   in
-  let o = Serve.Hammer.run ~seed ~requests ~mutate_every ~batch ~connect ~n () in
+  let o =
+    Serve.Hammer.run ~seed ~requests ~mutate_every ~batch ~fault_phase ~connect
+      ~n ()
+  in
   Printf.printf
     "requests: %d (%d mutations, %d errors)   elapsed: %.2fs   qps: %.0f\n\
      latency us: p50 %.1f   p95 %.1f   max %.1f\n\
@@ -843,6 +928,9 @@ let hammer addr_s seed requests mutate_every batch smoke do_shutdown =
     o.Serve.Hammer.elapsed_s o.Serve.Hammer.qps o.Serve.Hammer.p50_us
     o.Serve.Hammer.p95_us o.Serve.Hammer.max_us
     o.Serve.Hammer.stamp_regressions;
+  if fault_phase then
+    Printf.printf "reconnects: %d   client-visible error window: %.3fs\n"
+      o.Serve.Hammer.reconnects o.Serve.Hammer.error_window_s;
   (* Same grep-able row format as the bench harness, so serve latency
      lands in the BENCH/METRIC pipeline. *)
   (match Serve.Hammer.to_json o with
@@ -856,8 +944,12 @@ let hammer addr_s seed requests mutate_every batch smoke do_shutdown =
               :: fields)))
   | _ -> ());
   if do_shutdown then Serve.Hammer.shutdown ~connect ();
-  if o.Serve.Hammer.errors > 0 || o.Serve.Hammer.stamp_regressions > 0 then
-    exit 1
+  (* In fault-phase mode mid-run connection losses are the experiment,
+     not a failure — but a stale snapshot never stops being one. *)
+  if
+    (o.Serve.Hammer.errors > 0 && not fault_phase)
+    || o.Serve.Hammer.stamp_regressions > 0
+  then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Command wiring                                                      *)
@@ -890,6 +982,18 @@ let smoke_arg =
           "Determinism smoke test: run 2-colouring and shortest-paths under \
            the chaos spec at --domains 1/2/4 and compare full event traces \
            byte for byte; exit 1 on any mismatch.")
+
+let link_smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "link-smoke" ]
+        ~doc:
+          "Link-layer identity smoke test: run sharded shortest-paths under \
+           the --chaos link spec (default \
+           'link=drop:p=0.05:reliable=true') at shards 2/3 × domains 1/2, \
+           require final states bit-identical to the fault-free flat run \
+           and traces byte-identical across domain counts; exit 1 on any \
+           mismatch.")
 
 let trace_in_arg =
   Arg.(
@@ -1016,6 +1120,44 @@ let serve_profile_out_arg =
           "Collect phase spans (rounds plus serve_snapshot/serve_request) \
            and write a Chrome trace-event JSON here on shutdown.")
 
+let serve_read_deadline_arg =
+  Arg.(
+    value
+    & opt float 30.
+    & info [ "read-deadline" ] ~docv:"SECS"
+        ~doc:
+          "Evict a connection stalled mid-frame (either direction) for more \
+           than $(docv) seconds.")
+
+let serve_write_buf_arg =
+  Arg.(
+    value
+    & opt int (4 * 1024 * 1024)
+    & info [ "write-buf" ] ~docv:"BYTES"
+        ~doc:
+          "Per-connection response buffer bound; a reader leaving more than \
+           $(docv) undelivered bytes is evicted as a slow reader.")
+
+let serve_no_supervise_arg =
+  Arg.(
+    value & flag
+    & info [ "no-supervise" ]
+        ~doc:
+          "Disable the supervisor: an exception escaping the serve core \
+           kills the daemon instead of restarting it from the last \
+           checkpoint.")
+
+let hammer_fault_phase_arg =
+  Arg.(
+    value & flag
+    & info [ "fault-phase" ]
+        ~doc:
+          "Treat mid-run connection failures as part of the experiment: \
+           reconnect with backoff, retry the request, and report the \
+           reconnect count and cumulative client-visible error window \
+           (for measuring supervised-restart recovery).  Response errors \
+           stop failing the run; snapshot staleness still does.")
+
 let hammer_smoke_arg =
   Arg.(
     value & flag
@@ -1066,7 +1208,7 @@ let commands =
        determinism check."
       Term.(
         const chaos_cmd $ graph_arg $ seed_arg $ chaos_arg $ trials_arg
-        $ rounds_arg $ smoke_arg);
+        $ rounds_arg $ smoke_arg $ link_smoke_arg);
     cmd "profile"
       "Profile a run: phase spans (read/merge/commit/fault/checkpoint/\
        recovery, per shard) to Chrome trace-event JSON, plus an optional \
@@ -1089,7 +1231,8 @@ let commands =
       Term.(
         const serve $ graph_arg $ seed_arg $ rounds_arg $ addr_arg
         $ rounds_per_tick_arg $ chaos_arg $ serve_profile_out_arg
-        $ span_capacity_arg);
+        $ span_capacity_arg $ serve_read_deadline_arg $ serve_write_buf_arg
+        $ serve_no_supervise_arg);
     cmd "hammer"
       "Stress client for symnet serve: a deterministic mixed \
        query/mutation load over one connection, reporting latency \
@@ -1098,7 +1241,7 @@ let commands =
       Term.(
         const hammer $ addr_arg $ seed_arg $ hammer_requests_arg
         $ hammer_mutate_arg $ hammer_batch_arg $ hammer_smoke_arg
-        $ hammer_shutdown_arg);
+        $ hammer_shutdown_arg $ hammer_fault_phase_arg);
   ]
 
 let () =

@@ -13,11 +13,14 @@ type process =
   | Burst of { at : int; width : int; count : int; kind : kind; target : target }
   | Periodic of { every : int; phase : int; kind : kind; target : target }
 
-type t = { seed : int; processes : process list }
+type t = { seed : int; processes : process list; link : Link.spec }
 
-let create ~seed processes = { seed; processes }
+let create ~seed ?(link = Link.default_spec) processes =
+  { seed; processes; link }
+
 let seed t = t.seed
 let processes t = t.processes
+let link t = t.link
 
 (* --- victim selection ------------------------------------------------- *)
 
@@ -132,6 +135,13 @@ let exhausted t ~round =
    critical — the latter only when the caller supplies a χ-set
    provider). *)
 
+let grammar =
+  "PROC(;PROC)* with PROC one of bernoulli[:p=<float>], \
+   burst[:at=<int>][:width=<int>][:count=<int>], \
+   periodic[:every=<int>][:phase=<int>], or a link process (" ^ Link.grammar
+  ^ "); common keys: kind=<kill_node|kill_edge|corrupt|crash>, \
+     downtime=<int>, target=<uniform|degree|critical>"
+
 let ( let* ) = Result.bind
 
 let parse_kv part =
@@ -198,7 +208,11 @@ let parse_proc ?critical s =
       in
       let* () =
         match List.find_opt (fun (k, _) -> not (List.mem k known)) kvs with
-        | Some (k, _) -> Error (Printf.sprintf "chaos spec: unknown key %S" k)
+        | Some (k, _) ->
+            Error
+              (Printf.sprintf
+                 "chaos spec: unknown key %S (valid keys: %s; grammar: %s)" k
+                 (String.concat ", " known) grammar)
         | None -> Ok ()
       in
       match name with
@@ -214,21 +228,69 @@ let parse_proc ?critical s =
           let* every = int_of "every" 10 in
           let* phase = int_of "phase" 0 in
           Ok (Periodic { every; phase; kind; target })
-      | n -> Error (Printf.sprintf "chaos spec: unknown process %S" n)
+      | n ->
+          Error
+            (Printf.sprintf
+               "chaos spec: unknown process %S (valid: bernoulli, burst, \
+                periodic, link=...; grammar: %s)"
+               n grammar)
+
+let is_link_part s =
+  String.length s >= 5 && String.sub s 0 5 = "link="
 
 let of_spec ~seed ?critical spec =
   let parts =
     String.split_on_char ';' spec |> List.map String.trim
     |> List.filter (fun s -> s <> "")
   in
-  if parts = [] then Error "chaos spec: no processes"
+  if parts = [] then
+    Error (Printf.sprintf "chaos spec: no processes (grammar: %s)" grammar)
   else
-    let* processes =
+    let* processes, link =
       List.fold_left
         (fun acc s ->
-          let* acc = acc in
-          let* p = parse_proc ?critical s in
-          Ok (p :: acc))
-        (Ok []) parts
+          let* procs, link = acc in
+          if is_link_part s then
+            let* seg = Link.spec_of_string s in
+            Ok (procs, Link.merge_spec link seg)
+          else
+            let* p = parse_proc ?critical s in
+            Ok (p :: procs, link))
+        (Ok ([], Link.default_spec))
+        parts
     in
-    Ok { seed; processes = List.rev processes }
+    Ok { seed; processes = List.rev processes; link }
+
+(* --- spec printing ----------------------------------------------------- *)
+
+(* Canonical serialization: every key explicit, so [spec_of] is a fixed
+   point of [of_spec ∘ spec_of] at the string level (a [Critical] target
+   prints as [target=critical] and needs the same [?critical] provider
+   to parse back — the closure itself cannot round-trip). *)
+
+let kind_kvs = function
+  | Kill_node -> ":kind=kill_node"
+  | Kill_edge -> ":kind=kill_edge"
+  | Corrupt -> ":kind=corrupt"
+  | Crash { downtime } -> Printf.sprintf ":kind=crash:downtime=%d" downtime
+
+let target_kv = function
+  | Uniform -> ":target=uniform"
+  | High_degree -> ":target=degree"
+  | Critical _ -> ":target=critical"
+
+let string_of_process p =
+  match p with
+  | Bernoulli { p; kind; target } ->
+      Printf.sprintf "bernoulli:p=%g%s%s" p (kind_kvs kind) (target_kv target)
+  | Burst { at; width; count; kind; target } ->
+      Printf.sprintf "burst:at=%d:width=%d:count=%d%s%s" at width count
+        (kind_kvs kind) (target_kv target)
+  | Periodic { every; phase; kind; target } ->
+      Printf.sprintf "periodic:every=%d:phase=%d%s%s" every phase
+        (kind_kvs kind) (target_kv target)
+
+let spec_of t =
+  let procs = List.map string_of_process t.processes in
+  let link = Link.string_of_spec t.link in
+  String.concat ";" (procs @ if link = "" then [] else [ link ])

@@ -46,9 +46,16 @@ type process =
 
 type t
 
-val create : seed:int -> process list -> t
+val create : seed:int -> ?link:Link.spec -> process list -> t
+(** [link] (default {!Link.default_spec}) attaches a channel-fault model
+    for the sharded runtime; flat runs ignore it. *)
+
 val seed : t -> int
 val processes : t -> process list
+
+val link : t -> Link.spec
+(** The attached link-layer spec ({!Link.default_spec} when the spec
+    carried no [link=] process). *)
 
 val actions_due : t -> round:int -> Symnet_graph.Graph.t -> Fault.action list
 (** The faults every process fires this round, in process order.  Pure in
@@ -80,4 +87,25 @@ val of_spec :
     spec that asks for [critical] without a provider is an [Error]: the
     caller owns the algorithm, the spec language cannot invent one.
 
-    Example: ["burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash:downtime=2:target=degree"]. *)
+    A process whose segment starts with [link=] configures the
+    {e adversarial link layer} instead of a node-fault process (see
+    {!Link}): [link=<drop|dup|reorder|delay>] with keys [p], [target]
+    ([all]/[cut] — [cut] restricts faults to channels crossing bridge
+    edges), [window] (reorder), [rounds] (delay), and the channel-wide
+    flags [reliable], [cap], [backoff].  [','] is accepted as a
+    separator synonym inside a link segment.  A spec may consist of link
+    processes alone.
+
+    Errors name the offending key {e and} spell out the accepted
+    grammar.
+
+    Examples:
+    ["burst:at=5:count=3:kind=corrupt;bernoulli:p=0.02:kind=crash:downtime=2:target=degree"],
+    ["link=drop:p=0.05:reliable=true;link=reorder:window=4:p=0.1"]. *)
+
+val spec_of : t -> string
+(** Canonical spec string: every key explicit, processes in order, the
+    link spec (if any) last.  [spec_of] is a fixed point of
+    [of_spec ∘ spec_of] at the string level; a [Critical] target prints
+    as [target=critical] and needs the same [?critical] provider to
+    parse back. *)

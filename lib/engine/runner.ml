@@ -19,6 +19,7 @@ type outcome = {
 type policy =
   | Retry of { attempts : int; reseed : bool }
   | Degrade
+  | Degrade_links
   | Give_up
 
 type recovery = { policy : policy; patience : int; checkpoint_every : int }
@@ -63,6 +64,15 @@ let start_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
   let g = Network.graph net in
   let automaton = Network.automaton net in
   Network.set_recorder net recorder;
+  (* A chaos spec may carry a channel-fault model: it only has meaning on
+     the sharded runtime (the flat engine has no channels), where it is
+     keyed off a seed decorrelated from the node-fault streams. *)
+  (match (sharded, chaos) with
+  | Some sh, Some c when Link.active (Chaos.link c) ->
+      Sharded_network.configure_link sh
+        ~seed:(Chaos.seed c lxor 0x71a6)
+        (Chaos.link c)
+  | _ -> ());
   (* Profiling spans for the runner's own phases (fault application,
      checkpoints, recoveries); [Obs.Span.null] unless the recorder was
      created with a live collector, in which case every bracket below is
@@ -218,6 +228,32 @@ let start_with ?pool ?sharded ~scheduler ~dirty ~faults ?chaos ?corrupt
     in
     match r.policy with
     | Give_up -> give_up ()
+    | Degrade_links -> (
+        (* Quarantine the channels still holding traffic (the fault
+           pipeline releases them), then resync ghosts from the flat
+           authority so nothing is lost with the dropped in-flight data.
+           A second trip with nothing left to quarantine gives up. *)
+        let quarantined =
+          match sharded with
+          | Some sh -> (
+              match Sharded_network.link_runtime sh with
+              | Some lk ->
+                  let q = Link.quarantine_stalled lk in
+                  if q <> [] then Sharded_network.resync sh;
+                  q
+              | None -> [])
+          | None -> []
+        in
+        match quarantined with
+        | [] -> give_up ()
+        | q ->
+            incr recoveries;
+            best_delta := max_int;
+            stall := 0;
+            recovery_span ();
+            Obs.Recorder.recovery recorder ~round ~attempt:(List.length q)
+              ~action:"degrade_links";
+            next_round := round + 1)
     | Degrade ->
         if !degraded then give_up ()
         else begin

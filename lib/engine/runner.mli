@@ -38,6 +38,13 @@ type policy =
           with [reseed], replace the network's rng first — without it a
           deterministic replay would reproduce the failure verbatim *)
   | Degrade  (** switch change-driven stepping off and continue *)
+  | Degrade_links
+      (** quarantine every link-layer channel still holding traffic
+          (taking it out of the fault pipeline's hands), resync ghosts
+          from the flat authority, and continue; a second trip with
+          nothing left to quarantine gives up.  Requires the sharded
+          runtime with a configured {!Link} — degrades to [Give_up]
+          otherwise. *)
   | Give_up  (** end the run immediately with [gave_up = true] *)
 
 type recovery = private {
@@ -171,7 +178,10 @@ val run :
     [pool]/[domains].  Results stay bit-identical to the flat engine at
     every (shards, domains) combination — chaos, checkpointing and
     recovery included (rollbacks restore the partition too).
-    [rebalance_every] forwards to {!Sharded_network.create}.
+    [rebalance_every] forwards to {!Sharded_network.create}.  When the
+    [chaos] spec carries a [link=] channel-fault model ({!Chaos.link}),
+    it is installed on the sharded runtime here
+    ({!Sharded_network.configure_link}); flat runs ignore it.
     @raise Invalid_argument when [shards] is combined with an
     asynchronous scheduler.
 

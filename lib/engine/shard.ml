@@ -299,6 +299,26 @@ let drain shards d =
   done;
   !applied
 
+(* Raw channel access for the adversarial link layer: the link runtime
+   (see {!Link}) replaces the direct [drain] with its own fault/retry
+   pipeline, so it needs to read one outbox as an ordered batch, reset
+   it, and deliver messages into the destination's ghosts itself. *)
+
+let outbox_len sh ~dst = sh.outboxes.(dst).q_len
+let outbox_slot sh ~dst i = sh.outboxes.(dst).q_slots.(i)
+let outbox_state sh ~dst i = sh.outboxes.(dst).q_states.(i)
+let outbox_clear sh ~dst = sh.outboxes.(dst).q_len <- 0
+
+let ghost_global sh slot = sh.ghost_ids.(slot)
+
+(* Apply one message to a ghost slot; returns [true] iff the value
+   actually changed (the link layer re-marks the ghost's neighbourhood
+   dirty only on a real change, so late deliveries wake readers up). *)
+let deliver sh ~slot ~state =
+  let changed = sh.ghosts.(slot) <> state in
+  sh.ghosts.(slot) <- state;
+  changed
+
 (* --- resynchronisation / snapshots ------------------------------------- *)
 
 (* Refresh local copies and ghosts from the flat state array (the

@@ -65,6 +65,24 @@ val drain : 'q t array -> int -> int
     queues.  Each ghost slot has a single writing shard, so distinct
     destinations may drain concurrently.  Returns messages applied. *)
 
+(** {1 Raw channel access (adversarial link layer)}
+
+    {!Link} replaces {!drain} with its own fault/retry pipeline when a
+    channel-fault model is configured; these accessors expose one
+    outbox as an ordered batch and let the link runtime deliver into
+    the destination's ghosts itself. *)
+
+val outbox_len : 'q t -> dst:int -> int
+val outbox_slot : 'q t -> dst:int -> int -> int
+val outbox_state : 'q t -> dst:int -> int -> 'q
+val outbox_clear : 'q t -> dst:int -> unit
+
+val ghost_global : 'q t -> int -> int
+(** The global node id behind a ghost slot (for dirty re-marking). *)
+
+val deliver : 'q t -> slot:int -> state:'q -> bool
+(** Write one message into a ghost slot; [true] iff the value changed. *)
+
 (** {1 Resynchronisation / snapshots} *)
 
 val resync : 'q t -> states:'q array -> unit

@@ -25,6 +25,7 @@
    invisible to results, which is what makes the rebalance hook safe. *)
 
 module Graph = Symnet_graph.Graph
+module Analysis = Symnet_graph.Analysis
 module Fssga = Symnet_core.Fssga
 module Recorder = Symnet_obs.Recorder
 module Span = Symnet_obs.Span
@@ -42,6 +43,13 @@ type 'q t = {
   mutable rounds : int;
   mutable rebalances : int;
   mutable migrated_boundaries : int;
+  (* adversarial link layer (None = direct drain, the default) *)
+  mutable link : 'q Link.t option;
+  mutable link_round : int;
+      (* the round counter the link layer keys its fault draws on —
+         saved in checkpoints so a rollback replays the same faults *)
+  mutable bridge_pairs : (int * int) list;
+      (* endpoints of bridge edges, for target=cut channel selection *)
   (* cumulative phase time (always measured — a handful of clock reads
      per round — so exchange share is reportable without a recorder) *)
   mutable read_ns : int;
@@ -51,10 +59,39 @@ type 'q t = {
   per_dst : int array;  (* per-destination drain counts, reused *)
 }
 
+(* Owner shard of a global node id under the current boundaries. *)
+let owner t v =
+  let lo = ref 0 and hi = ref t.k in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.boundaries.(mid) <= v then lo := mid else hi := mid
+  done;
+  !lo
+
+(* Channels crossing a bridge edge, under the current partition. *)
+let refresh_cut t =
+  match t.link with
+  | None -> ()
+  | Some lk ->
+      let pairs =
+        List.concat_map
+          (fun (u, v) ->
+            let su = owner t u and sv = owner t v in
+            if su = sv then [] else [ (su, sv); (sv, su) ])
+          t.bridge_pairs
+        |> List.sort_uniq compare
+      in
+      Link.set_cut lk pairs
+
 let layout t boundaries =
   t.boundaries <- boundaries;
   t.shards <-
-    Shard.build ~csr:t.csr ~boundaries ~states:(Network.raw_states t.net)
+    Shard.build ~csr:t.csr ~boundaries ~states:(Network.raw_states t.net);
+  (* the partition moved: ghost slots changed, so any in-flight link
+     traffic is meaningless — drop it (ghosts were just rebuilt from the
+     authoritative flat states) and remap the cut channels *)
+  Option.iter Link.reset t.link;
+  refresh_cut t
 
 let equal_boundaries ~n ~k = Array.init (k + 1) (fun i -> i * n / k)
 
@@ -76,6 +113,9 @@ let create ?(rebalance_every = 0) ?(imbalance = 2.0) ~shards:k net =
       rounds = 0;
       rebalances = 0;
       migrated_boundaries = 0;
+      link = None;
+      link_round = 0;
+      bridge_pairs = [];
       read_ns = 0;
       commit_ns = 0;
       exchange_ns = 0;
@@ -89,7 +129,36 @@ let create ?(rebalance_every = 0) ?(imbalance = 2.0) ~shards:k net =
 let resync t =
   let states = Network.raw_states t.net in
   Array.iter (fun sh -> Shard.resync sh ~states) t.shards;
+  (* ghosts are fresh copies of the authority again: in-flight link
+     traffic is redundant, so restart the channels *)
+  Option.iter Link.reset t.link;
   t.seen_epoch <- Network.state_epoch t.net
+
+let configure_link t ~seed spec =
+  if not (Link.active spec) then t.link <- None
+  else begin
+    let lk = Link.create ~seed ~shards:t.k spec in
+    t.link <- Some lk;
+    (* bridge endpoints only matter for target=cut faults, but they are
+       one DFS to compute and stable under liveness-free runs — derive
+       them once here, remap to shard pairs on every layout change *)
+    t.bridge_pairs <-
+      (if
+         List.exists
+           (fun (f : Link.fault) -> f.Link.target = Link.Cut_channels)
+           spec.Link.faults
+       then
+         let g = Network.graph t.net in
+         List.map
+           (fun eid ->
+             let e = Graph.edge g eid in
+             (e.Graph.u, e.Graph.v))
+           (Analysis.bridges g)
+       else []);
+    refresh_cut t
+  end
+
+let link_runtime t = t.link
 
 (* --- rebalancing ------------------------------------------------------- *)
 
@@ -248,16 +317,69 @@ let step ?pool ?(dirty = false) t =
     t.per_dst.(d) <- Shard.drain shards d;
     Span.record sp Span.Shard_exchange ~shard:d ~round:rd ~t0
   in
-  (match par with
-  | Some pool ->
-      Domain_pool.run pool ~n:k (fun _slot lo hi ->
-          for d = lo to hi - 1 do
-            drain_dst d
-          done)
-  | None ->
-      for d = 0 to k - 1 do
-        drain_dst d
-      done);
+  (* With a link runtime the exchange runs the fault/retry pipeline
+     instead of the direct drain.  Always sequential, destination- then
+     source-ascending on one domain: the link layer's event stream and
+     counters must not depend on drain interleaving (chaos runs are
+     about determinism, not exchange throughput). *)
+  (* A late (retransmitted/delayed) delivery can land on a round with no
+     local transitions; if it changed a ghost, the next round will
+     transition — so it must count as activity or the run quiesces one
+     round early with the update unread. *)
+  let ghost_woke = ref false in
+  let drain_dst_link lk d =
+    let t0 = Span.now sp in
+    let dsh = shards.(d) in
+    let delivered = ref 0 in
+    for s = 0 to k - 1 do
+      if s <> d then begin
+        let ssh = shards.(s) in
+        let len = Shard.outbox_len ssh ~dst:d in
+        let batch =
+          List.init len (fun i ->
+              (Shard.outbox_slot ssh ~dst:d i, Shard.outbox_state ssh ~dst:d i))
+        in
+        Shard.outbox_clear ssh ~dst:d;
+        let deliver ~slot ~state =
+          let changed = Shard.deliver dsh ~slot ~state in
+          if changed then ghost_woke := true;
+          (* a late delivery that changes a ghost lands after the commit
+             phase already marked this round's changed neighbourhoods:
+             re-mark the ghost's surroundings or its readers would stay
+             clean with a stale view *)
+          if changed && dirty then
+            Network.mark_dirty_around net (Shard.ghost_global dsh slot)
+        in
+        delivered :=
+          !delivered
+          + Link.exchange lk ~round:t.link_round ~src:s ~dst:d ~batch ~deliver
+              ~recorder
+      end
+    done;
+    t.per_dst.(d) <- !delivered;
+    Span.record sp Span.Link_exchange ~shard:d ~round:rd ~t0
+  in
+  let links_busy =
+    match t.link with
+    | Some lk ->
+        t.link_round <- t.link_round + 1;
+        for d = 0 to k - 1 do
+          drain_dst_link lk d
+        done;
+        Link.busy lk
+    | None ->
+        (match par with
+        | Some pool ->
+            Domain_pool.run pool ~n:k (fun _slot lo hi ->
+                for d = lo to hi - 1 do
+                  drain_dst d
+                done)
+        | None ->
+            for d = 0 to k - 1 do
+              drain_dst d
+            done);
+        false
+  in
   let msgs = Array.fold_left ( + ) 0 t.per_dst in
   t.messages <- t.messages + msgs;
   let c3 = Clock.now_ns () in
@@ -265,7 +387,10 @@ let step ?pool ?(dirty = false) t =
   if rec_on then Recorder.exchange_ns recorder ~ns:(c3 - c2);
   t.rounds <- t.rounds + 1;
   t.seen_epoch <- Network.state_epoch net;
-  any
+  (* in-flight traffic keeps the round "active": the run must not
+     quiesce while a channel still owes deliveries or retransmits, nor
+     on the round a late delivery just changed a ghost *)
+  any || links_busy || !ghost_woke
 
 (* --- checkpoint / restore ---------------------------------------------- *)
 
@@ -273,6 +398,7 @@ type 'q checkpoint = {
   sc_net : 'q Network.checkpoint;
   sc_boundaries : int array;
   sc_shards : 'q Shard.snap array;
+  sc_link_round : int;
 }
 
 let checkpoint t =
@@ -280,6 +406,7 @@ let checkpoint t =
     sc_net = Network.checkpoint t.net;
     sc_boundaries = Array.copy t.boundaries;
     sc_shards = Array.map Shard.snapshot t.shards;
+    sc_link_round = t.link_round;
   }
 
 let restore t cp =
@@ -291,6 +418,10 @@ let restore t cp =
        layout from the restored flat array, which the per-shard
        snapshots are consistent with by construction *)
     layout t (Array.copy cp.sc_boundaries);
+  (* rewind the fault clock and clear the channels: replaying the same
+     rounds re-derives the same link faults (rollback stability) *)
+  t.link_round <- cp.sc_link_round;
+  Option.iter Link.reset t.link;
   t.seen_epoch <- Network.state_epoch t.net
 
 (* --- accessors --------------------------------------------------------- *)

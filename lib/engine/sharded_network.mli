@@ -43,6 +43,31 @@ val rebalance : 'q t -> unit
     weigh 0, dirty nodes 4, other live nodes 1).  Normally invoked by
     the [rebalance_every] policy; exposed for tests and tooling. *)
 
+(** {1 Adversarial link layer} *)
+
+val configure_link : 'q t -> seed:int -> Link.spec -> unit
+(** Attach (or, with an inactive spec, detach) a {!Link} runtime: the
+    exchange phase then routes every (src, dst) channel through the
+    fault/retry pipeline instead of the direct drain, sequentially on
+    one domain so the fault draws and telemetry stay deterministic at
+    every (shards, domains) combination.  Late deliveries that change a
+    ghost re-mark the ghost's neighbourhood dirty, so dirty-frontier
+    scheduling stays sound under message delay.  [step] keeps returning
+    [true] while any channel has traffic in flight, and any resync /
+    restore / rebalance resets the channels (ghosts are refreshed from
+    the authoritative flat states, making in-flight data redundant).
+    With [target=cut] faults, bridge edges are computed here and
+    remapped to shard pairs on every partition change. *)
+
+val link_runtime : 'q t -> 'q Link.t option
+(** The attached link runtime, for counters and degrade policies. *)
+
+val resync : 'q t -> unit
+(** Force a ghost refresh from the authoritative flat states (and reset
+    the link channels).  Normally triggered automatically when
+    {!Network.state_epoch} moves; exposed for recovery policies that
+    repair channels without touching states ([Degrade_links]). *)
+
 (** {1 Checkpointing} *)
 
 type 'q checkpoint

@@ -13,10 +13,18 @@ type t =
   | Transition of { round : int; node : int }
   | Fault of { round : int; action : fault_action }
   | Fault_noop of { round : int; action : fault_action }
+  | Link_drop of { round : int; src : int; dst : int; kind : string }
+  | Link_retry of { round : int; src : int; dst : int; seq : int }
+  | Evict_client of { round : int; reason : string }
   | Checkpoint of { round : int }
   | Recovery of { round : int; attempt : int; action : string }
   | Frame of { round : int; line : string }
-  | Run_end of { round : int; activations : int; reason : string }
+  | Run_end of {
+      round : int;
+      activations : int;
+      reason : string;
+      spans_dropped : int;
+    }
 
 type event = t
 
@@ -71,6 +79,31 @@ let to_json = function
         (("ev", String "fault_noop")
         :: ("round", Int round)
         :: action_fields action)
+  | Link_drop { round; src; dst; kind } ->
+      Obj
+        [
+          ("ev", String "link_drop");
+          ("round", Int round);
+          ("src", Int src);
+          ("dst", Int dst);
+          ("kind", String kind);
+        ]
+  | Link_retry { round; src; dst; seq } ->
+      Obj
+        [
+          ("ev", String "link_retry");
+          ("round", Int round);
+          ("src", Int src);
+          ("dst", Int dst);
+          ("seq", Int seq);
+        ]
+  | Evict_client { round; reason } ->
+      Obj
+        [
+          ("ev", String "evict_client");
+          ("round", Int round);
+          ("reason", String reason);
+        ]
   | Checkpoint { round } ->
       Obj [ ("ev", String "checkpoint"); ("round", Int round) ]
   | Recovery { round; attempt; action } ->
@@ -83,13 +116,14 @@ let to_json = function
         ]
   | Frame { round; line } ->
       Obj [ ("ev", String "frame"); ("round", Int round); ("line", String line) ]
-  | Run_end { round; activations; reason } ->
+  | Run_end { round; activations; reason; spans_dropped } ->
       Obj
         [
           ("ev", String "run_end");
           ("round", Int round);
           ("activations", Int activations);
           ("reason", String reason);
+          ("spans_dropped", Int spans_dropped);
         ]
 
 let field name conv j =
@@ -155,6 +189,22 @@ let of_json j =
       let* round = field "round" to_int j in
       let* action = action_of_json j in
       Ok (Fault_noop { round; action })
+  | "link_drop" ->
+      let* round = field "round" to_int j in
+      let* src = field "src" to_int j in
+      let* dst = field "dst" to_int j in
+      let* kind = field "kind" to_str j in
+      Ok (Link_drop { round; src; dst; kind })
+  | "link_retry" ->
+      let* round = field "round" to_int j in
+      let* src = field "src" to_int j in
+      let* dst = field "dst" to_int j in
+      let* seq = field "seq" to_int j in
+      Ok (Link_retry { round; src; dst; seq })
+  | "evict_client" ->
+      let* round = field "round" to_int j in
+      let* reason = field "reason" to_str j in
+      Ok (Evict_client { round; reason })
   | "checkpoint" ->
       let* round = field "round" to_int j in
       Ok (Checkpoint { round })
@@ -171,7 +221,11 @@ let of_json j =
       let* round = field "round" to_int j in
       let* activations = field "activations" to_int j in
       let* reason = field "reason" to_str j in
-      Ok (Run_end { round; activations; reason })
+      (* absent in traces written before the field existed *)
+      let spans_dropped =
+        Option.value ~default:0 (Option.bind (member "spans_dropped" j) to_int)
+      in
+      Ok (Run_end { round; activations; reason; spans_dropped })
   | ev -> Error (Printf.sprintf "unknown event %S" ev)
 
 let of_line line =

@@ -27,6 +27,18 @@ type t =
   | Fault_noop of { round : int; action : fault_action }
       (** A scheduled fault that had no effect (dead target, missing
           edge) — the warning record for misconfigured schedules. *)
+  | Link_drop of { round : int; src : int; dst : int; kind : string }
+      (** The adversarial link layer dropped ([kind = "drop"]) or
+          otherwise faulted ([kind] = ["dup"], ["reorder"], ["delay"])
+          a message on the (src, dst) shard channel. *)
+  | Link_retry of { round : int; src : int; dst : int; seq : int }
+      (** The reliable-exchange sender retransmitted sequence number
+          [seq] on the (src, dst) channel after its backoff elapsed. *)
+  | Evict_client of { round : int; reason : string }
+      (** The serve daemon dropped a connection: [reason] is
+          ["slow_reader"] (write buffer overflow), ["deadline"]
+          (stalled mid-frame), or ["bad_frame"] (invalid length
+          prefix / oversized frame). *)
   | Checkpoint of { round : int }
       (** The runner snapshotted the network for rollback. *)
   | Recovery of { round : int; attempt : int; action : string }
@@ -34,9 +46,19 @@ type t =
           ["degrade"] or ["give_up"]. *)
   | Frame of { round : int; line : string }
       (** A rendered visualisation frame teed from {!Symnet_engine.Trace}. *)
-  | Run_end of { round : int; activations : int; reason : string }
+  | Run_end of {
+      round : int;
+      activations : int;
+      reason : string;
+      spans_dropped : int;
+    }
       (** [reason] is ["quiesced"], ["stopped"], ["budget"] or
-          ["gave_up"]; [activations] is the whole-run total. *)
+          ["gave_up"]; [activations] is the whole-run total.
+          [spans_dropped] is the profiling span ring's keep-last
+          overwrite count at run end ([0] when no spans were recorded or
+          the ring never saturated) — surfaced so chaos runs that
+          saturate the ring are visible in [symnet stats].  Decoding a
+          trace written before this field existed defaults it to [0]. *)
 
 val to_json : t -> Jsonx.t
 (** Tagged object, e.g. [{"ev":"round_end","round":3,"activations":12,

@@ -11,6 +11,10 @@ type enabled = {
   c_checkpoints : Metrics.counter;
   c_recoveries : Metrics.counter;
   c_frames : Metrics.counter;
+  c_messages_dropped : Metrics.counter;
+  c_retries : Metrics.counter;
+  c_backpressure_stalls : Metrics.counter;
+  c_evictions : Metrics.counter;
   h_activations_per_round : Metrics.histogram;
   h_view_size : Metrics.histogram;
   g_quiescence : Metrics.gauge;
@@ -71,6 +75,14 @@ let create ?(sink = Events.null) ?(activation_events = true)
       c_checkpoints = Metrics.counter reg "checkpoints";
       c_recoveries = Metrics.counter reg "recoveries";
       c_frames = Metrics.counter reg "frames";
+      (* link-layer and serve-resilience counters: registered
+         unconditionally — they read 0 on fault-free runs in both flat
+         and sharded execution, so the cross-runtime byte-identity of
+         the metrics document is preserved *)
+      c_messages_dropped = Metrics.counter reg "messages_dropped";
+      c_retries = Metrics.counter reg "retries";
+      c_backpressure_stalls = Metrics.counter reg "backpressure_stalls";
+      c_evictions = Metrics.counter reg "client_evictions";
       h_activations_per_round = Metrics.histogram reg "activations_per_round";
       h_view_size =
         Metrics.histogram reg "view_size"
@@ -192,6 +204,32 @@ let fault ?(effective = true) t ~action =
         Events.emit e.out (Events.Fault_noop { round = e.round; action })
       end
 
+let link_drop t ~src ~dst ~kind =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      Metrics.incr e.c_messages_dropped;
+      Events.emit e.out (Events.Link_drop { round = e.round; src; dst; kind })
+
+let link_retry t ~src ~dst ~seq =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      Metrics.incr e.c_retries;
+      Events.emit e.out (Events.Link_retry { round = e.round; src; dst; seq })
+
+let backpressure_stall t =
+  match t with
+  | Disabled -> ()
+  | Enabled e -> Metrics.incr e.c_backpressure_stalls
+
+let evict_client t ~reason =
+  match t with
+  | Disabled -> ()
+  | Enabled e ->
+      Metrics.incr e.c_evictions;
+      Events.emit e.out (Events.Evict_client { round = e.round; reason })
+
 let checkpoint t ~round =
   match t with
   | Disabled -> ()
@@ -220,4 +258,10 @@ let run_end t ~round ~reason =
   | Enabled e ->
       if reason = "quiesced" then Metrics.set e.g_quiescence (float_of_int round);
       Events.emit e.out
-        (Events.Run_end { round; activations = e.activations_total; reason })
+        (Events.Run_end
+           {
+             round;
+             activations = e.activations_total;
+             reason;
+             spans_dropped = Span.dropped e.spans;
+           })

@@ -102,6 +102,23 @@ val exchange_ns : t -> ns:int -> unit
     row records the delta accrued during its round.  The sharded runtime
     calls this alongside its [Shard_exchange] span records. *)
 
+val link_drop : t -> src:int -> dst:int -> kind:string -> unit
+(** The link layer faulted a message on the (src, dst) shard channel;
+    increments [messages_dropped] and emits {!Events.Link_drop}. *)
+
+val link_retry : t -> src:int -> dst:int -> seq:int -> unit
+(** The reliable exchange retransmitted [seq] on (src, dst); increments
+    [retries] and emits {!Events.Link_retry}. *)
+
+val backpressure_stall : t -> unit
+(** A channel's in-flight cap deferred traffic this round; increments
+    [backpressure_stalls] (metric only — no event, it can fire every
+    round under sustained pressure). *)
+
+val evict_client : t -> reason:string -> unit
+(** The serve daemon evicted a connection; increments [client_evictions]
+    and emits {!Events.Evict_client}. *)
+
 val fault : ?effective:bool -> t -> action:Events.fault_action -> unit
 (** With [~effective:false] (default [true]) the fault was a no-op —
     recorded under the [faults_noop] counter and emitted as a

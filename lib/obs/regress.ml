@@ -84,6 +84,29 @@ let extract doc =
             | _ -> [])
           l
   in
+  (* Reliable-exchange-under-link-chaos rows (absent from pre-link
+     baselines: they surface as "new", which passes).  rounds_per_sec is
+     throughput while the retry protocol is recovering dropped traffic
+     (higher better); retries_per_round is the protocol overhead (lower
+     better — retransmissions are deterministic in the seed, so drift
+     here means the exchange code itself changed). *)
+  let exchange_rows =
+    match list_field "exchange" doc with
+    | None -> []
+    | Some l ->
+        List.concat_map
+          (fun x ->
+            match (str_field "workload" x, int_field "shards" x,
+                   num_field "rounds_per_sec" x,
+                   num_field "retries_per_round" x) with
+            | Some w, Some s, Some rps, Some rpr ->
+                [
+                  (w, Printf.sprintf "exchange_rounds_per_sec@s%d" s, rps);
+                  (w, Printf.sprintf "retries_per_round@s%d" s, rpr);
+                ]
+            | _ -> [])
+          l
+  in
   (* The incremental-digest hub block (absent from pre-digest baselines:
      its rows then surface as "new", which passes). *)
   let digest_rows =
@@ -110,7 +133,9 @@ let extract doc =
             [ ("serve_hammer", "qps", qps); ("serve_hammer", "p50_us", p50) ]
         | _ -> [])
   in
-  Ok (List.rev sample_rows @ par_rows @ sharded_rows @ digest_rows @ serve_rows)
+  Ok
+    (List.rev sample_rows @ par_rows @ sharded_rows @ exchange_rows
+   @ digest_rows @ serve_rows)
 
 (* --- comparison ------------------------------------------------------- *)
 
@@ -147,14 +172,18 @@ let compare_docs ?(tolerance_pct = 50.) ?(words_slack = 8.) ~baseline ~fresh ()
             { workload = w; metric = m; base; fresh = nan; change_pct = nan;
               verdict = Missing_fresh }
         | Some fresh ->
-            let exchange_share =
-              String.length m >= 14 && String.sub m 0 14 = "exchange_share"
+            let prefixed p =
+              String.length m >= String.length p
+              && String.sub m 0 (String.length p) = p
             in
+            let exchange_share = prefixed "exchange_share" in
+            let retries_per_round = prefixed "retries_per_round" in
             let higher_better = m <> "ns_per_activation"
                                 && m <> "words_per_activation"
                                 && m <> "incr_update_ns"
                                 && m <> "p50_us"
-                                && not exchange_share in
+                                && not exchange_share
+                                && not retries_per_round in
             let pct = change_pct ~higher_better ~base ~fresh in
             let over_tolerance =
               if m = "words_per_activation" then
@@ -164,6 +193,10 @@ let compare_docs ?(tolerance_pct = 50.) ?(words_slack = 8.) ~baseline ~fresh ()
                 (* a ratio in [0,1]: relative bounds explode near zero,
                    so allow a fixed 0.25 of absolute drift on top *)
                 fresh > (base *. (1. +. (tolerance_pct /. 100.))) +. 0.25
+              else if retries_per_round then
+                (* near-zero on quiet channels: same treatment, with a
+                   slack of one retry per round *)
+                fresh > (base *. (1. +. (tolerance_pct /. 100.))) +. 1.0
               else pct > tolerance_pct
             in
             { workload = w; metric = m; base; fresh; change_pct = pct;
@@ -238,6 +271,7 @@ let inject_slowdown ~factor doc =
              | "samples" -> (n, map_rows "ns_per_activation" factor v)
              | "parallel" -> (n, map_rows "rounds_per_sec" (1. /. factor) v)
              | "sharded" -> (n, map_rows "rounds_per_sec" (1. /. factor) v)
+             | "exchange" -> (n, map_rows "rounds_per_sec" (1. /. factor) v)
              | "digest" -> (
                  match v with
                  | Jsonx.Obj f ->

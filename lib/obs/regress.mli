@@ -18,6 +18,12 @@
     - [rounds_per_sec] per domain count (higher is better) — regressed
       when the decrease exceeds [tolerance_pct] strictly.
 
+    The sharded, exchange, digest and serve blocks contribute further
+    rows ([exchange_share], [exchange_rounds_per_sec] and
+    [retries_per_round] per shard count, [incr_update_ns], [qps],
+    [p50_us], ...); blocks absent from an older baseline surface as
+    {!New_only}, which passes.
+
     A workload present in the baseline but missing from the fresh run is
     a failure ({!Missing_fresh}: a silently dropped benchmark must not
     pass the gate); a fresh-only workload is informational
@@ -64,7 +70,8 @@ val to_table : check list -> string
 val inject_slowdown : factor:float -> Jsonx.t -> Jsonx.t
 (** Self-test aid for the CI gate: scale every latency-like metric
     ([ns_per_activation], [incr_update_ns], the serve block's [p50_us])
-    up and every throughput-like one ([rounds_per_sec], [speedup], the
-    serve block's [qps]) down by [factor], leaving the rest of the
-    document intact — comparing an injected document against its
-    original must fail the gate. *)
+    up and every throughput-like one ([rounds_per_sec] — parallel,
+    sharded and exchange rows alike — [speedup], the serve block's
+    [qps]) down by [factor], leaving the rest of the document intact —
+    comparing an injected document against its original must fail the
+    gate. *)

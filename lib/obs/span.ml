@@ -10,6 +10,7 @@ type phase =
   | Digest_query
   | Shard_read
   | Shard_exchange
+  | Link_exchange
   | Serve_snapshot
   | Serve_request
 
@@ -25,6 +26,7 @@ let phase_name = function
   | Digest_query -> "digest_query"
   | Shard_read -> "shard_read"
   | Shard_exchange -> "shard_exchange"
+  | Link_exchange -> "link_exchange"
   | Serve_snapshot -> "serve_snapshot"
   | Serve_request -> "serve_request"
 
@@ -42,6 +44,7 @@ let phase_tag = function
   | Shard_exchange -> 10
   | Serve_snapshot -> 11
   | Serve_request -> 12
+  | Link_exchange -> 13
 
 let phase_of_tag = function
   | 0 -> Round
@@ -56,6 +59,7 @@ let phase_of_tag = function
   | 10 -> Shard_exchange
   | 11 -> Serve_snapshot
   | 12 -> Serve_request
+  | 13 -> Link_exchange
   | _ -> Recovery
 
 (* Parallel int arrays rather than an array of records: record stores

@@ -38,6 +38,10 @@ type phase =
   | Shard_exchange
       (** draining one shard's cross-shard inboxes into its ghost
           buffers during the exchange phase ([shard] = shard id) *)
+  | Link_exchange
+      (** the adversarial link layer processing one destination's
+          channels — fault injection, retransmits, in-order delivery
+          ([shard] = destination shard id) *)
   | Serve_snapshot
       (** the serve daemon taking a consistent read snapshot of the
           resident network between rounds *)

@@ -65,6 +65,11 @@ let summarise events =
      and [faults_unrecovered] counts disturbances still unsettled at run
      end — together they give the recovery rate. *)
   let pending_fault = ref None in
+  (* Link faults get their own MTTR series: a channel disturbance starts
+     at the first Link_drop and ends at the next settled round, so
+     [link_recovery_rounds] reports per-link-fault repair time alongside
+     the node-fault [recovery_rounds]. *)
+  let pending_link_fault = ref None in
   List.iter
     (fun (ev : Events.t) ->
       match ev with
@@ -75,6 +80,11 @@ let summarise events =
           | Some r0 when not changed ->
               push "recovery_rounds" (float_of_int (round - r0));
               pending_fault := None
+          | _ -> ());
+          (match !pending_link_fault with
+          | Some r0 when not changed ->
+              push "link_recovery_rounds" (float_of_int (round - r0));
+              pending_link_fault := None
           | _ -> ())
       | Events.Activation { view_size; _ } -> push "view_size" (float_of_int view_size)
       | Events.Transition _ -> incr transitions_in_round
@@ -82,10 +92,23 @@ let summarise events =
           push "faults" 1.;
           if !pending_fault = None then pending_fault := Some round
       | Events.Fault_noop _ -> push "faults_noop" 1.
+      | Events.Link_drop { round; _ } ->
+          push "link_drops" 1.;
+          if !pending_link_fault = None then pending_link_fault := Some round
+      | Events.Link_retry _ -> push "link_retries" 1.
+      | Events.Evict_client _ -> push "client_evictions" 1.
       | Events.Checkpoint _ -> push "checkpoints" 1.
       | Events.Recovery _ -> push "recoveries" 1.
-      | Events.Run_end { round; _ } -> (
+      | Events.Run_end { round; spans_dropped; _ } -> (
           push "rounds" (float_of_int round);
+          (* ring saturation during the run would otherwise be silent *)
+          if spans_dropped > 0 then
+            push "spans_dropped" (float_of_int spans_dropped);
+          (match !pending_link_fault with
+          | Some _ ->
+              push "link_faults_unrecovered" 1.;
+              pending_link_fault := None
+          | None -> ());
           match !pending_fault with
           | Some _ ->
               push "faults_unrecovered" 1.;

@@ -37,6 +37,18 @@ let connect addr =
   | Unix_sock _ -> ());
   fd
 
+(* One client connection: non-blocking fd, an incremental frame decoder
+   on the read side, and a bounded outbound byte buffer on the write
+   side.  [c_last] is the time of the last I/O progress — connections
+   stuck mid-frame (either direction) past the deadline are evicted. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : Wire.decoder;
+  mutable c_out : Bytes.t;  (* unwritten outbound bytes *)
+  mutable c_opos : int;  (* consumed prefix of [c_out] *)
+  mutable c_last : float;
+}
+
 type 'q t = {
   d_net : 'q Network.t;
   d_state_json : 'q -> Jsonx.t;
@@ -45,19 +57,31 @@ type 'q t = {
   mutable d_session : 'q Runner.session;
   mutable d_view : 'q View.t option;
   mutable d_running : bool;
-  mutable d_clients : Unix.file_descr list;
+  mutable d_clients : conn list;
   d_listen : Unix.file_descr;
   d_addr : address;
   d_rounds_per_tick : int;
+  d_read_deadline : float;  (* seconds a partial read/write may stall *)
+  d_write_buf_limit : int;  (* outbound bytes before slow-reader eviction *)
   mutable d_rounds_run : int;
       (* cumulative across session restarts; the [round] stamp queries see *)
   mutable d_requests : int;
+  mutable d_ticks : int;
+  (* supervision: a periodic network checkpoint the supervisor loop can
+     restart the serve core from after a crash *)
+  mutable d_checkpoint : 'q Network.checkpoint option;
+  mutable d_restarts : int;
 }
 
-let create ?(recorder = Obs.Recorder.null) ?(rounds_per_tick = 1) ~state_json
+let create ?(recorder = Obs.Recorder.null) ?(rounds_per_tick = 1)
+    ?(read_deadline = 30.) ?(write_buf_limit = 4 * 1024 * 1024) ~state_json
     ~session addr =
   if rounds_per_tick < 1 then
     invalid_arg "Daemon.create: rounds_per_tick must be >= 1";
+  if read_deadline <= 0. then
+    invalid_arg "Daemon.create: read_deadline must be positive";
+  if write_buf_limit < 1 then
+    invalid_arg "Daemon.create: write_buf_limit must be positive";
   (* A client dropping mid-response must surface as EPIPE, not kill the
      daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -91,12 +115,18 @@ let create ?(recorder = Obs.Recorder.null) ?(rounds_per_tick = 1) ~state_json
     d_listen = listen;
     d_addr = addr;
     d_rounds_per_tick = rounds_per_tick;
+    d_read_deadline = read_deadline;
+    d_write_buf_limit = write_buf_limit;
     d_rounds_run = 0;
     d_requests = 0;
+    d_ticks = 0;
+    d_checkpoint = None;
+    d_restarts = 0;
   }
 
 let requests_served d = d.d_requests
 let rounds_run d = d.d_rounds_run
+let restarts d = d.d_restarts
 
 (* --- query evaluation -------------------------------------------------- *)
 
@@ -136,6 +166,7 @@ let eval_query d q =
                 | None -> false) );
             ("live_nodes", Jsonx.Int (Graph.node_count g));
             ("live_edges", Jsonx.Int (Graph.edge_count g));
+            ("restarts", Jsonx.Int d.d_restarts);
           ]
     | Protocol.Node_state vs ->
         Jsonx.List
@@ -217,6 +248,7 @@ let eval_query d q =
             ("graph_version", Jsonx.Int (Graph.version (Network.graph d.d_net)));
             ("rounds_run", Jsonx.Int d.d_rounds_run);
             ("requests_served", Jsonx.Int d.d_requests);
+            ("restarts", Jsonx.Int d.d_restarts);
           ]
   in
   ok_of_view v data
@@ -278,20 +310,95 @@ let handle_frame d s =
 
 (* --- event loop -------------------------------------------------------- *)
 
-let drop_client d fd =
-  d.d_clients <- List.filter (fun c -> c <> fd) d.d_clients;
-  try Unix.close fd with Unix.Unix_error _ -> ()
+let conn_pending c = Bytes.length c.c_out - c.c_opos
 
-let serve_client d fd =
-  match Wire.read_frame fd with
-  | None -> drop_client d fd
-  | Some s -> (
-      try Wire.write_frame fd (handle_frame d s)
-      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-        drop_client d fd)
-  | exception Wire.Closed -> drop_client d fd
+let drop_conn d c =
+  d.d_clients <- List.filter (fun c' -> c'.c_fd <> c.c_fd) d.d_clients;
+  try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+let evict d c ~reason =
+  Obs.Recorder.evict_client d.d_recorder ~reason;
+  drop_conn d c
+
+let enqueue_out c payload =
+  let frame = Wire.encode_frame payload in
+  let pending = conn_pending c in
+  if pending = 0 then begin
+    c.c_out <- frame;
+    c.c_opos <- 0
+  end
+  else begin
+    let nb = Bytes.create (pending + Bytes.length frame) in
+    Bytes.blit c.c_out c.c_opos nb 0 pending;
+    Bytes.blit frame 0 nb pending (Bytes.length frame);
+    c.c_out <- nb;
+    c.c_opos <- 0
+  end
+
+let flush_conn d c =
+  let pending = conn_pending c in
+  if pending > 0 then begin
+    match Unix.write c.c_fd c.c_out c.c_opos pending with
+    | k ->
+        if k > 0 then begin
+          c.c_opos <- c.c_opos + k;
+          c.c_last <- Unix.gettimeofday ()
+        end;
+        if conn_pending c = 0 then begin
+          c.c_out <- Bytes.empty;
+          c.c_opos <- 0
+        end
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        drop_conn d c
+  end
+
+let read_chunk = 65536
+
+let read_conn d c =
+  let chunk = Bytes.create read_chunk in
+  match Unix.read c.c_fd chunk 0 read_chunk with
+  | 0 -> drop_conn d c (* EOF *)
+  | k -> (
+      c.c_last <- Unix.gettimeofday ();
+      Wire.feed c.c_dec chunk k;
+      (* Drain every complete frame the chunk completed.  A bad length
+         prefix is unrecoverable garbage — the connection is evicted,
+         never the daemon.  A client that will not read its responses
+         (outbound buffer past the limit) is evicted too, so one slow
+         reader cannot balloon the daemon's memory. *)
+      let rec frames () =
+        match Wire.next c.c_dec with
+        | Wire.Need_more -> `Live
+        | Wire.Bad _ -> `Evict "bad_frame"
+        | Wire.Frame s ->
+            enqueue_out c (handle_frame d s);
+            if conn_pending c > d.d_write_buf_limit then `Evict "slow_reader"
+            else frames ()
+      in
+      match frames () with
+      | `Evict reason -> evict d c ~reason
+      | `Live -> flush_conn d c)
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      drop_client d fd
+      drop_conn d c
+
+(* Connections stalled mid-frame (read side) or with undeliverable
+   output (write side) past the deadline are dead weight: evict. *)
+let sweep_deadlines d =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun c ->
+      if
+        (Wire.buffered c.c_dec > 0 || conn_pending c > 0)
+        && now -. c.c_last > d.d_read_deadline
+      then evict d c ~reason:"deadline")
+    d.d_clients
 
 let step_rounds d =
   match Runner.session_result d.d_session with
@@ -303,34 +410,69 @@ let step_rounds d =
           | None ->
               d.d_rounds_run <- d.d_rounds_run + 1;
               go (k - 1)
-          | Some _ -> d.d_rounds_run <- d.d_rounds_run + 1
+          | Some _ ->
+              d.d_rounds_run <- d.d_rounds_run + 1;
+              (* the session just finished: a quiesced state is the
+                 cheapest-to-lose restart point there is *)
+              d.d_checkpoint <- Some (Network.checkpoint d.d_net)
         end
       in
       go d.d_rounds_per_tick
 
 let active d = Runner.session_result d.d_session = None
 
+let checkpoint_every_ticks = 256
+
 let tick ?(timeout = 0.05) d =
   let timeout = if active d then 0. else timeout in
-  let readable, _, _ =
-    try Unix.select (d.d_listen :: d.d_clients) [] [] timeout
+  d.d_ticks <- d.d_ticks + 1;
+  if d.d_ticks mod checkpoint_every_ticks = 0 then
+    d.d_checkpoint <- Some (Network.checkpoint d.d_net);
+  let fds = d.d_listen :: List.map (fun c -> c.c_fd) d.d_clients in
+  let wfds =
+    List.filter_map
+      (fun c -> if conn_pending c > 0 then Some c.c_fd else None)
+      d.d_clients
+  in
+  let readable, writable, _ =
+    try Unix.select fds wfds [] timeout
     with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
   in
+  let find_conn fd = List.find_opt (fun c -> c.c_fd = fd) d.d_clients in
   List.iter
     (fun fd ->
       if fd = d.d_listen then begin
         match Unix.accept d.d_listen with
-        | client, _ -> d.d_clients <- client :: d.d_clients
+        | client, _ ->
+            Unix.set_nonblock client;
+            d.d_clients <-
+              {
+                c_fd = client;
+                c_dec = Wire.decoder ();
+                c_out = Bytes.empty;
+                c_opos = 0;
+                c_last = Unix.gettimeofday ();
+              }
+              :: d.d_clients
         | exception Unix.Unix_error _ -> ()
       end
-      else if List.mem fd d.d_clients then serve_client d fd)
+      else
+        match find_conn fd with Some c -> read_conn d c | None -> ())
     readable;
+  List.iter
+    (fun fd -> match find_conn fd with Some c -> flush_conn d c | None -> ())
+    writable;
+  sweep_deadlines d;
   if d.d_running then step_rounds d
 
-let close d =
-  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+let drop_all_clients d =
+  List.iter
+    (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
     d.d_clients;
-  d.d_clients <- [];
+  d.d_clients <- []
+
+let close d =
+  drop_all_clients d;
   (try Unix.close d.d_listen with Unix.Unix_error _ -> ());
   match d.d_addr with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
@@ -338,10 +480,34 @@ let close d =
 
 let running d = d.d_running
 
-let serve_forever d =
+(* The supervisor: a crash anywhere in the serve core (a query
+   evaluator bug, an unexpected syscall error) must not take the daemon
+   down.  Restore the network from the last checkpoint, arm a fresh
+   session, drop every connection (their protocol state is unknown) and
+   keep serving.  Bounded: a hot crash loop re-raises after
+   [max_restarts], because restarting forever would just burn the CPU
+   while serving nothing. *)
+let max_restarts = 16
+
+let restart_core d =
+  d.d_restarts <- d.d_restarts + 1;
+  drop_all_clients d;
+  (match d.d_checkpoint with
+  | Some cp -> ( try Network.restore d.d_net cp with _ -> ())
+  | None -> ());
+  d.d_view <- None;
+  d.d_session <- d.d_mk_session ();
+  Obs.Recorder.recovery d.d_recorder ~round:d.d_rounds_run
+    ~attempt:d.d_restarts ~action:"serve_restart"
+
+let serve_forever ?(supervise = true) d =
   Fun.protect
     ~finally:(fun () -> close d)
     (fun () ->
       while d.d_running do
-        tick d
+        try tick d
+        with e when supervise && d.d_restarts < max_restarts -> (
+          match e with
+          | Out_of_memory | Stack_overflow -> raise e
+          | _ -> restart_core d)
       done)

@@ -29,6 +29,8 @@ type 'q t
 val create :
   ?recorder:Symnet_obs.Recorder.t ->
   ?rounds_per_tick:int ->
+  ?read_deadline:float ->
+  ?write_buf_limit:int ->
   state_json:('q -> Symnet_obs.Jsonx.t) ->
   session:(unit -> 'q Symnet_engine.Runner.session) ->
   address ->
@@ -40,11 +42,33 @@ val create :
     [node_state] queries.  [rounds_per_tick] (default 1) rounds are
     stepped per loop iteration.  A [recorder] with live spans gets
     [Serve_snapshot]/[Serve_request] phases (plus the session's own
-    round phases) for Chrome traces. *)
+    round phases) for Chrome traces.
 
-val serve_forever : 'q t -> unit
+    Resilience: client sockets are non-blocking, frames are reassembled
+    incrementally, and responses go through a bounded per-connection
+    write buffer.  Misbehaving connections are {e evicted} (recorded as
+    [Evict_client] events / the [client_evictions] counter), never
+    allowed to stall or crash the daemon:
+    - an invalid frame length prefix — framing cannot resynchronise
+      after garbage (reason [bad_frame]; malformed {e JSON} inside a
+      well-formed frame still gets an error response);
+    - more than [write_buf_limit] (default 4 MiB) undelivered response
+      bytes (reason [slow_reader]);
+    - a connection stalled mid-frame, either direction, for more than
+      [read_deadline] seconds (default 30; reason [deadline]). *)
+
+val serve_forever : ?supervise:bool -> 'q t -> unit
 (** Loop until a [shutdown] request arrives, then close every
-    connection, the listener, and unlink the socket path. *)
+    connection, the listener, and unlink the socket path.
+
+    With [supervise] (default [true]), an exception escaping the serve
+    core restarts it instead of killing the daemon: the network is
+    restored from the latest periodic checkpoint, a fresh session is
+    armed, all connections are dropped (their protocol state is
+    unknown), and serving resumes — recorded as a [serve_restart]
+    recovery event and counted by {!restarts}.  After 16 restarts the
+    exception propagates (a hot crash loop serves nothing).
+    [Out_of_memory] and [Stack_overflow] always propagate. *)
 
 val tick : ?timeout:float -> 'q t -> unit
 (** One loop iteration (select + serve ready requests + step rounds);
@@ -59,3 +83,7 @@ val requests_served : 'q t -> int
 val rounds_run : 'q t -> int
 (** Cumulative rounds stepped, across session restarts — the [round]
     stamp on responses. *)
+
+val restarts : 'q t -> int
+(** Serve-core restarts performed by the supervisor (also reported in
+    [status] and [telemetry] responses). *)

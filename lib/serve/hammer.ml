@@ -7,12 +7,32 @@ type outcome = {
   errors : int;
   mutations : int;
   stamp_regressions : int;
+  reconnects : int;
+  error_window_s : float;
   elapsed_s : float;
   qps : float;
   p50_us : float;
   p95_us : float;
   max_us : float;
 }
+
+(* Daemon startup and supervised restarts race with clients: the first
+   connect of a freshly spawned daemon routinely lands before the
+   listener is bound.  Refused/missing-socket connects are transient
+   conditions, not failures — retry with exponential backoff and only
+   propagate once the budget is spent. *)
+let retrying ?(attempts = 8) ?(delay = 0.05) connect () =
+  let rec go i delay =
+    match connect () with
+    | fd -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+      when i < attempts ->
+        ignore (Unix.select [] [] [] delay);
+        go (i + 1) (delay *. 2.)
+  in
+  go 0 delay
 
 (* The per-request op mix, NacDB-stress-harness style: mostly cheap
    point reads, a steady stream of heavier analytical queries, and (every
@@ -45,14 +65,33 @@ let pick_mutation rng ~n killed =
 
 let no_pump (_ : Unix.file_descr) = ()
 
+(* Connection-level failures a fault-phase run treats as transient: the
+   daemon died mid-request, was restarting, or reset us. *)
+let is_conn_error = function
+  | Wire.Closed | End_of_file | Failure _ -> true
+  | Unix.Unix_error
+      ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ENOENT
+        | Unix.EBADF ),
+        _,
+        _ ) ->
+      true
+  | _ -> false
+
 let run ?(seed = 0x4a11) ?(requests = 1000) ?(mutate_every = 20) ?(batch = 1)
-    ?(pump = no_pump) ~connect ~n () =
+    ?(pump = no_pump) ?(fault_phase = false) ~connect ~n () =
   if requests < 1 then invalid_arg "Hammer.run: requests must be >= 1";
   if batch < 1 then invalid_arg "Hammer.run: batch must be >= 1";
+  (* The daemon dying mid-request must surface as EPIPE on our write —
+     the reconnect path below — not deliver a fatal SIGPIPE.  The
+     daemon sets this for itself; a standalone hammer process must too. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let rng = Prng.create ~seed in
-  let fd = connect () in
+  let fd = ref (connect ()) in
+  let reconnects = ref 0 in
+  let error_window_ns = ref 0 in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> try Unix.close !fd with Unix.Unix_error _ -> ())
     (fun () ->
       let lat_us = Array.make requests 0. in
       let errors = ref 0 in
@@ -86,10 +125,43 @@ let run ?(seed = 0x4a11) ?(requests = 1000) ?(mutate_every = 20) ?(batch = 1)
                    Protocol.Query (pick_query rng ~n)))
           else Protocol.Query (pick_query rng ~n)
         in
+        let exchange () =
+          Wire.write_frame !fd (Protocol.encode req);
+          pump !fd;
+          Wire.read_frame !fd
+        in
+        (* In fault-phase mode a connection-level failure is part of the
+           experiment: reconnect (with backoff) and retry the request,
+           accounting the client-visible outage window from the first
+           failure to the first successful exchange afterwards. *)
+        let exchange_resilient () =
+          if not fault_phase then exchange ()
+          else
+            match exchange () with
+            | r -> r
+            | exception e when is_conn_error e ->
+                let t_fail = Obs.Clock.now_ns () in
+                let rec again tries =
+                  (try Unix.close !fd with Unix.Unix_error _ -> ());
+                  fd := retrying connect ();
+                  incr reconnects;
+                  (* A reconnect may reach a fresh daemon incarnation
+                     restarted from a checkpoint, whose version counter
+                     restarts too — stamp monotonicity is a
+                     per-incarnation contract, so re-baseline it. *)
+                  last_version := min_int;
+                  match exchange () with
+                  | r -> r
+                  | exception e2 when is_conn_error e2 && tries < 5 ->
+                      again (tries + 1)
+                in
+                let r = again 0 in
+                error_window_ns :=
+                  !error_window_ns + (Obs.Clock.now_ns () - t_fail);
+                r
+        in
         let t0 = Obs.Clock.now_ns () in
-        Wire.write_frame fd (Protocol.encode req);
-        pump fd;
-        (match Wire.read_frame fd with
+        (match exchange_resilient () with
         | None -> incr errors
         | Some s -> (
             match Jsonx.of_string s with
@@ -108,6 +180,8 @@ let run ?(seed = 0x4a11) ?(requests = 1000) ?(mutate_every = 20) ?(batch = 1)
         errors = !errors;
         mutations = !mutations;
         stamp_regressions = !stamp_regressions;
+        reconnects = !reconnects;
+        error_window_s = float_of_int !error_window_ns /. 1e9;
         elapsed_s;
         qps = (if elapsed_s > 0. then float_of_int requests /. elapsed_s else 0.);
         p50_us = Obs.Stats.percentile 0.5 lat_us;
@@ -147,6 +221,8 @@ let to_json o =
       ("errors", Jsonx.Int o.errors);
       ("mutations", Jsonx.Int o.mutations);
       ("stamp_regressions", Jsonx.Int o.stamp_regressions);
+      ("reconnects", Jsonx.Int o.reconnects);
+      ("error_window_s", Jsonx.Float o.error_window_s);
       ("elapsed_s", Jsonx.Float o.elapsed_s);
       ("qps", Jsonx.Float o.qps);
       ("p50_us", Jsonx.Float o.p50_us);

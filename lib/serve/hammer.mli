@@ -16,7 +16,15 @@ type outcome = {
       (** responses whose snapshot version moved {e backwards} — any
           non-zero value means a stale snapshot was served, which the
           strictly monotonic {!Symnet_graph.Graph.version} is supposed
-          to make impossible *)
+          to make impossible.  The contract is per daemon incarnation:
+          a fault-phase reconnect re-baselines the expected version,
+          since a supervised restart legitimately restarts the counter. *)
+  reconnects : int;
+      (** fault-phase mode: connections re-established after a
+          connection-level failure mid-run *)
+  error_window_s : float;
+      (** fault-phase mode: cumulative client-visible outage — from each
+          first failed exchange to the first success after reconnecting *)
   elapsed_s : float;
   qps : float;
   p50_us : float;
@@ -24,12 +32,26 @@ type outcome = {
   max_us : float;
 }
 
+val retrying :
+  ?attempts:int ->
+  ?delay:float ->
+  (unit -> Unix.file_descr) ->
+  unit ->
+  Unix.file_descr
+(** Wrap a connect function with retry-and-exponential-backoff on
+    refused/missing-socket connects ([ECONNREFUSED], [ENOENT],
+    [ECONNRESET]) — daemon startup and supervised restarts race with
+    clients, and those are transient conditions, not failures.  Default
+    8 [attempts] starting at [delay] 0.05s (doubling); the final failure
+    propagates. *)
+
 val run :
   ?seed:int ->
   ?requests:int ->
   ?mutate_every:int ->
   ?batch:int ->
   ?pump:(Unix.file_descr -> unit) ->
+  ?fault_phase:bool ->
   connect:(unit -> Unix.file_descr) ->
   n:int ->
   unit ->
@@ -43,7 +65,14 @@ val run :
     of its reply — a caller embedding the daemon in the {e same} thread
     (the bench harness) passes a loop that {!Daemon.tick}s until the
     reply is readable on the given client fd; against a separate daemon
-    process it stays the default no-op. *)
+    process it stays the default no-op.
+
+    With [fault_phase] (default [false]), connection-level failures
+    mid-run (the daemon crashed, restarted, or reset us) are part of the
+    experiment instead of fatal: the client reconnects through
+    {!retrying}, retries the request, and accounts the client-visible
+    outage in [reconnects]/[error_window_s].  Used to measure recovery
+    windows while a supervisor restarts the daemon under load. *)
 
 val probe_n :
   ?pump:(Unix.file_descr -> unit) ->

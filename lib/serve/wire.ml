@@ -43,6 +43,69 @@ let read_frame fd =
     Some (Bytes.unsafe_to_string payload)
   end
 
+(* --- incremental decoding ---------------------------------------------- *)
+
+(* The hardened daemon reads non-blockingly in whatever chunks the
+   socket yields; the decoder reassembles frames and classifies garbage
+   (bad length prefix) without ever raising — a malformed client must
+   cost the daemon one eviction, not an exception through the accept
+   loop. *)
+
+type decoder = {
+  mutable d_buf : Bytes.t;
+  mutable d_len : int;  (* valid bytes in [d_buf] *)
+  mutable d_bad : string option;  (* sticky: garbage is unrecoverable *)
+}
+
+type decoded = Frame of string | Need_more | Bad of string
+
+let decoder () = { d_buf = Bytes.create 4096; d_len = 0; d_bad = None }
+
+let feed d src k =
+  if d.d_bad = None then begin
+    if d.d_len + k > Bytes.length d.d_buf then begin
+      let cap = max (d.d_len + k) (2 * Bytes.length d.d_buf) in
+      let nb = Bytes.create cap in
+      Bytes.blit d.d_buf 0 nb 0 d.d_len;
+      d.d_buf <- nb
+    end;
+    Bytes.blit src 0 d.d_buf d.d_len k;
+    d.d_len <- d.d_len + k
+  end
+
+let next d =
+  match d.d_bad with
+  | Some msg -> Bad msg
+  | None ->
+      if d.d_len < 4 then Need_more
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_be d.d_buf 0) in
+        if len < 0 || len > max_frame then begin
+          let msg = Printf.sprintf "bad frame length %d" len in
+          d.d_bad <- Some msg;
+          Bad msg
+        end
+        else if d.d_len < 4 + len then Need_more
+        else begin
+          let payload = Bytes.sub_string d.d_buf 4 len in
+          let rest = d.d_len - 4 - len in
+          Bytes.blit d.d_buf (4 + len) d.d_buf 0 rest;
+          d.d_len <- rest;
+          Frame payload
+        end
+      end
+
+let buffered d = d.d_len
+
+let encode_frame s =
+  let len = String.length s in
+  if len > max_frame then
+    failwith (Printf.sprintf "Wire.encode_frame: frame too large (%d)" len);
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string s 0 buf 4 len;
+  buf
+
 let write_frame fd s =
   let len = String.length s in
   if len > max_frame then

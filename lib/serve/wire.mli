@@ -20,3 +20,34 @@ val read_frame : Unix.file_descr -> string option
 val write_frame : Unix.file_descr -> string -> unit
 (** Write one frame (header and payload in a single buffer).
     @raise Failure if the payload exceeds {!max_frame}. *)
+
+(** {1 Incremental decoding}
+
+    The hardened daemon reads non-blockingly in whatever chunks the
+    socket yields; a [decoder] reassembles frames and classifies garbage
+    without raising — a malformed client costs one eviction, never an
+    exception through the accept loop. *)
+
+type decoder
+
+type decoded =
+  | Frame of string  (** one complete payload *)
+  | Need_more  (** no complete frame buffered yet *)
+  | Bad of string
+      (** invalid length prefix — sticky: framing cannot resynchronise
+          after garbage, the connection must be dropped *)
+
+val decoder : unit -> decoder
+val feed : decoder -> bytes -> int -> unit
+(** Append the first [k] bytes of the chunk. After [Bad], input is
+    discarded. *)
+
+val next : decoder -> decoded
+(** Extract the next complete frame, if any. *)
+
+val buffered : decoder -> int
+(** Bytes currently held (for read-side buffer accounting). *)
+
+val encode_frame : string -> bytes
+(** The wire form of one frame (header + payload), for buffered writers.
+    @raise Failure if the payload exceeds {!max_frame}. *)

@@ -1,0 +1,335 @@
+(* Adversarial link layer: spec grammar round-trips, determinism of
+   link-faulted runs across domain counts and through checkpoint
+   restore, reliable-exchange convergence to the fault-free fixed point,
+   cut-channel targeting, the Degrade_links recovery policy, and the
+   link runtime's counters. *)
+
+module Gen = Symnet_graph.Gen
+module Prng = Symnet_prng.Prng
+module Network = Symnet_engine.Network
+module Sharded = Symnet_engine.Sharded_network
+module Runner = Symnet_engine.Runner
+module Chaos = Symnet_engine.Chaos
+module Link = Symnet_engine.Link
+module Obs = Symnet_obs
+module A = Symnet_algorithms
+
+let graph_of (n, extra) =
+  Gen.random_connected (Prng.create ~seed:(n + (131 * extra))) ~n ~extra_edges:extra
+
+let sp_automaton n = A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:n
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (n, e) -> Printf.sprintf "(n=%d, extra=%d)" n e)
+    QCheck.Gen.(pair (int_range 8 40) (int_range 0 20))
+
+(* A representative mixed link spec: lossy, duplicating, reordering and
+   delaying — with the reliable exchange making the losses recoverable. *)
+let mixed_link_spec =
+  "link=drop:p=0.15:reliable=true:cap=8:backoff=1;link=dup:p=0.1;link=reorder:p=0.2:window=3;link=delay:p=0.1:rounds=2"
+
+let chaos_of_spec ~seed spec =
+  match Chaos.of_spec ~seed spec with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "chaos spec rejected: %s" e
+
+(* Run with a buffer-sink recorder so the full event stream is part of
+   the identity being compared. *)
+let drive ~seed ~spec ~shards ~domains (n, extra) =
+  let g = graph_of (n, extra) in
+  let net = Network.init ~rng:(Prng.create ~seed:(seed + 7)) g (sp_automaton n) in
+  Network.set_par_cutoff net 0;
+  let buf = Buffer.create 4096 in
+  let recorder = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
+  let chaos = chaos_of_spec ~seed spec in
+  let outcome =
+    Runner.run ~chaos ~max_rounds:200 ~recorder ~domains ~shards net
+  in
+  ( outcome.Runner.rounds,
+    outcome.Runner.activations,
+    outcome.Runner.transitions,
+    outcome.Runner.quiesced,
+    Network.states net,
+    Buffer.contents buf )
+
+(* Link faults are a pure function of (seed, channel, round, message
+   index), so a faulted sharded run must be bit-identical — states,
+   outcome and the whole trace byte stream — at every domain count. *)
+let prop_link_trace_bytes_across_domains =
+  QCheck.Test.make ~count:12 ~name:"link faults: trace bytes domain-independent"
+    graph_arb (fun gspec ->
+      let base = drive ~seed:0x5eed ~spec:mixed_link_spec ~shards:3 ~domains:1 gspec in
+      List.for_all
+        (fun domains ->
+          drive ~seed:0x5eed ~spec:mixed_link_spec ~shards:3 ~domains gspec = base)
+        [ 1; 2 ])
+
+(* Under reliable exchange every dropped/delayed ghost update is
+   eventually delivered in order, so a self-stabilising computation
+   converges to the same fixed point as a fault-free flat run — the
+   paper's §5.2 robustness claim, at every (shards, domains) pair. *)
+let prop_reliable_drop_matches_flat =
+  QCheck.Test.make ~count:10 ~name:"reliable exchange: converges to fault-free fixed point"
+    graph_arb (fun ((n, _extra) as gspec) ->
+      let flat =
+        let g = graph_of gspec in
+        let net = Network.init ~rng:(Prng.create ~seed:3) g (sp_automaton n) in
+        let (_ : Runner.outcome) = Runner.run ~max_rounds:200 net in
+        Network.states net
+      in
+      List.for_all
+        (fun (shards, domains) ->
+          let g = graph_of gspec in
+          let net = Network.init ~rng:(Prng.create ~seed:3) g (sp_automaton n) in
+          Network.set_par_cutoff net 0;
+          let chaos =
+            chaos_of_spec ~seed:0xcafe
+              "link=drop:p=0.05:reliable=true;link=delay:p=0.1:rounds=2"
+          in
+          let o = Runner.run ~chaos ~max_rounds:400 ~shards ~domains net in
+          o.Runner.quiesced && Network.states net = flat)
+        [ (1, 1); (3, 1); (3, 2) ])
+
+(* Rollback stability: the link round counter is part of the sharded
+   checkpoint, so replaying rounds after a restore re-derives the same
+   fault draws and lands on the same states. *)
+let prop_checkpoint_restore_deterministic =
+  QCheck.Test.make ~count:10 ~name:"link faults: checkpoint/restore replays identically"
+    graph_arb (fun ((n, _) as gspec) ->
+      let g = graph_of gspec in
+      let net = Network.init ~rng:(Prng.create ~seed:11) g (sp_automaton n) in
+      Network.set_par_cutoff net 0;
+      let sh = Sharded.create ~shards:3 net in
+      Sharded.configure_link sh ~seed:0x11ca
+        {
+          Link.faults =
+            [
+              { Link.kind = Link.Drop; p = 0.2; target = Link.All_channels };
+              {
+                Link.kind = Link.Delay { rounds = 2 };
+                p = 0.15;
+                target = Link.All_channels;
+              };
+            ];
+          reliable = true;
+          cap = 8;
+          backoff = 1;
+        };
+      for _ = 1 to 4 do
+        ignore (Sharded.step sh)
+      done;
+      let cp = Sharded.checkpoint sh in
+      let steps_after () =
+        let cont = List.init 6 (fun _ -> Sharded.step sh) in
+        (cont, Network.states net)
+      in
+      (* Run ahead (so the restore is a genuine rewind), then compare
+         two independent replays from the same checkpoint: the link
+         round counter is rewound with the restore, so both replays
+         draw the same faults and land on the same states. *)
+      ignore (steps_after ());
+      Sharded.restore sh cp;
+      let replay1 = steps_after () in
+      Sharded.restore sh cp;
+      let replay2 = steps_after () in
+      replay1 = replay2)
+
+(* --- spec grammar ---------------------------------------------------- *)
+
+let test_spec_roundtrip () =
+  let specs =
+    [
+      "link=drop:p=0.05:reliable=true";
+      "link=dup:p=0.1,target=cut,cap=4";
+      "link=reorder:window=4:p=0.1;link=delay:rounds=3:p=0.2:backoff=2";
+      "bernoulli:p=0.02:kind=corrupt;link=drop:p=0.01:reliable=true";
+      "burst:at=5:width=2:count=3:kind=kill_node:target=degree";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Chaos.of_spec ~seed:1 s with
+      | Error e -> Alcotest.failf "spec %S rejected: %s" s e
+      | Ok c -> (
+          let canon = Chaos.spec_of c in
+          match Chaos.of_spec ~seed:1 canon with
+          | Error e ->
+              Alcotest.failf "canonical form %S of %S rejected: %s" canon s e
+          | Ok c2 ->
+              (* spec_of is a fixed point of of_spec ∘ spec_of *)
+              Alcotest.(check string)
+                (Printf.sprintf "round-trip of %S" s)
+                canon (Chaos.spec_of c2)))
+    specs
+
+let check_error_mentions ~what spec needles =
+  match Chaos.of_spec ~seed:1 spec with
+  | Ok _ -> Alcotest.failf "%s: spec %S unexpectedly accepted" what spec
+  | Error e ->
+      List.iter
+        (fun needle ->
+          let mem =
+            let ln = String.length needle and le = String.length e in
+            let rec go i = i + ln <= le && (String.sub e i ln = needle || go (i + 1)) in
+            go 0
+          in
+          if not mem then
+            Alcotest.failf "%s: error %S does not mention %S" what e needle)
+        needles
+
+let test_unknown_key_errors_list_grammar () =
+  (* Unknown keys and kinds must name the offender and spell out the
+     accepted grammar so the CLI user can self-correct. *)
+  check_error_mentions ~what:"unknown link key" "link=drop:p=0.1:bogus=3"
+    [ "bogus"; "link=" ];
+  check_error_mentions ~what:"unknown link kind" "link=teleport:p=0.1"
+    [ "teleport"; "drop" ];
+  check_error_mentions ~what:"unknown process key" "bernoulli:pp=1"
+    [ "pp"; "valid keys" ];
+  check_error_mentions ~what:"unknown process name" "gremlins:p=0.1"
+    [ "gremlins" ]
+
+(* --- cut-channel targeting ------------------------------------------- *)
+
+let dropped_on ~g ~n ~shards spec =
+  let net = Network.init ~rng:(Prng.create ~seed:5) g (sp_automaton n) in
+  Network.set_par_cutoff net 0;
+  let sh = Sharded.create ~shards net in
+  Sharded.configure_link sh ~seed:0xbeef spec;
+  for _ = 1 to 30 do
+    ignore (Sharded.step sh)
+  done;
+  match Sharded.link_runtime sh with
+  | None -> Alcotest.fail "link runtime not configured"
+  | Some lk -> (Link.messages_dropped lk, Link.delivered lk)
+
+let cut_spec =
+  {
+    Link.faults = [ { Link.kind = Link.Drop; p = 1.0; target = Link.Cut_channels } ];
+    reliable = false;
+    cap = 0;
+    backoff = 1;
+  }
+
+let test_cut_target_hits_bridge_channels () =
+  (* Every edge of a path is a bridge, so every cross-shard channel is a
+     cut channel: p=1 drop on target=cut kills all of them. *)
+  let n = 24 in
+  let dropped, _ = dropped_on ~g:(Gen.path n) ~n ~shards:4 cut_spec in
+  Alcotest.(check bool) "path: bridge channels faulted" true (dropped > 0)
+
+let test_cut_target_spares_bridgeless_graphs () =
+  (* A complete graph has no bridges, so target=cut must fault nothing —
+     traffic flows untouched even at p=1. *)
+  let n = 12 in
+  let dropped, delivered = dropped_on ~g:(Gen.complete n) ~n ~shards:3 cut_spec in
+  Alcotest.(check int) "clique: nothing dropped" 0 dropped;
+  Alcotest.(check bool) "clique: traffic flowed" true (delivered > 0)
+
+(* --- Degrade_links recovery ------------------------------------------ *)
+
+let test_degrade_links_recovery () =
+  (* Periodic corruption keeps the network transitioning every round
+     while p=1 long-delay swallows all cross-shard traffic: the watchdog
+     sees progress without new minima, trips, and Degrade_links
+     quarantines the stalled channels and resyncs. *)
+  let n = 24 in
+  let g = graph_of (n, 10) in
+  let net = Network.init ~rng:(Prng.create ~seed:21) g (sp_automaton n) in
+  Network.set_par_cutoff net 0;
+  let buf = Buffer.create 1024 in
+  let recorder = Obs.Recorder.create ~sink:(Obs.Events.buffer buf) () in
+  let chaos =
+    chaos_of_spec ~seed:0xdead
+      "periodic:every=1:kind=corrupt;link=delay:p=1.0:rounds=500"
+  in
+  let recovery = Runner.recovery ~patience:5 Runner.Degrade_links in
+  let o =
+    Runner.run ~chaos ~recovery ~max_rounds:60 ~recorder ~shards:2 net
+  in
+  Alcotest.(check bool) "recovery policy fired" true (o.Runner.recoveries >= 1);
+  let trace = Buffer.contents buf in
+  let mentions needle =
+    let ln = String.length needle and lt = String.length trace in
+    let rec go i = i + ln <= lt && (String.sub trace i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "degrade_links recovery recorded" true
+    (mentions "degrade_links")
+
+let test_degrade_links_without_link_gives_up () =
+  (* Without a configured link runtime the policy degrades to Give_up
+     rather than spinning. *)
+  let n = 20 in
+  let g = graph_of (n, 8) in
+  let net = Network.init ~rng:(Prng.create ~seed:23) g (sp_automaton n) in
+  let chaos = chaos_of_spec ~seed:0xfeed "periodic:every=1:kind=corrupt" in
+  let recovery = Runner.recovery ~patience:5 Runner.Degrade_links in
+  let o = Runner.run ~chaos ~recovery ~max_rounds:60 ~shards:2 net in
+  Alcotest.(check bool) "gave up" true o.Runner.gave_up
+
+(* --- counters -------------------------------------------------------- *)
+
+let test_link_counters () =
+  let n = 30 in
+  let g = Gen.path n in
+  let net = Network.init ~rng:(Prng.create ~seed:9) g (sp_automaton n) in
+  Network.set_par_cutoff net 0;
+  let sh = Sharded.create ~shards:3 net in
+  Sharded.configure_link sh ~seed:0xabcd
+    {
+      Link.faults =
+        [
+          { Link.kind = Link.Drop; p = 0.5; target = Link.All_channels };
+          { Link.kind = Link.Duplicate; p = 0.3; target = Link.All_channels };
+        ];
+      reliable = true;
+      cap = 4;
+      backoff = 1;
+    };
+  let budget = ref 400 in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    continue_ := Sharded.step sh;
+    decr budget
+  done;
+  let lk =
+    match Sharded.link_runtime sh with
+    | Some lk -> lk
+    | None -> Alcotest.fail "link runtime missing"
+  in
+  Alcotest.(check bool) "drops counted" true (Link.messages_dropped lk > 0);
+  Alcotest.(check bool) "duplicates counted" true (Link.duplicated lk > 0);
+  Alcotest.(check bool) "retries counted" true (Link.retries lk > 0);
+  Alcotest.(check bool) "deliveries counted" true (Link.delivered lk > 0);
+  (* Reliable exchange drained everything: the run quiesced with no
+     traffic left in flight. *)
+  Alcotest.(check bool) "quiesced with link idle" true
+    ((not !continue_) && not (Link.busy lk));
+  (* ... and converged to the true shortest paths despite the losses. *)
+  let flat_net =
+    Network.init ~rng:(Prng.create ~seed:9) (Gen.path n) (sp_automaton n)
+  in
+  let (_ : Runner.outcome) = Runner.run ~max_rounds:200 flat_net in
+  Alcotest.(check bool) "states match fault-free flat" true
+    (Network.states net = Network.states flat_net)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_link_trace_bytes_across_domains;
+    QCheck_alcotest.to_alcotest prop_reliable_drop_matches_flat;
+    QCheck_alcotest.to_alcotest prop_checkpoint_restore_deterministic;
+    Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec errors list grammar" `Quick
+      test_unknown_key_errors_list_grammar;
+    Alcotest.test_case "cut target hits bridge channels" `Quick
+      test_cut_target_hits_bridge_channels;
+    Alcotest.test_case "cut target spares bridgeless graphs" `Quick
+      test_cut_target_spares_bridgeless_graphs;
+    Alcotest.test_case "degrade_links recovery" `Quick
+      test_degrade_links_recovery;
+    Alcotest.test_case "degrade_links without link gives up" `Quick
+      test_degrade_links_without_link_gives_up;
+    Alcotest.test_case "link counters" `Quick test_link_counters;
+  ]

@@ -109,7 +109,7 @@ let all_events =
       Fault { round = 1; action = Kill_edge (0, 1) };
       Frame { round = 1; line = "1  .x.." };
       Round_end { round = 1; activations = 5; changed = true };
-      Run_end { round = 1; activations = 5; reason = "quiesced" };
+      Run_end { round = 1; activations = 5; reason = "quiesced"; spans_dropped = 0 };
     ]
 
 let test_event_jsonl_roundtrip () =
@@ -335,7 +335,7 @@ let test_stats_summarise () =
       [
         Round_end { round = 1; activations = 10; changed = true };
         Round_end { round = 2; activations = 20; changed = false };
-        Run_end { round = 2; activations = 30; reason = "quiesced" };
+        Run_end { round = 2; activations = 30; reason = "quiesced"; spans_dropped = 0 };
       ]
   in
   let summaries = Obs.Stats.summarise events in

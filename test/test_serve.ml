@@ -495,6 +495,162 @@ let test_daemon_restarts_after_quiescence () =
             (Option.bind (get [ "data"; "effective" ] j) Jsonx.to_bool);
           Alcotest.(check int) "no-op did not re-arm" 2 !starts))
 
+(* --- incremental decoder ----------------------------------------------- *)
+
+let test_decoder_incremental () =
+  let d = Wire.decoder () in
+  let frame = Bytes.to_string (Wire.encode_frame "hello") in
+  (* byte-at-a-time: Need_more until the last byte lands *)
+  String.iteri
+    (fun i ch ->
+      (match Wire.next d with
+      | Wire.Need_more -> ()
+      | _ -> Alcotest.failf "premature frame at byte %d" i);
+      Wire.feed d (Bytes.make 1 ch) 1)
+    frame;
+  (match Wire.next d with
+  | Wire.Frame "hello" -> ()
+  | _ -> Alcotest.fail "frame not reassembled");
+  (* two frames in one chunk come out one next at a time *)
+  let two =
+    Bytes.cat (Wire.encode_frame "one") (Wire.encode_frame "two")
+  in
+  Wire.feed d two (Bytes.length two);
+  (match (Wire.next d, Wire.next d, Wire.next d) with
+  | Wire.Frame "one", Wire.Frame "two", Wire.Need_more -> ()
+  | _ -> Alcotest.fail "pipelined frames mis-split")
+
+let test_decoder_bad_lengths_sticky () =
+  let check_bad label header =
+    let d = Wire.decoder () in
+    Wire.feed d header (Bytes.length header);
+    (match Wire.next d with
+    | Wire.Bad _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label);
+    (* sticky: further input is discarded, the verdict stands *)
+    let good = Wire.encode_frame "x" in
+    Wire.feed d good (Bytes.length good);
+    match Wire.next d with
+    | Wire.Bad _ -> ()
+    | _ -> Alcotest.failf "%s verdict not sticky" label
+  in
+  let header v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 v;
+    b
+  in
+  check_bad "oversized length" (header (Int32.of_int (Wire.max_frame + 1)));
+  check_bad "negative length" (header (-1l))
+
+(* --- wire-frame fuzzer -------------------------------------------------- *)
+
+(* A hostile or broken client must cost at most its own connection: the
+   daemon evicts it and keeps answering well-formed requests from
+   everyone else.  Deterministic fuzz — the blobs come off a seeded
+   Prng, so a failure reproduces. *)
+let test_daemon_survives_frame_garbage () =
+  let g = Gen.grid ~rows:5 ~cols:5 in
+  let net =
+    Network.init ~rng:(Prng.create ~seed:4) g
+      (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:25)
+  in
+  let addr = Daemon.Unix_sock (sock_path ()) in
+  let d =
+    Daemon.create
+      ~state_json:(fun s -> Jsonx.Int (A.Shortest_paths.label s))
+      ~session:(fun () -> Runner.start ~dirty:true net)
+      addr
+  in
+  Fun.protect
+    ~finally:(fun () -> Daemon.close d)
+    (fun () ->
+      let rng = Prng.create ~seed:0xf022 in
+      let send_raw bytes =
+        let fd = Daemon.connect addr in
+        (try ignore (Unix.write fd bytes 0 (Bytes.length bytes))
+         with Unix.Unix_error _ -> ());
+        (* let the daemon accept, read and (if warranted) evict *)
+        for _ = 1 to 5 do
+          Daemon.tick ~timeout:0. d
+        done;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      in
+      let header v =
+        let b = Bytes.create 4 in
+        Bytes.set_int32_be b 0 (Int32.of_int v);
+        b
+      in
+      let adversaries =
+        [
+          (* oversized and negative length prefixes *)
+          header (Wire.max_frame + 1);
+          header (-1);
+          Bytes.of_string "\xff\xff\xff\xff\xff\xff\xff\xff";
+          (* a length promising more than ever arrives, then hangup *)
+          Bytes.cat (header 1000) (Bytes.of_string "abc");
+          (* empty write, immediate hangup *)
+          Bytes.create 0;
+        ]
+      in
+      List.iter send_raw adversaries;
+      (* seeded random blobs *)
+      for _ = 1 to 20 do
+        let len = 1 + Prng.int rng 64 in
+        send_raw (Bytes.init len (fun _ -> Char.chr (Prng.int rng 256)))
+      done;
+      (* the daemon is unimpressed: a fresh well-formed client is served *)
+      let fd = Daemon.connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let j = rpc d fd (Protocol.Query Protocol.Status) in
+          check_ok j;
+          Alcotest.(check (option int)) "still all nodes" (Some 25)
+            (get_int [ "data"; "nodes" ] j);
+          Alcotest.(check (option int)) "no supervisor restarts" (Some 0)
+            (get_int [ "data"; "restarts" ] j)))
+
+let test_daemon_garbage_json_in_valid_frame () =
+  (* Malformed JSON inside a well-formed frame is a protocol error, not
+     a framing error: the daemon answers ok:false and the connection
+     stays usable. *)
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  let net =
+    Network.init ~rng:(Prng.create ~seed:6) g
+      (A.Shortest_paths.automaton ~sinks:[ 0 ] ~cap:16)
+  in
+  let addr = Daemon.Unix_sock (sock_path ()) in
+  let d =
+    Daemon.create
+      ~state_json:(fun s -> Jsonx.Int (A.Shortest_paths.label s))
+      ~session:(fun () -> Runner.start ~dirty:true net)
+      addr
+  in
+  Fun.protect
+    ~finally:(fun () -> Daemon.close d)
+    (fun () ->
+      let fd = Daemon.connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          List.iter
+            (fun garbage ->
+              Wire.write_frame fd garbage;
+              pump d fd;
+              match Wire.read_frame fd with
+              | None -> Alcotest.fail "daemon closed on garbage JSON"
+              | Some s -> (
+                  match Jsonx.of_string s with
+                  | Error e -> Alcotest.failf "unparseable error reply: %s" e
+                  | Ok j ->
+                      Alcotest.(check (option bool))
+                        "garbage answered ok:false" (Some false)
+                        (Option.bind (Jsonx.member "ok" j) Jsonx.to_bool)))
+            [ "this is not json"; "{\"op\":"; "{\"op\":\"no-such-op\"}"; "" ];
+          (* same connection still serves real requests *)
+          let j = rpc d fd (Protocol.Query Protocol.Status) in
+          check_ok j))
+
 let suite =
   [
     Alcotest.test_case "wire round-trip + clean EOF" `Quick test_wire_roundtrip;
@@ -518,4 +674,12 @@ let suite =
     Alcotest.test_case "daemon end-to-end" `Quick test_daemon_e2e;
     Alcotest.test_case "daemon restarts after quiescence" `Quick
       test_daemon_restarts_after_quiescence;
+    Alcotest.test_case "decoder reassembles incrementally" `Quick
+      test_decoder_incremental;
+    Alcotest.test_case "decoder bad lengths are sticky" `Quick
+      test_decoder_bad_lengths_sticky;
+    Alcotest.test_case "daemon survives frame garbage" `Quick
+      test_daemon_survives_frame_garbage;
+    Alcotest.test_case "daemon answers garbage JSON in valid frames" `Quick
+      test_daemon_garbage_json_in_valid_frame;
   ]
